@@ -1,0 +1,50 @@
+// Regenerates Fig 10: SRAM and DRAM access energy of Ideal 32-core,
+// Ideal GPU, and Booster, averaged over the benchmarks and normalized to
+// Ideal 32-core. Expected shape: GPU SRAM energy above CPU (96 KB banked
+// Shared Memory vs 32 KB L1D); Booster below both (2 KB SRAMs); CPU and GPU
+// DRAM energy identical (same blocks); Booster's DRAM energy lower via the
+// redundant column format.
+#include <cstdio>
+
+#include <vector>
+
+#include "baselines/cpu_like.h"
+#include "common.h"
+#include "energy/energy_model.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace booster;
+  const auto opt = bench::BenchOptions::parse(argc, argv);
+  bench::print_header("Fig 10: SRAM and DRAM energy (normalized)",
+                      "Booster paper, Section V-D, Figure 10");
+
+  const auto workloads = bench::load_workloads(opt);
+  const baselines::CpuLikeModel ideal_cpu(baselines::ideal_cpu_params());
+  const baselines::CpuLikeModel ideal_gpu(baselines::ideal_gpu_params());
+  const core::BoosterModel booster(bench::default_booster_config());
+  const energy::EnergyModel em;
+
+  std::vector<double> gpu_sram, gpu_dram, booster_sram, booster_dram;
+  for (const auto& w : workloads) {
+    const auto cpu = em.energy(ideal_cpu.train_activity(w.trace, w.info));
+    const auto gpu = em.energy(ideal_gpu.train_activity(w.trace, w.info));
+    const auto bst = em.energy(booster.train_activity(w.trace, w.info));
+    gpu_sram.push_back(gpu.sram_joules / cpu.sram_joules);
+    gpu_dram.push_back(gpu.dram_joules / cpu.dram_joules);
+    booster_sram.push_back(bst.sram_joules / cpu.sram_joules);
+    booster_dram.push_back(bst.dram_joules / cpu.dram_joules);
+  }
+
+  util::Table table({"System", "SRAM energy (norm)", "DRAM energy (norm)"});
+  table.add_row({"Ideal 32-core", "1.00", "1.00"});
+  table.add_row({"Ideal GPU", util::fmt(util::mean(gpu_sram)),
+                 util::fmt(util::mean(gpu_dram))});
+  table.add_row({"Booster", util::fmt(util::mean(booster_sram)),
+                 util::fmt(util::mean(booster_dram))});
+  table.print();
+  std::printf("\nPaper reference: Booster strictly lower in both; GPU SRAM"
+              " energy ~2.6x CPU; CPU and GPU DRAM identical.\n");
+  return 0;
+}

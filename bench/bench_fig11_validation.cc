@@ -1,0 +1,49 @@
+// Regenerates Fig 11: validating the Ideal models against Real-hardware
+// configurations. Two properties must hold (paper Section V-E):
+//   1. Ideal 32-core <= Real 32-core and Ideal GPU <= Real GPU in time
+//      (the Ideal models are upper bounds on performance), and
+//   2. on real hardware the GPU loses to the multicore for Allstate and
+//      Mq2008 (irregularity + small-dataset overheads), while the Ideal GPU
+//      is uniformly faster -- the workload irregularity that motivates an
+//      accelerator.
+#include <cstdio>
+
+#include "baselines/cpu_like.h"
+#include "common.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace booster;
+  const auto opt = bench::BenchOptions::parse(argc, argv);
+  bench::print_header("Fig 11: Ideal vs Real configurations",
+                      "Booster paper, Section V-E, Figure 11");
+
+  const auto workloads = bench::load_workloads(opt);
+  const baselines::CpuLikeModel ideal_cpu(baselines::ideal_cpu_params());
+  const baselines::CpuLikeModel real_cpu(baselines::real_cpu_params());
+  const baselines::CpuLikeModel ideal_gpu(baselines::ideal_gpu_params());
+  const baselines::CpuLikeModel real_gpu(baselines::real_gpu_params());
+  const core::BoosterModel booster(bench::default_booster_config());
+
+  util::Table table({"Benchmark", "Ideal 32-core", "Real 32-core",
+                     "Ideal GPU", "Real GPU", "Booster", "GPU wins on real?"});
+  bool ok_bounds = true;
+  for (const auto& w : workloads) {
+    const double icpu = ideal_cpu.train_cost(w.trace, w.info).total();
+    const double rcpu = real_cpu.train_cost(w.trace, w.info).total();
+    const double igpu = ideal_gpu.train_cost(w.trace, w.info).total();
+    const double rgpu = real_gpu.train_cost(w.trace, w.info).total();
+    const double bst = booster.train_cost(w.trace, w.info).total();
+    ok_bounds &= (icpu <= rcpu) && (igpu <= rgpu);
+    // Normalized to Ideal 32-core, as in the figure.
+    table.add_row({w.spec.name, "1.00", util::fmt(rcpu / icpu),
+                   util::fmt(igpu / icpu), util::fmt(rgpu / icpu),
+                   util::fmt(bst / icpu, 3),
+                   rgpu < rcpu ? "yes" : "no (CPU wins)"});
+  }
+  table.print();
+  std::printf("\nIdeal <= Real everywhere: %s\n", ok_bounds ? "yes" : "NO");
+  std::printf("Paper reference: real GPU loses to the real multicore for"
+              " Allstate and Mq2008; Ideal GPU always beats Ideal 32-core.\n");
+  return 0;
+}

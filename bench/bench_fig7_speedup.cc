@@ -1,0 +1,49 @@
+// Regenerates Fig 7: training speedup of Ideal GPU, Inter-Record (IR), and
+// Booster over the Ideal 32-core baseline, per benchmark plus geomean.
+// Expected shape: Ideal GPU 1.6-1.9x everywhere; IR between GPU and Booster
+// where a histogram copy fits (Higgs, Mq2008) and near/below GPU otherwise;
+// Booster from ~4.6x (Flight) to ~30.6x (IoT), geomean ~11.4x.
+#include <cstdio>
+
+#include <vector>
+
+#include "baselines/cpu_like.h"
+#include "common.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace booster;
+  const auto opt = bench::BenchOptions::parse(argc, argv);
+  bench::print_header("Fig 7: performance comparison (training speedup)",
+                      "Booster paper, Section V-A, Figure 7");
+
+  const auto workloads = bench::load_workloads(opt);
+  const baselines::CpuLikeModel ideal_cpu(baselines::ideal_cpu_params());
+  const baselines::CpuLikeModel ideal_gpu(baselines::ideal_gpu_params());
+  const core::BoosterModel booster(bench::default_booster_config());
+
+  util::Table table({"Benchmark", "Ideal GPU", "Inter-Record", "Booster",
+                     "Ideal 32-core time"});
+  std::vector<double> gpu_speedups, ir_speedups, booster_speedups;
+  for (const auto& w : workloads) {
+    const double cpu_t = ideal_cpu.train_cost(w.trace, w.info).total();
+    const double gpu_t = ideal_gpu.train_cost(w.trace, w.info).total();
+    const auto ir = bench::inter_record_for(w);
+    const double ir_t = ir.train_cost(w.trace, w.info).total();
+    const double booster_t = booster.train_cost(w.trace, w.info).total();
+    gpu_speedups.push_back(cpu_t / gpu_t);
+    ir_speedups.push_back(cpu_t / ir_t);
+    booster_speedups.push_back(cpu_t / booster_t);
+    table.add_row({w.spec.name, util::fmt_x(cpu_t / gpu_t),
+                   util::fmt_x(cpu_t / ir_t), util::fmt_x(cpu_t / booster_t),
+                   util::fmt_time(cpu_t)});
+  }
+  table.add_row({"geomean", util::fmt_x(util::geomean(gpu_speedups)),
+                 util::fmt_x(util::geomean(ir_speedups)),
+                 util::fmt_x(util::geomean(booster_speedups)), "-"});
+  table.print();
+  std::printf("\nPaper reference: Ideal GPU 1.6-1.9x; Booster 4.6x (Flight)"
+              " to 30.6x (IoT), geomean 11.4x.\n");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Regenerates Fig 8: execution-time breakdown of the three architectures
+// normalized to Ideal 32-core. Expected shape: Ideal GPU offers a modest,
+// uniform reduction of the accelerated steps with step 2 unchanged; Booster
+// makes the accelerated steps small so its residual is dominated by the
+// unaccelerated step 2; speedups inversely correlate with step 2's share.
+#include <cstdio>
+
+#include "baselines/cpu_like.h"
+#include "common.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace booster;
+  const auto opt = bench::BenchOptions::parse(argc, argv);
+  bench::print_header("Fig 8: execution time breakdown (normalized)",
+                      "Booster paper, Section V-B, Figure 8");
+
+  const auto workloads = bench::load_workloads(opt);
+  const baselines::CpuLikeModel ideal_cpu(baselines::ideal_cpu_params());
+  const baselines::CpuLikeModel ideal_gpu(baselines::ideal_gpu_params());
+  const core::BoosterModel booster(bench::default_booster_config());
+
+  util::Table table({"Benchmark", "System", "step1", "step2", "step3",
+                     "step5", "total (norm)"});
+  for (const auto& w : workloads) {
+    const auto cpu = ideal_cpu.train_cost(w.trace, w.info);
+    const double base = cpu.total();
+    auto add = [&](const std::string& sys, const perf::StepBreakdown& b) {
+      table.add_row({w.spec.name, sys,
+                     util::fmt_pct(b[trace::StepKind::kHistogram] / base),
+                     util::fmt_pct(b[trace::StepKind::kSplitSelect] / base),
+                     util::fmt_pct(b[trace::StepKind::kPartition] / base),
+                     util::fmt_pct(b[trace::StepKind::kTraversal] / base),
+                     util::fmt_pct(b.total() / base)});
+    };
+    add("Ideal 32-core", cpu);
+    add("Ideal GPU", ideal_gpu.train_cost(w.trace, w.info));
+    add("Booster", booster.train_cost(w.trace, w.info));
+  }
+  table.print();
+  std::printf("\nPaper reference: Booster's residual time is dominated by"
+              " the unaccelerated step 2; speedups inversely correlate with"
+              " step 2's share.\n");
+  return 0;
+}

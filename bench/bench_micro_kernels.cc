@@ -1,0 +1,134 @@
+// Micro-benchmarks (google-benchmark) for the hot kernels of the functional
+// library and simulators: histogram build (software and BU-array), split
+// scan, predicate partition, tree traversal, and the cycle-level DRAM model.
+// These measure *simulator* throughput, useful when tuning the functional
+// pipeline; the paper's figures come from the bench_fig* binaries.
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+#include <vector>
+
+#include "core/engines.h"
+#include "gbdt/binning.h"
+#include "gbdt/histogram.h"
+#include "gbdt/split.h"
+#include "gbdt/trainer.h"
+#include "memsim/memory_system.h"
+#include "workloads/runner.h"
+#include "workloads/synth.h"
+
+namespace {
+
+using namespace booster;
+
+const workloads::WorkloadResult& higgs_sample() {
+  static const workloads::WorkloadResult result = [] {
+    workloads::RunnerConfig cfg;
+    cfg.sim_records = 16000;
+    cfg.sim_trees = 4;
+    return workloads::run_workload(workloads::spec_by_name("Higgs"), cfg);
+  }();
+  return result;
+}
+
+std::vector<gbdt::GradientPair> unit_gradients(std::uint64_t n) {
+  return std::vector<gbdt::GradientPair>(n, gbdt::GradientPair{0.5f, 1.0f});
+}
+
+void BM_HistogramBuild(benchmark::State& state) {
+  const auto& w = higgs_sample();
+  const auto grads = unit_gradients(w.binned.num_records());
+  std::vector<std::uint32_t> rows(w.binned.num_records());
+  std::iota(rows.begin(), rows.end(), 0);
+  gbdt::Histogram hist(w.binned);
+  for (auto _ : state) {
+    hist.clear();
+    hist.build(w.binned, rows, grads);
+    benchmark::DoNotOptimize(hist.totals());
+  }
+  state.SetItemsProcessed(state.iterations() * rows.size() *
+                          w.binned.num_fields());
+}
+BENCHMARK(BM_HistogramBuild);
+
+void BM_HistogramEngineBU(benchmark::State& state) {
+  const auto& w = higgs_sample();
+  const auto grads = unit_gradients(w.binned.num_records());
+  std::vector<std::uint32_t> rows(w.binned.num_records());
+  std::iota(rows.begin(), rows.end(), 0);
+  core::BoosterConfig cfg;
+  core::HistogramEngine engine(cfg, core::BinnedFieldShape::of(w.binned),
+                               core::MappingStrategy::kGroupByField);
+  for (auto _ : state) {
+    engine.clear();
+    benchmark::DoNotOptimize(engine.run(w.binned, rows, grads));
+  }
+  state.SetItemsProcessed(state.iterations() * rows.size() *
+                          w.binned.num_fields());
+}
+BENCHMARK(BM_HistogramEngineBU);
+
+void BM_SplitScan(benchmark::State& state) {
+  const auto& w = higgs_sample();
+  const auto grads = unit_gradients(w.binned.num_records());
+  std::vector<std::uint32_t> rows(w.binned.num_records());
+  std::iota(rows.begin(), rows.end(), 0);
+  gbdt::Histogram hist(w.binned);
+  hist.build(w.binned, rows, grads);
+  const gbdt::SplitFinder finder;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(finder.find_best(hist, w.binned));
+  }
+  state.SetItemsProcessed(state.iterations() * w.binned.total_bins());
+}
+BENCHMARK(BM_SplitScan);
+
+void BM_Partition(benchmark::State& state) {
+  const auto& w = higgs_sample();
+  const auto& tree = w.train.model.trees().front();
+  std::vector<std::uint32_t> rows(w.binned.num_records());
+  std::iota(rows.begin(), rows.end(), 0);
+  const core::PredicateEngine engine{core::BoosterConfig{}};
+  for (auto _ : state) {
+    auto result = engine.run(w.binned, tree, tree.root(), rows);
+    benchmark::DoNotOptimize(result.pred_true.size());
+  }
+  state.SetItemsProcessed(state.iterations() * rows.size());
+}
+BENCHMARK(BM_Partition);
+
+void BM_TreeTraversal(benchmark::State& state) {
+  const auto& w = higgs_sample();
+  const core::TraversalEngine engine{core::BoosterConfig{}};
+  const auto& tree = w.train.model.trees().front();
+  for (auto _ : state) {
+    auto result = engine.run(w.binned, tree);
+    benchmark::DoNotOptimize(result.avg_path_length);
+  }
+  state.SetItemsProcessed(state.iterations() * w.binned.num_records());
+}
+BENCHMARK(BM_TreeTraversal);
+
+void BM_DramStreaming(benchmark::State& state) {
+  for (auto _ : state) {
+    memsim::MemorySystem mem;
+    std::uint64_t addr = 0;
+    constexpr std::uint64_t kRequests = 20000;
+    std::uint64_t issued = 0;
+    while (mem.completed_requests() < kRequests) {
+      for (int b = 0; b < 8 && issued < kRequests; ++b) {
+        if (!mem.enqueue(addr, false)) break;
+        ++addr;
+        ++issued;
+      }
+      mem.tick();
+    }
+    benchmark::DoNotOptimize(mem.achieved_bandwidth());
+  }
+  state.SetItemsProcessed(state.iterations() * 20000);
+}
+BENCHMARK(BM_DramStreaming);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,34 @@
+// Regenerates Table III: dataset and model characteristics. The synthetic
+// generators must reproduce the published schema statistics; the "Seq. Time"
+// column reports our sequential-CPU model's estimate next to the paper's
+// measured minutes.
+#include <cstdio>
+
+#include "baselines/cpu_like.h"
+#include "common.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace booster;
+  const auto opt = bench::BenchOptions::parse(argc, argv);
+  bench::print_header("Table III: dataset and model characteristics",
+                      "Booster paper, Section IV, Table III");
+
+  const auto workloads = bench::load_workloads(opt);
+  const baselines::CpuLikeModel seq(baselines::sequential_cpu_params());
+
+  util::Table table({"Name", "#Records(M)", "#Fields", "Categ.",
+                     "#Features(one-hot)", "Seq time (model)",
+                     "Seq time (paper)"});
+  for (const auto& w : workloads) {
+    const auto t = seq.train_cost(w.trace, w.info);
+    table.add_row({w.spec.name, util::fmt(w.spec.nominal_records / 1e6, 0),
+                   std::to_string(w.info.fields),
+                   std::to_string(w.info.categorical_fields),
+                   std::to_string(w.info.features_onehot),
+                   util::fmt_time(t.total()),
+                   util::fmt(w.spec.paper_seq_minutes, 1) + " min"});
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Regenerates Table VI: area and power estimates for a 50-cluster, 3200-BU
+// Booster chip at 45 nm / 1 GHz, plus the banked-vs-monolithic SRAM
+// comparison the paper discusses (3200 banks cost ~70% more area and ~59%
+// more static power than one 6.4 MB array).
+#include <cstdio>
+
+#include "common.h"
+#include "energy/area_power.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace booster;
+  (void)bench::BenchOptions::parse(argc, argv);
+  bench::print_header("Table VI: area and power estimates",
+                      "Booster paper, Section V-G, Table VI");
+
+  const energy::AreaPowerModel model;
+  const core::BoosterConfig cfg;
+  const auto chip = model.estimate(cfg.num_bus());
+
+  util::Table table({"Component", "Area (mm^2)", "Power (W)"});
+  table.add_row({"Control Logic", util::fmt(chip.control.area_mm2, 1),
+                 util::fmt(chip.control.power_w, 1)});
+  table.add_row({"FPU", util::fmt(chip.fpu.area_mm2, 1),
+                 util::fmt(chip.fpu.power_w, 1)});
+  table.add_row({"SRAM", util::fmt(chip.sram.area_mm2, 1),
+                 util::fmt(chip.sram.power_w, 1)});
+  const auto total = chip.total();
+  table.add_row({"Total", util::fmt(total.area_mm2, 1),
+                 util::fmt(total.power_w, 1)});
+  table.print();
+
+  std::printf("\nSRAM share of area: %.0f%% (paper: ~55%%)\n",
+              100.0 * chip.sram.area_mm2 / total.area_mm2);
+  std::printf("Banked (%u x %u KB) vs monolithic %.1f MB SRAM: %.2fx area,"
+              " %.2fx static power (paper: ~1.7x, ~1.59x)\n",
+              cfg.num_bus(), cfg.sram_bytes / 1024,
+              cfg.total_sram_bytes() / 1048576.0,
+              chip.sram.area_mm2 / model.monolithic_sram_area_mm2(cfg.num_bus()),
+              chip.sram.power_w / model.monolithic_sram_power_w(cfg.num_bus()));
+
+  // Design-space view the analytic model enables beyond the paper's point
+  // estimate: how area/power scale with the BU count.
+  std::printf("\nScaling with BU count:\n");
+  util::Table scaling({"BUs", "Area (mm^2)", "Power (W)"});
+  for (const std::uint32_t bus : {800u, 1600u, 3200u, 6400u}) {
+    const auto c = model.estimate(bus).total();
+    scaling.add_row({std::to_string(bus), util::fmt(c.area_mm2, 1),
+                     util::fmt(c.power_w, 1)});
+  }
+  scaling.print();
+  std::printf("\nPaper reference: 60.0 mm^2, 23.2 W at 3200 BUs.\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+#include "common.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace booster::bench {
+
+BenchOptions BenchOptions::parse(int argc, char** argv) {
+  BenchOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      opt.quick = true;
+      opt.runner.sim_records = 8000;
+      opt.runner.sim_trees = 12;
+    }
+  }
+  return opt;
+}
+
+std::vector<workloads::WorkloadResult> load_workloads(const BenchOptions& opt) {
+  return workloads::run_paper_workloads(opt.runner);
+}
+
+const memsim::BandwidthProfile& calibrated_bandwidth() {
+  static const memsim::BandwidthProfile profile = [] {
+    memsim::BandwidthProbe probe;
+    return probe.calibrate(/*num_requests=*/60000);
+  }();
+  return profile;
+}
+
+core::BoosterConfig default_booster_config() {
+  core::BoosterConfig cfg;
+  cfg.bandwidth = calibrated_bandwidth();
+  return cfg;
+}
+
+baselines::InterRecordModel inter_record_for(
+    const workloads::WorkloadResult& w) {
+  baselines::InterRecordParams p;
+  p.bandwidth = calibrated_bandwidth();
+  p.copies = w.spec.ir_copies >= 0
+                 ? static_cast<std::uint32_t>(w.spec.ir_copies)
+                 : baselines::InterRecordModel::estimate_copies(w.info, p);
+  return baselines::InterRecordModel(p);
+}
+
+void print_header(const std::string& experiment, const std::string& paper_ref) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("Reproduces: %s\n", paper_ref.c_str());
+  std::printf("==============================================================\n");
+}
+
+}  // namespace booster::bench

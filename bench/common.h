@@ -1,0 +1,43 @@
+// Shared infrastructure for the table/figure regeneration benches: workload
+// loading (with a --quick flag for CI), DRAM bandwidth calibration, and the
+// standard model roster.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/cpu_like.h"
+#include "baselines/inter_record.h"
+#include "core/booster_model.h"
+#include "memsim/bandwidth_probe.h"
+#include "perf/perf_model.h"
+#include "workloads/runner.h"
+
+namespace booster::bench {
+
+struct BenchOptions {
+  workloads::RunnerConfig runner;
+  bool quick = false;  // smaller samples; for smoke runs
+
+  static BenchOptions parse(int argc, char** argv);
+};
+
+/// Runs the five paper workloads with the options' runner config.
+std::vector<workloads::WorkloadResult> load_workloads(const BenchOptions& opt);
+
+/// Calibrates the DRAM sustained-bandwidth profile from the cycle-level
+/// memory model (Table IV config). Cached across calls within a process.
+const memsim::BandwidthProfile& calibrated_bandwidth();
+
+/// Booster configuration with the calibrated bandwidth profile applied.
+core::BoosterConfig default_booster_config();
+
+/// The Inter-Record baseline for one workload (uses the paper's published
+/// per-dataset histogram copy counts; see workloads::DatasetSpec).
+baselines::InterRecordModel inter_record_for(const workloads::WorkloadResult& w);
+
+/// Prints the standard header naming the experiment and its provenance.
+void print_header(const std::string& experiment, const std::string& paper_ref);
+
+}  // namespace booster::bench

@@ -1,0 +1,77 @@
+// Flight-delay prediction: reproduces the paper's Flight workload shape
+// end to end, exercising the CSV ingestion path a downstream user would
+// take with their own table (export -> reload -> bin -> train -> evaluate),
+// then compares training time across all simulated systems.
+#include <cstdio>
+
+#include "baselines/cpu_like.h"
+#include "baselines/inter_record.h"
+#include "core/booster_model.h"
+#include "gbdt/metrics.h"
+#include "gbdt/trainer.h"
+#include "util/table.h"
+#include "workloads/csv.h"
+#include "workloads/runner.h"
+#include "workloads/synth.h"
+
+int main() {
+  using namespace booster;
+
+  // 1. Synthesize a Flight-shaped table and round-trip it through CSV --
+  //    the ingestion path for user-provided data.
+  const auto spec = workloads::spec_by_name("Flight");
+  const auto raw = workloads::synthesize(spec, 20000, /*seed=*/7);
+  const std::string csv_path = "/tmp/flight_sample.csv";
+  if (!workloads::save_csv_file(raw, csv_path)) {
+    std::fprintf(stderr, "failed to write %s\n", csv_path.c_str());
+    return 1;
+  }
+  const gbdt::Dataset reloaded = workloads::load_csv_file(csv_path);
+  std::printf("CSV round trip: %llu records, %u fields (%s)\n",
+              static_cast<unsigned long long>(reloaded.num_records()),
+              reloaded.num_fields(), csv_path.c_str());
+
+  // 2. Bin and train on the reloaded table.
+  const auto binned = gbdt::Binner().bin(reloaded);
+  gbdt::TrainerConfig tcfg;
+  tcfg.num_trees = 48;
+  tcfg.max_depth = 6;
+  tcfg.loss = spec.loss;
+  trace::StepTrace trace;
+  trace::WorkloadInfo info;
+  const auto trained = gbdt::Trainer(tcfg).train(binned, &trace, &info);
+  std::printf("Trained %u trees; AUC on training sample: %.3f\n",
+              trained.model.num_trees(), gbdt::auc(trained.model, binned));
+
+  // 3. Scale the trace to the paper's nominal Flight workload and compare
+  //    all systems (Fig 7 for one benchmark).
+  trace.set_scale(static_cast<double>(spec.nominal_records) /
+                  static_cast<double>(binned.num_records()));
+  trace.set_repeat(500.0 / tcfg.num_trees);
+  info.name = spec.name;
+  info.nominal_records = spec.nominal_records;
+  info.trees = 500;
+
+  const baselines::CpuLikeModel seq(baselines::sequential_cpu_params());
+  const baselines::CpuLikeModel cpu(baselines::ideal_cpu_params());
+  const baselines::CpuLikeModel gpu(baselines::ideal_gpu_params());
+  baselines::InterRecordParams ir_params;
+  ir_params.copies = spec.ir_copies >= 0
+                         ? static_cast<std::uint32_t>(spec.ir_copies)
+                         : 0;
+  const baselines::InterRecordModel ir(ir_params);
+  const core::BoosterModel booster;
+
+  const double base = cpu.train_cost(trace, info).total();
+  util::Table table({"system", "training time", "speedup vs Ideal 32-core"});
+  auto add = [&](const std::string& name, double seconds) {
+    table.add_row({name, util::fmt_time(seconds), util::fmt_x(base / seconds)});
+  };
+  add("Sequential CPU", seq.train_cost(trace, info).total());
+  add("Ideal 32-core", base);
+  add("Ideal GPU", gpu.train_cost(trace, info).total());
+  add("Inter-Record", ir.train_cost(trace, info).total());
+  add("Booster", booster.train_cost(trace, info).total());
+  table.print();
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Quickstart: train a gradient-boosting model on a synthetic tabular
+// dataset, evaluate it, and estimate how long the same training run would
+// take on the Booster accelerator versus an ideal 32-core multicore.
+//
+// Build and run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "baselines/cpu_like.h"
+#include "core/booster_model.h"
+#include "gbdt/metrics.h"
+#include "util/table.h"
+#include "workloads/runner.h"
+
+int main() {
+  using namespace booster;
+
+  // 1. Pick a workload: the Higgs benchmark shape (10M records nominal,
+  //    28 numeric fields), trained functionally on a 24k-record sample.
+  workloads::DatasetSpec spec = workloads::spec_by_name("Higgs");
+
+  workloads::RunnerConfig runner;
+  runner.sim_records = 24000;
+  runner.sim_trees = 32;  // a prefix of the 500-tree nominal ensemble
+
+  std::printf("Training %u trees (depth <= %u) on a %llu-record sample of "
+              "%s...\n",
+              runner.sim_trees, runner.max_depth,
+              static_cast<unsigned long long>(runner.sim_records),
+              spec.name.c_str());
+  workloads::WorkloadResult result = workloads::run_workload(spec, runner);
+
+  // 2. Inspect the trained model.
+  const auto& model = result.train.model;
+  std::printf("Trained %u trees; avg leaf depth %.2f; train AUC %.3f\n",
+              model.num_trees(), result.train.avg_leaf_depth,
+              gbdt::auc(model, result.binned));
+
+  // 3. Cost the nominal-scale training run on two architectures.
+  core::BoosterModel booster;
+  baselines::CpuLikeModel ideal_cpu(baselines::ideal_cpu_params());
+
+  const auto booster_time = booster.train_cost(result.trace, result.info);
+  const auto cpu_time = ideal_cpu.train_cost(result.trace, result.info);
+
+  util::Table table({"system", "step1-hist", "step2-split", "step3-part",
+                     "step5-trav", "total"});
+  auto add = [&](const std::string& name, const perf::StepBreakdown& b) {
+    table.add_row({name, util::fmt_time(b[trace::StepKind::kHistogram]),
+                   util::fmt_time(b[trace::StepKind::kSplitSelect]),
+                   util::fmt_time(b[trace::StepKind::kPartition]),
+                   util::fmt_time(b[trace::StepKind::kTraversal]),
+                   util::fmt_time(b.total())});
+  };
+  add(ideal_cpu.name(), cpu_time);
+  add(booster.name(), booster_time);
+  table.print();
+  std::printf("Speedup (nominal %llu records, %u trees): %.1fx\n",
+              static_cast<unsigned long long>(spec.nominal_records),
+              runner.nominal_trees, cpu_time.total() / booster_time.total());
+  return 0;
+}

@@ -1,0 +1,126 @@
+#include "baselines/inter_record.h"
+
+#include <algorithm>
+
+#include "perf/traffic.h"
+
+namespace booster::baselines {
+
+using trace::StepEvent;
+using trace::StepKind;
+
+namespace {
+constexpr double kBinBytes = 8.0;      // G, H as fp32 (paper's bin size)
+constexpr double kBinRmwBytes = 16.0;  // spilled update: read + write 8 B
+}  // namespace
+
+std::uint32_t InterRecordModel::estimate_copies(
+    const trace::WorkloadInfo& info, const InterRecordParams& params) {
+  const double hist_bytes = static_cast<double>(info.total_bins) * kBinBytes;
+  if (hist_bytes <= 0.0) return 0;
+  return static_cast<std::uint32_t>(params.sram_budget_bytes / hist_bytes);
+}
+
+perf::StepBreakdown InterRecordModel::train_cost(
+    const trace::StepTrace& trace, const trace::WorkloadInfo& info) const {
+  perf::StepBreakdown out;
+  const double lanes =
+      p_.copies >= 1 ? static_cast<double>(p_.copies)
+                     : static_cast<double>(p_.spill_lanes);
+  const double nominal = static_cast<double>(info.nominal_records);
+
+  for (const auto& e : trace.events()) {
+    if (e.kind == StepKind::kSplitSelect) continue;
+    const double recs = trace.scaled_records(e);
+    const double density = nominal > 0.0 ? recs / nominal : 1.0;
+    double compute_s = 0.0;
+    double mem_s = 0.0;
+    switch (e.kind) {
+      case StepKind::kHistogram: {
+        const double updates = recs * e.record_fields;
+        compute_s =
+            updates * p_.cycles_per_update / (lanes * p_.clock_hz);
+        // Record stream (row-major; IR has no column format).
+        mem_s = perf::histogram_bytes(e, recs, info.record_bytes, density) /
+                p_.bandwidth.streaming;
+        if (p_.copies == 0) {
+          // Spilled histograms: every update is an irregular DRAM RMW.
+          mem_s += updates * kBinRmwBytes / p_.bandwidth.random;
+        }
+        break;
+      }
+      case StepKind::kPartition:
+        compute_s = recs * p_.cycles_per_partition / (lanes * p_.clock_hz);
+        mem_s = perf::partition_bytes_row(recs, info.record_bytes,
+                                          e.depth == 0) /
+                p_.bandwidth.streaming;
+        break;
+      case StepKind::kTraversal:
+        compute_s = recs * e.avg_path_length * p_.cycles_per_hop /
+                    (lanes * p_.clock_hz);
+        mem_s = perf::traversal_bytes_row(recs, info.record_bytes) /
+                p_.bandwidth.streaming;
+        break;
+      case StepKind::kSplitSelect:
+        break;
+    }
+    out[e.kind] += std::max(compute_s, mem_s);
+  }
+  for (auto& s : out.seconds) s *= trace.repeat();
+  out[StepKind::kSplitSelect] = perf::host_split_seconds(trace, p_.host);
+  return out;
+}
+
+double InterRecordModel::inference_cost(const perf::InferenceSpec& spec) const {
+  // Record-parallel traversal of all trees per record.
+  const double lanes = std::max<std::uint32_t>(
+      1, p_.copies >= 1 ? p_.copies : p_.spill_lanes);
+  return spec.records * spec.trees * spec.avg_path_length * p_.cycles_per_hop /
+         (lanes * p_.clock_hz);
+}
+
+perf::Activity InterRecordModel::train_activity(
+    const trace::StepTrace& trace, const trace::WorkloadInfo& info) const {
+  perf::Activity act;
+  act.sram_energy_per_access_norm = 1.9;  // large multi-copy SRAM banks
+  const double nominal = static_cast<double>(info.nominal_records);
+  for (const auto& e : trace.events()) {
+    const double recs = trace.scaled_records(e) * trace.repeat();
+    switch (e.kind) {
+      case StepKind::kHistogram: {
+        const double updates = recs * e.record_fields;
+        if (p_.copies >= 1) {
+          act.sram_accesses += updates * 2.0;
+        } else {
+          act.dram_bytes += updates * kBinRmwBytes;
+        }
+        act.dram_bytes +=
+            perf::histogram_bytes(
+                e, trace.scaled_records(e), info.record_bytes,
+                nominal > 0.0 ? trace.scaled_records(e) / nominal : 1.0) *
+            trace.repeat();
+        break;
+      }
+      case StepKind::kPartition:
+        act.sram_accesses += recs;
+        act.dram_bytes += perf::partition_bytes_row(trace.scaled_records(e),
+                                                    info.record_bytes,
+                                                    e.depth == 0) *
+                          trace.repeat();
+        break;
+      case StepKind::kTraversal:
+        act.sram_accesses += recs * e.avg_path_length;
+        act.dram_bytes += perf::traversal_bytes_row(trace.scaled_records(e),
+                                                    info.record_bytes) *
+                          trace.repeat();
+        break;
+      case StepKind::kSplitSelect:
+        act.sram_accesses +=
+            static_cast<double>(e.bins_scanned) * trace.repeat();
+        break;
+    }
+  }
+  return act;
+}
+
+}  // namespace booster::baselines

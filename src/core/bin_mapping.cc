@@ -1,0 +1,72 @@
+#include "core/bin_mapping.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace booster::core {
+
+const char* mapping_name(MappingStrategy s) {
+  switch (s) {
+    case MappingStrategy::kNaivePack:
+      return "naive-pack";
+    case MappingStrategy::kGroupByField:
+      return "group-by-field";
+  }
+  return "unknown";
+}
+
+double BinMapping::capacity_utilization(
+    const std::vector<std::uint32_t>& bins_per_field) const {
+  std::uint64_t bins = 0;
+  for (const auto b : bins_per_field) bins += b;
+  const std::uint64_t capacity =
+      static_cast<std::uint64_t>(srams_used()) * sram_bins;
+  return capacity == 0 ? 0.0 : static_cast<double>(bins) / capacity;
+}
+
+std::uint32_t BinMapping::serialization_factor() const {
+  std::uint32_t m = 1;
+  for (const auto f : fields_per_sram) m = std::max(m, f);
+  return m;
+}
+
+BinMapping BinMapping::build(MappingStrategy strategy,
+                             const std::vector<std::uint32_t>& bins_per_field,
+                             std::uint32_t sram_bins) {
+  BOOSTER_CHECK(sram_bins > 0);
+  BinMapping m;
+  m.strategy = strategy;
+  m.sram_bins = sram_bins;
+  m.field_first_sram.resize(bins_per_field.size());
+  m.field_span.resize(bins_per_field.size());
+
+  if (strategy == MappingStrategy::kGroupByField) {
+    std::uint32_t next = 0;
+    for (std::size_t f = 0; f < bins_per_field.size(); ++f) {
+      const std::uint32_t bins = std::max<std::uint32_t>(1, bins_per_field[f]);
+      const std::uint32_t span = (bins + sram_bins - 1) / sram_bins;
+      m.field_first_sram[f] = next;
+      m.field_span[f] = span;
+      for (std::uint32_t s = 0; s < span; ++s) m.fields_per_sram.push_back(1);
+      next += span;
+    }
+    return m;
+  }
+
+  // Naive packing: lay bins end-to-end across SRAM boundaries.
+  std::uint64_t cursor = 0;  // global bin offset
+  for (std::size_t f = 0; f < bins_per_field.size(); ++f) {
+    const std::uint64_t bins = std::max<std::uint32_t>(1, bins_per_field[f]);
+    const auto first = static_cast<std::uint32_t>(cursor / sram_bins);
+    const auto last = static_cast<std::uint32_t>((cursor + bins - 1) / sram_bins);
+    m.field_first_sram[f] = first;
+    m.field_span[f] = last - first + 1;
+    if (m.fields_per_sram.size() <= last) m.fields_per_sram.resize(last + 1, 0);
+    for (std::uint32_t s = first; s <= last; ++s) ++m.fields_per_sram[s];
+    cursor += bins;
+  }
+  return m;
+}
+
+}  // namespace booster::core

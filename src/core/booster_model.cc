@@ -1,0 +1,173 @@
+#include "core/booster_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "perf/traffic.h"
+#include "util/check.h"
+
+namespace booster::core {
+
+using trace::StepEvent;
+using trace::StepKind;
+
+BoosterModel::BoosterModel(BoosterConfig cfg, perf::HostParams host,
+                           std::string name_suffix)
+    : cfg_(cfg), host_(host), suffix_(std::move(name_suffix)) {}
+
+std::string BoosterModel::name() const { return "Booster" + suffix_; }
+
+BinMapping BoosterModel::mapping_for(const trace::WorkloadInfo& info) const {
+  const auto strategy = cfg_.group_by_field_mapping
+                            ? MappingStrategy::kGroupByField
+                            : MappingStrategy::kNaivePack;
+  return BinMapping::build(strategy, info.bins_per_field, cfg_.sram_bins());
+}
+
+double BoosterModel::event_bytes(const StepEvent& e, double recs,
+                                 const trace::WorkloadInfo& info,
+                                 double density) const {
+  switch (e.kind) {
+    case StepKind::kHistogram:
+      return perf::histogram_bytes(e, recs, info.record_bytes, density);
+    case StepKind::kPartition:
+      return cfg_.redundant_column_format
+                 ? perf::partition_bytes_column(recs, density)
+                 : perf::partition_bytes_row(recs, info.record_bytes,
+                                             e.depth == 0);
+    case StepKind::kTraversal:
+      return cfg_.redundant_column_format
+                 ? perf::traversal_bytes_column(e, recs)
+                 : perf::traversal_bytes_row(recs, info.record_bytes);
+    case StepKind::kSplitSelect:
+      return 0.0;  // host-side, on-chip histograms
+  }
+  return 0.0;
+}
+
+perf::StepBreakdown BoosterModel::train_cost(
+    const trace::StepTrace& trace, const trace::WorkloadInfo& info) const {
+  const BinMapping mapping = mapping_for(info);
+  const double serialization = mapping.serialization_factor();
+  const double slots = mapping.slots_per_copy();
+  const double num_bus = cfg_.num_bus();
+  const double fill_cycles = num_bus / cfg_.bus_link_span;
+  const double nominal = static_cast<double>(info.nominal_records);
+
+  // Histogram replication is cluster-granular: records are partitioned
+  // among clusters, each holding one histogram copy (spanning multiple
+  // clusters when the mapping needs more SRAMs than one cluster has), with
+  // the copies reduced on the host at step end. A copy accepts one record
+  // per (serialization x update-pipeline) cycles.
+  const double clusters_per_copy =
+      std::max(1.0, std::ceil(slots / cfg_.bus_per_cluster));
+  const double copies =
+      std::max(1.0, std::floor(cfg_.clusters / clusters_per_copy));
+  const double hist_cycles_per_record =
+      serialization * cfg_.cycles_per_field_update / copies;
+
+  // Microarchitecture extension 1 (paper SS III-C): when a record has more
+  // field slots than the whole BU array, step 1 processes the records in
+  // field partitions -- all records for one partition of fields before the
+  // next -- refetching the gradient pair stream once per extra partition.
+  const double field_partitions = std::max(1.0, std::ceil(slots / num_bus));
+
+  perf::StepBreakdown out;
+  for (const auto& e : trace.events()) {
+    if (e.kind == StepKind::kSplitSelect) continue;
+    const double recs = trace.scaled_records(e);
+    const double density = nominal > 0.0 ? recs / nominal : 1.0;
+    double bytes = event_bytes(e, recs, info, density);
+    if (e.kind == StepKind::kHistogram && field_partitions > 1.0) {
+      bytes += (field_partitions - 1.0) * recs * perf::kGradientBytes;
+    }
+
+    // Memory time: column gathers at sparse nodes pay the strided-gather
+    // rate; everything else streams.
+    const bool gather = e.kind == StepKind::kPartition &&
+                        cfg_.redundant_column_format && density < 0.25;
+    const double bw = gather ? cfg_.bandwidth.strided_gather
+                             : cfg_.bandwidth.streaming;
+    const double mem_s = bytes / bw;
+
+    // Compute time under the BU pipeline model.
+    double compute_cycles = fill_cycles;
+    switch (e.kind) {
+      case StepKind::kHistogram:
+        compute_cycles += recs * hist_cycles_per_record;
+        break;
+      case StepKind::kPartition:
+        compute_cycles += recs / num_bus;  // one predicate eval per BU-cycle
+        break;
+      case StepKind::kTraversal:
+        compute_cycles += recs * e.avg_path_length * cfg_.cycles_per_hop /
+                          num_bus;
+        break;
+      case StepKind::kSplitSelect:
+        break;
+    }
+    const double compute_s = compute_cycles / cfg_.clock_hz;
+    out[e.kind] += std::max(mem_s, compute_s);
+  }
+  for (auto& s : out.seconds) s *= trace.repeat();
+  out[StepKind::kSplitSelect] = perf::host_split_seconds(trace, host_);
+  return out;
+}
+
+double BoosterModel::inference_cost(const perf::InferenceSpec& spec) const {
+  BOOSTER_CHECK(spec.trees > 0 && spec.chips > 0);
+  // Multi-chip distribution (paper SS III-D): trees are dealt round-robin
+  // over the chips; each chip hosts replicas of its own subset and all
+  // chips stream the batch in parallel, so per-chip tree count drives the
+  // replica math.
+  const std::uint32_t trees_per_chip =
+      (spec.trees + spec.chips - 1) / spec.chips;
+  const double replicas =
+      std::max<std::uint32_t>(1, cfg_.inference_bus / trees_per_chip);
+  // Throughput is bounded by the deepest tree: a replica group finishes a
+  // record when its slowest BU does (paper §V-H: Booster's performance
+  // depends on the max depth across trees, usually 6).
+  const double compute_s = spec.records * spec.max_depth *
+                           cfg_.cycles_per_hop / replicas / cfg_.clock_hz;
+  // Each record is broadcast once from memory (full record: inference
+  // predicates span many fields).
+  const double mem_s =
+      spec.records *
+      perf::row_bytes_per_record(spec.record_bytes, /*dense=*/true) /
+      cfg_.bandwidth.streaming;
+  return std::max(compute_s, mem_s);
+}
+
+perf::Activity BoosterModel::train_activity(
+    const trace::StepTrace& trace, const trace::WorkloadInfo& info) const {
+  perf::Activity act;
+  act.sram_energy_per_access_norm = 0.71;  // 2 KB SRAM (paper Table V)
+  const double nominal = static_cast<double>(info.nominal_records);
+  for (const auto& e : trace.events()) {
+    const double recs = trace.scaled_records(e) * trace.repeat();
+    const double density =
+        nominal > 0.0 ? trace.scaled_records(e) / nominal : 1.0;
+    switch (e.kind) {
+      case StepKind::kHistogram:
+        // Read-modify-write per field update.
+        act.sram_accesses += recs * e.record_fields * 2.0;
+        break;
+      case StepKind::kPartition:
+        act.sram_accesses += recs;  // predicate table lookup
+        break;
+      case StepKind::kTraversal:
+        act.sram_accesses += recs * e.avg_path_length;
+        break;
+      case StepKind::kSplitSelect:
+        act.sram_accesses += static_cast<double>(e.bins_scanned) *
+                             trace.repeat();
+        break;
+    }
+    act.dram_bytes +=
+        event_bytes(e, trace.scaled_records(e), info, density) *
+        trace.repeat();
+  }
+  return act;
+}
+
+}  // namespace booster::core

@@ -1,0 +1,47 @@
+// Analytic performance model of the Booster accelerator. For every step
+// event it computes memory time (DRAM traffic divided by the calibrated
+// sustained bandwidth of the access pattern) and compute time (BU pipeline
+// occupancy including bin-mapping serialization), and takes the maximum --
+// the paper's rate-matching argument that compute hides under memory when
+// the BU count is sized to the memory bandwidth. Step 2 is charged at host
+// cost, identically to every other system.
+#pragma once
+
+#include <string>
+
+#include "core/bin_mapping.h"
+#include "core/booster_config.h"
+#include "perf/host.h"
+#include "perf/perf_model.h"
+
+namespace booster::core {
+
+class BoosterModel final : public perf::PerfModel {
+ public:
+  explicit BoosterModel(BoosterConfig cfg = {}, perf::HostParams host = {},
+                        std::string name_suffix = "");
+
+  const BoosterConfig& config() const { return cfg_; }
+
+  std::string name() const override;
+  perf::StepBreakdown train_cost(const trace::StepTrace& trace,
+                                 const trace::WorkloadInfo& info) const override;
+  double inference_cost(const perf::InferenceSpec& spec) const override;
+  perf::Activity train_activity(const trace::StepTrace& trace,
+                                const trace::WorkloadInfo& info) const override;
+
+  /// The bin-to-SRAM mapping the model uses for a workload (exposed for
+  /// the Fig 9 ablation and the utilization claims).
+  BinMapping mapping_for(const trace::WorkloadInfo& info) const;
+
+ private:
+  /// Total DRAM bytes each step moves (format chosen by config flags).
+  double event_bytes(const trace::StepEvent& e, double recs,
+                     const trace::WorkloadInfo& info, double density) const;
+
+  BoosterConfig cfg_;
+  perf::HostParams host_;
+  std::string suffix_;
+};
+
+}  // namespace booster::core

@@ -1,0 +1,24 @@
+#include "core/booster_unit.h"
+
+#include "util/check.h"
+
+namespace booster::core {
+
+BoosterUnit::BoosterUnit(std::uint32_t capacity, std::uint64_t base_feature)
+    : bins_(capacity), base_feature_(base_feature) {
+  BOOSTER_CHECK(capacity > 0);
+}
+
+void BoosterUnit::update(std::uint64_t global_feature, float g, float h) {
+  BOOSTER_DCHECK(holds(global_feature));
+  auto& bin = bins_[static_cast<std::uint32_t>(global_feature - base_feature_)];
+  bin.add(gbdt::GradientPair{g, h});
+  ++updates_;
+}
+
+void BoosterUnit::clear() {
+  for (auto& b : bins_) b = gbdt::BinStats{};
+  updates_ = 0;
+}
+
+}  // namespace booster::core

@@ -1,0 +1,51 @@
+// Functional model of one Booster Unit (BU): a small SRAM of histogram bins
+// plus a floating-point adder (paper §III-B). The functional engines
+// (engines.h) drive BUs record-by-record and the tests prove bit-equivalence
+// with the software Histogram -- the simulation counterpart of the paper's
+// FPGA validation of the RTL.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gbdt/histogram.h"
+
+namespace booster::core {
+
+class BoosterUnit {
+ public:
+  /// A BU holding `capacity` bin entries, serving global feature numbers
+  /// [base_feature, base_feature + capacity).
+  BoosterUnit(std::uint32_t capacity, std::uint64_t base_feature);
+
+  std::uint32_t capacity() const {
+    return static_cast<std::uint32_t>(bins_.size());
+  }
+  std::uint64_t base_feature() const { return base_feature_; }
+
+  /// True if this BU's SRAM holds the given global feature number. Each BU
+  /// subtracts its base from the record's feature number; out-of-range
+  /// results fall outside the SRAM (how the paper handles fields spread
+  /// over SRAM groups, §III-C).
+  bool holds(std::uint64_t global_feature) const {
+    return global_feature >= base_feature_ &&
+           global_feature < base_feature_ + bins_.size();
+  }
+
+  /// One histogram update: increment count, accumulate g and h. Costs one
+  /// BU pipeline slot (8 cycles in the performance model).
+  void update(std::uint64_t global_feature, float g, float h);
+
+  const gbdt::BinStats& bin(std::uint32_t local) const { return bins_[local]; }
+
+  std::uint64_t updates() const { return updates_; }
+
+  void clear();
+
+ private:
+  std::vector<gbdt::BinStats> bins_;
+  std::uint64_t base_feature_ = 0;
+  std::uint64_t updates_ = 0;
+};
+
+}  // namespace booster::core

@@ -1,0 +1,50 @@
+// Cycle-coupled simulation of the histogram-binning step (step 1): the
+// cycle-level DRAM model and the BU array advance together, cycle by cycle,
+// with double-buffered record fetches feeding the BU pipeline. Nothing is
+// assumed about which side limits throughput -- rate matching *emerges*
+// (or fails to) from the interaction, which is how we validate the
+// analytic BoosterModel's max(memory, compute) costing and the paper's
+// §III-B sizing argument (3200 BUs saturate ~400 GB/s for 64-field
+// records; fewer BUs go compute-bound, more go memory-bound).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/bin_mapping.h"
+#include "core/booster_config.h"
+#include "gbdt/binning.h"
+#include "memsim/dram_config.h"
+
+namespace booster::core {
+
+struct CycleSimResult {
+  std::uint64_t cycles = 0;
+  /// DRAM bytes moved (record blocks + gradient-pair stream).
+  std::uint64_t dram_bytes = 0;
+  /// Achieved DRAM bandwidth over the run (bytes/sec at the memory clock).
+  double achieved_bandwidth = 0.0;
+  /// Fraction of cycles the BU array was the blocker (fetch buffer full,
+  /// records waiting): ~1 means compute-bound, ~0 means memory-bound.
+  double compute_bound_fraction = 0.0;
+  /// Records processed per accelerator cycle.
+  double records_per_cycle = 0.0;
+};
+
+/// Simulates step 1 over `rows` of `data`. The accelerator and memory
+/// clocks are taken as 1:1 (1 GHz vs 1.05 GHz in the defaults -- within
+/// 5%, folded into the result's bandwidth).
+class Step1CycleSim {
+ public:
+  Step1CycleSim(BoosterConfig cfg, memsim::DramConfig dram)
+      : cfg_(cfg), dram_(dram) {}
+
+  CycleSimResult run(const gbdt::BinnedDataset& data,
+                     std::span<const std::uint32_t> rows) const;
+
+ private:
+  BoosterConfig cfg_;
+  memsim::DramConfig dram_;
+};
+
+}  // namespace booster::core

@@ -1,0 +1,180 @@
+#include "core/engines.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace booster::core {
+
+BinnedFieldShape BinnedFieldShape::of(const gbdt::BinnedDataset& data) {
+  BinnedFieldShape shape;
+  shape.bins_per_field.reserve(data.num_fields());
+  for (std::uint32_t f = 0; f < data.num_fields(); ++f) {
+    shape.bins_per_field.push_back(data.field_bins(f).num_bins);
+  }
+  return shape;
+}
+
+HistogramEngine::HistogramEngine(const BoosterConfig& cfg,
+                                 const BinnedFieldShape& shape,
+                                 MappingStrategy strategy)
+    : cfg_(cfg),
+      mapping_(BinMapping::build(strategy, shape.bins_per_field,
+                                 cfg.sram_bins())) {
+  // Global feature numbering: fields laid out end-to-end, but aligned to
+  // SRAM boundaries under group-by-field so each SRAM serves one field.
+  field_base_.resize(shape.bins_per_field.size());
+  const std::uint32_t sram_bins = cfg_.sram_bins();
+  if (strategy == MappingStrategy::kGroupByField) {
+    for (std::size_t f = 0; f < shape.bins_per_field.size(); ++f) {
+      field_base_[f] =
+          static_cast<std::uint64_t>(mapping_.field_first_sram[f]) * sram_bins;
+    }
+  } else {
+    std::uint64_t cursor = 0;
+    for (std::size_t f = 0; f < shape.bins_per_field.size(); ++f) {
+      field_base_[f] = cursor;
+      cursor += std::max<std::uint32_t>(1, shape.bins_per_field[f]);
+    }
+  }
+  units_.reserve(mapping_.srams_used());
+  for (std::uint32_t s = 0; s < mapping_.srams_used(); ++s) {
+    units_.emplace_back(sram_bins, static_cast<std::uint64_t>(s) * sram_bins);
+  }
+}
+
+std::uint64_t HistogramEngine::run(
+    const gbdt::BinnedDataset& data, std::span<const std::uint32_t> rows,
+    std::span<const gbdt::GradientPair> gradients) {
+  BOOSTER_CHECK(field_base_.size() == data.num_fields());
+  std::uint64_t cycles = 0;
+  // Broadcast-pipeline fill (paper: e.g. 3200/16 = 200 cycles).
+  cycles += cfg_.num_bus() / cfg_.bus_link_span;
+
+  std::vector<std::uint32_t> updates_per_sram(units_.size(), 0);
+  std::vector<std::uint32_t> touched;
+  touched.reserve(data.num_fields());
+  for (const std::uint32_t r : rows) {
+    touched.clear();
+    for (std::uint32_t f = 0; f < data.num_fields(); ++f) {
+      const std::uint64_t feature = field_base_[f] + data.bin(f, r);
+      const auto sram = static_cast<std::uint32_t>(feature / cfg_.sram_bins());
+      BOOSTER_DCHECK(sram < units_.size());
+      units_[sram].update(feature, gradients[r].g, gradients[r].h);
+      if (updates_per_sram[sram]++ == 0) touched.push_back(sram);
+    }
+    // Initiation interval: the busiest SRAM serializes its updates; all
+    // SRAMs are pipelined across records.
+    std::uint32_t busiest = 1;
+    for (const std::uint32_t s : touched) {
+      busiest = std::max(busiest, updates_per_sram[s]);
+      updates_per_sram[s] = 0;
+    }
+    cycles += static_cast<std::uint64_t>(busiest) * cfg_.cycles_per_field_update;
+  }
+  return cycles;
+}
+
+gbdt::Histogram HistogramEngine::harvest(const gbdt::BinnedDataset& data) const {
+  gbdt::Histogram hist(data);
+  for (std::uint32_t f = 0; f < data.num_fields(); ++f) {
+    auto bins = hist.mutable_field(f);
+    for (std::uint32_t b = 0; b < bins.size(); ++b) {
+      const std::uint64_t feature = field_base_[f] + b;
+      const auto sram = static_cast<std::uint32_t>(feature / cfg_.sram_bins());
+      bins[b] = units_[sram].bin(
+          static_cast<std::uint32_t>(feature - units_[sram].base_feature()));
+    }
+  }
+  return hist;
+}
+
+void HistogramEngine::clear() {
+  for (auto& u : units_) u.clear();
+}
+
+PredicateEngine::Result PredicateEngine::run(
+    const gbdt::BinnedDataset& data, const gbdt::Tree& tree, std::int32_t node,
+    std::span<const std::uint32_t> rows) const {
+  const gbdt::TreeNode& n = tree.node(node);
+  BOOSTER_CHECK_MSG(!n.is_leaf, "predicate engine needs an interior node");
+  Result result;
+  result.pred_true.reserve(rows.size());
+  result.pred_false.reserve(rows.size());
+  const auto& col = data.column(n.field);
+  for (const std::uint32_t r : rows) {
+    const bool left = tree.goes_left(node, col[r]);
+    (left ? result.pred_true : result.pred_false).push_back(r);
+  }
+  // All BUs evaluate the replicated predicate in parallel, one record per
+  // BU per cycle, plus the broadcast fill.
+  result.cycles = cfg_.num_bus() / cfg_.bus_link_span +
+                  (rows.size() + cfg_.num_bus() - 1) / cfg_.num_bus();
+  return result;
+}
+
+TraversalEngine::Result TraversalEngine::run(const gbdt::BinnedDataset& data,
+                                             const gbdt::Tree& tree) const {
+  Result result;
+  const std::uint64_t n = data.num_records();
+  result.leaf_weights.resize(n);
+  double hops_total = 0.0;
+  std::uint64_t work_cycles = 0;
+  for (std::uint64_t r = 0; r < n; ++r) {
+    std::int32_t id = tree.root();
+    std::uint32_t hops = 0;
+    while (!tree.node(id).is_leaf) {
+      const gbdt::TreeNode& nd = tree.node(id);
+      id = tree.goes_left(id, data.bin(nd.field, r)) ? nd.left : nd.right;
+      ++hops;
+    }
+    result.leaf_weights[r] = tree.node(id).weight;
+    hops_total += hops;
+    work_cycles += static_cast<std::uint64_t>(hops) * cfg_.cycles_per_hop;
+  }
+  // Records are spread across the BU array (tree table replicated in every
+  // SRAM); aggregate work divides by the BU count.
+  result.cycles = cfg_.num_bus() / cfg_.bus_link_span +
+                  (work_cycles + cfg_.num_bus() - 1) / cfg_.num_bus();
+  result.avg_path_length = n == 0 ? 0.0 : hops_total / static_cast<double>(n);
+  return result;
+}
+
+InferenceEngine::Result InferenceEngine::run(const gbdt::BinnedDataset& data,
+                                             const gbdt::Model& model) const {
+  Result result;
+  const std::uint32_t trees = model.num_trees();
+  BOOSTER_CHECK(trees > 0);
+  result.replicas = std::max<std::uint32_t>(1, cfg_.inference_bus / trees);
+  const std::uint64_t n = data.num_records();
+  result.raw_predictions.assign(n, model.base_score());
+
+  // Each replica group processes an interleaved shard of the records. The
+  // group's throughput is bounded by its slowest BU (deepest tree path),
+  // so cycles accumulate per record as max path over trees.
+  std::uint64_t group_cycles = 0;  // per replica group, max over groups
+  std::vector<std::uint64_t> shard_cycles(result.replicas, 0);
+  for (std::uint64_t r = 0; r < n; ++r) {
+    std::uint32_t max_hops = 0;
+    double sum = 0.0;
+    for (const auto& tree : model.trees()) {
+      std::int32_t id = tree.root();
+      std::uint32_t hops = 0;
+      while (!tree.node(id).is_leaf) {
+        const gbdt::TreeNode& nd = tree.node(id);
+        id = tree.goes_left(id, data.bin(nd.field, r)) ? nd.left : nd.right;
+        ++hops;
+      }
+      sum += tree.node(id).weight;
+      max_hops = std::max(max_hops, hops);
+    }
+    result.raw_predictions[r] += sum;
+    shard_cycles[r % result.replicas] +=
+        static_cast<std::uint64_t>(max_hops) * cfg_.cycles_per_hop;
+  }
+  for (const auto c : shard_cycles) group_cycles = std::max(group_cycles, c);
+  result.cycles = cfg_.num_bus() / cfg_.bus_link_span + group_cycles;
+  return result;
+}
+
+}  // namespace booster::core

@@ -1,0 +1,117 @@
+// Functional engines for the three accelerated training steps and batch
+// inference. These execute the *actual computation* on the BU array --
+// histogram bins land in BU SRAMs, predicates are evaluated per BU, trees
+// are walked from SRAM node tables -- and count cycles under the BU pipeline
+// model. Tests prove their outputs identical to the software library,
+// mirroring the paper's RTL-vs-software validation; the analytic
+// BoosterModel uses the same cycle rules to cost full-scale traces.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/bin_mapping.h"
+#include "core/booster_config.h"
+#include "core/booster_unit.h"
+#include "gbdt/binning.h"
+#include "gbdt/histogram.h"
+#include "gbdt/tree.h"
+
+namespace booster::core {
+
+/// Shape descriptor: per-field bin counts of a binned dataset.
+struct BinnedFieldShape {
+  std::vector<std::uint32_t> bins_per_field;
+
+  static BinnedFieldShape of(const gbdt::BinnedDataset& data);
+};
+
+/// Step 1: histogram binning on the BU array.
+class HistogramEngine {
+ public:
+  HistogramEngine(const BoosterConfig& cfg, const BinnedFieldShape& shape,
+                  MappingStrategy strategy);
+
+  /// Processes `rows` of `data` (with per-record gradient statistics),
+  /// updating BU SRAMs. Returns consumed cycles under the pipeline model:
+  /// the busiest SRAM bounds each record's initiation interval.
+  std::uint64_t run(const gbdt::BinnedDataset& data,
+                    std::span<const std::uint32_t> rows,
+                    std::span<const gbdt::GradientPair> gradients);
+
+  /// Extracts the accumulated histogram in the software library's format
+  /// (for equivalence checks and host-side split selection).
+  gbdt::Histogram harvest(const gbdt::BinnedDataset& data) const;
+
+  const BinMapping& mapping() const { return mapping_; }
+  void clear();
+
+ private:
+  BoosterConfig cfg_;
+  BinMapping mapping_;
+  std::vector<BoosterUnit> units_;
+  /// Global feature number of the first bin of each field under the
+  /// mapping's linear bin layout.
+  std::vector<std::uint64_t> field_base_;
+};
+
+/// Step 3: single-predicate evaluation. The predicate is replicated at
+/// every BU; BUs consume the predicate field's column and emit pointers
+/// into the true/false buffers.
+class PredicateEngine {
+ public:
+  explicit PredicateEngine(const BoosterConfig& cfg) : cfg_(cfg) {}
+
+  struct Result {
+    std::vector<std::uint32_t> pred_true;
+    std::vector<std::uint32_t> pred_false;
+    std::uint64_t cycles = 0;
+  };
+
+  /// Evaluates the split predicate of `node` (from `tree`) over `rows`.
+  Result run(const gbdt::BinnedDataset& data, const gbdt::Tree& tree,
+             std::int32_t node, std::span<const std::uint32_t> rows) const;
+
+ private:
+  BoosterConfig cfg_;
+};
+
+/// Step 5: one-tree traversal. The tree's node table is replicated in every
+/// BU's SRAM; each BU walks one record at a time.
+class TraversalEngine {
+ public:
+  explicit TraversalEngine(const BoosterConfig& cfg) : cfg_(cfg) {}
+
+  struct Result {
+    std::vector<double> leaf_weights;  // per record
+    std::uint64_t cycles = 0;
+    double avg_path_length = 0.0;
+  };
+
+  Result run(const gbdt::BinnedDataset& data, const gbdt::Tree& tree) const;
+
+ private:
+  BoosterConfig cfg_;
+};
+
+/// Batch inference (paper §III-D): the ensemble's trees are loaded one per
+/// BU, replicated floor(inference_bus / trees) times; each record is
+/// broadcast to all BUs and every tree walks it independently.
+class InferenceEngine {
+ public:
+  explicit InferenceEngine(const BoosterConfig& cfg) : cfg_(cfg) {}
+
+  struct Result {
+    std::vector<double> raw_predictions;  // per record (base + tree sums)
+    std::uint64_t cycles = 0;
+    std::uint32_t replicas = 0;
+  };
+
+  Result run(const gbdt::BinnedDataset& data, const gbdt::Model& model) const;
+
+ private:
+  BoosterConfig cfg_;
+};
+
+}  // namespace booster::core

@@ -1,0 +1,24 @@
+#include "energy/area_power.h"
+
+namespace booster::energy {
+
+ChipReport AreaPowerModel::estimate(std::uint32_t num_bus) const {
+  const double n = static_cast<double>(num_bus);
+  ChipReport r;
+  r.control = {p_.control_area_mm2_per_bu * n, p_.control_power_w_per_bu * n};
+  r.fpu = {p_.fpu_area_mm2_per_bu * n, p_.fpu_power_w_per_bu * n};
+  r.sram = {p_.sram_area_mm2_per_bu * n, p_.sram_power_w_per_bu * n};
+  return r;
+}
+
+double AreaPowerModel::monolithic_sram_area_mm2(std::uint32_t num_bus) const {
+  const double banked = p_.sram_area_mm2_per_bu * static_cast<double>(num_bus);
+  return banked / p_.banking_area_overhead;
+}
+
+double AreaPowerModel::monolithic_sram_power_w(std::uint32_t num_bus) const {
+  const double banked = p_.sram_power_w_per_bu * static_cast<double>(num_bus);
+  return banked / p_.banking_static_power_overhead;
+}
+
+}  // namespace booster::energy

@@ -1,0 +1,59 @@
+// ASIC area/power model (paper §V-G / Table VI): per-component constants
+// calibrated to the paper's 45 nm FreePDK45 synthesis of a 50-cluster,
+// 3200-BU Booster at 1 GHz -- 60 mm^2 and 23.2 W, 55% of area in SRAM.
+// The model exposes scaling in the BU count so design-space benches can
+// explore other configurations, and quantifies the banking overhead of the
+// sea-of-SRAMs versus one monolithic array (paper: ~1.7x area, ~1.59x
+// static power for 3200 banks vs one 6.4 MB bank).
+#pragma once
+
+#include <cstdint>
+
+namespace booster::energy {
+
+struct AreaPower {
+  double area_mm2 = 0.0;
+  double power_w = 0.0;
+};
+
+struct ChipReport {
+  AreaPower control;
+  AreaPower fpu;
+  AreaPower sram;
+  AreaPower total() const {
+    return {control.area_mm2 + fpu.area_mm2 + sram.area_mm2,
+            control.power_w + fpu.power_w + sram.power_w};
+  }
+};
+
+struct AreaPowerParams {
+  // Per-BU costs at 45 nm, 1 GHz; defaults reproduce Table VI at 3200 BUs.
+  double control_area_mm2_per_bu = 8.4 / 3200.0;
+  double control_power_w_per_bu = 4.3 / 3200.0;
+  double fpu_area_mm2_per_bu = 18.4 / 3200.0;
+  double fpu_power_w_per_bu = 9.5 / 3200.0;
+  double sram_area_mm2_per_bu = 33.1 / 3200.0;  // one 2 KB bank + periphery
+  double sram_power_w_per_bu = 9.4 / 3200.0;
+
+  // Banked-vs-monolithic comparison factors (paper SS V-G).
+  double banking_area_overhead = 1.7;
+  double banking_static_power_overhead = 1.59;
+};
+
+class AreaPowerModel {
+ public:
+  explicit AreaPowerModel(AreaPowerParams params = {}) : p_(params) {}
+
+  /// Chip estimate for a Booster instance with `num_bus` BUs.
+  ChipReport estimate(std::uint32_t num_bus) const;
+
+  /// Area of a single-bank SRAM with the same total capacity as `num_bus`
+  /// 2 KB banks (what the paper compares its 70%-larger banked array to).
+  double monolithic_sram_area_mm2(std::uint32_t num_bus) const;
+  double monolithic_sram_power_w(std::uint32_t num_bus) const;
+
+ private:
+  AreaPowerParams p_;
+};
+
+}  // namespace booster::energy

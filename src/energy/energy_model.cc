@@ -1,0 +1,14 @@
+#include "energy/energy_model.h"
+
+namespace booster::energy {
+
+EnergyReport EnergyModel::energy(const perf::Activity& activity) const {
+  EnergyReport r;
+  r.sram_joules = activity.sram_accesses *
+                  activity.sram_energy_per_access_norm *
+                  p_.sram_ref_joules_per_access;
+  r.dram_joules = activity.dram_bytes * p_.dram_joules_per_byte;
+  return r;
+}
+
+}  // namespace booster::energy

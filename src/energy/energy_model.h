@@ -1,0 +1,37 @@
+// Access-energy model (paper §V-D / Fig 10). Mirrors the paper's
+// conservative methodology: SRAM energy = access count x per-access cost of
+// the configuration's typical SRAM (CACTI-style, normalized per Table V);
+// DRAM energy = transferred bytes x per-byte transfer cost. Overheads real
+// multicores/GPUs pay (out-of-order cores, register files) are ignored,
+// which only understates Booster's advantage.
+#pragma once
+
+#include "perf/perf_model.h"
+
+namespace booster::energy {
+
+struct EnergyParams {
+  /// Reference per-access energy of the 32 KB L1D (the Table V norm = 1.0
+  /// configuration); absolute value from CACTI-7-class numbers at 45 nm.
+  double sram_ref_joules_per_access = 10e-12;
+  /// HBM-class transfer energy.
+  double dram_joules_per_byte = 40e-12;
+};
+
+struct EnergyReport {
+  double sram_joules = 0.0;
+  double dram_joules = 0.0;
+  double total() const { return sram_joules + dram_joules; }
+};
+
+class EnergyModel {
+ public:
+  explicit EnergyModel(EnergyParams params = {}) : p_(params) {}
+
+  EnergyReport energy(const perf::Activity& activity) const;
+
+ private:
+  EnergyParams p_;
+};
+
+}  // namespace booster::energy

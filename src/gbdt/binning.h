@@ -1,0 +1,102 @@
+// Pre-processing (paper §II-A): discretizes numeric fields into quantile
+// histogram bins, maps categorical fields to per-category bins, and reserves
+// bin 0 of every field for missing values (the "absent" bin). The result is
+// the BinnedDataset every training step operates on.
+//
+// Bin index layout per field:
+//   bin 0            -> missing / absent
+//   bins 1..k        -> numeric quantile bins (left-to-right value order)
+//   bins 1..C        -> categorical categories ("yes" bins of the one-hot
+//                       features; the "no" sums are reconstructed by
+//                       subtraction, per the LightGBM optimization the
+//                       paper adopts)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gbdt/dataset.h"
+#include "gbdt/layout.h"
+
+namespace booster::gbdt {
+
+/// Bin index within a field. uint16 functionally; the hardware layout packs
+/// one byte per field and spreads >256-bin fields over SRAM groups
+/// (paper §III-C extension 3) -- layout.h accounts for the extra bytes.
+using BinIndex = std::uint16_t;
+
+struct BinningConfig {
+  /// Maximum value bins per numeric field, *excluding* the missing bin.
+  /// The paper uses 128-256 in practice; 255 value bins + 1 missing bin
+  /// keeps a numeric field within one byte.
+  std::uint32_t max_numeric_bins = 255;
+  /// Number of records sampled to build the quantile sketch.
+  std::uint64_t quantile_sample = 100000;
+};
+
+/// Per-field binning metadata.
+struct FieldBins {
+  FieldKind kind = FieldKind::kNumeric;
+  /// Total bins including the missing bin.
+  std::uint32_t num_bins = 0;
+  /// Upper boundaries of numeric value bins (size num_bins - 1 for numeric
+  /// fields); value v falls in the first bin whose boundary is >= v.
+  std::vector<float> upper_bounds;
+};
+
+/// The binned dataset: column-major bin indices per field plus the layout
+/// descriptor for byte accounting. This is the "redundant per-field
+/// column-major format" of the paper's third contribution; the row-major
+/// view is logical (records are just the i-th entry of every column) and
+/// layout.h computes its block footprint.
+class BinnedDataset {
+ public:
+  std::uint64_t num_records() const { return num_records_; }
+  std::uint32_t num_fields() const {
+    return static_cast<std::uint32_t>(fields_.size());
+  }
+  const FieldBins& field_bins(std::uint32_t f) const { return fields_[f]; }
+
+  BinIndex bin(std::uint32_t field, std::uint64_t record) const {
+    return columns_[field][record];
+  }
+  /// Full column of one field (the hardware streams exactly this array in
+  /// the single-predicate step).
+  const std::vector<BinIndex>& column(std::uint32_t field) const {
+    return columns_[field];
+  }
+
+  const std::vector<float>& labels() const { return labels_; }
+
+  /// Total histogram bins over all fields (missing bins included).
+  std::uint64_t total_bins() const;
+
+  std::uint32_t max_bins_per_field() const;
+
+  /// Byte-accounting descriptor for the performance models.
+  const RecordLayout& layout() const { return layout_; }
+
+  friend class Binner;
+
+ private:
+  std::vector<FieldBins> fields_;
+  std::vector<std::vector<BinIndex>> columns_;  // [field][record]
+  std::vector<float> labels_;
+  std::uint64_t num_records_ = 0;
+  RecordLayout layout_;
+};
+
+/// Builds BinnedDatasets from raw Datasets.
+class Binner {
+ public:
+  explicit Binner(BinningConfig cfg = {}) : cfg_(cfg) {}
+
+  /// Computes quantile cut points (numeric fields) from a sample of the
+  /// data, then bins every record. Deterministic.
+  BinnedDataset bin(const Dataset& data) const;
+
+ private:
+  BinningConfig cfg_;
+};
+
+}  // namespace booster::gbdt

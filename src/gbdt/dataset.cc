@@ -1,0 +1,56 @@
+#include "gbdt/dataset.h"
+
+#include "util/check.h"
+
+namespace booster::gbdt {
+
+std::uint32_t Dataset::add_numeric_field(std::string name) {
+  BOOSTER_CHECK_MSG(num_records_ == 0, "add fields before resize()");
+  const auto index = static_cast<std::uint32_t>(schema_.size());
+  schema_.push_back(FieldSchema{std::move(name), FieldKind::kNumeric, 0});
+  slot_.push_back(static_cast<std::uint32_t>(numeric_cols_.size()));
+  numeric_cols_.emplace_back();
+  return index;
+}
+
+std::uint32_t Dataset::add_categorical_field(std::string name,
+                                             std::uint32_t cardinality) {
+  BOOSTER_CHECK_MSG(num_records_ == 0, "add fields before resize()");
+  BOOSTER_CHECK(cardinality > 0);
+  const auto index = static_cast<std::uint32_t>(schema_.size());
+  schema_.push_back(
+      FieldSchema{std::move(name), FieldKind::kCategorical, cardinality});
+  slot_.push_back(static_cast<std::uint32_t>(categorical_cols_.size()));
+  categorical_cols_.emplace_back();
+  return index;
+}
+
+void Dataset::resize(std::uint64_t n) {
+  num_records_ = n;
+  for (std::uint32_t f = 0; f < num_fields(); ++f) {
+    if (schema_[f].kind == FieldKind::kNumeric) {
+      numeric_cols_[slot_[f]].assign(n, std::numeric_limits<float>::quiet_NaN());
+    } else {
+      categorical_cols_[slot_[f]].assign(n, kMissingCategory);
+    }
+  }
+  labels_.assign(n, 0.0f);
+}
+
+std::uint64_t Dataset::onehot_features() const {
+  std::uint64_t total = 0;
+  for (const auto& f : schema_) {
+    total += (f.kind == FieldKind::kNumeric) ? 1 : f.cardinality;
+  }
+  return total;
+}
+
+std::uint32_t Dataset::num_categorical_fields() const {
+  std::uint32_t n = 0;
+  for (const auto& f : schema_) {
+    if (f.kind == FieldKind::kCategorical) ++n;
+  }
+  return n;
+}
+
+}  // namespace booster::gbdt

@@ -1,0 +1,87 @@
+// Raw tabular dataset: the table-based input GB operates on (paper §II-A).
+// Columns are either numeric (float, NaN = missing) or categorical
+// (non-negative int, -1 = missing). Storage is columnar; the *binned*
+// dataset (binning.h) adds the redundant row-major view.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace booster::gbdt {
+
+enum class FieldKind : std::uint8_t { kNumeric, kCategorical };
+
+struct FieldSchema {
+  std::string name;
+  FieldKind kind = FieldKind::kNumeric;
+  /// Number of categories for categorical fields (0 for numeric).
+  std::uint32_t cardinality = 0;
+};
+
+/// Sentinel for a missing categorical value.
+inline constexpr std::int32_t kMissingCategory = -1;
+
+/// Raw dataset. All columns have `num_records()` entries.
+class Dataset {
+ public:
+  Dataset() = default;
+
+  /// Declares a numeric field and returns its index.
+  std::uint32_t add_numeric_field(std::string name);
+
+  /// Declares a categorical field with `cardinality` categories.
+  std::uint32_t add_categorical_field(std::string name,
+                                      std::uint32_t cardinality);
+
+  /// Reserves storage for `n` records in every declared column.
+  void resize(std::uint64_t n);
+
+  std::uint64_t num_records() const { return num_records_; }
+  std::uint32_t num_fields() const {
+    return static_cast<std::uint32_t>(schema_.size());
+  }
+  const FieldSchema& field(std::uint32_t f) const { return schema_[f]; }
+  const std::vector<FieldSchema>& schema() const { return schema_; }
+
+  /// Number of one-hot features the dataset expands to: numeric fields
+  /// count as one feature; categorical fields expand to one binary feature
+  /// per category (paper Table III "#Features (one-hot)").
+  std::uint64_t onehot_features() const;
+
+  std::uint32_t num_categorical_fields() const;
+
+  // Column access. Numeric columns are indexed by the field's numeric slot,
+  // resolved internally -- callers just use the field index.
+  float numeric_value(std::uint32_t field, std::uint64_t record) const {
+    return numeric_cols_[slot_[field]][record];
+  }
+  void set_numeric(std::uint32_t field, std::uint64_t record, float v) {
+    numeric_cols_[slot_[field]][record] = v;
+  }
+  std::int32_t categorical_value(std::uint32_t field,
+                                 std::uint64_t record) const {
+    return categorical_cols_[slot_[field]][record];
+  }
+  void set_categorical(std::uint32_t field, std::uint64_t record,
+                       std::int32_t v) {
+    categorical_cols_[slot_[field]][record] = v;
+  }
+
+  /// Regression/classification target.
+  void set_label(std::uint64_t record, float y) { labels_[record] = y; }
+  float label(std::uint64_t record) const { return labels_[record]; }
+  const std::vector<float>& labels() const { return labels_; }
+
+ private:
+  std::vector<FieldSchema> schema_;
+  /// Maps field index -> column slot within its kind-specific storage.
+  std::vector<std::uint32_t> slot_;
+  std::vector<std::vector<float>> numeric_cols_;
+  std::vector<std::vector<std::int32_t>> categorical_cols_;
+  std::vector<float> labels_;
+  std::uint64_t num_records_ = 0;
+};
+
+}  // namespace booster::gbdt

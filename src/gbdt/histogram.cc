@@ -1,0 +1,63 @@
+#include "gbdt/histogram.h"
+
+#include "util/check.h"
+
+namespace booster::gbdt {
+
+Histogram::Histogram(const BinnedDataset& data) {
+  fields_.resize(data.num_fields());
+  for (std::uint32_t f = 0; f < data.num_fields(); ++f) {
+    fields_[f].assign(data.field_bins(f).num_bins, BinStats{});
+  }
+}
+
+void Histogram::build(const BinnedDataset& data,
+                      std::span<const std::uint32_t> rows,
+                      std::span<const GradientPair> gradients) {
+  BOOSTER_CHECK(fields_.size() == data.num_fields());
+  for (std::uint32_t f = 0; f < data.num_fields(); ++f) {
+    auto& bins = fields_[f];
+    const auto& col = data.column(f);
+    for (const std::uint32_t r : rows) {
+      BOOSTER_DCHECK(col[r] < bins.size());
+      bins[col[r]].add(gradients[r]);
+    }
+  }
+}
+
+void Histogram::subtract_from(const Histogram& parent,
+                              const Histogram& sibling) {
+  BOOSTER_CHECK(parent.fields_.size() == sibling.fields_.size());
+  fields_.resize(parent.fields_.size());
+  for (std::size_t f = 0; f < fields_.size(); ++f) {
+    const auto& p = parent.fields_[f];
+    const auto& s = sibling.fields_[f];
+    BOOSTER_CHECK(p.size() == s.size());
+    fields_[f].resize(p.size());
+    for (std::size_t b = 0; b < p.size(); ++b) {
+      fields_[f][b] = p[b];
+      fields_[f][b] -= s[b];
+    }
+  }
+}
+
+void Histogram::clear() {
+  for (auto& f : fields_) {
+    for (auto& b : f) b = BinStats{};
+  }
+}
+
+BinStats Histogram::totals() const {
+  BinStats t;
+  if (fields_.empty()) return t;
+  for (const auto& b : fields_[0]) t += b;
+  return t;
+}
+
+std::uint64_t Histogram::total_bins() const {
+  std::uint64_t total = 0;
+  for (const auto& f : fields_) total += f.size();
+  return total;
+}
+
+}  // namespace booster::gbdt

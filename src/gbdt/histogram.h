@@ -1,0 +1,79 @@
+// Gradient-statistics histograms (paper step 1). One histogram holds, for
+// every field, a per-bin accumulator of {count, G, H}. Supports the two key
+// optimizations the paper bakes into its baseline:
+//   * one-hot "yes-only" counting: categorical bins are per-category; the
+//     complement ("no") sums are reconstructed from the node totals;
+//   * smaller-child subtraction: parent - child computed bin-wise.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gbdt/binning.h"
+#include "gbdt/loss.h"
+
+namespace booster::gbdt {
+
+/// One histogram bin: record count plus summed gradient statistics.
+struct BinStats {
+  double count = 0.0;
+  double g = 0.0;
+  double h = 0.0;
+
+  void add(const GradientPair& gp) {
+    count += 1.0;
+    g += gp.g;
+    h += gp.h;
+  }
+  BinStats& operator+=(const BinStats& o) {
+    count += o.count;
+    g += o.g;
+    h += o.h;
+    return *this;
+  }
+  BinStats& operator-=(const BinStats& o) {
+    count -= o.count;
+    g -= o.g;
+    h -= o.h;
+    return *this;
+  }
+};
+
+/// Histogram over all fields of a binned dataset for one tree node.
+class Histogram {
+ public:
+  Histogram() = default;
+
+  /// Allocates zeroed bins shaped like `data`'s fields.
+  explicit Histogram(const BinnedDataset& data);
+
+  /// Accumulates the gradient statistics of the records in `rows`.
+  /// This is the exact work step 1 performs: for each record, one bin
+  /// update per field.
+  void build(const BinnedDataset& data, std::span<const std::uint32_t> rows,
+             std::span<const GradientPair> gradients);
+
+  /// Sets *this = parent - sibling (the smaller-child trick, paper §II-A).
+  void subtract_from(const Histogram& parent, const Histogram& sibling);
+
+  void clear();
+
+  std::uint32_t num_fields() const {
+    return static_cast<std::uint32_t>(fields_.size());
+  }
+  std::span<const BinStats> field(std::uint32_t f) const { return fields_[f]; }
+  std::span<BinStats> mutable_field(std::uint32_t f) { return fields_[f]; }
+
+  /// Node totals (count/G/H over all records), taken from field 0 -- every
+  /// record contributes exactly one bin per field, so any field's bin sum
+  /// equals the node totals. This invariant is property-tested.
+  BinStats totals() const;
+
+  std::uint64_t total_bins() const;
+
+ private:
+  std::vector<std::vector<BinStats>> fields_;
+};
+
+}  // namespace booster::gbdt

@@ -1,0 +1,32 @@
+#include "gbdt/importance.h"
+
+#include <algorithm>
+#include <map>
+
+namespace booster::gbdt {
+
+std::vector<FieldImportance> feature_importance(const Model& model) {
+  std::map<std::uint32_t, FieldImportance> by_field;
+  for (const auto& tree : model.trees()) {
+    for (std::uint32_t id = 0; id < tree.num_nodes(); ++id) {
+      const TreeNode& n = tree.node(static_cast<std::int32_t>(id));
+      if (n.is_leaf) continue;
+      auto& entry = by_field[n.field];
+      entry.field = n.field;
+      ++entry.split_count;
+      entry.total_gain += n.gain;
+    }
+  }
+  std::vector<FieldImportance> result;
+  result.reserve(by_field.size());
+  for (const auto& [field, importance] : by_field) result.push_back(importance);
+  std::sort(result.begin(), result.end(),
+            [](const FieldImportance& a, const FieldImportance& b) {
+              if (a.total_gain != b.total_gain) return a.total_gain > b.total_gain;
+              if (a.split_count != b.split_count) return a.split_count > b.split_count;
+              return a.field < b.field;
+            });
+  return result;
+}
+
+}  // namespace booster::gbdt

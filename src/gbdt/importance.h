@@ -1,0 +1,27 @@
+// Feature-importance reporting -- the model-introspection API every GBDT
+// library ships. Two standard measures over a trained ensemble:
+//   * split count: how many interior nodes test each field,
+//   * total gain: the summed objective improvement of those splits
+//     (requires gains recorded at training time; the trainer stores each
+//     node's realized gain in the tree, so this works on loaded models
+//     trained by this library).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gbdt/tree.h"
+
+namespace booster::gbdt {
+
+struct FieldImportance {
+  std::uint32_t field = 0;
+  std::uint64_t split_count = 0;
+  double total_gain = 0.0;
+};
+
+/// Importance per field, sorted by total gain descending (ties broken by
+/// split count, then field index). Fields never used do not appear.
+std::vector<FieldImportance> feature_importance(const Model& model);
+
+}  // namespace booster::gbdt

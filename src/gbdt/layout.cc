@@ -1,0 +1,26 @@
+#include "gbdt/layout.h"
+
+#include "util/check.h"
+
+namespace booster::gbdt {
+
+RecordLayout RecordLayout::from_field_features(
+    const std::vector<std::uint32_t>& features_per_field,
+    std::uint32_t sram_features) {
+  BOOSTER_CHECK(sram_features > 0);
+  RecordLayout layout;
+  layout.field_slot_bytes.reserve(features_per_field.size());
+  std::uint32_t total = 0;
+  for (std::uint32_t features : features_per_field) {
+    // A field spanning k SRAMs repeats its bin byte k times so the
+    // one-to-one field->SRAM feed stays a fixed left-to-right distribution.
+    const std::uint32_t slots =
+        features == 0 ? 1 : (features + sram_features - 1) / sram_features;
+    layout.field_slot_bytes.push_back(slots);
+    total += slots;
+  }
+  layout.record_bytes = total;
+  return layout;
+}
+
+}  // namespace booster::gbdt

@@ -1,0 +1,58 @@
+// Byte accounting for the two data layouts of the paper's third
+// contribution: the natural per-record row-major format and the redundant
+// per-field column-major format. Performance models use these numbers to
+// charge DRAM traffic; the functional library always has both views
+// available (columns are the primary storage).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace booster::gbdt {
+
+/// Describes the on-memory footprint of one binned record and of the
+/// per-field columns.
+struct RecordLayout {
+  /// One byte per field, plus one extra byte per additional SRAM a wide
+  /// field spans (paper §III-C extension 3: a field with more than 256
+  /// features repeats its bin byte once per SRAM in its group).
+  std::uint32_t record_bytes = 0;
+
+  /// Bytes of the per-record gradient-statistics pair (g, h as fp32).
+  static constexpr std::uint32_t kGradientBytes = 8;
+
+  /// Bytes of one record pointer in the relevant-record streams.
+  static constexpr std::uint32_t kPointerBytes = 4;
+
+  /// Per-field column element size (one byte per field slot on hardware).
+  static constexpr std::uint32_t kColumnElementBytes = 1;
+
+  /// Memory block (DRAM burst) size used throughout the paper.
+  static constexpr std::uint32_t kBlockBytes = 64;
+
+  /// Bytes per field slot: fields wider than 256 features occupy multiple
+  /// slots. Indexed by field.
+  std::vector<std::uint32_t> field_slot_bytes;
+
+  /// Effective bytes fetched per record in row-major format, applying the
+  /// paper's packing rule: records are whole blocks; if a record is smaller
+  /// than half a block, two records pack into one block (never more).
+  double row_major_bytes_per_record() const {
+    const auto b = static_cast<double>(kBlockBytes);
+    if (record_bytes > kBlockBytes) {
+      // Multi-block records round up to whole blocks.
+      const auto blocks = (record_bytes + kBlockBytes - 1) / kBlockBytes;
+      return static_cast<double>(blocks) * b;
+    }
+    if (record_bytes * 2 <= kBlockBytes) return b / 2.0;  // two per block
+    return b;  // one record per block, possibly with slack
+  }
+
+  /// Computes slot widths from per-field feature counts (SRAM capacity in
+  /// features, typically 256).
+  static RecordLayout from_field_features(
+      const std::vector<std::uint32_t>& features_per_field,
+      std::uint32_t sram_features = 256);
+};
+
+}  // namespace booster::gbdt

@@ -1,0 +1,58 @@
+#include "gbdt/loss.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace booster::gbdt {
+
+namespace {
+double sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+}  // namespace
+
+GradientPair SquaredLoss::gradients(float pred, float y) const {
+  return GradientPair{pred - y, 1.0f};
+}
+
+double SquaredLoss::value(float pred, float y) const {
+  const double d = static_cast<double>(pred) - y;
+  return 0.5 * d * d;
+}
+
+GradientPair LogisticLoss::gradients(float pred, float y) const {
+  const double p = sigmoid(pred);
+  return GradientPair{static_cast<float>(p - y),
+                      static_cast<float>(std::max(p * (1.0 - p), 1e-16))};
+}
+
+double LogisticLoss::value(float pred, float y) const {
+  const double p = std::clamp(sigmoid(pred), 1e-15, 1.0 - 1e-15);
+  return -(y * std::log(p) + (1.0 - y) * std::log(1.0 - p));
+}
+
+double LogisticLoss::transform(double raw) const { return sigmoid(raw); }
+
+double LogisticLoss::base_score(double label_mean) const {
+  const double p = std::clamp(label_mean, 1e-6, 1.0 - 1e-6);
+  return std::log(p / (1.0 - p));  // logit of the positive rate
+}
+
+GradientPair RankingLoss::gradients(float pred, float y) const {
+  return GradientPair{pred - y, 1.0f};
+}
+
+double RankingLoss::value(float pred, float y) const {
+  const double d = static_cast<double>(pred) - y;
+  return 0.5 * d * d;
+}
+
+std::unique_ptr<Loss> make_loss(const std::string& name) {
+  if (name == "squared") return std::make_unique<SquaredLoss>();
+  if (name == "logistic") return std::make_unique<LogisticLoss>();
+  if (name == "ranking") return std::make_unique<RankingLoss>();
+  BOOSTER_CHECK_MSG(false, ("unknown loss: " + name).c_str());
+  return nullptr;
+}
+
+}  // namespace booster::gbdt

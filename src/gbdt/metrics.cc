@@ -1,0 +1,77 @@
+#include "gbdt/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace booster::gbdt {
+
+double rmse(const Model& model, const BinnedDataset& data) {
+  const std::uint64_t n = data.num_records();
+  if (n == 0) return 0.0;
+  double sq = 0.0;
+  for (std::uint64_t r = 0; r < n; ++r) {
+    const double d = model.predict(data, r) - data.labels()[r];
+    sq += d * d;
+  }
+  return std::sqrt(sq / static_cast<double>(n));
+}
+
+double accuracy(const Model& model, const BinnedDataset& data) {
+  const std::uint64_t n = data.num_records();
+  if (n == 0) return 0.0;
+  std::uint64_t correct = 0;
+  for (std::uint64_t r = 0; r < n; ++r) {
+    const bool pred = model.predict(data, r) >= 0.5;
+    const bool truth = data.labels()[r] >= 0.5f;
+    correct += (pred == truth) ? 1 : 0;
+  }
+  return static_cast<double>(correct) / static_cast<double>(n);
+}
+
+double auc(const Model& model, const BinnedDataset& data) {
+  const std::uint64_t n = data.num_records();
+  if (n == 0) return 0.5;
+  std::vector<double> scores(n);
+  for (std::uint64_t r = 0; r < n; ++r) scores[r] = model.predict(data, r);
+  std::vector<std::uint64_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::uint64_t a, std::uint64_t b) {
+    return scores[a] < scores[b];
+  });
+  // Rank-sum (Mann-Whitney) AUC with midranks for ties.
+  double rank_sum_pos = 0.0;
+  std::uint64_t positives = 0;
+  std::uint64_t i = 0;
+  while (i < n) {
+    std::uint64_t j = i;
+    while (j < n && scores[order[j]] == scores[order[i]]) ++j;
+    const double midrank = 0.5 * (static_cast<double>(i + 1) + static_cast<double>(j));
+    for (std::uint64_t k = i; k < j; ++k) {
+      if (data.labels()[order[k]] >= 0.5f) {
+        rank_sum_pos += midrank;
+        ++positives;
+      }
+    }
+    i = j;
+  }
+  const std::uint64_t negatives = n - positives;
+  if (positives == 0 || negatives == 0) return 0.5;
+  const double u = rank_sum_pos -
+                   static_cast<double>(positives) * (positives + 1) / 2.0;
+  return u / (static_cast<double>(positives) * static_cast<double>(negatives));
+}
+
+double mean_loss(const Model& model, const BinnedDataset& data) {
+  const std::uint64_t n = data.num_records();
+  if (n == 0) return 0.0;
+  double total = 0.0;
+  for (std::uint64_t r = 0; r < n; ++r) {
+    total += model.loss().value(
+        static_cast<float>(model.predict_raw(data, r)), data.labels()[r]);
+  }
+  return total / static_cast<double>(n);
+}
+
+}  // namespace booster::gbdt

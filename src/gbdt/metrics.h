@@ -1,0 +1,24 @@
+// Evaluation metrics for trained models.
+#pragma once
+
+#include <span>
+
+#include "gbdt/binning.h"
+#include "gbdt/tree.h"
+
+namespace booster::gbdt {
+
+/// Root-mean-squared error of task-space predictions vs labels.
+double rmse(const Model& model, const BinnedDataset& data);
+
+/// Fraction of records whose thresholded prediction (>= 0.5) matches a
+/// binary label.
+double accuracy(const Model& model, const BinnedDataset& data);
+
+/// Area under the ROC curve for binary labels (rank-based computation).
+double auc(const Model& model, const BinnedDataset& data);
+
+/// Mean training loss per the model's own loss function.
+double mean_loss(const Model& model, const BinnedDataset& data);
+
+}  // namespace booster::gbdt

@@ -1,0 +1,157 @@
+#include "gbdt/model_io.h"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace booster::gbdt {
+
+namespace {
+
+/// Serializable view of a tree: nodes are written in index order; child
+/// links are indices into the same table. Leaves reconstructed via
+/// split_leaf replay would renumber nodes, so loading rebuilds the node
+/// table directly through a builder tree and weight fix-up pass.
+void save_tree(const Tree& tree, std::uint32_t index, std::ostream& out) {
+  out << "tree " << index << " nodes " << tree.num_nodes() << "\n";
+  for (std::uint32_t id = 0; id < tree.num_nodes(); ++id) {
+    const TreeNode& n = tree.node(static_cast<std::int32_t>(id));
+    if (n.is_leaf) {
+      out << "node " << id << " leaf " << std::setprecision(17) << n.weight
+          << "\n";
+    } else {
+      out << "node " << id << " split " << n.field << " "
+          << (n.kind == PredicateKind::kNumericLE ? "le" : "eq") << " "
+          << n.threshold_bin << " " << (n.default_left ? 1 : 0) << " "
+          << n.left << " " << n.right << " " << std::setprecision(17)
+          << n.gain << "\n";
+    }
+  }
+}
+
+struct ParsedNode {
+  bool is_leaf = true;
+  double weight = 0.0;
+  SplitInfo split;
+  std::int32_t left = -1;
+  std::int32_t right = -1;
+};
+
+/// Rebuilds a Tree from parsed nodes by replaying splits in DFS order.
+/// Replay preserves the invariant that split_leaf allocates children
+/// contiguously, which holds for trees produced by the trainer; arbitrary
+/// node orders are normalized by the recursion.
+class TreeRebuilder {
+ public:
+  explicit TreeRebuilder(const std::vector<ParsedNode>& nodes)
+      : nodes_(nodes) {}
+
+  Tree build() {
+    Tree tree;
+    rebuild(tree, tree.root(), 0);
+    return tree;
+  }
+
+ private:
+  void rebuild(Tree& tree, std::int32_t dst, std::int32_t src) {
+    const ParsedNode& n = nodes_[src];
+    if (n.is_leaf) {
+      tree.set_leaf_weight(dst, n.weight);
+      return;
+    }
+    const auto [l, r] = tree.split_leaf(dst, n.split);
+    rebuild(tree, l, n.left);
+    rebuild(tree, r, n.right);
+  }
+
+  const std::vector<ParsedNode>& nodes_;
+};
+
+}  // namespace
+
+void save_model(const Model& model, std::ostream& out) {
+  out << "booster-model v1\n";
+  out << "base_score " << std::setprecision(17) << model.base_score() << "\n";
+  out << "loss " << model.loss().name() << "\n";
+  out << "trees " << model.num_trees() << "\n";
+  for (std::uint32_t t = 0; t < model.num_trees(); ++t) {
+    save_tree(model.trees()[t], t, out);
+  }
+}
+
+bool save_model_file(const Model& model, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  save_model(model, out);
+  return static_cast<bool>(out);
+}
+
+Model load_model(std::istream& in) {
+  std::string token;
+  std::string version;
+  in >> token >> version;
+  BOOSTER_CHECK_MSG(token == "booster-model" && version == "v1",
+                    "unsupported model format");
+  double base_score = 0.0;
+  in >> token >> base_score;
+  BOOSTER_CHECK(token == "base_score");
+  std::string loss_name;
+  in >> token >> loss_name;
+  BOOSTER_CHECK(token == "loss");
+  // The serialized loss name may carry a variant suffix (e.g.
+  // "ranking-pointwise"); map back to the factory name.
+  if (loss_name.rfind("ranking", 0) == 0) loss_name = "ranking";
+  std::uint32_t num_trees = 0;
+  in >> token >> num_trees;
+  BOOSTER_CHECK(token == "trees");
+
+  Model model(base_score, make_loss(loss_name));
+  for (std::uint32_t t = 0; t < num_trees; ++t) {
+    std::uint32_t index = 0;
+    std::uint32_t num_nodes = 0;
+    in >> token >> index;
+    BOOSTER_CHECK(token == "tree" && index == t);
+    in >> token >> num_nodes;
+    BOOSTER_CHECK(token == "nodes" && num_nodes >= 1);
+
+    std::vector<ParsedNode> nodes(num_nodes);
+    for (std::uint32_t i = 0; i < num_nodes; ++i) {
+      std::uint32_t id = 0;
+      std::string kind;
+      in >> token >> id >> kind;
+      BOOSTER_CHECK(token == "node" && id < num_nodes);
+      ParsedNode& n = nodes[id];
+      if (kind == "leaf") {
+        n.is_leaf = true;
+        in >> n.weight;
+      } else {
+        BOOSTER_CHECK_MSG(kind == "split", "unknown node kind");
+        n.is_leaf = false;
+        std::string pred;
+        int default_left = 0;
+        in >> n.split.field >> pred >> n.split.threshold_bin >> default_left >>
+            n.left >> n.right >> n.split.gain;
+        n.split.kind = pred == "le" ? PredicateKind::kNumericLE
+                                    : PredicateKind::kCategoryEqual;
+        n.split.default_left = default_left != 0;
+        BOOSTER_CHECK(n.left >= 0 &&
+                      n.left < static_cast<std::int32_t>(num_nodes));
+        BOOSTER_CHECK(n.right >= 0 &&
+                      n.right < static_cast<std::int32_t>(num_nodes));
+      }
+    }
+    BOOSTER_CHECK_MSG(static_cast<bool>(in), "truncated model file");
+    model.add_tree(TreeRebuilder(nodes).build());
+  }
+  return model;
+}
+
+Model load_model_file(const std::string& path) {
+  std::ifstream in(path);
+  BOOSTER_CHECK_MSG(static_cast<bool>(in), ("cannot open " + path).c_str());
+  return load_model(in);
+}
+
+}  // namespace booster::gbdt

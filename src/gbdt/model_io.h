@@ -1,0 +1,37 @@
+// Model serialization: a line-oriented text format so trained ensembles can
+// be saved, shipped to an inference service (or a Booster device image),
+// and reloaded. The format is versioned and self-describing; round-tripping
+// is exact for the quantities that matter (bin thresholds are integral,
+// weights are serialized with full double precision).
+//
+// Format:
+//   booster-model v1
+//   base_score <double>
+//   loss <name>
+//   trees <count>
+//   tree <index> nodes <count>
+//   node <id> leaf <weight>
+//   node <id> split <field> <kind> <threshold_bin> <default_left> <left> <right>
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "gbdt/tree.h"
+
+namespace booster::gbdt {
+
+/// Writes the model to a stream; throws nothing, reports via stream state.
+void save_model(const Model& model, std::ostream& out);
+
+/// Saves to a file; returns false on I/O failure.
+bool save_model_file(const Model& model, const std::string& path);
+
+/// Parses a model from a stream. Aborts (BOOSTER_CHECK) on malformed input
+/// -- model files are trusted artifacts produced by save_model.
+Model load_model(std::istream& in);
+
+/// Loads from a file; aborts if the file cannot be opened or parsed.
+Model load_model_file(const std::string& path);
+
+}  // namespace booster::gbdt

@@ -1,0 +1,99 @@
+#include "gbdt/split.h"
+
+#include "util/check.h"
+
+namespace booster::gbdt {
+
+double leaf_weight(const BinStats& totals, double lambda) {
+  return -totals.g / (totals.h + lambda);
+}
+
+double bucket_score(const BinStats& totals, double lambda) {
+  return totals.g * totals.g / (totals.h + lambda);
+}
+
+void SplitFinder::consider(std::uint32_t field, PredicateKind kind,
+                           std::uint16_t threshold_bin,
+                           const BinStats& left_no_missing,
+                           const BinStats& missing, const BinStats& totals,
+                           std::optional<SplitInfo>& best) const {
+  const double parent_score = bucket_score(totals, cfg_.lambda);
+  for (const bool missing_left : {false, true}) {
+    BinStats left = left_no_missing;
+    if (missing_left) left += missing;
+    BinStats right = totals;
+    right -= left;
+    if (left.h < cfg_.min_child_weight || right.h < cfg_.min_child_weight) {
+      continue;
+    }
+    if (left.count <= 0.0 || right.count <= 0.0) continue;
+    const double gain = 0.5 * (bucket_score(left, cfg_.lambda) +
+                               bucket_score(right, cfg_.lambda) - parent_score) -
+                        cfg_.gamma;
+    if (gain < cfg_.min_split_gain) continue;
+    if (!best || gain > best->gain) {
+      SplitInfo info;
+      info.field = field;
+      info.kind = kind;
+      info.threshold_bin = threshold_bin;
+      info.default_left = missing_left;
+      info.gain = gain;
+      info.left = left;
+      info.right = right;
+      best = info;
+    }
+  }
+}
+
+void SplitFinder::scan_numeric(std::uint32_t field,
+                               std::span<const BinStats> bins,
+                               const BinStats& totals,
+                               std::optional<SplitInfo>& best) const {
+  // bins[0] is the missing bin; value bins are 1..k. The split point starts
+  // left of all bins and moves right one bin at a time, accumulating the
+  // left bucket (paper Fig 3). The last boundary (everything left) is not a
+  // split, so we stop one bin early.
+  const BinStats& missing = bins[0];
+  BinStats left;
+  for (std::size_t b = 1; b + 1 < bins.size(); ++b) {
+    left += bins[b];
+    consider(field, PredicateKind::kNumericLE, static_cast<std::uint16_t>(b),
+             left, missing, totals, best);
+  }
+}
+
+void SplitFinder::scan_categorical(std::uint32_t field,
+                                   std::span<const BinStats> bins,
+                                   const BinStats& totals,
+                                   std::optional<SplitInfo>& best) const {
+  // One-hot semantics: each category c yields the predicate "category == c".
+  // The left bucket is exactly the category's "yes" bin; the "no" side is
+  // reconstructed as totals - yes (- missing, handled by consider()).
+  const BinStats& missing = bins[0];
+  for (std::size_t b = 1; b < bins.size(); ++b) {
+    consider(field, PredicateKind::kCategoryEqual,
+             static_cast<std::uint16_t>(b), bins[b], missing, totals, best);
+  }
+}
+
+std::optional<SplitInfo> SplitFinder::find_best(
+    const Histogram& hist, const BinnedDataset& data,
+    std::uint64_t* bins_scanned) const {
+  std::optional<SplitInfo> best;
+  const BinStats totals = hist.totals();
+  std::uint64_t scanned = 0;
+  for (std::uint32_t f = 0; f < hist.num_fields(); ++f) {
+    const auto bins = hist.field(f);
+    if (bins.size() <= 1) continue;
+    if (data.field_bins(f).kind == FieldKind::kNumeric) {
+      scan_numeric(f, bins, totals, best);
+    } else {
+      scan_categorical(f, bins, totals, best);
+    }
+    scanned += bins.size();
+  }
+  if (bins_scanned != nullptr) *bins_scanned = scanned;
+  return best;
+}
+
+}  // namespace booster::gbdt

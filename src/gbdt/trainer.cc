@@ -1,0 +1,308 @@
+#include "gbdt/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <utility>
+
+#include "util/check.h"
+
+namespace booster::gbdt {
+
+namespace {
+
+using trace::StepEvent;
+using trace::StepKind;
+using trace::StepTrace;
+
+/// Mutable state of one frontier node during tree growth.
+struct FrontierNode {
+  std::int32_t tree_node = 0;
+  std::int32_t depth = 0;
+  std::vector<std::uint32_t> rows;
+  Histogram hist;
+  BinStats totals;
+};
+
+void emit(StepTrace* trace, StepEvent e) {
+  if (trace != nullptr) trace->add(e);
+}
+
+}  // namespace
+
+TrainResult Trainer::train(const BinnedDataset& data, StepTrace* trace,
+                           trace::WorkloadInfo* info) const {
+  const std::uint64_t n = data.num_records();
+  BOOSTER_CHECK_MSG(n > 0, "cannot train on an empty dataset");
+  auto loss = make_loss(cfg_.loss);
+  const std::uint32_t num_fields = data.num_fields();
+
+  // Base score from the label mean (logit-transformed for logistic loss).
+  double label_mean = 0.0;
+  for (float y : data.labels()) label_mean += y;
+  label_mean /= static_cast<double>(n);
+  const double base_score = loss->base_score(label_mean);
+
+  std::vector<float> preds(n, static_cast<float>(base_score));
+  std::vector<GradientPair> gradients(n);
+  auto refresh_gradients = [&] {
+    for (std::uint64_t r = 0; r < n; ++r) {
+      gradients[r] = loss->gradients(preds[r], data.labels()[r]);
+    }
+  };
+  // Initial gradient pass: part of pre-processing (no tree to traverse),
+  // so it is not a step-5 event.
+  refresh_gradients();
+
+  const SplitFinder finder(cfg_.split);
+  TrainResult result{Model(base_score, make_loss(cfg_.loss)), {}, 0.0};
+
+  std::vector<std::uint32_t> all_rows(n);
+  for (std::uint64_t r = 0; r < n; ++r) all_rows[r] = static_cast<std::uint32_t>(r);
+
+  double leaf_depth_sum = 0.0;
+  std::uint64_t leaf_count = 0;
+  double prev_loss = std::numeric_limits<double>::infinity();
+  std::uint32_t stagnant_trees = 0;
+
+  for (std::uint32_t t = 0; t < cfg_.num_trees; ++t) {
+    Tree tree;
+    std::deque<FrontierNode> frontier;
+    // Level-by-level growth aggregates child binning per level (one record
+    // stream per level, paper SS II-A); indexed by depth.
+    std::vector<std::uint64_t> level_hist_records;
+
+    // Root: bin all records (step 1 at the root covers the full dataset).
+    {
+      FrontierNode root;
+      root.tree_node = tree.root();
+      root.depth = 0;
+      root.rows = all_rows;
+      root.hist = Histogram(data);
+      root.hist.build(data, root.rows, gradients);
+      root.totals = root.hist.totals();
+      emit(trace, StepEvent{.kind = StepKind::kHistogram,
+                            .tree = static_cast<std::int32_t>(t),
+                            .depth = 0,
+                            .records = n,
+                            .fields_touched = num_fields,
+                            .record_fields = num_fields});
+      frontier.push_back(std::move(root));
+    }
+
+    while (!frontier.empty()) {
+      FrontierNode node = std::move(frontier.front());
+      frontier.pop_front();
+
+      auto make_leaf = [&](const BinStats& totals) {
+        tree.set_leaf_weight(node.tree_node,
+                             cfg_.learning_rate *
+                                 leaf_weight(totals, cfg_.split.lambda));
+        leaf_depth_sum += node.depth;
+        ++leaf_count;
+      };
+
+      if (node.depth >= static_cast<std::int32_t>(cfg_.max_depth) ||
+          node.rows.size() < cfg_.min_node_records) {
+        make_leaf(node.totals);
+        continue;
+      }
+
+      // Step 2: scan every bin of every field for the best split (host).
+      std::uint64_t bins_scanned = 0;
+      const auto split = finder.find_best(node.hist, data, &bins_scanned);
+      emit(trace, StepEvent{.kind = StepKind::kSplitSelect,
+                            .tree = static_cast<std::int32_t>(t),
+                            .depth = node.depth,
+                            .bins_scanned = bins_scanned});
+      if (!split) {
+        make_leaf(node.totals);
+        continue;
+      }
+
+      // Step 3: apply the predicate to partition the node's records.
+      std::vector<std::uint32_t> left_rows;
+      std::vector<std::uint32_t> right_rows;
+      left_rows.reserve(static_cast<std::size_t>(split->left.count) + 1);
+      right_rows.reserve(static_cast<std::size_t>(split->right.count) + 1);
+      {
+        const auto& col = data.column(split->field);
+        const bool numeric = split->kind == PredicateKind::kNumericLE;
+        for (const std::uint32_t r : node.rows) {
+          const BinIndex bin = col[r];
+          const bool go_left =
+              bin == 0 ? split->default_left
+                       : (numeric ? bin <= split->threshold_bin
+                                  : bin == split->threshold_bin);
+          (go_left ? left_rows : right_rows).push_back(r);
+        }
+      }
+      emit(trace, StepEvent{.kind = StepKind::kPartition,
+                            .tree = static_cast<std::int32_t>(t),
+                            .depth = node.depth,
+                            .records = node.rows.size(),
+                            .fields_touched = 1,
+                            .record_fields = num_fields});
+      BOOSTER_CHECK_MSG(!left_rows.empty() && !right_rows.empty(),
+                        "split produced an empty child");
+
+      const auto [left_id, right_id] = tree.split_leaf(node.tree_node, *split);
+
+      const std::int32_t child_depth = node.depth + 1;
+      const bool children_may_split =
+          child_depth < static_cast<std::int32_t>(cfg_.max_depth);
+
+      if (!children_may_split) {
+        // Children are leaves; their totals come from the split evaluation,
+        // no further binning needed.
+        tree.set_leaf_weight(left_id, cfg_.learning_rate *
+                                          leaf_weight(split->left,
+                                                      cfg_.split.lambda));
+        tree.set_leaf_weight(right_id, cfg_.learning_rate *
+                                           leaf_weight(split->right,
+                                                       cfg_.split.lambda));
+        leaf_depth_sum += 2.0 * child_depth;
+        leaf_count += 2;
+        continue;
+      }
+
+      // Step 1 at the children: explicitly bin only the smaller child; the
+      // larger child's histogram is parent - smaller (paper §II-A).
+      const bool left_smaller = left_rows.size() <= right_rows.size();
+      FrontierNode small;
+      FrontierNode large;
+      small.tree_node = left_smaller ? left_id : right_id;
+      large.tree_node = left_smaller ? right_id : left_id;
+      small.depth = large.depth = child_depth;
+      small.rows = left_smaller ? std::move(left_rows) : std::move(right_rows);
+      large.rows = left_smaller ? std::move(right_rows) : std::move(left_rows);
+
+      small.hist = Histogram(data);
+      small.hist.build(data, small.rows, gradients);
+      small.totals = small.hist.totals();
+      if (cfg_.growth == GrowthOrder::kVertexByVertex) {
+        emit(trace, StepEvent{.kind = StepKind::kHistogram,
+                              .tree = static_cast<std::int32_t>(t),
+                              .depth = child_depth,
+                              .records = small.rows.size(),
+                              .fields_touched = num_fields,
+                              .record_fields = num_fields,
+                              .used_sibling_subtraction = true});
+      } else {
+        if (level_hist_records.size() <=
+            static_cast<std::size_t>(child_depth)) {
+          level_hist_records.resize(child_depth + 1, 0);
+        }
+        level_hist_records[child_depth] += small.rows.size();
+      }
+
+      large.hist.subtract_from(node.hist, small.hist);
+      large.totals = large.hist.totals();
+
+      frontier.push_back(std::move(small));
+      frontier.push_back(std::move(large));
+    }
+
+    // Level-by-level mode: one aggregated histogram event per level (the
+    // level's smaller children are binned from a single record stream).
+    if (cfg_.growth == GrowthOrder::kLevelByLevel) {
+      for (std::size_t depth = 0; depth < level_hist_records.size(); ++depth) {
+        if (level_hist_records[depth] == 0) continue;
+        emit(trace, StepEvent{.kind = StepKind::kHistogram,
+                              .tree = static_cast<std::int32_t>(t),
+                              .depth = static_cast<std::int32_t>(depth),
+                              .records = level_hist_records[depth],
+                              .fields_touched = num_fields,
+                              .record_fields = num_fields,
+                              .used_sibling_subtraction = true});
+      }
+    }
+
+    // Step 5: pass every record through the completed tree, update the
+    // prediction, and recompute gradient statistics for the next tree.
+    double hops = 0.0;
+    for (std::uint64_t r = 0; r < n; ++r) {
+      std::int32_t id = tree.root();
+      std::uint32_t path = 0;
+      while (!tree.node(id).is_leaf) {
+        const TreeNode& nd = tree.node(id);
+        id = tree.goes_left(id, data.bin(nd.field, r)) ? nd.left : nd.right;
+        ++path;
+      }
+      preds[r] += static_cast<float>(tree.node(id).weight);
+      gradients[r] = loss->gradients(preds[r], data.labels()[r]);
+      hops += path;
+    }
+    emit(trace, StepEvent{.kind = StepKind::kTraversal,
+                          .tree = static_cast<std::int32_t>(t),
+                          .depth = static_cast<std::int32_t>(tree.max_depth()),
+                          .records = n,
+                          .fields_touched = static_cast<std::uint32_t>(
+                              tree.relevant_fields().size()),
+                          .record_fields = num_fields,
+                          .avg_path_length = hops / static_cast<double>(n)});
+
+    TreeStats stats;
+    stats.leaves = tree.num_leaves();
+    stats.depth = tree.max_depth();
+    double total_loss = 0.0;
+    for (std::uint64_t r = 0; r < n; ++r) {
+      total_loss += loss->value(preds[r], data.labels()[r]);
+    }
+    stats.train_loss = total_loss / static_cast<double>(n);
+    result.tree_stats.push_back(stats);
+    result.model.add_tree(std::move(tree));
+
+    // Step 6: keep adding trees only while the loss keeps improving.
+    if (cfg_.early_stop_rel_improvement > 0.0) {
+      const double improvement =
+          prev_loss <= 0.0 ? 0.0 : (prev_loss - stats.train_loss) / prev_loss;
+      if (std::isfinite(prev_loss) &&
+          improvement < cfg_.early_stop_rel_improvement) {
+        if (++stagnant_trees >= cfg_.early_stop_patience) {
+          result.early_stopped = true;
+          break;
+        }
+      } else {
+        stagnant_trees = 0;
+      }
+      prev_loss = stats.train_loss;
+    }
+  }
+
+  result.avg_leaf_depth =
+      leaf_count == 0 ? 0.0 : leaf_depth_sum / static_cast<double>(leaf_count);
+
+  if (info != nullptr) {
+    info->nominal_records = n;
+    info->fields = num_fields;
+    info->categorical_fields = 0;
+    std::uint64_t onehot = 0;
+    for (std::uint32_t f = 0; f < num_fields; ++f) {
+      const auto& fb = data.field_bins(f);
+      if (fb.kind == FieldKind::kCategorical) {
+        ++info->categorical_fields;
+        onehot += fb.num_bins - 1;  // per-category one-hot features
+      } else {
+        ++onehot;
+      }
+    }
+    info->features_onehot = static_cast<std::uint32_t>(onehot);
+    info->total_bins = data.total_bins();
+    info->max_bins_per_field = data.max_bins_per_field();
+    info->bins_per_field.clear();
+    info->bins_per_field.reserve(num_fields);
+    for (std::uint32_t f = 0; f < num_fields; ++f) {
+      info->bins_per_field.push_back(data.field_bins(f).num_bins);
+    }
+    info->trees = cfg_.num_trees;
+    info->max_depth = cfg_.max_depth;
+    info->avg_leaf_depth = result.avg_leaf_depth;
+    info->record_bytes = data.layout().record_bytes;
+  }
+
+  return result;
+}
+
+}  // namespace booster::gbdt

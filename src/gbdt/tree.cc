@@ -1,0 +1,120 @@
+#include "gbdt/tree.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace booster::gbdt {
+
+Tree::Tree() { nodes_.push_back(TreeNode{}); }
+
+std::pair<std::int32_t, std::int32_t> Tree::split_leaf(std::int32_t id,
+                                                       const SplitInfo& info) {
+  BOOSTER_CHECK(nodes_[id].is_leaf);
+  const auto left_id = static_cast<std::int32_t>(nodes_.size());
+  const auto right_id = left_id + 1;
+  TreeNode child;
+  child.depth = nodes_[id].depth + 1;
+  nodes_.push_back(child);
+  nodes_.push_back(child);
+  TreeNode& n = nodes_[id];
+  n.is_leaf = false;
+  n.field = info.field;
+  n.kind = info.kind;
+  n.threshold_bin = info.threshold_bin;
+  n.default_left = info.default_left;
+  n.left = left_id;
+  n.right = right_id;
+  n.gain = info.gain;
+  return {left_id, right_id};
+}
+
+void Tree::set_leaf_weight(std::int32_t id, double w) {
+  BOOSTER_CHECK(nodes_[id].is_leaf);
+  nodes_[id].weight = w;
+}
+
+bool Tree::goes_left(std::int32_t id, BinIndex bin) const {
+  const TreeNode& n = nodes_[id];
+  BOOSTER_DCHECK(!n.is_leaf);
+  if (bin == 0) return n.default_left;  // missing value: learned default
+  if (n.kind == PredicateKind::kNumericLE) return bin <= n.threshold_bin;
+  return bin == n.threshold_bin;
+}
+
+double Tree::predict(const BinnedDataset& data, std::uint64_t record) const {
+  std::int32_t id = root();
+  while (!nodes_[id].is_leaf) {
+    const TreeNode& n = nodes_[id];
+    id = goes_left(id, data.bin(n.field, record)) ? n.left : n.right;
+  }
+  return nodes_[id].weight;
+}
+
+std::uint32_t Tree::path_length(const BinnedDataset& data,
+                                std::uint64_t record) const {
+  std::int32_t id = root();
+  std::uint32_t hops = 0;
+  while (!nodes_[id].is_leaf) {
+    const TreeNode& n = nodes_[id];
+    id = goes_left(id, data.bin(n.field, record)) ? n.left : n.right;
+    ++hops;
+  }
+  return hops;
+}
+
+std::uint32_t Tree::num_leaves() const {
+  std::uint32_t leaves = 0;
+  for (const auto& n : nodes_) leaves += n.is_leaf ? 1 : 0;
+  return leaves;
+}
+
+std::uint32_t Tree::max_depth() const {
+  std::int32_t d = 0;
+  for (const auto& n : nodes_) d = std::max(d, n.depth);
+  return static_cast<std::uint32_t>(d);
+}
+
+std::vector<std::uint32_t> Tree::relevant_fields() const {
+  std::vector<std::uint32_t> fields;
+  for (const auto& n : nodes_) {
+    if (!n.is_leaf) fields.push_back(n.field);
+  }
+  std::sort(fields.begin(), fields.end());
+  fields.erase(std::unique(fields.begin(), fields.end()), fields.end());
+  return fields;
+}
+
+double Model::predict_raw(const BinnedDataset& data,
+                          std::uint64_t record) const {
+  double sum = base_score_;
+  for (const auto& t : trees_) sum += t.predict(data, record);
+  return sum;
+}
+
+double Model::predict(const BinnedDataset& data, std::uint64_t record) const {
+  return loss_->transform(predict_raw(data, record));
+}
+
+double Model::avg_path_length(const BinnedDataset& data) const {
+  if (trees_.empty() || data.num_records() == 0) return 0.0;
+  // Sampling a few thousand records is plenty for a mean path length.
+  const std::uint64_t n = data.num_records();
+  const std::uint64_t sample = std::min<std::uint64_t>(n, 4096);
+  const std::uint64_t stride = std::max<std::uint64_t>(1, n / sample);
+  double hops = 0.0;
+  std::uint64_t count = 0;
+  for (std::uint64_t r = 0; r < n; r += stride) {
+    for (const auto& t : trees_) hops += t.path_length(data, r);
+    ++count;
+  }
+  return hops / (static_cast<double>(count) * trees_.size());
+}
+
+std::uint32_t Model::max_tree_depth() const {
+  std::uint32_t d = 0;
+  for (const auto& t : trees_) d = std::max(d, t.max_depth());
+  return d;
+}
+
+}  // namespace booster::gbdt

@@ -1,0 +1,110 @@
+// Regression tree over binned features, plus the trained ensemble (Model).
+// Interior nodes hold the split predicates chosen by step 2; leaves hold
+// weights already scaled by the learning rate. Trees are stored as flat
+// node tables -- exactly the representation Booster broadcasts into its
+// SRAMs for one-tree traversal and batch inference (paper §III-B, §III-D).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "gbdt/binning.h"
+#include "gbdt/loss.h"
+#include "gbdt/split.h"
+
+namespace booster::gbdt {
+
+struct TreeNode {
+  bool is_leaf = true;
+  double weight = 0.0;  // leaf output (already shrunk by learning rate)
+
+  // Split predicate (interior nodes).
+  std::uint32_t field = 0;
+  PredicateKind kind = PredicateKind::kNumericLE;
+  std::uint16_t threshold_bin = 0;
+  bool default_left = false;
+  std::int32_t left = -1;
+  std::int32_t right = -1;
+  std::int32_t depth = 0;
+  /// Objective improvement the split realized (for feature importance).
+  double gain = 0.0;
+};
+
+class Tree {
+ public:
+  /// Creates a tree consisting of a single (yet unweighted) root leaf.
+  Tree();
+
+  std::int32_t root() const { return 0; }
+  const TreeNode& node(std::int32_t id) const { return nodes_[id]; }
+  std::uint32_t num_nodes() const {
+    return static_cast<std::uint32_t>(nodes_.size());
+  }
+
+  /// Turns leaf `id` into an interior node with two fresh leaf children;
+  /// returns {left_id, right_id}.
+  std::pair<std::int32_t, std::int32_t> split_leaf(std::int32_t id,
+                                                   const SplitInfo& info);
+
+  void set_leaf_weight(std::int32_t id, double w);
+
+  /// True if the record routes left at interior node `id`.
+  bool goes_left(std::int32_t id, BinIndex bin) const;
+
+  /// Traverses the tree for one record; returns the leaf weight.
+  double predict(const BinnedDataset& data, std::uint64_t record) const;
+
+  /// Path length (edges traversed) for one record.
+  std::uint32_t path_length(const BinnedDataset& data,
+                            std::uint64_t record) const;
+
+  std::uint32_t num_leaves() const;
+  std::uint32_t max_depth() const;
+
+  /// Distinct fields referenced by the tree's predicates -- the set whose
+  /// columns Booster fetches in one-tree traversal (paper §III-B step 5).
+  std::vector<std::uint32_t> relevant_fields() const;
+
+  /// Bytes of the node-table encoding loaded into a BU's SRAM: predicate
+  /// (field#, bin#, kind/default flags) + two child pointers + weight,
+  /// packed into 8 bytes per node as in the paper's table encoding.
+  std::uint64_t table_bytes() const { return nodes_.size() * 8; }
+
+ private:
+  std::vector<TreeNode> nodes_;
+};
+
+/// A trained gradient-boosting ensemble.
+class Model {
+ public:
+  Model(double base_score, std::unique_ptr<Loss> loss)
+      : base_score_(base_score), loss_(std::move(loss)) {}
+
+  void add_tree(Tree tree) { trees_.push_back(std::move(tree)); }
+  const std::vector<Tree>& trees() const { return trees_; }
+  std::uint32_t num_trees() const {
+    return static_cast<std::uint32_t>(trees_.size());
+  }
+  double base_score() const { return base_score_; }
+  const Loss& loss() const { return *loss_; }
+
+  /// Raw (untransformed) ensemble output for one record.
+  double predict_raw(const BinnedDataset& data, std::uint64_t record) const;
+
+  /// Task-space prediction (sigmoid-transformed for logistic).
+  double predict(const BinnedDataset& data, std::uint64_t record) const;
+
+  /// Mean path length per tree over a batch -- drives the CPU-side cost of
+  /// batch inference (Booster's cost depends on the max depth instead).
+  double avg_path_length(const BinnedDataset& data) const;
+
+  std::uint32_t max_tree_depth() const;
+
+ private:
+  std::vector<Tree> trees_;
+  double base_score_ = 0.0;
+  std::unique_ptr<Loss> loss_;
+};
+
+}  // namespace booster::gbdt

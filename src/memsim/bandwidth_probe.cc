@@ -1,0 +1,69 @@
+#include "memsim/bandwidth_probe.h"
+
+#include "memsim/memory_system.h"
+#include "util/rng.h"
+
+namespace booster::memsim {
+
+ProbeResult BandwidthProbe::measure(AccessPattern pattern,
+                                    std::uint64_t num_requests,
+                                    std::uint64_t stride_blocks) const {
+  MemorySystem mem(cfg_);
+  util::Rng rng(0xB005734ULL);
+  // Working-set footprint for the random pattern: large enough that row
+  // locality is negligible (matches a histogram spilled across DRAM).
+  const std::uint64_t random_span_blocks = 1ULL << 22;  // 256 MB of blocks
+
+  std::uint64_t issued = 0;
+  std::uint64_t next_addr = 0;
+  // Issue with back-pressure: one attempt per cycle per available queue slot.
+  while (mem.completed_requests() < num_requests) {
+    // Keep the channels fed: try to issue a few requests per cycle (the
+    // accelerator front-end can generate addresses far faster than DRAM
+    // consumes them, so the queue is the limit, not the generator).
+    for (int burst = 0; burst < 8 && issued < num_requests; ++burst) {
+      std::uint64_t addr = 0;
+      switch (pattern) {
+        case AccessPattern::kStreaming:
+          addr = next_addr;
+          break;
+        case AccessPattern::kStridedGather:
+          // Sparse ordered gather: every stride-th block on average, with
+          // jitter so the touched blocks spread over all channels the way a
+          // real subset of record pointers does (a fixed stride would alias
+          // with the channel interleave).
+          addr = next_addr * stride_blocks + rng.next_below(stride_blocks);
+          break;
+        case AccessPattern::kRandom:
+          addr = rng.next_below(random_span_blocks);
+          break;
+      }
+      if (!mem.enqueue(addr, /*is_write=*/false)) break;
+      ++next_addr;
+      ++issued;
+    }
+    mem.tick();
+  }
+
+  ProbeResult result;
+  result.bandwidth_bytes_per_sec = mem.achieved_bandwidth();
+  result.row_hit_rate = mem.row_hit_rate();
+  result.utilization =
+      result.bandwidth_bytes_per_sec / cfg_.peak_bandwidth_bytes_per_sec();
+  return result;
+}
+
+BandwidthProfile BandwidthProbe::calibrate(std::uint64_t num_requests) const {
+  BandwidthProfile profile;
+  profile.streaming =
+      measure(AccessPattern::kStreaming, num_requests).bandwidth_bytes_per_sec;
+  profile.strided_gather =
+      measure(AccessPattern::kStridedGather, num_requests)
+          .bandwidth_bytes_per_sec;
+  profile.random =
+      measure(AccessPattern::kRandom, num_requests).bandwidth_bytes_per_sec;
+  profile.peak = cfg_.peak_bandwidth_bytes_per_sec();
+  return profile;
+}
+
+}  // namespace booster::memsim

@@ -1,0 +1,65 @@
+// Calibration harness: drives the cycle-level DRAM model with the access
+// patterns that occur in GB training and reports the sustained bandwidth of
+// each. The step-costing models use these calibrated rates rather than
+// simulating every one of the trillions of accesses of a full training run
+// (see DESIGN.md "Substitutions"). Tests exercise the cycle-accurate path
+// directly on small traces.
+#pragma once
+
+#include <cstdint>
+
+#include "memsim/dram_config.h"
+
+namespace booster::memsim {
+
+/// Access patterns seen by the performance models.
+enum class AccessPattern {
+  kStreaming,     // sequential blocks: record fetch, column stream, G/H stream
+  kStridedGather, // every k-th block: sparse column gather at deep tree nodes
+  kRandom,        // uniform random blocks: spilled histogram read-modify-write
+};
+
+struct ProbeResult {
+  double bandwidth_bytes_per_sec = 0.0;
+  double row_hit_rate = 0.0;
+  double utilization = 0.0;  // achieved / peak
+};
+
+/// Calibrated sustained bandwidths for all patterns of one DRAM config.
+struct BandwidthProfile {
+  double streaming = 0.0;
+  double strided_gather = 0.0;  // at the probe's default stride
+  double random = 0.0;
+  double peak = 0.0;
+
+  double for_pattern(AccessPattern p) const {
+    switch (p) {
+      case AccessPattern::kStreaming:
+        return streaming;
+      case AccessPattern::kStridedGather:
+        return strided_gather;
+      case AccessPattern::kRandom:
+        return random;
+    }
+    return streaming;
+  }
+};
+
+class BandwidthProbe {
+ public:
+  explicit BandwidthProbe(const DramConfig& cfg = DramConfig{}) : cfg_(cfg) {}
+
+  /// Runs `num_requests` block transfers of the given pattern through the
+  /// cycle-level model and reports sustained bandwidth. `stride_blocks`
+  /// applies to kStridedGather only.
+  ProbeResult measure(AccessPattern pattern, std::uint64_t num_requests = 200000,
+                      std::uint64_t stride_blocks = 16) const;
+
+  /// Measures all three patterns; the result feeds every step-cost model.
+  BandwidthProfile calibrate(std::uint64_t num_requests = 200000) const;
+
+ private:
+  DramConfig cfg_;
+};
+
+}  // namespace booster::memsim

@@ -1,0 +1,37 @@
+#include "memsim/bank.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace booster::memsim {
+
+void Bank::activate(Cycle now, std::uint64_t row) {
+  BOOSTER_DCHECK(can_activate(now));
+  open_row_ = static_cast<std::int64_t>(row);
+  earliest_column_ = now + cfg_->tRCD;
+  earliest_precharge_ = now + cfg_->tRAS;
+  ++activations_;
+}
+
+void Bank::precharge(Cycle now) {
+  BOOSTER_DCHECK(can_precharge(now));
+  open_row_ = kNoRow;
+  earliest_activate_ = now + cfg_->tRP;
+}
+
+Cycle Bank::access(Cycle now) {
+  BOOSTER_DCHECK(is_open() && now >= earliest_column_);
+  ++accesses_;
+  // Successive column accesses to the open row are limited by the burst
+  // length on the shared data bus (enforced by the channel); the bank itself
+  // can accept the next column command after the burst gap.
+  earliest_column_ = now + cfg_->burst_cycles();
+  // A row must stay open at least until tRAS *and* until the last access
+  // completes its burst before it can be precharged.
+  earliest_precharge_ =
+      std::max<Cycle>(earliest_precharge_, now + cfg_->tCAS + cfg_->burst_cycles());
+  return now + cfg_->tCAS;
+}
+
+}  // namespace booster::memsim

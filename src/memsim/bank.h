@@ -1,0 +1,57 @@
+// One DRAM bank modeled with earliest-allowed-cycle bookkeeping instead of an
+// explicit FSM: equivalent behaviour for open-page policy, far less code.
+#pragma once
+
+#include <cstdint>
+
+#include "memsim/dram_config.h"
+#include "memsim/request.h"
+
+namespace booster::memsim {
+
+class Bank {
+ public:
+  explicit Bank(const DramConfig& cfg) : cfg_(&cfg) {}
+
+  static constexpr std::int64_t kNoRow = -1;
+
+  std::int64_t open_row() const { return open_row_; }
+  bool is_open() const { return open_row_ != kNoRow; }
+
+  /// True if ACTIVATE(row) may issue at `now` (bank precharged, tRP elapsed).
+  bool can_activate(Cycle now) const {
+    return !is_open() && now >= earliest_activate_;
+  }
+
+  /// True if PRECHARGE may issue at `now` (row open, tRAS satisfied).
+  bool can_precharge(Cycle now) const {
+    return is_open() && now >= earliest_precharge_;
+  }
+
+  /// True if a column command (RD/WR) to the open row may issue at `now`.
+  bool can_access(Cycle now, std::uint64_t row) const {
+    return is_open() && open_row_ == static_cast<std::int64_t>(row) &&
+           now >= earliest_column_;
+  }
+
+  void activate(Cycle now, std::uint64_t row);
+  void precharge(Cycle now);
+
+  /// Issues a column access; returns the cycle at which the data burst
+  /// *starts* on the data bus (now + tCAS).
+  Cycle access(Cycle now);
+
+  std::uint64_t activations() const { return activations_; }
+  std::uint64_t accesses() const { return accesses_; }
+
+ private:
+  const DramConfig* cfg_;
+  std::int64_t open_row_ = kNoRow;
+  Cycle earliest_activate_ = 0;
+  Cycle earliest_column_ = 0;
+  Cycle earliest_precharge_ = 0;
+  std::uint64_t activations_ = 0;
+  std::uint64_t accesses_ = 0;
+};
+
+}  // namespace booster::memsim

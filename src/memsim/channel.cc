@@ -1,0 +1,99 @@
+#include "memsim/channel.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace booster::memsim {
+
+Channel::Channel(const DramConfig& cfg, std::uint32_t index)
+    : cfg_(&cfg), index_(index) {
+  banks_.reserve(cfg.banks_per_channel);
+  for (std::uint32_t b = 0; b < cfg.banks_per_channel; ++b) {
+    banks_.emplace_back(cfg);
+  }
+}
+
+bool Channel::enqueue(const Request& req, std::uint64_t bank,
+                      std::uint64_t row) {
+  if (queue_full()) return false;
+  BOOSTER_DCHECK(bank < banks_.size());
+  queue_.push_back(Entry{req, bank, row});
+  return true;
+}
+
+bool Channel::try_issue(Cycle now) {
+  // Pass 1 (FR): oldest row-hit request whose bank and data bus are ready.
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    Bank& bank = banks_[it->bank];
+    if (!bank.can_access(now, it->row)) continue;
+    // The data burst must not overlap the previous one.
+    const Cycle data_start = std::max<Cycle>(now + cfg_->tCAS, data_bus_free_at_);
+    if (data_start > now + cfg_->tCAS) continue;  // bus busy; try others
+    const Cycle burst_start = bank.access(now);
+    data_bus_free_at_ = burst_start + cfg_->burst_cycles();
+    it->req.complete_cycle = data_bus_free_at_;
+    bytes_transferred_ += cfg_->block_bytes;
+    in_flight_.push_back(*it);
+    queue_.erase(it);
+    return true;
+  }
+  // Pass 2 (FCFS): oldest request makes progress by opening/closing its row.
+  for (auto& entry : queue_) {
+    Bank& bank = banks_[entry.bank];
+    if (bank.is_open() &&
+        bank.open_row() != static_cast<std::int64_t>(entry.row)) {
+      if (bank.can_precharge(now)) {
+        bank.precharge(now);
+        return true;
+      }
+      continue;  // wait for tRAS; see if a younger request can use the bus
+    }
+    if (!bank.is_open() && bank.can_activate(now) && can_activate_now(now)) {
+      bank.activate(now, entry.row);
+      record_activate(now);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Channel::can_activate_now(Cycle now) const {
+  if (!any_activate_) return true;
+  if (now < last_activate_ + cfg_->tRRD) return false;
+  // Four-activate window: the oldest of the last four must be tFAW ago.
+  const Cycle fourth_last = recent_activates_[activate_head_];
+  return now >= fourth_last + cfg_->tFAW;
+}
+
+std::uint64_t Channel::bank_accesses() const {
+  std::uint64_t total = 0;
+  for (const auto& b : banks_) total += b.accesses();
+  return total;
+}
+
+std::uint64_t Channel::bank_activations() const {
+  std::uint64_t total = 0;
+  for (const auto& b : banks_) total += b.activations();
+  return total;
+}
+
+void Channel::record_activate(Cycle now) {
+  recent_activates_[activate_head_] = now;
+  activate_head_ = (activate_head_ + 1) % recent_activates_.size();
+  last_activate_ = now;
+  any_activate_ = true;
+}
+
+void Channel::tick(Cycle now, const std::function<void(const Request&)>& on_done) {
+  if (!queue_.empty()) ++busy_cycles_;
+  (void)try_issue(now);
+  // Retire bursts whose data has fully transferred.
+  while (!in_flight_.empty() && in_flight_.front().req.complete_cycle <= now) {
+    on_done(in_flight_.front().req);
+    in_flight_.pop_front();
+  }
+  (void)index_;
+}
+
+}  // namespace booster::memsim

@@ -1,0 +1,71 @@
+// One DRAM channel: a bounded request queue, 16 banks, one command bus (one
+// command per cycle) and one data bus (one burst at a time), scheduled with
+// FR-FCFS (first-ready row hits win; otherwise oldest request makes
+// progress via PRE/ACT).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "memsim/bank.h"
+#include "memsim/dram_config.h"
+#include "memsim/request.h"
+
+namespace booster::memsim {
+
+class Channel {
+ public:
+  Channel(const DramConfig& cfg, std::uint32_t index);
+
+  /// Attempts to accept a request; false if the queue is full.
+  bool enqueue(const Request& req, std::uint64_t bank, std::uint64_t row);
+
+  /// Advances one memory cycle; completed requests are passed to `on_done`.
+  void tick(Cycle now, const std::function<void(const Request&)>& on_done);
+
+  bool queue_full() const { return queue_.size() >= cfg_->queue_depth; }
+  bool idle() const { return queue_.empty() && in_flight_.empty(); }
+  std::size_t pending() const { return queue_.size() + in_flight_.size(); }
+
+  std::uint64_t bytes_transferred() const { return bytes_transferred_; }
+  std::uint64_t busy_cycles() const { return busy_cycles_; }
+
+  /// Aggregate bank counters: a column access that did not require an
+  /// ACTIVATE is a row-buffer hit, so hit rate = 1 - activations/accesses.
+  std::uint64_t bank_accesses() const;
+  std::uint64_t bank_activations() const;
+
+ private:
+  struct Entry {
+    Request req;
+    std::uint64_t bank = 0;
+    std::uint64_t row = 0;
+  };
+
+  // Issues at most one command this cycle; returns true if one was issued.
+  bool try_issue(Cycle now);
+
+  // True if an ACTIVATE may issue at `now` under tRRD/tFAW.
+  bool can_activate_now(Cycle now) const;
+  void record_activate(Cycle now);
+
+  const DramConfig* cfg_;
+  std::uint32_t index_;
+  std::vector<Bank> banks_;
+  std::deque<Entry> queue_;
+  // Timestamps of the most recent activates (for tRRD/tFAW enforcement).
+  std::array<Cycle, 4> recent_activates_{};
+  std::size_t activate_head_ = 0;
+  Cycle last_activate_ = 0;
+  bool any_activate_ = false;
+  // Requests whose data burst is underway, keyed by completion cycle.
+  std::deque<Entry> in_flight_;
+  Cycle data_bus_free_at_ = 0;
+  std::uint64_t bytes_transferred_ = 0;
+  std::uint64_t busy_cycles_ = 0;
+};
+
+}  // namespace booster::memsim

@@ -1,0 +1,49 @@
+// DRAM configuration matching the paper's Table IV: a high-bandwidth
+// 24-channel memory with parameters derived from the Hynix JESD235 (HBM)
+// standard, sustaining roughly 400 GB/s.
+#pragma once
+
+#include <cstdint>
+
+namespace booster::memsim {
+
+struct DramConfig {
+  // Topology (Table IV): 24 channels, 16 banks, 1 KB rows.
+  std::uint32_t channels = 24;
+  std::uint32_t banks_per_channel = 16;
+  std::uint32_t row_bytes = 1024;
+
+  // Timing in memory-clock cycles (Table IV): tCAS-tRP-tRCD-tRAS.
+  std::uint32_t tCAS = 12;
+  std::uint32_t tRP = 12;
+  std::uint32_t tRCD = 12;
+  std::uint32_t tRAS = 28;
+
+  // Activation-rate limits (JESD235-derived; not in Table IV but required
+  // for realistic row-miss-heavy bandwidth): minimum gap between ACTs to
+  // the same channel, and at most four ACTs per tFAW window.
+  std::uint32_t tRRD = 4;
+  std::uint32_t tFAW = 24;
+
+  // Transfer granularity: one request moves one 64-byte block, occupying the
+  // channel data bus for `burst_cycles` = block_bytes / bus_bytes_per_cycle.
+  std::uint32_t block_bytes = 64;
+  std::uint32_t bus_bytes_per_cycle = 16;
+
+  // Memory clock. 24 ch x 16 B/cycle x 1.05 GHz = 403 GB/s peak, matching
+  // the paper's "sustained bandwidth of about 400 GB/s".
+  double clock_hz = 1.05e9;
+
+  // Per-channel request queue depth (FR-FCFS window).
+  std::uint32_t queue_depth = 32;
+
+  std::uint32_t burst_cycles() const { return block_bytes / bus_bytes_per_cycle; }
+
+  double peak_bandwidth_bytes_per_sec() const {
+    return static_cast<double>(channels) * bus_bytes_per_cycle * clock_hz;
+  }
+
+  std::uint64_t blocks_per_row() const { return row_bytes / block_bytes; }
+};
+
+}  // namespace booster::memsim

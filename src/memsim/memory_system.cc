@@ -1,0 +1,71 @@
+#include "memsim/memory_system.h"
+
+#include "util/check.h"
+
+namespace booster::memsim {
+
+MemorySystem::MemorySystem(const DramConfig& cfg) : cfg_(cfg) {
+  channels_.reserve(cfg_.channels);
+  for (std::uint32_t c = 0; c < cfg_.channels; ++c) {
+    channels_.emplace_back(cfg_, c);
+  }
+}
+
+Location MemorySystem::decode(std::uint64_t block_addr) const {
+  Location loc;
+  loc.channel = static_cast<std::uint32_t>(block_addr % cfg_.channels);
+  std::uint64_t rest = block_addr / cfg_.channels;
+  const std::uint64_t blocks_per_row = cfg_.blocks_per_row();
+  const std::uint64_t row_in_channel = rest / blocks_per_row;
+  loc.bank = static_cast<std::uint32_t>(row_in_channel % cfg_.banks_per_channel);
+  loc.row = row_in_channel / cfg_.banks_per_channel;
+  return loc;
+}
+
+bool MemorySystem::enqueue(std::uint64_t block_addr, bool is_write) {
+  const Location loc = decode(block_addr);
+  Request req;
+  req.block_addr = block_addr;
+  req.is_write = is_write;
+  req.enqueue_cycle = now_;
+  return channels_[loc.channel].enqueue(req, loc.bank, loc.row);
+}
+
+void MemorySystem::tick() {
+  for (auto& ch : channels_) {
+    ch.tick(now_, [this](const Request&) { ++completed_; });
+  }
+  ++now_;
+}
+
+bool MemorySystem::idle() const {
+  for (const auto& ch : channels_) {
+    if (!ch.idle()) return false;
+  }
+  return true;
+}
+
+std::uint64_t MemorySystem::bytes_transferred() const {
+  std::uint64_t total = 0;
+  for (const auto& ch : channels_) total += ch.bytes_transferred();
+  return total;
+}
+
+double MemorySystem::row_hit_rate() const {
+  std::uint64_t accesses = 0;
+  std::uint64_t activations = 0;
+  for (const auto& ch : channels_) {
+    accesses += ch.bank_accesses();
+    activations += ch.bank_activations();
+  }
+  if (accesses == 0) return 0.0;
+  return 1.0 - static_cast<double>(activations) / accesses;
+}
+
+double MemorySystem::achieved_bandwidth() const {
+  if (now_ == 0) return 0.0;
+  const double seconds = static_cast<double>(now_) / cfg_.clock_hz;
+  return static_cast<double>(bytes_transferred()) / seconds;
+}
+
+}  // namespace booster::memsim

@@ -1,0 +1,51 @@
+// Top-level DRAM model: address interleaving across channels/banks plus the
+// per-channel FR-FCFS pipelines. Block addresses interleave across channels
+// first (so streaming saturates all channels), then banks, then rows.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "memsim/channel.h"
+#include "memsim/dram_config.h"
+#include "memsim/request.h"
+
+namespace booster::memsim {
+
+class MemorySystem {
+ public:
+  explicit MemorySystem(const DramConfig& cfg = DramConfig{});
+
+  const DramConfig& config() const { return cfg_; }
+
+  /// Decodes a block address into channel/bank/row.
+  Location decode(std::uint64_t block_addr) const;
+
+  /// Attempts to enqueue; returns false when the target channel queue is
+  /// full (caller retries next cycle — this is the back-pressure that makes
+  /// bandwidth self-limiting).
+  bool enqueue(std::uint64_t block_addr, bool is_write);
+
+  /// Advances one memory cycle.
+  void tick();
+
+  Cycle now() const { return now_; }
+  std::uint64_t completed_requests() const { return completed_; }
+  bool idle() const;
+
+  /// Aggregate statistics.
+  std::uint64_t bytes_transferred() const;
+  double row_hit_rate() const;
+
+  /// Measured bandwidth over the simulation so far (bytes/sec).
+  double achieved_bandwidth() const;
+
+ private:
+  DramConfig cfg_;
+  std::vector<Channel> channels_;
+  Cycle now_ = 0;
+  std::uint64_t completed_ = 0;
+};
+
+}  // namespace booster::memsim

@@ -1,0 +1,26 @@
+// Memory request type shared by the DRAM channel model and its clients.
+#pragma once
+
+#include <cstdint>
+
+namespace booster::memsim {
+
+using Cycle = std::uint64_t;
+
+/// One 64-byte block transfer. Addresses are block-granular (byte address /
+/// block size); the address map decodes channel/bank/row from it.
+struct Request {
+  std::uint64_t block_addr = 0;
+  bool is_write = false;
+  Cycle enqueue_cycle = 0;
+  Cycle complete_cycle = 0;  // filled by the channel when data finishes
+};
+
+/// Decoded location of a block within the DRAM topology.
+struct Location {
+  std::uint32_t channel = 0;
+  std::uint32_t bank = 0;
+  std::uint64_t row = 0;
+};
+
+}  // namespace booster::memsim

@@ -1,0 +1,67 @@
+#include "memsim/trace_player.h"
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace booster::memsim {
+
+ReplayResult TracePlayer::replay(const std::vector<TraceEntry>& trace,
+                                 std::uint32_t issue_per_cycle) const {
+  BOOSTER_CHECK(issue_per_cycle > 0);
+  MemorySystem mem(cfg_);
+  std::size_t next = 0;
+  while (mem.completed_requests() < trace.size()) {
+    for (std::uint32_t i = 0; i < issue_per_cycle && next < trace.size(); ++i) {
+      if (!mem.enqueue(trace[next].block_addr, trace[next].is_write)) break;
+      ++next;
+    }
+    mem.tick();
+  }
+  ReplayResult r;
+  r.cycles = mem.now();
+  r.bytes = mem.bytes_transferred();
+  r.bandwidth_bytes_per_sec = mem.achieved_bandwidth();
+  r.row_hit_rate = mem.row_hit_rate();
+  return r;
+}
+
+std::vector<TraceEntry> TracePlayer::sequential_read(std::uint64_t blocks,
+                                                     std::uint64_t start) {
+  std::vector<TraceEntry> trace;
+  trace.reserve(blocks);
+  for (std::uint64_t b = 0; b < blocks; ++b) {
+    trace.push_back({start + b, false});
+  }
+  return trace;
+}
+
+std::vector<TraceEntry> TracePlayer::bernoulli_gather(std::uint64_t span_blocks,
+                                                      double density,
+                                                      std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<TraceEntry> trace;
+  trace.reserve(static_cast<std::size_t>(span_blocks * density) + 1);
+  for (std::uint64_t b = 0; b < span_blocks; ++b) {
+    if (rng.bernoulli(density)) trace.push_back({b, false});
+  }
+  return trace;
+}
+
+std::vector<TraceEntry> TracePlayer::read_write_mix(std::uint64_t blocks,
+                                                    double write_fraction) {
+  util::Rng rng(0x5712EA11ULL);
+  std::vector<TraceEntry> trace;
+  trace.reserve(blocks);
+  std::uint64_t read_addr = 0;
+  std::uint64_t write_addr = 1ULL << 24;  // disjoint region
+  for (std::uint64_t b = 0; b < blocks; ++b) {
+    if (rng.bernoulli(write_fraction)) {
+      trace.push_back({write_addr++, true});
+    } else {
+      trace.push_back({read_addr++, false});
+    }
+  }
+  return trace;
+}
+
+}  // namespace booster::memsim

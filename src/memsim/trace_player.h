@@ -1,0 +1,53 @@
+// Address-trace replay through the cycle-level DRAM model. Used by tests
+// and the rate-matching bench to measure precise service times for the
+// composite access patterns the training steps generate (e.g. record gather
+// followed by pointer write-back), beyond the three canonical probe
+// patterns.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "memsim/dram_config.h"
+#include "memsim/memory_system.h"
+
+namespace booster::memsim {
+
+struct TraceEntry {
+  std::uint64_t block_addr = 0;
+  bool is_write = false;
+};
+
+struct ReplayResult {
+  Cycle cycles = 0;
+  std::uint64_t bytes = 0;
+  double bandwidth_bytes_per_sec = 0.0;
+  double row_hit_rate = 0.0;
+};
+
+class TracePlayer {
+ public:
+  explicit TracePlayer(const DramConfig& cfg = DramConfig{}) : cfg_(cfg) {}
+
+  /// Replays the trace with full queue pressure (up to `issue_per_cycle`
+  /// enqueue attempts per cycle) and runs the memory system to idle.
+  ReplayResult replay(const std::vector<TraceEntry>& trace,
+                      std::uint32_t issue_per_cycle = 8) const;
+
+  /// Convenience builders for composite traces.
+  static std::vector<TraceEntry> sequential_read(std::uint64_t blocks,
+                                                 std::uint64_t start = 0);
+  /// Gather: every block whose index satisfies a Bernoulli(density) draw,
+  /// deterministic by seed -- a sparse column fetch.
+  static std::vector<TraceEntry> bernoulli_gather(std::uint64_t span_blocks,
+                                                  double density,
+                                                  std::uint64_t seed = 1);
+  /// Interleaved read stream + write-back stream (step 3's pointer output).
+  static std::vector<TraceEntry> read_write_mix(std::uint64_t blocks,
+                                                double write_fraction);
+
+ private:
+  DramConfig cfg_;
+};
+
+}  // namespace booster::memsim

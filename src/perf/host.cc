@@ -1,0 +1,16 @@
+#include "perf/host.h"
+
+namespace booster::perf {
+
+double host_split_seconds(const trace::StepTrace& trace,
+                          const HostParams& params) {
+  double cycles = 0.0;
+  for (const auto& e : trace.events()) {
+    if (e.kind != trace::StepKind::kSplitSelect) continue;
+    cycles += static_cast<double>(e.bins_scanned) * params.cycles_per_bin +
+              params.cycles_per_node;
+  }
+  return cycles * trace.repeat() / (params.clock_hz * params.cores);
+}
+
+}  // namespace booster::perf

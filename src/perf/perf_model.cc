@@ -1,0 +1,5 @@
+#include "perf/perf_model.h"
+
+// Interface-only translation unit (keeps the vtable anchored here).
+
+namespace booster::perf {}  // namespace booster::perf

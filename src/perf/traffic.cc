@@ -1,0 +1,83 @@
+#include "perf/traffic.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace booster::perf {
+
+double row_bytes_per_record(std::uint32_t record_bytes, bool dense) {
+  const double b = kBlockBytes;
+  if (record_bytes > b) {
+    return std::ceil(record_bytes / b) * b;
+  }
+  if (dense && record_bytes * 2 <= b) return b / 2.0;
+  return b;
+}
+
+double row_bytes_per_record_at_density(std::uint32_t record_bytes,
+                                       double density) {
+  const double b = kBlockBytes;
+  if (record_bytes > b) {
+    return std::ceil(record_bytes / b) * b;
+  }
+  if (record_bytes * 2 <= b) {
+    density = std::clamp(density, 0.0, 1.0);
+    return b / (1.0 + density);
+  }
+  return b;
+}
+
+double expected_touched_blocks(double wanted, double density,
+                               double per_block) {
+  if (wanted <= 0.0) return 0.0;
+  density = std::clamp(density, 1e-12, 1.0);
+  const double span_elems = wanted / density;
+  const double span_blocks = span_elems / per_block;
+  const double p_touched = 1.0 - std::pow(1.0 - density, per_block);
+  return std::min(wanted, span_blocks * p_touched);
+}
+
+double histogram_bytes(const trace::StepEvent& e, double scaled_records,
+                       std::uint32_t record_bytes, double node_density) {
+  double bytes = scaled_records *
+                 row_bytes_per_record_at_density(record_bytes, node_density);
+  bytes += scaled_records * kGradientBytes;  // g, h broadcast to the BUs
+  if (e.depth > 0) {
+    bytes += scaled_records * kPointerBytes;  // relevant-record pointers
+  }
+  return bytes;
+}
+
+double partition_bytes_column(double scaled_records, double node_density) {
+  const double column_blocks = expected_touched_blocks(
+      scaled_records, node_density, kBlockBytes /* 1-byte elements */);
+  double bytes = column_blocks * kBlockBytes;
+  // Pointer stream in (which records are relevant) and out (true/false
+  // subsets written back, double-buffered).
+  bytes += scaled_records * kPointerBytes;       // in
+  bytes += scaled_records * kPointerBytes;       // out
+  return bytes;
+}
+
+double partition_bytes_row(double scaled_records, std::uint32_t record_bytes,
+                           bool dense) {
+  return scaled_records * row_bytes_per_record(record_bytes, dense) +
+         2.0 * scaled_records * kPointerBytes;
+}
+
+double traversal_bytes_column(const trace::StepEvent& e,
+                              double scaled_records) {
+  // All records traverse the new tree, so the relevant-field columns and
+  // the g/h array stream densely.
+  const double column_bytes =
+      scaled_records * static_cast<double>(e.fields_touched);
+  const double gh_bytes = scaled_records * kGradientBytes * 2.0;  // read + write
+  return column_bytes + gh_bytes;
+}
+
+double traversal_bytes_row(double scaled_records, std::uint32_t record_bytes) {
+  return scaled_records * row_bytes_per_record(record_bytes, /*dense=*/true) +
+         scaled_records * kGradientBytes * 2.0;
+}
+
+}  // namespace booster::perf

@@ -1,0 +1,63 @@
+// DRAM traffic accounting shared by the performance models: how many bytes
+// each training step moves under the row-major record format vs the
+// redundant per-field column-major format (the paper's third contribution).
+#pragma once
+
+#include <cstdint>
+
+#include "trace/step_trace.h"
+
+namespace booster::perf {
+
+/// The DRAM transfer block size used throughout the paper.
+inline constexpr double kBlockBytes = 64.0;
+
+/// Bytes of one (g, h) gradient-statistics pair (two fp32).
+inline constexpr double kGradientBytes = 8.0;
+
+/// Bytes of one record pointer in the relevant-record streams.
+inline constexpr double kPointerBytes = 4.0;
+
+/// Effective bytes fetched per record in row-major format. Applies the
+/// paper's packing rules: whole blocks per record; two records share a
+/// block when a record fits in half a block *and* the fetch is dense
+/// (records adjacent in memory are both wanted). Sparse fetches at deep
+/// tree nodes cannot exploit pair-packing.
+double row_bytes_per_record(std::uint32_t record_bytes, bool dense);
+
+/// Density-aware variant: with pair-packed records, a fetched block also
+/// satisfies its partner record with probability `density`, so the
+/// expected bytes per wanted record interpolate 64 -> 32 as density 0 -> 1.
+double row_bytes_per_record_at_density(std::uint32_t record_bytes,
+                                       double density);
+
+/// Expected number of blocks touched when gathering `wanted` elements that
+/// are randomly spread with density `density` (wanted / span) over a span
+/// of elements packed `per_block` to a DRAM block. Standard occupancy
+/// formula: blocks_in_span * (1 - (1 - density)^per_block).
+double expected_touched_blocks(double wanted, double density, double per_block);
+
+/// DRAM bytes of a step-1 (histogram) event: record fetch + gradient pair
+/// fetch + relevant-record pointer stream. `node_density` = fraction of
+/// all records reaching the node (drives pair-packing efficiency).
+double histogram_bytes(const trace::StepEvent& e, double scaled_records,
+                       std::uint32_t record_bytes, double node_density);
+
+/// DRAM bytes of a step-3 (partition) event under the column format:
+/// gather of the single predicate field's column + pointer in/out streams.
+/// `node_density` = fraction of all records reaching this node.
+double partition_bytes_column(double scaled_records, double node_density);
+
+/// DRAM bytes of a step-3 event under row-major (fetch the whole record to
+/// use one field).
+double partition_bytes_row(double scaled_records, std::uint32_t record_bytes,
+                           bool dense);
+
+/// DRAM bytes of a step-5 (one-tree traversal) event under the column
+/// format: the tree's relevant field columns + g/h read and write-back.
+double traversal_bytes_column(const trace::StepEvent& e, double scaled_records);
+
+/// DRAM bytes of a step-5 event under row-major.
+double traversal_bytes_row(double scaled_records, std::uint32_t record_bytes);
+
+}  // namespace booster::perf

@@ -1,0 +1,56 @@
+#include "trace/step_trace.h"
+
+#include "util/check.h"
+
+namespace booster::trace {
+
+const char* step_name(StepKind kind) {
+  switch (kind) {
+    case StepKind::kHistogram:
+      return "step1-hist";
+    case StepKind::kSplitSelect:
+      return "step2-split";
+    case StepKind::kPartition:
+      return "step3-partition";
+    case StepKind::kTraversal:
+      return "step5-traversal";
+  }
+  return "unknown";
+}
+
+StepTotals StepTrace::totals() const {
+  StepTotals t;
+  std::int32_t max_tree = -1;
+  for (const auto& e : events_) {
+    const double recs = scaled_records(e) * repeat_;
+    switch (e.kind) {
+      case StepKind::kHistogram:
+        t.record_field_updates += recs * e.record_fields;
+        t.hist_records += recs;
+        break;
+      case StepKind::kSplitSelect:
+        t.bins_scanned += static_cast<double>(e.bins_scanned) * repeat_;
+        ++t.split_events;
+        break;
+      case StepKind::kPartition:
+        t.partition_records += recs;
+        break;
+      case StepKind::kTraversal:
+        t.traversal_records += recs;
+        t.traversal_record_hops += recs * e.avg_path_length;
+        break;
+    }
+    if (e.tree > max_tree) max_tree = e.tree;
+  }
+  t.trees = static_cast<std::uint64_t>(max_tree + 1);
+  return t;
+}
+
+StepTrace StepTrace::scaled_by(double factor) const {
+  BOOSTER_CHECK(factor > 0.0);
+  StepTrace copy = *this;
+  copy.scale_ *= factor;
+  return copy;
+}
+
+}  // namespace booster::trace

@@ -1,0 +1,31 @@
+// Lightweight invariant checking. BOOSTER_CHECK is always on (simulation
+// correctness beats a few percent of speed); BOOSTER_DCHECK compiles out in
+// release builds for hot loops.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+#define BOOSTER_CHECK(cond)                                               \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__,       \
+                   __LINE__, #cond);                                      \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+#define BOOSTER_CHECK_MSG(cond, msg)                                      \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s (%s)\n", __FILE__,  \
+                   __LINE__, #cond, msg);                                 \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+#ifdef NDEBUG
+#define BOOSTER_DCHECK(cond) ((void)0)
+#else
+#define BOOSTER_DCHECK(cond) BOOSTER_CHECK(cond)
+#endif

@@ -1,0 +1,40 @@
+// Small statistics helpers shared by the benches and tests.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace booster::util {
+
+/// Arithmetic mean; returns 0 for an empty span.
+double mean(std::span<const double> xs);
+
+/// Geometric mean; all inputs must be > 0. Used for the paper's geomean
+/// speedups (Fig 7, Fig 12).
+double geomean(std::span<const double> xs);
+
+/// Sample variance (n-1 denominator); returns 0 for fewer than two samples.
+double variance(std::span<const double> xs);
+
+/// Linear-interpolated percentile, p in [0, 100]. Copies + sorts internally.
+double percentile(std::span<const double> xs, double p);
+
+/// Online accumulator for mean/min/max over a stream of values.
+class Accumulator {
+ public:
+  void add(double x);
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+  std::size_t count() const { return count_; }
+
+ private:
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace booster::util

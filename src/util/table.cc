@@ -1,0 +1,89 @@
+#include "util/table.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace booster::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> row) {
+  BOOSTER_CHECK_MSG(row.size() == header_.size(), "row arity mismatch");
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << (c == 0 ? "| " : " | ");
+      out << row[c];
+      out << std::string(widths[c] - row[c].size(), ' ');
+    }
+    out << " |\n";
+  };
+  emit_row(header_);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    out << (c == 0 ? "|-" : "-|-") << std::string(widths[c], '-');
+  }
+  out << "-|\n";
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+void Table::print() const { std::fputs(to_string().c_str(), stdout); }
+
+std::string fmt(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+std::string fmt_x(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*fx", digits, v);
+  return buf;
+}
+
+std::string fmt_pct(double fraction, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", digits, fraction * 100.0);
+  return buf;
+}
+
+std::string fmt_bytes(double bytes) {
+  const char* units[] = {"B", "KB", "MB", "GB", "TB"};
+  int u = 0;
+  while (bytes >= 1024.0 && u < 4) {
+    bytes /= 1024.0;
+    ++u;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f %s", bytes, units[u]);
+  return buf;
+}
+
+std::string fmt_time(double seconds) {
+  char buf[64];
+  if (seconds >= 90.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f min", seconds / 60.0);
+  } else if (seconds >= 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f s", seconds);
+  } else if (seconds >= 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", seconds * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f us", seconds * 1e6);
+  }
+  return buf;
+}
+
+}  // namespace booster::util

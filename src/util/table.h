@@ -1,0 +1,45 @@
+// Fixed-format ASCII table printer used by every bench binary so the
+// regenerated tables/figures are easy to diff against the paper.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace booster::util {
+
+/// Accumulates rows of strings and prints them with aligned columns.
+/// Numeric cells should be pre-formatted by the caller (see fmt helpers).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Renders the table (header, separator, rows) to a string.
+  std::string to_string() const;
+
+  /// Convenience: renders and writes to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` digits after the decimal point.
+std::string fmt(double v, int digits = 2);
+
+/// Formats a value as a multiplier, e.g. "11.4x".
+std::string fmt_x(double v, int digits = 1);
+
+/// Formats a fraction as a percentage, e.g. "98.2%".
+std::string fmt_pct(double fraction, int digits = 1);
+
+/// Human-readable byte count (e.g. "6.4 MB").
+std::string fmt_bytes(double bytes);
+
+/// Human-readable seconds (e.g. "1.2 s", "3.4 ms", "2.1 min").
+std::string fmt_time(double seconds);
+
+}  // namespace booster::util

@@ -1,0 +1,126 @@
+#include "workloads/csv.h"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "util/check.h"
+
+namespace booster::workloads {
+
+using gbdt::Dataset;
+using gbdt::FieldKind;
+
+void save_csv(const Dataset& data, std::ostream& out) {
+  for (std::uint32_t f = 0; f < data.num_fields(); ++f) {
+    const auto& schema = data.field(f);
+    if (schema.kind == FieldKind::kNumeric) {
+      out << "num:" << schema.name;
+    } else {
+      out << "cat:" << schema.name << ":" << schema.cardinality;
+    }
+    out << ",";
+  }
+  out << "label\n";
+  for (std::uint64_t r = 0; r < data.num_records(); ++r) {
+    for (std::uint32_t f = 0; f < data.num_fields(); ++f) {
+      if (data.field(f).kind == FieldKind::kNumeric) {
+        const float v = data.numeric_value(f, r);
+        if (!std::isnan(v)) out << v;
+      } else {
+        const std::int32_t v = data.categorical_value(f, r);
+        if (v != gbdt::kMissingCategory) out << v;
+      }
+      out << ",";
+    }
+    out << data.label(r) << "\n";
+  }
+}
+
+bool save_csv_file(const Dataset& data, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  save_csv(data, out);
+  return static_cast<bool>(out);
+}
+
+namespace {
+
+std::vector<std::string> split_line(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  std::istringstream ss(line);
+  while (std::getline(ss, cell, ',')) cells.push_back(cell);
+  // A trailing comma produces an implicit empty last cell.
+  if (!line.empty() && line.back() == ',') cells.emplace_back();
+  return cells;
+}
+
+}  // namespace
+
+Dataset load_csv(std::istream& in) {
+  std::string header;
+  BOOSTER_CHECK_MSG(static_cast<bool>(std::getline(in, header)),
+                    "empty CSV input");
+  const auto columns = split_line(header);
+  BOOSTER_CHECK_MSG(!columns.empty() && columns.back() == "label",
+                    "CSV header must end with a 'label' column");
+
+  Dataset data;
+  for (std::size_t c = 0; c + 1 < columns.size(); ++c) {
+    const std::string& col = columns[c];
+    if (col.rfind("num:", 0) == 0) {
+      data.add_numeric_field(col.substr(4));
+    } else if (col.rfind("cat:", 0) == 0) {
+      const auto second = col.find(':', 4);
+      BOOSTER_CHECK_MSG(second != std::string::npos,
+                        "cat column needs cat:<name>:<cardinality>");
+      const std::string name = col.substr(4, second - 4);
+      const auto cardinality =
+          static_cast<std::uint32_t>(std::stoul(col.substr(second + 1)));
+      data.add_categorical_field(name, cardinality);
+    } else {
+      BOOSTER_CHECK_MSG(false, ("unknown CSV column kind: " + col).c_str());
+    }
+  }
+
+  // Two passes would need a seekable stream; instead buffer rows.
+  std::vector<std::vector<std::string>> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    auto cells = split_line(line);
+    BOOSTER_CHECK_MSG(cells.size() == columns.size(),
+                      "CSV row arity mismatch");
+    rows.push_back(std::move(cells));
+  }
+
+  data.resize(rows.size());
+  for (std::uint64_t r = 0; r < rows.size(); ++r) {
+    const auto& cells = rows[r];
+    for (std::uint32_t f = 0; f < data.num_fields(); ++f) {
+      const std::string& cell = cells[f];
+      if (cell.empty()) continue;  // missing stays at its sentinel
+      if (data.field(f).kind == FieldKind::kNumeric) {
+        data.set_numeric(f, r, std::stof(cell));
+      } else {
+        const auto v = static_cast<std::int32_t>(std::stol(cell));
+        BOOSTER_CHECK_MSG(
+            v >= 0 && v < static_cast<std::int32_t>(data.field(f).cardinality),
+            "categorical value out of range");
+        data.set_categorical(f, r, v);
+      }
+    }
+    data.set_label(r, std::stof(cells.back()));
+  }
+  return data;
+}
+
+Dataset load_csv_file(const std::string& path) {
+  std::ifstream in(path);
+  BOOSTER_CHECK_MSG(static_cast<bool>(in), ("cannot open " + path).c_str());
+  return load_csv(in);
+}
+
+}  // namespace booster::workloads

@@ -1,0 +1,26 @@
+// CSV import/export for raw datasets, so downstream users can bring their
+// own table-based data (the paper's motivating setting: relational tables
+// and spreadsheets). The header row declares the schema:
+//   num:<name> for numeric fields, cat:<name>:<cardinality> for categorical
+//   fields, and label for the target column.
+// Empty cells are missing values.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "gbdt/dataset.h"
+
+namespace booster::workloads {
+
+/// Writes the dataset with a schema header. Missing values render as empty
+/// cells.
+void save_csv(const gbdt::Dataset& data, std::ostream& out);
+bool save_csv_file(const gbdt::Dataset& data, const std::string& path);
+
+/// Parses a CSV produced by save_csv (or hand-written with the same
+/// header). Aborts on malformed headers; tolerates empty cells.
+gbdt::Dataset load_csv(std::istream& in);
+gbdt::Dataset load_csv_file(const std::string& path);
+
+}  // namespace booster::workloads

@@ -1,0 +1,137 @@
+#include "workloads/spec.h"
+
+#include "util/check.h"
+
+namespace booster::workloads {
+
+std::uint64_t DatasetSpec::onehot_features() const {
+  std::uint64_t total = numeric_fields;
+  for (const auto c : categorical_cardinalities) total += c;
+  return total;
+}
+
+namespace {
+
+/// Distributes `total` categories over `fields` cardinalities with a
+/// decreasing profile (a few big fields, many small), mimicking real
+/// mixed-cardinality schemas.
+std::vector<std::uint32_t> cardinality_profile(std::uint32_t fields,
+                                               std::uint32_t total) {
+  BOOSTER_CHECK(fields > 0);
+  std::vector<std::uint32_t> cards(fields);
+  // Weights ~ 1/(i+1): harmonic decay.
+  double weight_sum = 0.0;
+  for (std::uint32_t i = 0; i < fields; ++i) weight_sum += 1.0 / (i + 1.0);
+  std::uint32_t assigned = 0;
+  for (std::uint32_t i = 0; i < fields; ++i) {
+    const double w = (1.0 / (i + 1.0)) / weight_sum;
+    std::uint32_t c = static_cast<std::uint32_t>(w * total);
+    if (c < 2) c = 2;
+    cards[i] = c;
+    assigned += c;
+  }
+  // Fix up rounding drift on the largest field.
+  if (assigned < total) {
+    cards[0] += total - assigned;
+  } else if (assigned > total) {
+    const std::uint32_t excess = assigned - total;
+    cards[0] = cards[0] > excess + 2 ? cards[0] - excess : 2;
+  }
+  return cards;
+}
+
+}  // namespace
+
+std::vector<DatasetSpec> paper_datasets() {
+  std::vector<DatasetSpec> specs;
+
+  {
+    DatasetSpec s;
+    s.name = "IoT";
+    s.description = "Botnet attack detection (N-BaIoT)";
+    s.nominal_records = 7'000'000;
+    s.numeric_fields = 115;
+    s.missing_rate = 0.0;
+    s.loss = "logistic";
+    s.label_structure = LabelStructure::kSeparable;
+    s.label_noise = 0.004;  // attacks are near-perfectly separable
+    s.ir_copies = 0;       // paper SS V-A: one histogram copy does not fit
+    s.paper_seq_minutes = 15.0;
+    specs.push_back(std::move(s));
+  }
+  {
+    DatasetSpec s;
+    s.name = "Higgs";
+    s.description = "Exotic particle collider data";
+    s.nominal_records = 10'000'000;
+    s.numeric_fields = 28;
+    s.missing_rate = 0.0;
+    s.loss = "logistic";
+    s.label_structure = LabelStructure::kDiffuse;
+    s.label_noise = 0.8;  // physics signal vs background is genuinely hard
+    s.ir_copies = 271;    // paper SS V-A
+    s.paper_seq_minutes = 18.5;
+    specs.push_back(std::move(s));
+  }
+  {
+    DatasetSpec s;
+    s.name = "Allstate";
+    s.description = "Insurance claim prediction";
+    s.nominal_records = 10'000'000;
+    s.numeric_fields = 16;
+    // 32 fields total, 16 categorical; one-hot features = 16 + 4216 = 4232
+    // (Table III).
+    s.categorical_cardinalities = cardinality_profile(16, 4216);
+    s.missing_rate = 0.05;
+    s.categorical_skew = 1.3;
+    s.loss = "squared";
+    s.label_structure = LabelStructure::kCategorical;
+    s.label_noise = 0.5;
+    s.ir_copies = 0;  // paper SS V-A
+    s.paper_seq_minutes = 1.6;
+    specs.push_back(std::move(s));
+  }
+  {
+    DatasetSpec s;
+    s.name = "Mq2008";
+    s.description = "Supervised ranking (LETOR 4.0)";
+    s.nominal_records = 1'000'000;
+    s.numeric_fields = 46;
+    s.missing_rate = 0.0;
+    s.loss = "ranking";
+    s.label_structure = LabelStructure::kDiffuse;
+    s.label_noise = 0.6;
+    s.ir_copies = 179;  // paper SS V-A
+    s.paper_seq_minutes = 2.5;
+    specs.push_back(std::move(s));
+  }
+  {
+    DatasetSpec s;
+    s.name = "Flight";
+    s.description = "Flight delay prediction";
+    s.nominal_records = 10'000'000;
+    s.numeric_fields = 1;
+    // 8 fields, 7 categorical; one-hot features = 1 + 665 = 666 (Table III).
+    s.categorical_cardinalities = cardinality_profile(7, 665);
+    s.missing_rate = 0.02;
+    s.categorical_skew = 1.2;
+    s.loss = "logistic";
+    s.label_structure = LabelStructure::kCategorical;
+    s.label_noise = 0.6;
+    s.ir_copies = 0;  // paper SS V-A
+    s.paper_seq_minutes = 5.5;
+    specs.push_back(std::move(s));
+  }
+
+  return specs;
+}
+
+DatasetSpec spec_by_name(const std::string& name) {
+  for (auto& s : paper_datasets()) {
+    if (s.name == name) return s;
+  }
+  BOOSTER_CHECK_MSG(false, ("unknown dataset: " + name).c_str());
+  return {};
+}
+
+}  // namespace booster::workloads

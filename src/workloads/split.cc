@@ -1,0 +1,61 @@
+#include "workloads/split.h"
+
+#include <vector>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace booster::workloads {
+
+using gbdt::Dataset;
+using gbdt::FieldKind;
+
+namespace {
+
+Dataset clone_schema(const Dataset& src) {
+  Dataset out;
+  for (std::uint32_t f = 0; f < src.num_fields(); ++f) {
+    const auto& schema = src.field(f);
+    if (schema.kind == FieldKind::kNumeric) {
+      out.add_numeric_field(schema.name);
+    } else {
+      out.add_categorical_field(schema.name, schema.cardinality);
+    }
+  }
+  return out;
+}
+
+void copy_records(const Dataset& src, const std::vector<std::uint64_t>& rows,
+                  Dataset& dst) {
+  dst.resize(rows.size());
+  for (std::uint64_t i = 0; i < rows.size(); ++i) {
+    const std::uint64_t r = rows[i];
+    for (std::uint32_t f = 0; f < src.num_fields(); ++f) {
+      if (src.field(f).kind == FieldKind::kNumeric) {
+        dst.set_numeric(f, i, src.numeric_value(f, r));
+      } else {
+        dst.set_categorical(f, i, src.categorical_value(f, r));
+      }
+    }
+    dst.set_label(i, src.label(r));
+  }
+}
+
+}  // namespace
+
+TrainTestSplit train_test_split(const Dataset& data, double test_fraction,
+                                std::uint64_t seed) {
+  BOOSTER_CHECK(test_fraction >= 0.0 && test_fraction <= 1.0);
+  util::Rng rng(seed);
+  std::vector<std::uint64_t> train_rows;
+  std::vector<std::uint64_t> test_rows;
+  for (std::uint64_t r = 0; r < data.num_records(); ++r) {
+    (rng.bernoulli(test_fraction) ? test_rows : train_rows).push_back(r);
+  }
+  TrainTestSplit split{clone_schema(data), clone_schema(data)};
+  copy_records(data, train_rows, split.train);
+  copy_records(data, test_rows, split.test);
+  return split;
+}
+
+}  // namespace booster::workloads

@@ -1,0 +1,24 @@
+// Train/validation splitting for raw datasets -- the evaluation hygiene a
+// downstream library user needs (the paper trains on full datasets; our
+// examples report held-out metrics where it matters).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "gbdt/dataset.h"
+
+namespace booster::workloads {
+
+struct TrainTestSplit {
+  gbdt::Dataset train;
+  gbdt::Dataset test;
+};
+
+/// Randomly partitions records into train/test with the given test
+/// fraction. Deterministic per seed; schemas are copied verbatim.
+TrainTestSplit train_test_split(const gbdt::Dataset& data,
+                                double test_fraction,
+                                std::uint64_t seed = 1234);
+
+}  // namespace booster::workloads

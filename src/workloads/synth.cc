@@ -1,0 +1,154 @@
+#include "workloads/synth.h"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace booster::workloads {
+
+namespace {
+
+using gbdt::Dataset;
+using util::Rng;
+using util::ZipfSampler;
+
+/// Fixed per-dataset "ground truth": weights for numeric fields and effect
+/// tables for categorical fields, drawn once from the seed.
+struct GroundTruth {
+  std::vector<double> numeric_weight;           // per numeric field
+  std::vector<std::vector<double>> cat_effect;  // per categorical field
+  std::vector<double> threshold;                // separable-rule thresholds
+};
+
+GroundTruth make_truth(const DatasetSpec& spec, Rng& rng) {
+  GroundTruth t;
+  t.numeric_weight.resize(spec.numeric_fields);
+  for (auto& w : t.numeric_weight) w = rng.normal();
+  t.cat_effect.resize(spec.categorical_cardinalities.size());
+  for (std::size_t f = 0; f < t.cat_effect.size(); ++f) {
+    const std::uint32_t cardinality = spec.categorical_cardinalities[f];
+    t.cat_effect[f].resize(cardinality);
+    for (std::uint32_t c = 0; c < cardinality; ++c) {
+      // Rare categories carry extreme effects (rare insurance segments,
+      // rare carriers with chronic delays); frequent ones are near the
+      // mean. This makes the best one-hot splits isolate *rare*
+      // categories, reproducing the paper's extremely lopsided (99%/1%)
+      // left/right children for Allstate and Flight.
+      const double rank = (c + 1.0) / cardinality;  // Zipf: low c = frequent
+      const double scale = 0.25 + 3.0 * rank;
+      t.cat_effect[f][c] = rng.normal() * scale;
+    }
+  }
+  t.threshold.resize(spec.numeric_fields);
+  for (auto& th : t.threshold) th = rng.uniform(-0.5, 0.5);
+  return t;
+}
+
+}  // namespace
+
+gbdt::Dataset synthesize(const DatasetSpec& spec, std::uint64_t records,
+                         std::uint64_t seed) {
+  BOOSTER_CHECK(records > 0);
+  Dataset data;
+  for (std::uint32_t f = 0; f < spec.numeric_fields; ++f) {
+    data.add_numeric_field("num" + std::to_string(f));
+  }
+  for (std::size_t f = 0; f < spec.categorical_cardinalities.size(); ++f) {
+    data.add_categorical_field("cat" + std::to_string(f),
+                               spec.categorical_cardinalities[f]);
+  }
+  data.resize(records);
+
+  Rng truth_rng(seed);  // ground truth depends on the seed only
+  const GroundTruth truth = make_truth(spec, truth_rng);
+  Rng rng(seed ^ 0xDA7A5E7ULL);
+
+  std::vector<ZipfSampler> samplers;
+  samplers.reserve(spec.categorical_cardinalities.size());
+  for (const auto c : spec.categorical_cardinalities) {
+    samplers.emplace_back(c, spec.categorical_skew);
+  }
+
+  const std::uint32_t nf = spec.numeric_fields;
+  std::vector<float> numeric(nf);
+  std::vector<std::int32_t> cats(spec.categorical_cardinalities.size());
+
+  for (std::uint64_t r = 0; r < records; ++r) {
+    // Draw field values.
+    for (std::uint32_t f = 0; f < nf; ++f) {
+      numeric[f] = static_cast<float>(rng.normal());
+      if (spec.missing_rate > 0.0 && rng.bernoulli(spec.missing_rate)) {
+        numeric[f] = std::numeric_limits<float>::quiet_NaN();
+      }
+      data.set_numeric(f, r, numeric[f]);
+    }
+    for (std::size_t f = 0; f < samplers.size(); ++f) {
+      std::int32_t v = static_cast<std::int32_t>(samplers[f].draw(rng));
+      if (spec.missing_rate > 0.0 && rng.bernoulli(spec.missing_rate)) {
+        v = gbdt::kMissingCategory;
+      }
+      cats[f] = v;
+      data.set_categorical(static_cast<std::uint32_t>(nf + f), r, v);
+    }
+
+    // Compute the raw score under the spec's label structure.
+    double score = 0.0;
+    switch (spec.label_structure) {
+      case LabelStructure::kSeparable: {
+        // Decision list over the first three numeric fields: sharp
+        // thresholds, so trees reach pure leaves within a few levels.
+        const std::uint32_t k = std::min<std::uint32_t>(3, nf);
+        for (std::uint32_t f = 0; f < k; ++f) {
+          const float v = numeric[f];
+          const bool above = !std::isnan(v) && v > truth.threshold[f];
+          score += (above ? 1.0 : -1.0) * (3.0 - f);
+        }
+        break;
+      }
+      case LabelStructure::kDiffuse: {
+        for (std::uint32_t f = 0; f < nf; ++f) {
+          const float v = numeric[f];
+          if (std::isnan(v)) continue;
+          score += truth.numeric_weight[f] * v;
+          // Mild nonlinearity so a linear model cannot fit it and trees
+          // keep finding useful splits at depth.
+          if (f + 1 < nf && !std::isnan(numeric[f + 1])) {
+            score += 0.15 * v * numeric[f + 1];
+          }
+        }
+        score /= std::sqrt(static_cast<double>(nf));
+        break;
+      }
+      case LabelStructure::kCategorical: {
+        for (std::size_t f = 0; f < cats.size(); ++f) {
+          if (cats[f] == gbdt::kMissingCategory) continue;
+          score += truth.cat_effect[f][static_cast<std::size_t>(cats[f])];
+        }
+        for (std::uint32_t f = 0; f < nf; ++f) {
+          const float v = numeric[f];
+          if (!std::isnan(v)) score += 0.3 * truth.numeric_weight[f] * v;
+        }
+        break;
+      }
+    }
+    score += spec.label_noise * rng.normal();
+
+    float label = 0.0f;
+    if (spec.loss == "squared") {
+      label = static_cast<float>(score);
+    } else if (spec.loss == "ranking") {
+      // Graded relevance 0/1/2 from score terciles.
+      label = score < -0.4 ? 0.0f : (score < 0.4 ? 1.0f : 2.0f);
+    } else {
+      label = score > 0.0 ? 1.0f : 0.0f;
+    }
+    data.set_label(r, label);
+  }
+
+  return data;
+}
+
+}  // namespace booster::workloads

@@ -1,0 +1,19 @@
+// Synthetic dataset generator: produces raw Datasets whose statistics match
+// a DatasetSpec. Deterministic given (spec, records, seed).
+#pragma once
+
+#include <cstdint>
+
+#include "gbdt/dataset.h"
+#include "workloads/spec.h"
+
+namespace booster::workloads {
+
+/// Generates `records` records following the spec's schema and label
+/// structure. The label-generating function is fixed per seed, so train
+/// and validation samples drawn with different record counts but the same
+/// seed come from the same underlying population.
+gbdt::Dataset synthesize(const DatasetSpec& spec, std::uint64_t records,
+                         std::uint64_t seed = 42);
+
+}  // namespace booster::workloads

@@ -1,0 +1,121 @@
+#include "core/bin_mapping.h"
+
+#include <gtest/gtest.h>
+
+namespace booster::core {
+namespace {
+
+TEST(GroupByField, OneFieldPerSram) {
+  const std::vector<std::uint32_t> bins{256, 100, 256};
+  const auto m = BinMapping::build(MappingStrategy::kGroupByField, bins, 256);
+  EXPECT_EQ(m.srams_used(), 3u);
+  EXPECT_EQ(m.serialization_factor(), 1u);
+  EXPECT_EQ(m.field_first_sram[0], 0u);
+  EXPECT_EQ(m.field_first_sram[1], 1u);
+  EXPECT_EQ(m.field_first_sram[2], 2u);
+}
+
+TEST(GroupByField, WideFieldSpansSramGroup) {
+  const std::vector<std::uint32_t> bins{600};
+  const auto m = BinMapping::build(MappingStrategy::kGroupByField, bins, 256);
+  EXPECT_EQ(m.field_span[0], 3u);
+  EXPECT_EQ(m.srams_used(), 3u);
+  EXPECT_EQ(m.serialization_factor(), 1u);  // still one field per SRAM
+}
+
+TEST(GroupByField, FullSramsAreFullyUtilized) {
+  const std::vector<std::uint32_t> bins{256, 256};
+  const auto m = BinMapping::build(MappingStrategy::kGroupByField, bins, 256);
+  EXPECT_DOUBLE_EQ(m.capacity_utilization(bins), 1.0);
+}
+
+TEST(GroupByField, SmallFieldsWasteCapacity) {
+  const std::vector<std::uint32_t> bins{10, 10};
+  const auto m = BinMapping::build(MappingStrategy::kGroupByField, bins, 256);
+  EXPECT_EQ(m.srams_used(), 2u);
+  EXPECT_NEAR(m.capacity_utilization(bins), 20.0 / 512.0, 1e-12);
+}
+
+TEST(NaivePack, PacksAcrossFieldBoundaries) {
+  const std::vector<std::uint32_t> bins{100, 100, 100};
+  const auto m = BinMapping::build(MappingStrategy::kNaivePack, bins, 256);
+  EXPECT_EQ(m.srams_used(), 2u);  // 300 bins -> 2 SRAMs
+  // SRAM 0 holds field 0 entirely and parts of fields 1-2.
+  EXPECT_GE(m.serialization_factor(), 2u);
+}
+
+TEST(NaivePack, ExactFitBehavesLikeGroupByField) {
+  // Numeric-only datasets where every field exactly fills an SRAM: the
+  // paper notes naive packing then matches group-by-field.
+  const std::vector<std::uint32_t> bins{256, 256, 256};
+  const auto m = BinMapping::build(MappingStrategy::kNaivePack, bins, 256);
+  EXPECT_EQ(m.srams_used(), 3u);
+  EXPECT_EQ(m.serialization_factor(), 1u);
+}
+
+TEST(NaivePack, ManySmallFieldsSerializeHeavily) {
+  // 8 fields of 32 bins pack into one SRAM: every record makes 8 serialized
+  // updates to it (the paper's Figure 4 pathology).
+  const std::vector<std::uint32_t> bins(8, 32);
+  const auto m = BinMapping::build(MappingStrategy::kNaivePack, bins, 256);
+  EXPECT_EQ(m.srams_used(), 1u);
+  EXPECT_EQ(m.serialization_factor(), 8u);
+  EXPECT_DOUBLE_EQ(m.capacity_utilization(bins), 1.0);
+}
+
+TEST(NaivePack, UtilizationNeverBelowGroupByField) {
+  const std::vector<std::uint32_t> bins{100, 30, 256, 17, 300};
+  const auto naive = BinMapping::build(MappingStrategy::kNaivePack, bins, 256);
+  const auto grouped =
+      BinMapping::build(MappingStrategy::kGroupByField, bins, 256);
+  EXPECT_GE(naive.capacity_utilization(bins),
+            grouped.capacity_utilization(bins));
+  EXPECT_LE(naive.srams_used(), grouped.srams_used());
+}
+
+TEST(NaivePack, SpanCoversStraddlingField) {
+  const std::vector<std::uint32_t> bins{200, 200};
+  const auto m = BinMapping::build(MappingStrategy::kNaivePack, bins, 256);
+  // Field 1 straddles SRAM 0 and 1.
+  EXPECT_EQ(m.field_first_sram[1], 0u);
+  EXPECT_EQ(m.field_span[1], 2u);
+}
+
+TEST(MappingName, Strings) {
+  EXPECT_STREQ(mapping_name(MappingStrategy::kNaivePack), "naive-pack");
+  EXPECT_STREQ(mapping_name(MappingStrategy::kGroupByField), "group-by-field");
+}
+
+// Property sweep: for any field shape, group-by-field has serialization 1
+// and both mappings place every field somewhere valid.
+class MappingSweep
+    : public ::testing::TestWithParam<std::vector<std::uint32_t>> {};
+
+TEST_P(MappingSweep, StructuralInvariants) {
+  const auto& bins = GetParam();
+  for (const auto strategy :
+       {MappingStrategy::kNaivePack, MappingStrategy::kGroupByField}) {
+    const auto m = BinMapping::build(strategy, bins, 256);
+    ASSERT_EQ(m.field_first_sram.size(), bins.size());
+    for (std::size_t f = 0; f < bins.size(); ++f) {
+      EXPECT_GE(m.field_span[f], 1u);
+      EXPECT_LT(m.field_first_sram[f] + m.field_span[f] - 1, m.srams_used());
+    }
+    EXPECT_GE(m.serialization_factor(), 1u);
+    EXPECT_LE(m.capacity_utilization(bins), 1.0 + 1e-12);
+  }
+  const auto grouped = BinMapping::build(MappingStrategy::kGroupByField, bins, 256);
+  EXPECT_EQ(grouped.serialization_factor(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MappingSweep,
+    ::testing::Values(std::vector<std::uint32_t>{1},
+                      std::vector<std::uint32_t>{256},
+                      std::vector<std::uint32_t>{257},
+                      std::vector<std::uint32_t>{3, 5, 7, 11},
+                      std::vector<std::uint32_t>{256, 1, 600, 32},
+                      std::vector<std::uint32_t>(100, 64)));
+
+}  // namespace
+}  // namespace booster::core

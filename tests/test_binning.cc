@@ -1,0 +1,148 @@
+#include "gbdt/binning.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace booster::gbdt {
+namespace {
+
+Dataset make_numeric_dataset(std::uint64_t n) {
+  Dataset d;
+  d.add_numeric_field("x");
+  d.resize(n);
+  for (std::uint64_t r = 0; r < n; ++r) {
+    d.set_numeric(0, r, static_cast<float>(r));
+  }
+  return d;
+}
+
+TEST(Binner, MissingValuesLandInBinZero) {
+  Dataset d;
+  d.add_numeric_field("x");
+  d.add_categorical_field("c", 4);
+  d.resize(3);
+  d.set_numeric(0, 0, 1.0f);  // record 1,2 numeric stay NaN
+  d.set_categorical(1, 0, 2);  // record 1,2 categorical stay missing
+  const auto binned = Binner().bin(d);
+  EXPECT_NE(binned.bin(0, 0), 0);
+  EXPECT_EQ(binned.bin(0, 1), 0);
+  EXPECT_EQ(binned.bin(1, 1), 0);
+  EXPECT_EQ(binned.bin(1, 0), 3);  // category 2 -> bin 3 (offset by missing)
+}
+
+TEST(Binner, NumericBinsAreOrderPreserving) {
+  const auto binned = Binner().bin(make_numeric_dataset(1000));
+  for (std::uint64_t r = 1; r < 1000; ++r) {
+    EXPECT_LE(binned.bin(0, r - 1), binned.bin(0, r))
+        << "larger values must land in equal-or-higher bins";
+  }
+}
+
+TEST(Binner, RespectsMaxNumericBins) {
+  BinningConfig cfg;
+  cfg.max_numeric_bins = 16;
+  const auto binned = Binner(cfg).bin(make_numeric_dataset(10000));
+  EXPECT_LE(binned.field_bins(0).num_bins, 17u);  // 16 value bins + missing
+  EXPECT_GE(binned.field_bins(0).num_bins, 2u);
+}
+
+TEST(Binner, FewDistinctValuesFewBins) {
+  Dataset d;
+  d.add_numeric_field("x");
+  d.resize(100);
+  for (std::uint64_t r = 0; r < 100; ++r) {
+    d.set_numeric(0, r, static_cast<float>(r % 3));
+  }
+  const auto binned = Binner().bin(d);
+  EXPECT_EQ(binned.field_bins(0).num_bins, 4u);  // 3 values + missing
+}
+
+TEST(Binner, CategoricalBinsAreCategoryPlusOne) {
+  Dataset d;
+  d.add_categorical_field("c", 6);
+  d.resize(6);
+  for (std::uint64_t r = 0; r < 6; ++r) {
+    d.set_categorical(0, r, static_cast<std::int32_t>(r));
+  }
+  const auto binned = Binner().bin(d);
+  EXPECT_EQ(binned.field_bins(0).num_bins, 7u);
+  for (std::uint64_t r = 0; r < 6; ++r) {
+    EXPECT_EQ(binned.bin(0, r), r + 1);
+  }
+}
+
+TEST(Binner, QuantileBinsBalanceCounts) {
+  BinningConfig cfg;
+  cfg.max_numeric_bins = 4;
+  const auto binned = Binner(cfg).bin(make_numeric_dataset(4000));
+  std::vector<int> counts(binned.field_bins(0).num_bins, 0);
+  for (std::uint64_t r = 0; r < 4000; ++r) ++counts[binned.bin(0, r)];
+  // Uniform data over 4 quantile bins: each value bin near 1000.
+  for (std::size_t b = 1; b < counts.size(); ++b) {
+    EXPECT_NEAR(counts[b], 1000, 150);
+  }
+}
+
+TEST(Binner, ColumnViewMatchesBinAccessor) {
+  const auto binned = Binner().bin(make_numeric_dataset(50));
+  const auto& col = binned.column(0);
+  ASSERT_EQ(col.size(), 50u);
+  for (std::uint64_t r = 0; r < 50; ++r) EXPECT_EQ(col[r], binned.bin(0, r));
+}
+
+TEST(Binner, TotalBinsSumsFields) {
+  Dataset d;
+  d.add_numeric_field("x");
+  d.add_categorical_field("c", 9);
+  d.resize(10);
+  for (std::uint64_t r = 0; r < 10; ++r) {
+    d.set_numeric(0, r, static_cast<float>(r));
+    d.set_categorical(1, r, static_cast<std::int32_t>(r % 9));
+  }
+  const auto binned = Binner().bin(d);
+  EXPECT_EQ(binned.total_bins(),
+            binned.field_bins(0).num_bins + binned.field_bins(1).num_bins);
+  EXPECT_EQ(binned.max_bins_per_field(),
+            std::max(binned.field_bins(0).num_bins,
+                     binned.field_bins(1).num_bins));
+}
+
+TEST(Binner, LayoutRecordBytesCoverFields) {
+  Dataset d;
+  d.add_numeric_field("x");
+  d.add_categorical_field("small", 10);
+  d.add_categorical_field("wide", 600);  // spans 3 SRAM slots of 256
+  d.resize(4);
+  const auto binned = Binner().bin(d);
+  // 1 (numeric, 256 bins max) + 1 (small) + 3 (wide 601 bins) = 5 bytes.
+  EXPECT_EQ(binned.layout().record_bytes, 5u);
+  EXPECT_EQ(binned.layout().field_slot_bytes[2], 3u);
+}
+
+TEST(Binner, DeterministicAcrossCalls) {
+  const auto a = Binner().bin(make_numeric_dataset(500));
+  const auto b = Binner().bin(make_numeric_dataset(500));
+  for (std::uint64_t r = 0; r < 500; ++r) EXPECT_EQ(a.bin(0, r), b.bin(0, r));
+}
+
+// Property: every record falls in exactly one bin per field, never out of
+// range -- the invariant behind the paper's "exactly one access per SRAM".
+class BinRangeSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(BinRangeSweep, AllBinsWithinFieldRange) {
+  BinningConfig cfg;
+  cfg.max_numeric_bins = GetParam();
+  const auto binned = Binner(cfg).bin(make_numeric_dataset(2000));
+  const auto& fb = binned.field_bins(0);
+  for (std::uint64_t r = 0; r < 2000; ++r) {
+    EXPECT_LT(binned.bin(0, r), fb.num_bins);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(MaxBins, BinRangeSweep,
+                         ::testing::Values(2u, 8u, 64u, 255u));
+
+}  // namespace
+}  // namespace booster::gbdt

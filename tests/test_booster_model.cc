@@ -1,0 +1,182 @@
+#include "core/booster_model.h"
+
+#include <gtest/gtest.h>
+
+#include "workloads/runner.h"
+
+namespace booster::core {
+namespace {
+
+using trace::StepKind;
+
+const workloads::WorkloadResult& higgs() {
+  static const auto w = [] {
+    workloads::RunnerConfig cfg;
+    cfg.sim_records = 6000;
+    cfg.sim_trees = 6;
+    return workloads::run_workload(workloads::spec_by_name("Higgs"), cfg);
+  }();
+  return w;
+}
+
+const workloads::WorkloadResult& allstate() {
+  static const auto w = [] {
+    workloads::RunnerConfig cfg;
+    cfg.sim_records = 6000;
+    cfg.sim_trees = 6;
+    return workloads::run_workload(workloads::spec_by_name("Allstate"), cfg);
+  }();
+  return w;
+}
+
+TEST(BoosterModel, AllStepsHavePositiveTime) {
+  const BoosterModel model;
+  const auto b = model.train_cost(higgs().trace, higgs().info);
+  EXPECT_GT(b[StepKind::kHistogram], 0.0);
+  EXPECT_GT(b[StepKind::kSplitSelect], 0.0);
+  EXPECT_GT(b[StepKind::kPartition], 0.0);
+  EXPECT_GT(b[StepKind::kTraversal], 0.0);
+}
+
+TEST(BoosterModel, ColumnFormatAcceleratesSteps3And5) {
+  BoosterConfig with = {};
+  BoosterConfig without = {};
+  without.redundant_column_format = false;
+  const BoosterModel m_with(with);
+  const BoosterModel m_without(without);
+  const auto a = m_with.train_cost(higgs().trace, higgs().info);
+  const auto b = m_without.train_cost(higgs().trace, higgs().info);
+  EXPECT_LT(a[StepKind::kPartition], b[StepKind::kPartition]);
+  EXPECT_LT(a[StepKind::kTraversal], b[StepKind::kTraversal]);
+  // Step 1 is format-independent (whole records either way).
+  EXPECT_DOUBLE_EQ(a[StepKind::kHistogram], b[StepKind::kHistogram]);
+}
+
+TEST(BoosterModel, GroupByFieldNoWorseThanNaive) {
+  BoosterConfig grouped = {};
+  BoosterConfig naive = {};
+  naive.group_by_field_mapping = false;
+  for (const auto* w : {&higgs(), &allstate()}) {
+    const auto a = BoosterModel(grouped).train_cost(w->trace, w->info);
+    const auto b = BoosterModel(naive).train_cost(w->trace, w->info);
+    EXPECT_LE(a[StepKind::kHistogram], b[StepKind::kHistogram] * (1 + 1e-9));
+  }
+  // For the categorical dataset the improvement must be strict.
+  const auto a = BoosterModel(grouped).train_cost(allstate().trace, allstate().info);
+  const auto b = BoosterModel(naive).train_cost(allstate().trace, allstate().info);
+  EXPECT_LT(a[StepKind::kHistogram], b[StepKind::kHistogram]);
+}
+
+TEST(BoosterModel, TenXRecordsScalesAcceleratedStepsLinearly) {
+  const BoosterModel model;
+  const auto base = model.train_cost(higgs().trace, higgs().info);
+  auto scaled_trace = higgs().trace.scaled_by(10.0);
+  auto info10 = higgs().info;
+  info10.nominal_records *= 10;
+  const auto scaled = model.train_cost(scaled_trace, info10);
+  // Accelerated steps grow ~10x (within 20%: fill overheads amortize).
+  for (const auto kind :
+       {StepKind::kHistogram, StepKind::kPartition, StepKind::kTraversal}) {
+    EXPECT_GT(scaled[kind], 8.0 * base[kind]);
+    EXPECT_LT(scaled[kind], 10.5 * base[kind]);
+  }
+  // Step 2 does not scale with records at all.
+  EXPECT_DOUBLE_EQ(scaled[StepKind::kSplitSelect],
+                   base[StepKind::kSplitSelect]);
+}
+
+TEST(BoosterModel, HigherBandwidthNeverSlower) {
+  BoosterConfig slow = {};
+  slow.bandwidth = {100e9, 60e9, 40e9, 110e9};
+  BoosterConfig fast = {};
+  fast.bandwidth = {400e9, 240e9, 160e9, 440e9};
+  const auto a = BoosterModel(fast).train_cost(higgs().trace, higgs().info);
+  const auto b = BoosterModel(slow).train_cost(higgs().trace, higgs().info);
+  EXPECT_LE(a.total(), b.total());
+}
+
+TEST(BoosterModel, MappingForUsesConfigStrategy) {
+  BoosterConfig naive = {};
+  naive.group_by_field_mapping = false;
+  EXPECT_EQ(BoosterModel(naive).mapping_for(allstate().info).strategy,
+            MappingStrategy::kNaivePack);
+  EXPECT_EQ(BoosterModel().mapping_for(allstate().info).strategy,
+            MappingStrategy::kGroupByField);
+}
+
+TEST(BoosterModel, InferenceDependsOnMaxDepthNotAvgPath) {
+  const BoosterModel model;
+  perf::InferenceSpec deep;
+  deep.records = 1e6;
+  deep.trees = 500;
+  deep.max_depth = 6;
+  deep.avg_path_length = 2.0;  // shallow average
+  deep.record_bytes = 28;
+  perf::InferenceSpec same = deep;
+  same.avg_path_length = 6.0;  // deep average, same max
+  EXPECT_DOUBLE_EQ(model.inference_cost(deep), model.inference_cost(same));
+
+  perf::InferenceSpec shallower = deep;
+  shallower.max_depth = 3;
+  EXPECT_LT(model.inference_cost(shallower), model.inference_cost(deep));
+}
+
+TEST(BoosterModel, InferenceReplicasBoundThroughput) {
+  BoosterConfig cfg;
+  cfg.inference_bus = 3000;
+  const BoosterModel model(cfg);
+  perf::InferenceSpec spec;
+  spec.records = 1e7;
+  spec.trees = 500;  // 6 replicas
+  spec.max_depth = 6;
+  spec.avg_path_length = 6.0;
+  spec.record_bytes = 28;
+  const double six_replicas = model.inference_cost(spec);
+  spec.trees = 1500;  // only 2 replicas
+  const double two_replicas = model.inference_cost(spec);
+  EXPECT_GT(two_replicas, six_replicas);
+}
+
+TEST(BoosterModel, ActivityScalesWithRepeat) {
+  const BoosterModel model;
+  auto trace1 = higgs().trace;
+  trace1.set_repeat(1.0);
+  auto trace2 = higgs().trace;
+  trace2.set_repeat(2.0);
+  const auto a = model.train_activity(trace1, higgs().info);
+  const auto b = model.train_activity(trace2, higgs().info);
+  EXPECT_NEAR(b.sram_accesses, 2.0 * a.sram_accesses, 1e-3 * a.sram_accesses);
+  EXPECT_NEAR(b.dram_bytes, 2.0 * a.dram_bytes, 1e-3 * a.dram_bytes);
+}
+
+TEST(BoosterModel, SramEnergyNormIsTwoKbClass) {
+  const BoosterModel model;
+  const auto act = model.train_activity(higgs().trace, higgs().info);
+  EXPECT_DOUBLE_EQ(act.sram_energy_per_access_norm, 0.71);  // Table V
+}
+
+TEST(BoosterConfig, DerivedQuantities) {
+  BoosterConfig cfg;
+  EXPECT_EQ(cfg.num_bus(), 3200u);
+  EXPECT_EQ(cfg.sram_bins(), 256u);
+  EXPECT_EQ(cfg.total_sram_bytes(), 3200u * 2048u);
+}
+
+// Sweep: BU count up, training time never up.
+class BusSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(BusSweep, MoreClustersNeverSlower) {
+  BoosterConfig small = {};
+  small.clusters = GetParam();
+  BoosterConfig big = {};
+  big.clusters = GetParam() * 2;
+  const auto a = BoosterModel(big).train_cost(higgs().trace, higgs().info);
+  const auto b = BoosterModel(small).train_cost(higgs().trace, higgs().info);
+  EXPECT_LE(a.total(), b.total() * (1 + 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(Clusters, BusSweep,
+                         ::testing::Values(5u, 10u, 25u, 50u));
+
+}  // namespace
+}  // namespace booster::core

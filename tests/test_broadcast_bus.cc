@@ -1,0 +1,49 @@
+#include "core/broadcast_bus.h"
+
+#include <gtest/gtest.h>
+
+namespace booster::core {
+namespace {
+
+TEST(BroadcastBus, PipelineDepthIsBusOverLinkSpan) {
+  BroadcastBus bus({3200, 16, 64});
+  EXPECT_EQ(bus.pipeline_depth(), 200u);  // the paper's example
+}
+
+TEST(BroadcastBus, DepthRoundsUp) {
+  BroadcastBus bus({100, 16, 64});
+  EXPECT_EQ(bus.pipeline_depth(), 7u);
+}
+
+TEST(BroadcastBus, CyclesPerItemByPayload) {
+  BroadcastBus bus({3200, 16, 64});
+  EXPECT_EQ(bus.cycles_per_item(64), 1u);
+  EXPECT_EQ(bus.cycles_per_item(65), 2u);
+  EXPECT_EQ(bus.cycles_per_item(8), 1u);
+  EXPECT_EQ(bus.cycles_per_item(512), 8u);
+}
+
+TEST(BroadcastBus, StreamIncludesFill) {
+  BroadcastBus bus({3200, 16, 64});
+  EXPECT_EQ(bus.stream_cycles(0, 64), 0u);
+  EXPECT_EQ(bus.stream_cycles(1, 64), 201u);
+  EXPECT_EQ(bus.stream_cycles(1000, 64), 1200u);
+}
+
+TEST(BroadcastBus, FillOverheadNegligibleForMillionsOfRecords) {
+  // The paper's claim: with millions of records the 200-cycle fill/drain
+  // is negligible.
+  BroadcastBus bus({3200, 16, 64});
+  EXPECT_LT(bus.fill_overhead_fraction(1'000'000, 64), 3e-4);
+  // But substantial for tiny streams.
+  EXPECT_GT(bus.fill_overhead_fraction(100, 64), 0.5);
+}
+
+TEST(BroadcastBus, WiderLinksShortenFill) {
+  BroadcastBus narrow({3200, 8, 64});
+  BroadcastBus wide({3200, 32, 64});
+  EXPECT_GT(narrow.pipeline_depth(), wide.pipeline_depth());
+}
+
+}  // namespace
+}  // namespace booster::core

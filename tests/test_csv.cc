@@ -1,0 +1,95 @@
+#include "workloads/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "workloads/synth.h"
+
+namespace booster::workloads {
+namespace {
+
+gbdt::Dataset sample_dataset() {
+  DatasetSpec spec;
+  spec.name = "csv-test";
+  spec.nominal_records = 300;
+  spec.numeric_fields = 3;
+  spec.categorical_cardinalities = {7, 4};
+  spec.missing_rate = 0.1;
+  spec.loss = "logistic";
+  return synthesize(spec, 300, 23);
+}
+
+TEST(Csv, RoundTripPreservesSchema) {
+  const auto data = sample_dataset();
+  std::stringstream buffer;
+  save_csv(data, buffer);
+  const auto loaded = load_csv(buffer);
+  ASSERT_EQ(loaded.num_fields(), data.num_fields());
+  ASSERT_EQ(loaded.num_records(), data.num_records());
+  for (std::uint32_t f = 0; f < data.num_fields(); ++f) {
+    EXPECT_EQ(loaded.field(f).kind, data.field(f).kind);
+    EXPECT_EQ(loaded.field(f).name, data.field(f).name);
+    EXPECT_EQ(loaded.field(f).cardinality, data.field(f).cardinality);
+  }
+}
+
+TEST(Csv, RoundTripPreservesValuesAndMissing) {
+  const auto data = sample_dataset();
+  std::stringstream buffer;
+  save_csv(data, buffer);
+  const auto loaded = load_csv(buffer);
+  for (std::uint64_t r = 0; r < data.num_records(); ++r) {
+    for (std::uint32_t f = 0; f < data.num_fields(); ++f) {
+      if (data.field(f).kind == gbdt::FieldKind::kNumeric) {
+        const float a = data.numeric_value(f, r);
+        const float b = loaded.numeric_value(f, r);
+        if (std::isnan(a)) {
+          EXPECT_TRUE(std::isnan(b));
+        } else {
+          EXPECT_NEAR(a, b, std::abs(a) * 1e-5 + 1e-6);
+        }
+      } else {
+        EXPECT_EQ(data.categorical_value(f, r), loaded.categorical_value(f, r));
+      }
+    }
+    EXPECT_FLOAT_EQ(data.label(r), loaded.label(r));
+  }
+}
+
+TEST(Csv, HandWrittenInput) {
+  std::stringstream in(
+      "num:age,cat:city:3,label\n"
+      "25.5,0,1\n"
+      ",2,0\n"
+      "40,,1\n");
+  const auto data = load_csv(in);
+  ASSERT_EQ(data.num_records(), 3u);
+  EXPECT_FLOAT_EQ(data.numeric_value(0, 0), 25.5f);
+  EXPECT_TRUE(std::isnan(data.numeric_value(0, 1)));
+  EXPECT_EQ(data.categorical_value(1, 1), 2);
+  EXPECT_EQ(data.categorical_value(1, 2), gbdt::kMissingCategory);
+  EXPECT_FLOAT_EQ(data.label(2), 1.0f);
+}
+
+TEST(Csv, SkipsBlankLines) {
+  std::stringstream in("num:x,label\n1,0\n\n2,1\n");
+  const auto data = load_csv(in);
+  EXPECT_EQ(data.num_records(), 2u);
+}
+
+TEST(Csv, FileRoundTrip) {
+  const auto data = sample_dataset();
+  const std::string path = "/tmp/booster_test_data.csv";
+  ASSERT_TRUE(save_csv_file(data, path));
+  const auto loaded = load_csv_file(path);
+  EXPECT_EQ(loaded.num_records(), data.num_records());
+}
+
+TEST(Csv, SaveToUnwritablePathFails) {
+  EXPECT_FALSE(save_csv_file(sample_dataset(), "/nonexistent-dir/data.csv"));
+}
+
+}  // namespace
+}  // namespace booster::workloads

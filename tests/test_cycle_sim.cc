@@ -1,0 +1,143 @@
+// Cycle-coupled step-1 simulation vs the analytic model: rate matching
+// must *emerge* from the DRAM/BU interaction, validating the paper's
+// sizing argument and the analytic max(memory, compute) costing.
+#include "core/cycle_sim.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "workloads/synth.h"
+
+namespace booster::core {
+namespace {
+
+gbdt::BinnedDataset make_data(std::uint32_t fields, std::uint64_t n,
+                              std::uint64_t seed = 3) {
+  workloads::DatasetSpec spec;
+  spec.name = "cycle";
+  spec.nominal_records = n;
+  spec.numeric_fields = fields;
+  spec.loss = "squared";
+  return gbdt::Binner().bin(workloads::synthesize(spec, n, seed));
+}
+
+std::vector<std::uint32_t> all_rows(std::uint64_t n) {
+  std::vector<std::uint32_t> rows(n);
+  std::iota(rows.begin(), rows.end(), 0);
+  return rows;
+}
+
+TEST(CycleSim, CompletesAndMovesExpectedBytes) {
+  const auto data = make_data(28, 20000);
+  const auto rows = all_rows(20000);
+  const Step1CycleSim sim{BoosterConfig{}, memsim::DramConfig{}};
+  const auto r = sim.run(data, rows);
+  EXPECT_GT(r.cycles, 0u);
+  // Records: 28 B tightly packed -> 20000*28/64 = 8750 blocks; gradients:
+  // 20000*8/64 = 2500 blocks.
+  const double expected_blocks = 20000.0 * 28.0 / 64.0 + 2500.0;
+  EXPECT_NEAR(static_cast<double>(r.dram_bytes) / 64.0, expected_blocks,
+              expected_blocks * 0.08);
+}
+
+TEST(CycleSim, FullScaleBoosterIsMemoryBound) {
+  // 3200 BUs on a 64-field record -- the paper's worked example (SS III-B):
+  // 6.25 blocks/cycle x 64 fields x 8 cycles = 3200 BUs. The run must be
+  // memory-bound with high DRAM utilization.
+  const auto data = make_data(64, 30000);
+  const Step1CycleSim sim{BoosterConfig{}, memsim::DramConfig{}};
+  const auto r = sim.run(data, all_rows(30000));
+  EXPECT_LT(r.compute_bound_fraction, 0.5);
+  EXPECT_GT(r.achieved_bandwidth,
+            0.6 * memsim::DramConfig{}.peak_bandwidth_bytes_per_sec());
+}
+
+TEST(CycleSim, TinyArrayGoesComputeBound) {
+  // 2 clusters (128 BUs): the array cannot keep up with the record stream.
+  const auto data = make_data(28, 30000);
+  BoosterConfig small;
+  small.clusters = 2;
+  const Step1CycleSim sim{small, memsim::DramConfig{}};
+  const auto r = sim.run(data, all_rows(30000));
+  EXPECT_GT(r.compute_bound_fraction, 0.5);
+  // Throughput collapses to the BU service rate: copies/(8 cycles).
+  EXPECT_NEAR(r.records_per_cycle, 2.0 / 8.0, 0.05);
+}
+
+TEST(CycleSim, ThroughputMatchesAnalyticModelWithinTolerance) {
+  // The analytic BoosterModel charges max(memory, compute) for step 1; the
+  // cycle-coupled run must land within ~25% for both regimes.
+  const auto data = make_data(64, 24000);
+  const auto rows = all_rows(24000);
+  for (const std::uint32_t clusters : {4u, 50u}) {
+    BoosterConfig cfg;
+    cfg.clusters = clusters;
+    const Step1CycleSim sim{cfg, memsim::DramConfig{}};
+    const auto r = sim.run(data, rows);
+
+    // Analytic: memory time (records + gradient bytes at streaming rate
+    // ~peak) vs compute time (records * 8 / copies).
+    const double mem_cycles =
+        (24000.0 * (64.0 + 8.0)) / (24.0 * 16.0);  // bytes / bus-bytes-per-cy
+    const double copies = clusters;                 // 64 fields = 1 cluster
+    const double comp_cycles = 24000.0 * 8.0 / copies;
+    const double analytic = std::max(mem_cycles, comp_cycles);
+    EXPECT_NEAR(static_cast<double>(r.cycles), analytic, analytic * 0.25)
+        << clusters << " clusters";
+  }
+}
+
+TEST(CycleSim, RateMatchingKneeNearPaperDesign) {
+  // Sweeping the array size, the crossover from compute-bound to
+  // memory-bound must bracket the paper's 50-cluster design for 64-field
+  // records (the worked example of SS III-B).
+  const auto data = make_data(64, 16000);
+  const auto rows = all_rows(16000);
+  double small_fraction = 0.0;
+  double large_fraction = 0.0;
+  {
+    BoosterConfig cfg;
+    cfg.clusters = 10;
+    small_fraction =
+        Step1CycleSim{cfg, memsim::DramConfig{}}.run(data, rows).compute_bound_fraction;
+  }
+  {
+    BoosterConfig cfg;
+    cfg.clusters = 100;
+    large_fraction =
+        Step1CycleSim{cfg, memsim::DramConfig{}}.run(data, rows).compute_bound_fraction;
+  }
+  EXPECT_GT(small_fraction, 0.5);  // 640 BUs: compute-bound
+  EXPECT_LT(large_fraction, 0.2);  // 6400 BUs: memory-bound
+}
+
+TEST(CycleSim, SerializationSlowsNaiveMappingOnCategoricalData) {
+  workloads::DatasetSpec spec;
+  spec.name = "cycle-cat";
+  spec.nominal_records = 16000;
+  spec.numeric_fields = 1;
+  spec.categorical_cardinalities = {40, 40, 40, 40};
+  spec.loss = "squared";
+  spec.label_structure = workloads::LabelStructure::kCategorical;
+  const auto data =
+      gbdt::Binner().bin(workloads::synthesize(spec, 16000, 5));
+  const auto rows = all_rows(16000);
+  BoosterConfig grouped;
+  grouped.clusters = 2;  // force the compute-bound regime
+  BoosterConfig naive = grouped;
+  naive.group_by_field_mapping = false;
+  const auto g = Step1CycleSim{grouped, memsim::DramConfig{}}.run(data, rows);
+  const auto n = Step1CycleSim{naive, memsim::DramConfig{}}.run(data, rows);
+  EXPECT_GT(n.cycles, g.cycles);
+}
+
+TEST(CycleSim, EmptyRowsAreFree) {
+  const auto data = make_data(8, 100);
+  const Step1CycleSim sim{BoosterConfig{}, memsim::DramConfig{}};
+  const auto r = sim.run(data, {});
+  EXPECT_EQ(r.cycles, 0u);
+}
+
+}  // namespace
+}  // namespace booster::core

@@ -1,0 +1,76 @@
+#include "gbdt/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace booster::gbdt {
+namespace {
+
+TEST(Dataset, SchemaDeclaration) {
+  Dataset d;
+  const auto f0 = d.add_numeric_field("age");
+  const auto f1 = d.add_categorical_field("city", 3);
+  EXPECT_EQ(f0, 0u);
+  EXPECT_EQ(f1, 1u);
+  EXPECT_EQ(d.num_fields(), 2u);
+  EXPECT_EQ(d.field(0).kind, FieldKind::kNumeric);
+  EXPECT_EQ(d.field(1).kind, FieldKind::kCategorical);
+  EXPECT_EQ(d.field(1).cardinality, 3u);
+}
+
+TEST(Dataset, ResizeInitializesMissing) {
+  Dataset d;
+  d.add_numeric_field("x");
+  d.add_categorical_field("c", 5);
+  d.resize(4);
+  EXPECT_EQ(d.num_records(), 4u);
+  EXPECT_TRUE(std::isnan(d.numeric_value(0, 0)));
+  EXPECT_EQ(d.categorical_value(1, 0), kMissingCategory);
+  EXPECT_EQ(d.label(0), 0.0f);
+}
+
+TEST(Dataset, ValueRoundTrip) {
+  Dataset d;
+  d.add_numeric_field("x");
+  d.add_categorical_field("c", 5);
+  d.resize(2);
+  d.set_numeric(0, 1, 2.5f);
+  d.set_categorical(1, 1, 3);
+  d.set_label(1, 1.0f);
+  EXPECT_EQ(d.numeric_value(0, 1), 2.5f);
+  EXPECT_EQ(d.categorical_value(1, 1), 3);
+  EXPECT_EQ(d.label(1), 1.0f);
+}
+
+TEST(Dataset, OnehotFeatureCount) {
+  Dataset d;
+  d.add_numeric_field("a");
+  d.add_numeric_field("b");
+  d.add_categorical_field("c", 10);
+  d.add_categorical_field("d", 7);
+  EXPECT_EQ(d.onehot_features(), 2u + 10u + 7u);
+  EXPECT_EQ(d.num_categorical_fields(), 2u);
+}
+
+TEST(Dataset, InterleavedKindsResolveSlots) {
+  // Numeric and categorical columns share the field index space; slots must
+  // resolve independently per kind.
+  Dataset d;
+  d.add_categorical_field("c0", 2);
+  d.add_numeric_field("n0");
+  d.add_categorical_field("c1", 4);
+  d.add_numeric_field("n1");
+  d.resize(1);
+  d.set_categorical(0, 0, 1);
+  d.set_numeric(1, 0, 1.0f);
+  d.set_categorical(2, 0, 3);
+  d.set_numeric(3, 0, 2.0f);
+  EXPECT_EQ(d.categorical_value(0, 0), 1);
+  EXPECT_EQ(d.numeric_value(1, 0), 1.0f);
+  EXPECT_EQ(d.categorical_value(2, 0), 3);
+  EXPECT_EQ(d.numeric_value(3, 0), 2.0f);
+}
+
+}  // namespace
+}  // namespace booster::gbdt

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "baselines/cpu_like.h"
+#include "core/booster_model.h"
+#include "energy/area_power.h"
+#include "energy/energy_model.h"
+#include "workloads/runner.h"
+
+namespace booster::energy {
+namespace {
+
+TEST(EnergyModel, LinearInActivity) {
+  EnergyModel em;
+  perf::Activity a;
+  a.sram_accesses = 1000;
+  a.sram_energy_per_access_norm = 1.0;
+  a.dram_bytes = 4096;
+  const auto r1 = em.energy(a);
+  a.sram_accesses *= 3;
+  a.dram_bytes *= 3;
+  const auto r3 = em.energy(a);
+  EXPECT_NEAR(r3.sram_joules, 3.0 * r1.sram_joules, 1e-18);
+  EXPECT_NEAR(r3.dram_joules, 3.0 * r1.dram_joules, 1e-18);
+  EXPECT_DOUBLE_EQ(r1.total(), r1.sram_joules + r1.dram_joules);
+}
+
+TEST(EnergyModel, NormScalesSramEnergy) {
+  EnergyModel em;
+  perf::Activity cpu;
+  cpu.sram_accesses = 1000;
+  cpu.sram_energy_per_access_norm = 1.0;
+  perf::Activity gpu = cpu;
+  gpu.sram_energy_per_access_norm = 2.64;
+  EXPECT_NEAR(em.energy(gpu).sram_joules / em.energy(cpu).sram_joules, 2.64,
+              1e-9);
+}
+
+TEST(EnergyIntegration, BoosterStrictlyLowerThanCpuAndGpu) {
+  // The paper's Fig 10 headline: Booster is lower in *both* SRAM and DRAM
+  // energy, so total energy is lower regardless of the SRAM:DRAM ratio.
+  workloads::RunnerConfig cfg;
+  cfg.sim_records = 6000;
+  cfg.sim_trees = 6;
+  const auto w =
+      workloads::run_workload(workloads::spec_by_name("Higgs"), cfg);
+  const baselines::CpuLikeModel cpu(baselines::ideal_cpu_params());
+  const baselines::CpuLikeModel gpu(baselines::ideal_gpu_params());
+  const core::BoosterModel booster;
+  EnergyModel em;
+  const auto e_cpu = em.energy(cpu.train_activity(w.trace, w.info));
+  const auto e_gpu = em.energy(gpu.train_activity(w.trace, w.info));
+  const auto e_bst = em.energy(booster.train_activity(w.trace, w.info));
+  EXPECT_LT(e_bst.sram_joules, e_cpu.sram_joules);
+  EXPECT_LT(e_bst.sram_joules, e_gpu.sram_joules);
+  EXPECT_LT(e_bst.dram_joules, e_cpu.dram_joules);
+  EXPECT_LE(e_bst.dram_joules, e_gpu.dram_joules);
+  EXPECT_GT(e_gpu.sram_joules, e_cpu.sram_joules);
+}
+
+TEST(AreaPower, ReproducesTableSix) {
+  const AreaPowerModel model;
+  const auto chip = model.estimate(3200);
+  EXPECT_NEAR(chip.control.area_mm2, 8.4, 0.05);
+  EXPECT_NEAR(chip.control.power_w, 4.3, 0.05);
+  EXPECT_NEAR(chip.fpu.area_mm2, 18.4, 0.05);
+  EXPECT_NEAR(chip.fpu.power_w, 9.5, 0.05);
+  EXPECT_NEAR(chip.sram.area_mm2, 33.1, 0.05);
+  EXPECT_NEAR(chip.sram.power_w, 9.4, 0.05);
+  EXPECT_NEAR(chip.total().area_mm2, 60.0, 0.2);
+  EXPECT_NEAR(chip.total().power_w, 23.2, 0.1);
+}
+
+TEST(AreaPower, SramShareNearFiftyFivePercent) {
+  const AreaPowerModel model;
+  const auto chip = model.estimate(3200);
+  EXPECT_NEAR(chip.sram.area_mm2 / chip.total().area_mm2, 0.55, 0.02);
+}
+
+TEST(AreaPower, BankingOverheadFactors) {
+  const AreaPowerModel model;
+  const auto chip = model.estimate(3200);
+  EXPECT_NEAR(chip.sram.area_mm2 / model.monolithic_sram_area_mm2(3200), 1.7,
+              1e-9);
+  EXPECT_NEAR(chip.sram.power_w / model.monolithic_sram_power_w(3200), 1.59,
+              1e-9);
+}
+
+TEST(AreaPower, ScalesLinearlyWithBus) {
+  const AreaPowerModel model;
+  const auto half = model.estimate(1600).total();
+  const auto full = model.estimate(3200).total();
+  EXPECT_NEAR(full.area_mm2, 2.0 * half.area_mm2, 1e-9);
+  EXPECT_NEAR(full.power_w, 2.0 * half.power_w, 1e-9);
+}
+
+}  // namespace
+}  // namespace booster::energy

@@ -1,0 +1,177 @@
+#include "gbdt/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "util/rng.h"
+#include "workloads/synth.h"
+
+namespace booster::gbdt {
+namespace {
+
+BinnedDataset small_binned(std::uint64_t n = 500, std::uint64_t seed = 1) {
+  workloads::DatasetSpec spec;
+  spec.name = "unit";
+  spec.nominal_records = n;
+  spec.numeric_fields = 4;
+  spec.categorical_cardinalities = {5};
+  spec.missing_rate = 0.1;
+  spec.loss = "logistic";
+  const auto raw = workloads::synthesize(spec, n, seed);
+  return Binner().bin(raw);
+}
+
+std::vector<GradientPair> random_gradients(std::uint64_t n,
+                                           std::uint64_t seed = 2) {
+  util::Rng rng(seed);
+  std::vector<GradientPair> g(n);
+  for (auto& gp : g) {
+    gp.g = static_cast<float>(rng.normal());
+    gp.h = static_cast<float>(rng.uniform(0.1, 1.0));
+  }
+  return g;
+}
+
+std::vector<std::uint32_t> all_rows(std::uint64_t n) {
+  std::vector<std::uint32_t> rows(n);
+  std::iota(rows.begin(), rows.end(), 0);
+  return rows;
+}
+
+TEST(Histogram, ShapeMatchesDataset) {
+  const auto data = small_binned();
+  Histogram hist(data);
+  EXPECT_EQ(hist.num_fields(), data.num_fields());
+  for (std::uint32_t f = 0; f < data.num_fields(); ++f) {
+    EXPECT_EQ(hist.field(f).size(), data.field_bins(f).num_bins);
+  }
+}
+
+TEST(Histogram, BuildCountsEveryRecordOncePerField) {
+  const auto data = small_binned();
+  const auto grads = random_gradients(data.num_records());
+  Histogram hist(data);
+  hist.build(data, all_rows(data.num_records()), grads);
+  for (std::uint32_t f = 0; f < data.num_fields(); ++f) {
+    double count = 0.0;
+    for (const auto& b : hist.field(f)) count += b.count;
+    EXPECT_DOUBLE_EQ(count, static_cast<double>(data.num_records()))
+        << "field " << f << ": every record must hit exactly one bin";
+  }
+}
+
+TEST(Histogram, TotalsInvariantAcrossFields) {
+  // The paper's group-by-field mapping relies on: each field's bin sums
+  // equal the node totals (one update per field per record).
+  const auto data = small_binned();
+  const auto grads = random_gradients(data.num_records());
+  Histogram hist(data);
+  hist.build(data, all_rows(data.num_records()), grads);
+  const BinStats ref = hist.totals();
+  for (std::uint32_t f = 0; f < data.num_fields(); ++f) {
+    BinStats t;
+    for (const auto& b : hist.field(f)) t += b;
+    EXPECT_NEAR(t.g, ref.g, 1e-6);
+    EXPECT_NEAR(t.h, ref.h, 1e-6);
+    EXPECT_DOUBLE_EQ(t.count, ref.count);
+  }
+}
+
+TEST(Histogram, GradientSumsMatchInput) {
+  const auto data = small_binned();
+  const auto grads = random_gradients(data.num_records());
+  Histogram hist(data);
+  hist.build(data, all_rows(data.num_records()), grads);
+  double g_expected = 0.0;
+  for (const auto& gp : grads) g_expected += gp.g;
+  EXPECT_NEAR(hist.totals().g, g_expected, 1e-5);
+}
+
+TEST(Histogram, SubtractionRecoversSibling) {
+  // Smaller-child trick (paper SS II-A): parent - left == right, bin-wise.
+  const auto data = small_binned(600);
+  const auto grads = random_gradients(data.num_records());
+  const auto rows = all_rows(data.num_records());
+  const std::vector<std::uint32_t> left(rows.begin(), rows.begin() + 200);
+  const std::vector<std::uint32_t> right(rows.begin() + 200, rows.end());
+
+  Histogram parent(data), left_h(data), right_direct(data);
+  parent.build(data, rows, grads);
+  left_h.build(data, left, grads);
+  right_direct.build(data, right, grads);
+
+  Histogram right_sub;
+  right_sub.subtract_from(parent, left_h);
+  for (std::uint32_t f = 0; f < data.num_fields(); ++f) {
+    const auto a = right_sub.field(f);
+    const auto b = right_direct.field(f);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_DOUBLE_EQ(a[i].count, b[i].count);
+      EXPECT_NEAR(a[i].g, b[i].g, 1e-5);
+      EXPECT_NEAR(a[i].h, b[i].h, 1e-5);
+    }
+  }
+}
+
+TEST(Histogram, BuildIsAdditiveOverRowPartitions) {
+  const auto data = small_binned(400);
+  const auto grads = random_gradients(data.num_records());
+  const auto rows = all_rows(data.num_records());
+  Histogram whole(data);
+  whole.build(data, rows, grads);
+
+  Histogram partial(data);
+  const std::vector<std::uint32_t> first(rows.begin(), rows.begin() + 150);
+  const std::vector<std::uint32_t> second(rows.begin() + 150, rows.end());
+  partial.build(data, first, grads);
+  partial.build(data, second, grads);  // build accumulates
+
+  for (std::uint32_t f = 0; f < data.num_fields(); ++f) {
+    const auto a = whole.field(f);
+    const auto b = partial.field(f);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_DOUBLE_EQ(a[i].count, b[i].count);
+      EXPECT_NEAR(a[i].g, b[i].g, 1e-5);
+    }
+  }
+}
+
+TEST(Histogram, ClearZeroesEverything) {
+  const auto data = small_binned(100);
+  const auto grads = random_gradients(data.num_records());
+  Histogram hist(data);
+  hist.build(data, all_rows(data.num_records()), grads);
+  hist.clear();
+  EXPECT_DOUBLE_EQ(hist.totals().count, 0.0);
+  EXPECT_DOUBLE_EQ(hist.totals().g, 0.0);
+}
+
+TEST(Histogram, EmptyRowsYieldZeroTotals) {
+  const auto data = small_binned(100);
+  const auto grads = random_gradients(data.num_records());
+  Histogram hist(data);
+  hist.build(data, {}, grads);
+  EXPECT_DOUBLE_EQ(hist.totals().count, 0.0);
+}
+
+TEST(BinStats, ArithmeticOps) {
+  BinStats a{2.0, 1.0, 3.0};
+  BinStats b{1.0, 0.5, 1.0};
+  a += b;
+  EXPECT_DOUBLE_EQ(a.count, 3.0);
+  EXPECT_DOUBLE_EQ(a.g, 1.5);
+  a -= b;
+  EXPECT_DOUBLE_EQ(a.count, 2.0);
+  EXPECT_DOUBLE_EQ(a.h, 3.0);
+}
+
+TEST(Histogram, TotalBinsMatchesDataset) {
+  const auto data = small_binned(100);
+  Histogram hist(data);
+  EXPECT_EQ(hist.total_bins(), data.total_bins());
+}
+
+}  // namespace
+}  // namespace booster::gbdt

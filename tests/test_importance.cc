@@ -1,0 +1,95 @@
+#include "gbdt/importance.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "gbdt/model_io.h"
+#include "gbdt/trainer.h"
+#include "workloads/synth.h"
+
+namespace booster::gbdt {
+namespace {
+
+TEST(Importance, EmptyModelHasNoEntries) {
+  Model m(0.0, make_loss("squared"));
+  EXPECT_TRUE(feature_importance(m).empty());
+}
+
+TEST(Importance, CountsAndGainsAggregate) {
+  Model m(0.0, make_loss("squared"));
+  Tree t;
+  SplitInfo root;
+  root.field = 2;
+  root.gain = 5.0;
+  const auto [l, r] = t.split_leaf(t.root(), root);
+  SplitInfo child;
+  child.field = 2;
+  child.gain = 1.5;
+  t.split_leaf(l, child);
+  SplitInfo other;
+  other.field = 0;
+  other.gain = 3.0;
+  t.split_leaf(r, other);
+  m.add_tree(std::move(t));
+
+  const auto importance = feature_importance(m);
+  ASSERT_EQ(importance.size(), 2u);
+  EXPECT_EQ(importance[0].field, 2u);  // 6.5 gain beats 3.0
+  EXPECT_EQ(importance[0].split_count, 2u);
+  EXPECT_DOUBLE_EQ(importance[0].total_gain, 6.5);
+  EXPECT_EQ(importance[1].field, 0u);
+}
+
+TEST(Importance, SeparableSignalFieldsRankFirst) {
+  // The IoT-style generator decides labels with the first numeric fields;
+  // a trained model's top-gain fields must be among them.
+  workloads::DatasetSpec spec;
+  spec.name = "imp";
+  spec.nominal_records = 5000;
+  spec.numeric_fields = 10;
+  spec.loss = "logistic";
+  spec.label_structure = workloads::LabelStructure::kSeparable;
+  spec.label_noise = 0.01;
+  const auto data = Binner().bin(workloads::synthesize(spec, 5000, 77));
+  TrainerConfig cfg;
+  cfg.num_trees = 10;
+  cfg.max_depth = 4;
+  cfg.loss = "logistic";
+  const auto result = Trainer(cfg).train(data);
+  const auto importance = feature_importance(result.model);
+  ASSERT_FALSE(importance.empty());
+  EXPECT_LT(importance[0].field, 3u)
+      << "the label rule uses the first three fields";
+  EXPECT_GT(importance[0].total_gain, 0.0);
+}
+
+TEST(Importance, SurvivesModelRoundTrip) {
+  workloads::DatasetSpec spec;
+  spec.name = "imp-io";
+  spec.nominal_records = 2000;
+  spec.numeric_fields = 5;
+  spec.loss = "squared";
+  const auto data = Binner().bin(workloads::synthesize(spec, 2000, 9));
+  TrainerConfig cfg;
+  cfg.num_trees = 4;
+  cfg.max_depth = 3;
+  cfg.loss = "squared";
+  const auto result = Trainer(cfg).train(data);
+
+  std::stringstream buffer;
+  save_model(result.model, buffer);
+  const Model loaded = load_model(buffer);
+
+  const auto a = feature_importance(result.model);
+  const auto b = feature_importance(loaded);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].field, b[i].field);
+    EXPECT_EQ(a[i].split_count, b[i].split_count);
+    EXPECT_DOUBLE_EQ(a[i].total_gain, b[i].total_gain);
+  }
+}
+
+}  // namespace
+}  // namespace booster::gbdt

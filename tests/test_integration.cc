@@ -1,0 +1,188 @@
+// End-to-end integration: the full pipeline (synthesize -> bin -> train ->
+// trace -> every performance model) must reproduce the paper's headline
+// qualitative results. These are the same invariants the bench binaries
+// print; here they are asserted.
+#include <gtest/gtest.h>
+
+#include "baselines/cpu_like.h"
+#include "baselines/inter_record.h"
+#include "core/booster_model.h"
+#include "core/engines.h"
+#include "energy/energy_model.h"
+#include "gbdt/metrics.h"
+#include "util/stats.h"
+#include "workloads/runner.h"
+
+namespace booster {
+namespace {
+
+using baselines::CpuLikeModel;
+using core::BoosterModel;
+
+const std::vector<workloads::WorkloadResult>& all_workloads() {
+  static const auto results = [] {
+    workloads::RunnerConfig cfg;
+    cfg.sim_records = 8000;
+    cfg.sim_trees = 8;
+    return workloads::run_paper_workloads(cfg);
+  }();
+  return results;
+}
+
+TEST(Integration, AcceleratedStepsDominateSequentialTime) {
+  // Fig 6: steps 1+3+5 are ~90-98+% of sequential time, lowest for Mq2008.
+  const CpuLikeModel seq(baselines::sequential_cpu_params());
+  double min_share = 1.0;
+  std::string min_name;
+  for (const auto& w : all_workloads()) {
+    const auto t = seq.train_cost(w.trace, w.info);
+    const double share = 1.0 - t.fraction(trace::StepKind::kSplitSelect);
+    EXPECT_GT(share, 0.90) << w.spec.name;
+    if (share < min_share) {
+      min_share = share;
+      min_name = w.spec.name;
+    }
+  }
+  EXPECT_EQ(min_name, "Mq2008");
+}
+
+TEST(Integration, BoosterBeatsGpuBeatsCpuEverywhere) {
+  // Fig 7 ordering on every benchmark.
+  const CpuLikeModel cpu(baselines::ideal_cpu_params());
+  const CpuLikeModel gpu(baselines::ideal_gpu_params());
+  const BoosterModel booster;
+  for (const auto& w : all_workloads()) {
+    const double cpu_t = cpu.train_cost(w.trace, w.info).total();
+    const double gpu_t = gpu.train_cost(w.trace, w.info).total();
+    const double bst_t = booster.train_cost(w.trace, w.info).total();
+    EXPECT_LT(gpu_t, cpu_t) << w.spec.name;
+    EXPECT_LT(bst_t, gpu_t) << w.spec.name;
+  }
+}
+
+TEST(Integration, SpeedupShapeMatchesPaper) {
+  // Fig 7 magnitudes: GPU < 2.1x; Booster in the paper's ballpark with the
+  // right extremes (IoT highest, Flight/Mq2008 low end) and a geomean near
+  // 11x.
+  const CpuLikeModel cpu(baselines::ideal_cpu_params());
+  const CpuLikeModel gpu(baselines::ideal_gpu_params());
+  const BoosterModel booster;
+  std::vector<double> booster_speedups;
+  double iot_speedup = 0.0;
+  double max_speedup = 0.0;
+  for (const auto& w : all_workloads()) {
+    const double cpu_t = cpu.train_cost(w.trace, w.info).total();
+    const double gpu_speedup = cpu_t / gpu.train_cost(w.trace, w.info).total();
+    EXPECT_GT(gpu_speedup, 1.5) << w.spec.name;
+    EXPECT_LT(gpu_speedup, 2.1) << w.spec.name;
+    const double speedup = cpu_t / booster.train_cost(w.trace, w.info).total();
+    EXPECT_GT(speedup, 3.0) << w.spec.name;
+    booster_speedups.push_back(speedup);
+    if (w.spec.name == "IoT") iot_speedup = speedup;
+    max_speedup = std::max(max_speedup, speedup);
+  }
+  EXPECT_EQ(iot_speedup, max_speedup) << "IoT must achieve the top speedup";
+  const double geomean = util::geomean(booster_speedups);
+  EXPECT_GT(geomean, 7.0);
+  EXPECT_LT(geomean, 16.0);
+}
+
+TEST(Integration, BoosterAcceleratedStepsAreSmall) {
+  // Fig 8: Booster makes the accelerated steps a small fraction of the
+  // Ideal 32-core total.
+  const CpuLikeModel cpu(baselines::ideal_cpu_params());
+  const BoosterModel booster;
+  for (const auto& w : all_workloads()) {
+    const double base = cpu.train_cost(w.trace, w.info).total();
+    const auto b = booster.train_cost(w.trace, w.info);
+    const double accel = b[trace::StepKind::kHistogram] +
+                         b[trace::StepKind::kPartition] +
+                         b[trace::StepKind::kTraversal];
+    EXPECT_LT(accel / base, 0.20) << w.spec.name;
+  }
+}
+
+TEST(Integration, ScalingUpRecordsImprovesBoosterSpeedup) {
+  // Fig 12: 10x records -> higher speedups everywhere.
+  const CpuLikeModel cpu(baselines::ideal_cpu_params());
+  const BoosterModel booster;
+  for (const auto& w : all_workloads()) {
+    const auto scaled = w.trace.scaled_by(10.0);
+    auto info10 = w.info;
+    info10.nominal_records *= 10;
+    const double s1 = cpu.train_cost(w.trace, w.info).total() /
+                      booster.train_cost(w.trace, w.info).total();
+    const double s10 = cpu.train_cost(scaled, info10).total() /
+                       booster.train_cost(scaled, info10).total();
+    EXPECT_GE(s10, s1 * 0.999) << w.spec.name;
+  }
+}
+
+TEST(Integration, InferenceSpeedupClusters) {
+  // Fig 13: deep-tree benchmarks cluster at one speedup; IoT (shallow
+  // trees) falls below it.
+  const CpuLikeModel cpu(baselines::ideal_cpu_params());
+  const BoosterModel booster;
+  double iot = 0.0;
+  util::Accumulator deep;
+  for (const auto& w : all_workloads()) {
+    perf::InferenceSpec spec;
+    spec.records = static_cast<double>(w.spec.nominal_records);
+    spec.trees = w.info.trees;
+    spec.max_depth = w.train.model.max_tree_depth();
+    spec.avg_path_length = w.train.model.avg_path_length(w.binned);
+    spec.record_bytes = w.info.record_bytes;
+    const double speedup =
+        cpu.inference_cost(spec) / booster.inference_cost(spec);
+    if (w.spec.name == "IoT") {
+      iot = speedup;
+    } else {
+      deep.add(speedup);
+    }
+  }
+  EXPECT_LT(iot, deep.min()) << "IoT's shallow trees must lower its speedup";
+  EXPECT_GT(deep.mean(), 30.0);
+  EXPECT_LT(deep.max() - deep.min(), 10.0) << "deep-tree cluster is tight";
+}
+
+TEST(Integration, FunctionalEnginesAgreeWithTrainerOnRealWorkload) {
+  // Cross-check the BU-array inference engine against the trained model on
+  // an actual benchmark sample (beyond the unit fixtures).
+  const auto& w = all_workloads()[1];  // Higgs
+  const core::InferenceEngine engine{core::BoosterConfig{}};
+  const auto result = engine.run(w.binned, w.train.model);
+  for (std::uint64_t r = 0; r < std::min<std::uint64_t>(200, w.binned.num_records());
+       ++r) {
+    EXPECT_NEAR(result.raw_predictions[r],
+                w.train.model.predict_raw(w.binned, r), 1e-9);
+  }
+}
+
+TEST(Integration, EnergyOrderingHoldsOnAllBenchmarks) {
+  const CpuLikeModel cpu(baselines::ideal_cpu_params());
+  const CpuLikeModel gpu(baselines::ideal_gpu_params());
+  const BoosterModel booster;
+  const energy::EnergyModel em;
+  for (const auto& w : all_workloads()) {
+    const auto e_cpu = em.energy(cpu.train_activity(w.trace, w.info));
+    const auto e_gpu = em.energy(gpu.train_activity(w.trace, w.info));
+    const auto e_bst = em.energy(booster.train_activity(w.trace, w.info));
+    EXPECT_LT(e_bst.sram_joules, e_cpu.sram_joules) << w.spec.name;
+    EXPECT_LE(e_bst.dram_joules, e_cpu.dram_joules) << w.spec.name;
+    EXPECT_GT(e_gpu.sram_joules, e_cpu.sram_joules) << w.spec.name;
+  }
+}
+
+TEST(Integration, ModelsAreDeterministicAcrossRuns) {
+  workloads::RunnerConfig cfg;
+  cfg.sim_records = 3000;
+  cfg.sim_trees = 3;
+  const auto a = workloads::run_workload(workloads::spec_by_name("Flight"), cfg);
+  const auto b = workloads::run_workload(workloads::spec_by_name("Flight"), cfg);
+  const BoosterModel booster;
+  EXPECT_DOUBLE_EQ(booster.train_cost(a.trace, a.info).total(),
+                   booster.train_cost(b.trace, b.info).total());
+}
+
+}  // namespace
+}  // namespace booster

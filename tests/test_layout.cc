@@ -1,0 +1,53 @@
+#include "gbdt/layout.h"
+
+#include <gtest/gtest.h>
+
+namespace booster::gbdt {
+namespace {
+
+TEST(RecordLayout, NarrowFieldsOneBytePerField) {
+  const auto layout = RecordLayout::from_field_features({10, 256, 200}, 256);
+  EXPECT_EQ(layout.record_bytes, 3u);
+  EXPECT_EQ(layout.field_slot_bytes[0], 1u);
+  EXPECT_EQ(layout.field_slot_bytes[1], 1u);
+}
+
+TEST(RecordLayout, WideFieldRepeatsBytePerSram) {
+  // Paper SS III-C extension 3: a field spread over k SRAMs repeats its bin
+  // byte k times so the fixed left-to-right distribution stays one-to-one.
+  const auto layout = RecordLayout::from_field_features({257, 512, 513}, 256);
+  EXPECT_EQ(layout.field_slot_bytes[0], 2u);
+  EXPECT_EQ(layout.field_slot_bytes[1], 2u);
+  EXPECT_EQ(layout.field_slot_bytes[2], 3u);
+  EXPECT_EQ(layout.record_bytes, 7u);
+}
+
+TEST(RecordLayout, ZeroFeatureFieldStillOccupiesOneSlot) {
+  const auto layout = RecordLayout::from_field_features({0}, 256);
+  EXPECT_EQ(layout.record_bytes, 1u);
+}
+
+TEST(RecordLayout, RowMajorPacksTwoSmallRecords) {
+  RecordLayout layout;
+  layout.record_bytes = 28;  // Higgs-like
+  EXPECT_DOUBLE_EQ(layout.row_major_bytes_per_record(), 32.0);
+}
+
+TEST(RecordLayout, RowMajorHalfBlockBoundary) {
+  RecordLayout layout;
+  layout.record_bytes = 32;  // exactly half: still packs two per block
+  EXPECT_DOUBLE_EQ(layout.row_major_bytes_per_record(), 32.0);
+  layout.record_bytes = 33;  // just over half: whole block each
+  EXPECT_DOUBLE_EQ(layout.row_major_bytes_per_record(), 64.0);
+}
+
+TEST(RecordLayout, RowMajorMultiBlockRoundsUp) {
+  RecordLayout layout;
+  layout.record_bytes = 115;  // IoT-like -> 2 blocks
+  EXPECT_DOUBLE_EQ(layout.row_major_bytes_per_record(), 128.0);
+  layout.record_bytes = 129;  // 3 blocks
+  EXPECT_DOUBLE_EQ(layout.row_major_bytes_per_record(), 192.0);
+}
+
+}  // namespace
+}  // namespace booster::gbdt

@@ -1,0 +1,102 @@
+#include "gbdt/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "gbdt/trainer.h"
+
+namespace booster::gbdt {
+namespace {
+
+/// Dataset whose single numeric field *is* the score: record r has value r.
+BinnedDataset ladder_data(const std::vector<float>& labels) {
+  Dataset d;
+  d.add_numeric_field("x");
+  d.resize(labels.size());
+  for (std::size_t r = 0; r < labels.size(); ++r) {
+    d.set_numeric(0, r, static_cast<float>(r));
+    d.set_label(r, labels[r]);
+  }
+  return Binner().bin(d);
+}
+
+/// Model with one stump: predict high for bins above `threshold`.
+Model stump_model(std::uint16_t threshold, const std::string& loss) {
+  Model m(0.0, make_loss(loss));
+  Tree t;
+  SplitInfo s;
+  s.field = 0;
+  s.kind = PredicateKind::kNumericLE;
+  s.threshold_bin = threshold;
+  const auto [l, r] = t.split_leaf(t.root(), s);
+  t.set_leaf_weight(l, -2.0);
+  t.set_leaf_weight(r, 2.0);
+  m.add_tree(std::move(t));
+  return m;
+}
+
+TEST(Auc, PerfectSeparationIsOne) {
+  // Labels: low half 0, high half 1; stump at the midpoint.
+  std::vector<float> labels(10, 0.0f);
+  for (int i = 5; i < 10; ++i) labels[i] = 1.0f;
+  const auto data = ladder_data(labels);
+  const auto model = stump_model(5, "logistic");
+  EXPECT_DOUBLE_EQ(auc(model, data), 1.0);
+}
+
+TEST(Auc, InvertedSeparationIsZero) {
+  std::vector<float> labels(10, 1.0f);
+  for (int i = 5; i < 10; ++i) labels[i] = 0.0f;
+  const auto data = ladder_data(labels);
+  const auto model = stump_model(5, "logistic");
+  EXPECT_DOUBLE_EQ(auc(model, data), 0.0);
+}
+
+TEST(Auc, ConstantScoresAreChance) {
+  std::vector<float> labels{0.0f, 1.0f, 0.0f, 1.0f};
+  const auto data = ladder_data(labels);
+  const Model constant(0.0, make_loss("logistic"));  // no trees
+  EXPECT_DOUBLE_EQ(auc(constant, data), 0.5);
+}
+
+TEST(Auc, SingleClassIsChance) {
+  std::vector<float> labels(6, 1.0f);
+  const auto data = ladder_data(labels);
+  const auto model = stump_model(3, "logistic");
+  EXPECT_DOUBLE_EQ(auc(model, data), 0.5);
+}
+
+TEST(Rmse, ZeroForExactModel) {
+  // Model predicting base score equal to the constant label.
+  std::vector<float> labels(8, 1.5f);
+  const auto data = ladder_data(labels);
+  const Model m(1.5, make_loss("squared"));
+  EXPECT_NEAR(rmse(m, data), 0.0, 1e-9);
+}
+
+TEST(Rmse, KnownError) {
+  std::vector<float> labels(4, 0.0f);
+  const auto data = ladder_data(labels);
+  const Model m(2.0, make_loss("squared"));  // constant prediction 2
+  EXPECT_DOUBLE_EQ(rmse(m, data), 2.0);
+}
+
+TEST(Accuracy, CountsThresholdedMatches) {
+  std::vector<float> labels{0.0f, 0.0f, 1.0f, 1.0f};
+  const auto data = ladder_data(labels);
+  const auto model = stump_model(2, "logistic");
+  EXPECT_DOUBLE_EQ(accuracy(model, data), 1.0);
+  // A stump splitting in the wrong place misclassifies one record.
+  const auto off = stump_model(3, "logistic");
+  EXPECT_DOUBLE_EQ(accuracy(off, data), 0.75);
+}
+
+TEST(MeanLoss, MatchesLossDefinition) {
+  std::vector<float> labels(4, 1.0f);
+  const auto data = ladder_data(labels);
+  const Model m(3.0, make_loss("squared"));
+  // squared: 0.5 * (3-1)^2 = 2 per record.
+  EXPECT_DOUBLE_EQ(mean_loss(m, data), 2.0);
+}
+
+}  // namespace
+}  // namespace booster::gbdt

@@ -1,0 +1,122 @@
+#include "gbdt/model_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "gbdt/metrics.h"
+#include "gbdt/trainer.h"
+#include "workloads/synth.h"
+
+namespace booster::gbdt {
+namespace {
+
+struct Trained {
+  BinnedDataset data;
+  Model model;
+};
+
+Trained train_small(const std::string& loss, std::uint32_t trees = 5) {
+  workloads::DatasetSpec spec;
+  spec.name = "io-test";
+  spec.nominal_records = 1500;
+  spec.numeric_fields = 5;
+  spec.categorical_cardinalities = {6};
+  spec.missing_rate = 0.05;
+  spec.loss = loss;
+  auto binned = Binner().bin(workloads::synthesize(spec, 1500, 17));
+  TrainerConfig cfg;
+  cfg.num_trees = trees;
+  cfg.max_depth = 4;
+  cfg.loss = loss;
+  auto result = Trainer(cfg).train(binned);
+  return Trained{std::move(binned), std::move(result.model)};
+}
+
+TEST(ModelIo, RoundTripPreservesPredictions) {
+  const auto t = train_small("logistic");
+  std::stringstream buffer;
+  save_model(t.model, buffer);
+  const Model loaded = load_model(buffer);
+  ASSERT_EQ(loaded.num_trees(), t.model.num_trees());
+  EXPECT_DOUBLE_EQ(loaded.base_score(), t.model.base_score());
+  for (std::uint64_t r = 0; r < t.data.num_records(); ++r) {
+    EXPECT_DOUBLE_EQ(loaded.predict_raw(t.data, r),
+                     t.model.predict_raw(t.data, r));
+  }
+}
+
+TEST(ModelIo, RoundTripPreservesLossTransform) {
+  const auto t = train_small("logistic");
+  std::stringstream buffer;
+  save_model(t.model, buffer);
+  const Model loaded = load_model(buffer);
+  EXPECT_EQ(loaded.loss().name(), "logistic");
+  for (std::uint64_t r = 0; r < 50; ++r) {
+    EXPECT_DOUBLE_EQ(loaded.predict(t.data, r), t.model.predict(t.data, r));
+  }
+}
+
+TEST(ModelIo, RoundTripAllLossKinds) {
+  for (const char* loss : {"squared", "logistic", "ranking"}) {
+    const auto t = train_small(loss, 3);
+    std::stringstream buffer;
+    save_model(t.model, buffer);
+    const Model loaded = load_model(buffer);
+    for (std::uint64_t r = 0; r < 20; ++r) {
+      EXPECT_DOUBLE_EQ(loaded.predict_raw(t.data, r),
+                       t.model.predict_raw(t.data, r))
+          << loss;
+    }
+  }
+}
+
+TEST(ModelIo, PreservesTreeStructure) {
+  const auto t = train_small("squared");
+  std::stringstream buffer;
+  save_model(t.model, buffer);
+  const Model loaded = load_model(buffer);
+  for (std::uint32_t i = 0; i < loaded.num_trees(); ++i) {
+    EXPECT_EQ(loaded.trees()[i].num_nodes(), t.model.trees()[i].num_nodes());
+    EXPECT_EQ(loaded.trees()[i].num_leaves(), t.model.trees()[i].num_leaves());
+    EXPECT_EQ(loaded.trees()[i].max_depth(), t.model.trees()[i].max_depth());
+    EXPECT_EQ(loaded.trees()[i].relevant_fields(),
+              t.model.trees()[i].relevant_fields());
+  }
+}
+
+TEST(ModelIo, FileRoundTrip) {
+  const auto t = train_small("logistic", 2);
+  const std::string path = "/tmp/booster_test_model.txt";
+  ASSERT_TRUE(save_model_file(t.model, path));
+  const Model loaded = load_model_file(path);
+  EXPECT_DOUBLE_EQ(rmse(loaded, t.data), rmse(t.model, t.data));
+}
+
+TEST(ModelIo, SaveToUnwritablePathFails) {
+  const auto t = train_small("squared", 1);
+  EXPECT_FALSE(save_model_file(t.model, "/nonexistent-dir/model.txt"));
+}
+
+TEST(ModelIo, SingleLeafModel) {
+  // An ensemble whose trees never split must round-trip too.
+  Model m(0.25, make_loss("squared"));
+  Tree stump;
+  stump.set_leaf_weight(stump.root(), 1.5);
+  m.add_tree(std::move(stump));
+  std::stringstream buffer;
+  save_model(m, buffer);
+  const Model loaded = load_model(buffer);
+  EXPECT_EQ(loaded.num_trees(), 1u);
+  EXPECT_DOUBLE_EQ(loaded.trees()[0].node(0).weight, 1.5);
+}
+
+TEST(ModelIo, FormatIsVersioned) {
+  Model m(0.0, make_loss("squared"));
+  std::stringstream buffer;
+  save_model(m, buffer);
+  EXPECT_EQ(buffer.str().rfind("booster-model v1", 0), 0u);
+}
+
+}  // namespace
+}  // namespace booster::gbdt

@@ -1,0 +1,116 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace booster::util {
+namespace {
+
+TEST(SplitMix64, DeterministicSequence) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, DeterministicGivenSeed) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(11);
+  for (const std::uint64_t bound : {1ULL, 2ULL, 7ULL, 100ULL, 1000000ULL}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, NextBelowCoversRange) {
+  Rng rng(13);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.next_below(8));
+  EXPECT_EQ(seen.size(), 8u);  // all 8 values hit in 1000 draws
+}
+
+TEST(Rng, UniformMeanNearCenter) {
+  Rng rng(17);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.uniform(-1.0, 1.0);
+  EXPECT_NEAR(sum / kN, 0.0, 0.02);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(19);
+  double sum = 0.0;
+  double sq = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.02);
+  EXPECT_NEAR(sq / kN, 1.0, 0.03);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(23);
+  int hits = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+TEST(ZipfSampler, FrequenciesDecreaseWithRank) {
+  Rng rng(29);
+  ZipfSampler zipf(50, 1.2);
+  std::vector<int> counts(50, 0);
+  for (int i = 0; i < 200000; ++i) ++counts[zipf.draw(rng)];
+  // Category 0 must dominate and the tail must thin out.
+  EXPECT_GT(counts[0], counts[5]);
+  EXPECT_GT(counts[5], counts[49]);
+  EXPECT_GT(counts[0], 200000 / 10);
+}
+
+TEST(ZipfSampler, SingleCategory) {
+  Rng rng(31);
+  ZipfSampler zipf(1, 1.5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.draw(rng), 0u);
+}
+
+TEST(ZipfSampler, HigherSkewConcentratesMass) {
+  Rng rng_a(37);
+  Rng rng_b(37);
+  ZipfSampler mild(100, 0.8);
+  ZipfSampler steep(100, 2.0);
+  int mild_top = 0;
+  int steep_top = 0;
+  for (int i = 0; i < 50000; ++i) {
+    mild_top += mild.draw(rng_a) == 0 ? 1 : 0;
+    steep_top += steep.draw(rng_b) == 0 ? 1 : 0;
+  }
+  EXPECT_GT(steep_top, mild_top);
+}
+
+}  // namespace
+}  // namespace booster::util

@@ -1,0 +1,236 @@
+#include "gbdt/split.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "gbdt/binning.h"
+
+namespace booster::gbdt {
+namespace {
+
+/// Builds a binned dataset with one numeric field whose bin per record is
+/// prescribed, so histogram contents are fully controlled.
+BinnedDataset dataset_from_bins(const std::vector<BinIndex>& bins,
+                                std::uint32_t num_bins) {
+  Dataset d;
+  d.add_numeric_field("x");
+  d.resize(bins.size());
+  // Values 0..num_bins-2 -> bins 1..num_bins-1 after quantile binning of
+  // the full integer range; missing (bin 0) encoded as NaN.
+  for (std::size_t r = 0; r < bins.size(); ++r) {
+    if (bins[r] == 0) {
+      d.set_numeric(0, r, std::numeric_limits<float>::quiet_NaN());
+    } else {
+      d.set_numeric(0, r, static_cast<float>(bins[r] - 1));
+    }
+  }
+  BinningConfig cfg;
+  cfg.max_numeric_bins = num_bins - 1;
+  auto binned = Binner(cfg).bin(d);
+  return binned;
+}
+
+Histogram build_hist(const BinnedDataset& data,
+                     const std::vector<GradientPair>& grads) {
+  std::vector<std::uint32_t> rows(data.num_records());
+  std::iota(rows.begin(), rows.end(), 0);
+  Histogram hist(data);
+  hist.build(data, rows, grads);
+  return hist;
+}
+
+TEST(LeafWeight, NewtonStep) {
+  BinStats t{10.0, 5.0, 9.0};
+  EXPECT_DOUBLE_EQ(leaf_weight(t, 1.0), -0.5);  // -G/(H+lambda)
+}
+
+TEST(BucketScore, Formula) {
+  BinStats t{10.0, 4.0, 3.0};
+  EXPECT_DOUBLE_EQ(bucket_score(t, 1.0), 4.0);  // G^2/(H+lambda)
+}
+
+TEST(SplitFinder, FindsObviousNumericSplit) {
+  // Records in low bins have g=+1, high bins g=-1: the best split is at the
+  // boundary.
+  std::vector<BinIndex> bins;
+  std::vector<GradientPair> grads;
+  for (int i = 0; i < 100; ++i) {
+    bins.push_back(i < 50 ? 1 : 4);
+    grads.push_back({i < 50 ? 1.0f : -1.0f, 1.0f});
+  }
+  const auto data = dataset_from_bins(bins, 5);
+  const auto hist = build_hist(data, grads);
+  std::uint64_t scanned = 0;
+  const auto split = SplitFinder().find_best(hist, data, &scanned);
+  ASSERT_TRUE(split.has_value());
+  EXPECT_EQ(split->field, 0u);
+  EXPECT_EQ(split->kind, PredicateKind::kNumericLE);
+  EXPECT_GT(split->gain, 0.0);
+  EXPECT_DOUBLE_EQ(split->left.count, 50.0);
+  EXPECT_DOUBLE_EQ(split->right.count, 50.0);
+  EXPECT_GT(scanned, 0u);
+}
+
+TEST(SplitFinder, GainMatchesHandComputation) {
+  // Two value bins, equal counts: GL=+8 (h=4), GR=-8 (h=4), lambda=1.
+  std::vector<BinIndex> bins;
+  std::vector<GradientPair> grads;
+  for (int i = 0; i < 8; ++i) {
+    bins.push_back(i < 4 ? 1 : 2);
+    grads.push_back({i < 4 ? 2.0f : -2.0f, 1.0f});
+  }
+  const auto data = dataset_from_bins(bins, 3);
+  const auto hist = build_hist(data, grads);
+  SplitConfig cfg;
+  cfg.lambda = 1.0;
+  cfg.gamma = 0.0;
+  const auto split = SplitFinder(cfg).find_best(hist, data);
+  ASSERT_TRUE(split.has_value());
+  // gain = 0.5 * (64/5 + 64/5 - 0/9) = 12.8
+  EXPECT_NEAR(split->gain, 12.8, 1e-9);
+}
+
+TEST(SplitFinder, GammaSubtractsFromGain) {
+  std::vector<BinIndex> bins;
+  std::vector<GradientPair> grads;
+  for (int i = 0; i < 8; ++i) {
+    bins.push_back(i < 4 ? 1 : 2);
+    grads.push_back({i < 4 ? 2.0f : -2.0f, 1.0f});
+  }
+  const auto data = dataset_from_bins(bins, 3);
+  const auto hist = build_hist(data, grads);
+  SplitConfig cfg;
+  cfg.gamma = 1.0;
+  const auto split = SplitFinder(cfg).find_best(hist, data);
+  ASSERT_TRUE(split.has_value());
+  EXPECT_NEAR(split->gain, 11.8, 1e-9);
+}
+
+TEST(SplitFinder, RejectsWhenGammaExceedsImprovement) {
+  std::vector<BinIndex> bins;
+  std::vector<GradientPair> grads;
+  for (int i = 0; i < 8; ++i) {
+    bins.push_back(i < 4 ? 1 : 2);
+    grads.push_back({i < 4 ? 2.0f : -2.0f, 1.0f});
+  }
+  const auto data = dataset_from_bins(bins, 3);
+  const auto hist = build_hist(data, grads);
+  SplitConfig cfg;
+  cfg.gamma = 100.0;  // larger than any achievable improvement
+  EXPECT_FALSE(SplitFinder(cfg).find_best(hist, data).has_value());
+}
+
+TEST(SplitFinder, MinChildWeightBlocksTinyChildren) {
+  // One record in bin 1, many in bin 2: a split isolating the single
+  // record violates min_child_weight.
+  std::vector<BinIndex> bins{1};
+  std::vector<GradientPair> grads{{5.0f, 0.5f}};
+  for (int i = 0; i < 50; ++i) {
+    bins.push_back(2);
+    grads.push_back({-0.1f, 1.0f});
+  }
+  const auto data = dataset_from_bins(bins, 3);
+  const auto hist = build_hist(data, grads);
+  SplitConfig cfg;
+  cfg.min_child_weight = 2.0;  // the lone record has h=0.5 < 2.0
+  EXPECT_FALSE(SplitFinder(cfg).find_best(hist, data).has_value());
+}
+
+TEST(SplitFinder, MissingValuesFollowBetterDirection) {
+  // Missing records carry strong positive gradients; the positive side is
+  // the low bins, so default_left should be true.
+  std::vector<BinIndex> bins;
+  std::vector<GradientPair> grads;
+  for (int i = 0; i < 40; ++i) {
+    bins.push_back(i < 20 ? 1 : 4);
+    grads.push_back({i < 20 ? 1.0f : -1.0f, 1.0f});
+  }
+  for (int i = 0; i < 10; ++i) {
+    bins.push_back(0);  // missing
+    grads.push_back({1.0f, 1.0f});
+  }
+  const auto data = dataset_from_bins(bins, 5);
+  const auto hist = build_hist(data, grads);
+  const auto split = SplitFinder().find_best(hist, data);
+  ASSERT_TRUE(split.has_value());
+  EXPECT_TRUE(split->default_left);
+  // And flipping the missing gradients should flip the default.
+  std::vector<GradientPair> flipped = grads;
+  for (std::size_t i = 40; i < flipped.size(); ++i) flipped[i].g = -1.0f;
+  const auto hist2 = build_hist(data, flipped);
+  const auto split2 = SplitFinder().find_best(hist2, data);
+  ASSERT_TRUE(split2.has_value());
+  EXPECT_FALSE(split2->default_left);
+}
+
+TEST(SplitFinder, CategoricalEqualitySplit) {
+  // Category 3 (bin 4) carries all the positive gradient; best split must
+  // be "category == 3".
+  Dataset d;
+  d.add_categorical_field("c", 5);
+  d.resize(100);
+  std::vector<GradientPair> grads(100);
+  for (std::uint64_t r = 0; r < 100; ++r) {
+    const bool special = r < 10;
+    d.set_categorical(0, r, special ? 3 : static_cast<std::int32_t>(r % 3));
+    grads[r] = {special ? 3.0f : -0.2f, 1.0f};
+  }
+  const auto data = Binner().bin(d);
+  const auto hist = build_hist(data, grads);
+  const auto split = SplitFinder().find_best(hist, data);
+  ASSERT_TRUE(split.has_value());
+  EXPECT_EQ(split->kind, PredicateKind::kCategoryEqual);
+  EXPECT_EQ(split->threshold_bin, 4u);  // category 3 -> bin 4
+  EXPECT_DOUBLE_EQ(split->left.count, 10.0);
+}
+
+TEST(SplitFinder, LeftPlusRightEqualsTotals) {
+  std::vector<BinIndex> bins;
+  std::vector<GradientPair> grads;
+  for (int i = 0; i < 60; ++i) {
+    bins.push_back(static_cast<BinIndex>(1 + (i % 4)));
+    grads.push_back({static_cast<float>((i % 7) - 3), 1.0f});
+  }
+  const auto data = dataset_from_bins(bins, 5);
+  const auto hist = build_hist(data, grads);
+  const auto split = SplitFinder().find_best(hist, data);
+  ASSERT_TRUE(split.has_value());
+  const auto totals = hist.totals();
+  EXPECT_DOUBLE_EQ(split->left.count + split->right.count, totals.count);
+  EXPECT_NEAR(split->left.g + split->right.g, totals.g, 1e-9);
+  EXPECT_NEAR(split->left.h + split->right.h, totals.h, 1e-9);
+}
+
+TEST(SplitFinder, BinsScannedCountsAllFields) {
+  Dataset d;
+  d.add_numeric_field("x");
+  d.add_categorical_field("c", 7);
+  d.resize(50);
+  for (std::uint64_t r = 0; r < 50; ++r) {
+    d.set_numeric(0, r, static_cast<float>(r % 10));
+    d.set_categorical(1, r, static_cast<std::int32_t>(r % 7));
+  }
+  const auto data = Binner().bin(d);
+  std::vector<GradientPair> grads(50, {1.0f, 1.0f});
+  const auto hist = build_hist(data, grads);
+  std::uint64_t scanned = 0;
+  (void)SplitFinder().find_best(hist, data, &scanned);
+  EXPECT_EQ(scanned, data.total_bins());
+}
+
+TEST(SplitFinder, UniformGradientsYieldNoSplit) {
+  // All records identical gradients: no split improves the objective.
+  std::vector<BinIndex> bins;
+  std::vector<GradientPair> grads;
+  for (int i = 0; i < 64; ++i) {
+    bins.push_back(static_cast<BinIndex>(1 + (i % 4)));
+    grads.push_back({1.0f, 1.0f});
+  }
+  const auto data = dataset_from_bins(bins, 5);
+  const auto hist = build_hist(data, grads);
+  EXPECT_FALSE(SplitFinder().find_best(hist, data).has_value());
+}
+
+}  // namespace
+}  // namespace booster::gbdt

@@ -1,0 +1,79 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+namespace booster::util {
+namespace {
+
+TEST(Mean, EmptyIsZero) { EXPECT_EQ(mean({}), 0.0); }
+
+TEST(Mean, SimpleAverage) {
+  const std::array<double, 4> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+}
+
+TEST(Geomean, MatchesHandComputation) {
+  const std::array<double, 2> xs{4.0, 9.0};
+  EXPECT_DOUBLE_EQ(geomean(xs), 6.0);
+}
+
+TEST(Geomean, SingleElement) {
+  const std::array<double, 1> xs{11.4};
+  EXPECT_DOUBLE_EQ(geomean(xs), 11.4);
+}
+
+TEST(Geomean, InvariantUnderReciprocalPairs) {
+  const std::array<double, 2> xs{8.0, 1.0 / 8.0};
+  EXPECT_NEAR(geomean(xs), 1.0, 1e-12);
+}
+
+TEST(Variance, KnownValue) {
+  const std::array<double, 3> xs{2.0, 4.0, 6.0};
+  EXPECT_DOUBLE_EQ(variance(xs), 4.0);  // sample variance, n-1
+}
+
+TEST(Variance, FewerThanTwoIsZero) {
+  const std::array<double, 1> xs{5.0};
+  EXPECT_EQ(variance(xs), 0.0);
+  EXPECT_EQ(variance({}), 0.0);
+}
+
+TEST(Percentile, EndpointsAndMedian) {
+  const std::array<double, 5> xs{5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 3.0);
+}
+
+TEST(Percentile, Interpolates) {
+  const std::array<double, 2> xs{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 25.0), 2.5);
+}
+
+TEST(Accumulator, TracksMinMaxMeanCount) {
+  Accumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_EQ(acc.mean(), 0.0);
+  acc.add(3.0);
+  acc.add(-1.0);
+  acc.add(4.0);
+  EXPECT_EQ(acc.count(), 3u);
+  EXPECT_DOUBLE_EQ(acc.min(), -1.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 4.0);
+  EXPECT_DOUBLE_EQ(acc.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.sum(), 6.0);
+}
+
+TEST(Accumulator, SingleValue) {
+  Accumulator acc;
+  acc.add(7.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 7.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 7.0);
+  EXPECT_DOUBLE_EQ(acc.mean(), 7.0);
+}
+
+}  // namespace
+}  // namespace booster::util

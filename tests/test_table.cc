@@ -1,0 +1,49 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace booster::util {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t({"a", "bb"});
+  t.add_row({"x", "y"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| a"), std::string::npos);
+  EXPECT_NE(s.find("| x"), std::string::npos);
+  EXPECT_NE(s.find("|---"), std::string::npos);
+}
+
+TEST(Table, ColumnsAlignToWidestCell) {
+  Table t({"h"});
+  t.add_row({"longvalue"});
+  const std::string s = t.to_string();
+  // Header cell must be padded to the row's width.
+  EXPECT_NE(s.find("| h         |"), std::string::npos);
+  EXPECT_NE(s.find("| longvalue |"), std::string::npos);
+}
+
+TEST(Fmt, Digits) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(3.14159, 0), "3");
+}
+
+TEST(FmtX, Multiplier) { EXPECT_EQ(fmt_x(11.42), "11.4x"); }
+
+TEST(FmtPct, Percentage) { EXPECT_EQ(fmt_pct(0.982), "98.2%"); }
+
+TEST(FmtBytes, UnitSelection) {
+  EXPECT_EQ(fmt_bytes(512), "512.0 B");
+  EXPECT_EQ(fmt_bytes(2048), "2.0 KB");
+  EXPECT_EQ(fmt_bytes(6.4 * 1024 * 1024), "6.4 MB");
+}
+
+TEST(FmtTime, UnitSelection) {
+  EXPECT_EQ(fmt_time(120.0), "2.0 min");
+  EXPECT_EQ(fmt_time(2.5), "2.50 s");
+  EXPECT_EQ(fmt_time(0.0025), "2.50 ms");
+  EXPECT_EQ(fmt_time(2.5e-6), "2.50 us");
+}
+
+}  // namespace
+}  // namespace booster::util

@@ -1,0 +1,96 @@
+#include "trace/step_trace.h"
+
+#include <gtest/gtest.h>
+
+namespace booster::trace {
+namespace {
+
+StepEvent hist_event(std::uint64_t records, std::uint32_t fields) {
+  StepEvent e;
+  e.kind = StepKind::kHistogram;
+  e.records = records;
+  e.record_fields = fields;
+  e.fields_touched = fields;
+  return e;
+}
+
+TEST(StepTrace, EmptyByDefault) {
+  StepTrace t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.totals().hist_records, 0.0);
+}
+
+TEST(StepTrace, ScaledRecordsApplyScale) {
+  StepTrace t(10.0);
+  const auto e = hist_event(100, 4);
+  EXPECT_DOUBLE_EQ(t.scaled_records(e), 1000.0);
+}
+
+TEST(StepTrace, TotalsAggregatePerKind) {
+  StepTrace t;
+  t.add(hist_event(100, 4));
+  StepEvent part;
+  part.kind = StepKind::kPartition;
+  part.records = 50;
+  t.add(part);
+  StepEvent trav;
+  trav.kind = StepKind::kTraversal;
+  trav.records = 100;
+  trav.avg_path_length = 3.0;
+  t.add(trav);
+  StepEvent split;
+  split.kind = StepKind::kSplitSelect;
+  split.bins_scanned = 1000;
+  t.add(split);
+
+  const auto totals = t.totals();
+  EXPECT_DOUBLE_EQ(totals.hist_records, 100.0);
+  EXPECT_DOUBLE_EQ(totals.record_field_updates, 400.0);
+  EXPECT_DOUBLE_EQ(totals.partition_records, 50.0);
+  EXPECT_DOUBLE_EQ(totals.traversal_records, 100.0);
+  EXPECT_DOUBLE_EQ(totals.traversal_record_hops, 300.0);
+  EXPECT_DOUBLE_EQ(totals.bins_scanned, 1000.0);
+  EXPECT_EQ(totals.split_events, 1u);
+}
+
+TEST(StepTrace, RepeatScalesEverything) {
+  StepTrace t;
+  t.set_repeat(5.0);
+  t.add(hist_event(10, 2));
+  StepEvent split;
+  split.kind = StepKind::kSplitSelect;
+  split.bins_scanned = 100;
+  t.add(split);
+  const auto totals = t.totals();
+  EXPECT_DOUBLE_EQ(totals.hist_records, 50.0);
+  EXPECT_DOUBLE_EQ(totals.record_field_updates, 100.0);
+  EXPECT_DOUBLE_EQ(totals.bins_scanned, 500.0);
+}
+
+TEST(StepTrace, ScaledByMultipliesScale) {
+  StepTrace t(2.0);
+  t.add(hist_event(10, 1));
+  const auto scaled = t.scaled_by(10.0);
+  EXPECT_DOUBLE_EQ(scaled.scale(), 20.0);
+  EXPECT_DOUBLE_EQ(scaled.totals().hist_records, 200.0);
+  // Original unchanged.
+  EXPECT_DOUBLE_EQ(t.totals().hist_records, 20.0);
+}
+
+TEST(StepTrace, TreesFromMaxTreeIndex) {
+  StepTrace t;
+  auto e = hist_event(1, 1);
+  e.tree = 7;
+  t.add(e);
+  EXPECT_EQ(t.totals().trees, 8u);
+}
+
+TEST(StepName, AllKindsNamed) {
+  EXPECT_STREQ(step_name(StepKind::kHistogram), "step1-hist");
+  EXPECT_STREQ(step_name(StepKind::kSplitSelect), "step2-split");
+  EXPECT_STREQ(step_name(StepKind::kPartition), "step3-partition");
+  EXPECT_STREQ(step_name(StepKind::kTraversal), "step5-traversal");
+}
+
+}  // namespace
+}  // namespace booster::trace

@@ -1,0 +1,64 @@
+#include "memsim/trace_player.h"
+
+#include <gtest/gtest.h>
+
+namespace booster::memsim {
+namespace {
+
+TEST(TracePlayer, SequentialBuilderProducesOrderedReads) {
+  const auto trace = TracePlayer::sequential_read(10, 5);
+  ASSERT_EQ(trace.size(), 10u);
+  EXPECT_EQ(trace.front().block_addr, 5u);
+  EXPECT_EQ(trace.back().block_addr, 14u);
+  for (const auto& e : trace) EXPECT_FALSE(e.is_write);
+}
+
+TEST(TracePlayer, BernoulliGatherDensity) {
+  const auto trace = TracePlayer::bernoulli_gather(100000, 0.1);
+  EXPECT_NEAR(static_cast<double>(trace.size()), 10000.0, 500.0);
+  // Addresses strictly increasing (ordered gather).
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_GT(trace[i].block_addr, trace[i - 1].block_addr);
+  }
+}
+
+TEST(TracePlayer, ReadWriteMixFractions) {
+  const auto trace = TracePlayer::read_write_mix(10000, 0.25);
+  std::size_t writes = 0;
+  for (const auto& e : trace) writes += e.is_write ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(writes), 2500.0, 200.0);
+}
+
+TEST(TracePlayer, ReplayCompletesAllRequests) {
+  TracePlayer player;
+  const auto result = player.replay(TracePlayer::sequential_read(5000));
+  EXPECT_EQ(result.bytes, 5000u * 64u);
+  EXPECT_GT(result.cycles, 0u);
+  EXPECT_GT(result.bandwidth_bytes_per_sec, 0.0);
+}
+
+TEST(TracePlayer, DenseGatherFasterThanSparsePerByteDelivered) {
+  // Sparse gathers lose row locality: lower bandwidth at equal bytes.
+  TracePlayer player;
+  const auto dense = player.replay(TracePlayer::sequential_read(20000));
+  const auto sparse =
+      player.replay(TracePlayer::bernoulli_gather(320000, 1.0 / 16.0));
+  EXPECT_GT(dense.bandwidth_bytes_per_sec, sparse.bandwidth_bytes_per_sec);
+  EXPECT_GT(dense.row_hit_rate, sparse.row_hit_rate);
+}
+
+TEST(TracePlayer, WriteHeavyMixStillCompletes) {
+  TracePlayer player;
+  const auto result = player.replay(TracePlayer::read_write_mix(8000, 0.5));
+  EXPECT_EQ(result.bytes, 8000u * 64u);
+}
+
+TEST(TracePlayer, EmptyTraceIsFree) {
+  TracePlayer player;
+  const auto result = player.replay({});
+  EXPECT_EQ(result.bytes, 0u);
+  EXPECT_EQ(result.cycles, 0u);
+}
+
+}  // namespace
+}  // namespace booster::memsim

@@ -1,0 +1,127 @@
+#include "perf/traffic.h"
+
+#include <gtest/gtest.h>
+
+#include "perf/host.h"
+
+namespace booster::perf {
+namespace {
+
+TEST(RowBytes, DensePairPacking) {
+  EXPECT_DOUBLE_EQ(row_bytes_per_record(28, true), 32.0);
+  EXPECT_DOUBLE_EQ(row_bytes_per_record(28, false), 64.0);
+}
+
+TEST(RowBytes, MultiBlockRecords) {
+  EXPECT_DOUBLE_EQ(row_bytes_per_record(115, true), 128.0);
+  EXPECT_DOUBLE_EQ(row_bytes_per_record(65, false), 128.0);
+}
+
+TEST(RowBytes, DensityInterpolation) {
+  // density 1 -> 32 B (pair always useful), density 0 -> 64 B.
+  EXPECT_DOUBLE_EQ(row_bytes_per_record_at_density(28, 1.0), 32.0);
+  EXPECT_DOUBLE_EQ(row_bytes_per_record_at_density(28, 0.0), 64.0);
+  const double mid = row_bytes_per_record_at_density(28, 0.5);
+  EXPECT_GT(mid, 32.0);
+  EXPECT_LT(mid, 64.0);
+}
+
+TEST(RowBytes, DensityIgnoredForLargeRecords) {
+  EXPECT_DOUBLE_EQ(row_bytes_per_record_at_density(115, 0.1), 128.0);
+  EXPECT_DOUBLE_EQ(row_bytes_per_record_at_density(40, 0.9), 64.0);
+}
+
+TEST(TouchedBlocks, DenseSelectionIsCompact) {
+  // Selecting everything: one block per 64 wanted elements.
+  EXPECT_NEAR(expected_touched_blocks(6400, 1.0, 64.0), 100.0, 1.0);
+}
+
+TEST(TouchedBlocks, SparseSelectionCostsOneBlockEach) {
+  // Density 1/1000: essentially every wanted element is its own block.
+  const double blocks = expected_touched_blocks(100, 0.001, 64.0);
+  EXPECT_GT(blocks, 90.0);
+  EXPECT_LE(blocks, 100.0);
+}
+
+TEST(TouchedBlocks, MonotonicInDensity) {
+  double prev = 1e18;
+  for (const double density : {0.01, 0.05, 0.25, 0.5, 1.0}) {
+    const double blocks = expected_touched_blocks(1000, density, 64.0);
+    EXPECT_LE(blocks, prev) << "higher density must touch fewer blocks";
+    prev = blocks;
+  }
+}
+
+TEST(TouchedBlocks, ZeroWantedIsZero) {
+  EXPECT_DOUBLE_EQ(expected_touched_blocks(0, 0.5, 64.0), 0.0);
+}
+
+TEST(HistogramBytes, RootStreamsWithoutPointers) {
+  trace::StepEvent e;
+  e.kind = trace::StepKind::kHistogram;
+  e.depth = 0;
+  const double root = histogram_bytes(e, 1000.0, 28, 1.0);
+  EXPECT_DOUBLE_EQ(root, 1000.0 * (32.0 + 8.0));
+  e.depth = 2;
+  const double deep = histogram_bytes(e, 1000.0, 28, 0.25);
+  EXPECT_GT(deep, root);  // sparser fetch + pointer stream
+}
+
+TEST(PartitionBytes, ColumnBeatsRowForWideRecords) {
+  // IoT-like 115-byte records: the column format must save bandwidth at
+  // any density (the paper's motivating case).
+  for (const double density : {1.0, 0.5, 0.1, 0.01}) {
+    const double col = partition_bytes_column(1000.0, density);
+    const double row = partition_bytes_row(1000.0, 115, density == 1.0);
+    EXPECT_LT(col, row) << "density " << density;
+  }
+}
+
+TEST(PartitionBytes, ColumnDenseIsNearOneBytePerRecord) {
+  const double col = partition_bytes_column(64000.0, 1.0);
+  // 1 B column + 8 B pointers per record.
+  EXPECT_NEAR(col / 64000.0, 9.0, 0.5);
+}
+
+TEST(TraversalBytes, ColumnScalesWithRelevantFields) {
+  trace::StepEvent e;
+  e.fields_touched = 10;
+  const double b10 = traversal_bytes_column(e, 1000.0);
+  e.fields_touched = 20;
+  const double b20 = traversal_bytes_column(e, 1000.0);
+  EXPECT_DOUBLE_EQ(b20 - b10, 1000.0 * 10.0);
+  // Both include the 16 B/record gradient read+write.
+  EXPECT_DOUBLE_EQ(b10, 1000.0 * (10.0 + 16.0));
+}
+
+TEST(TraversalBytes, RowFetchesWholeRecord) {
+  EXPECT_DOUBLE_EQ(traversal_bytes_row(1000.0, 115), 1000.0 * (128.0 + 16.0));
+}
+
+TEST(HostSplit, ProportionalToBinsAndNodes) {
+  trace::StepTrace t;
+  trace::StepEvent e;
+  e.kind = trace::StepKind::kSplitSelect;
+  e.bins_scanned = 1000;
+  t.add(e);
+  HostParams params;
+  const double one = host_split_seconds(t, params);
+  t.add(e);
+  const double two = host_split_seconds(t, params);
+  EXPECT_NEAR(two, 2.0 * one, 1e-12);
+  // Repeat factor multiplies host time.
+  t.set_repeat(3.0);
+  EXPECT_NEAR(host_split_seconds(t, params), 6.0 * one, 1e-12);
+}
+
+TEST(HostSplit, IgnoresNonSplitEvents) {
+  trace::StepTrace t;
+  trace::StepEvent e;
+  e.kind = trace::StepKind::kHistogram;
+  e.records = 1000000;
+  t.add(e);
+  EXPECT_DOUBLE_EQ(host_split_seconds(t, {}), 0.0);
+}
+
+}  // namespace
+}  // namespace booster::perf

@@ -1,0 +1,225 @@
+#include "gbdt/trainer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gbdt/metrics.h"
+#include "workloads/synth.h"
+
+namespace booster::gbdt {
+namespace {
+
+using trace::StepKind;
+
+BinnedDataset make_data(std::uint64_t n, const std::string& loss,
+                        std::uint64_t seed = 5) {
+  workloads::DatasetSpec spec;
+  spec.name = "unit";
+  spec.nominal_records = n;
+  spec.numeric_fields = 6;
+  spec.categorical_cardinalities = {8};
+  spec.missing_rate = 0.05;
+  spec.loss = loss;
+  spec.label_structure = workloads::LabelStructure::kDiffuse;
+  spec.label_noise = 0.3;
+  return Binner().bin(workloads::synthesize(spec, n, seed));
+}
+
+TrainerConfig small_config(const std::string& loss, std::uint32_t trees = 8,
+                           std::uint32_t depth = 4) {
+  TrainerConfig cfg;
+  cfg.num_trees = trees;
+  cfg.max_depth = depth;
+  cfg.loss = loss;
+  return cfg;
+}
+
+TEST(Trainer, LossDecreasesOverTrees) {
+  const auto data = make_data(2000, "logistic");
+  const auto result = Trainer(small_config("logistic", 12)).train(data);
+  ASSERT_EQ(result.tree_stats.size(), 12u);
+  EXPECT_LT(result.tree_stats.back().train_loss,
+            result.tree_stats.front().train_loss);
+  // Monotone non-increasing within numerical noise.
+  for (std::size_t i = 1; i < result.tree_stats.size(); ++i) {
+    EXPECT_LE(result.tree_stats[i].train_loss,
+              result.tree_stats[i - 1].train_loss + 1e-9);
+  }
+}
+
+TEST(Trainer, RespectsMaxDepth) {
+  const auto data = make_data(3000, "squared");
+  const auto result = Trainer(small_config("squared", 6, 3)).train(data);
+  for (const auto& tree : result.model.trees()) {
+    EXPECT_LE(tree.max_depth(), 3u);
+  }
+  EXPECT_LE(result.avg_leaf_depth, 3.0);
+}
+
+TEST(Trainer, DeterministicGivenSameData) {
+  const auto data = make_data(1000, "squared");
+  const auto a = Trainer(small_config("squared")).train(data);
+  const auto b = Trainer(small_config("squared")).train(data);
+  for (std::uint64_t r = 0; r < 50; ++r) {
+    EXPECT_DOUBLE_EQ(a.model.predict_raw(data, r),
+                     b.model.predict_raw(data, r));
+  }
+}
+
+TEST(Trainer, ClassifierBeatsChance) {
+  const auto data = make_data(4000, "logistic");
+  const auto result = Trainer(small_config("logistic", 20, 5)).train(data);
+  EXPECT_GT(auc(result.model, data), 0.75);
+}
+
+TEST(Trainer, RegressionReducesRmse) {
+  const auto data = make_data(4000, "squared");
+  // Baseline RMSE: predicting the label mean.
+  double mean = 0.0;
+  for (const float y : data.labels()) mean += y;
+  mean /= static_cast<double>(data.num_records());
+  double base_sq = 0.0;
+  for (const float y : data.labels()) base_sq += (y - mean) * (y - mean);
+  const double base_rmse =
+      std::sqrt(base_sq / static_cast<double>(data.num_records()));
+
+  const auto result = Trainer(small_config("squared", 25, 5)).train(data);
+  EXPECT_LT(rmse(result.model, data), 0.8 * base_rmse);
+}
+
+// ---------- Step-trace structural invariants ----------
+
+TEST(Trainer, TraceRootHistogramCoversAllRecords) {
+  const auto data = make_data(1500, "squared");
+  trace::StepTrace tr;
+  (void)Trainer(small_config("squared", 3)).train(data, &tr);
+  // The first histogram event of every tree is the root over all records.
+  for (const auto& e : tr.events()) {
+    if (e.kind == StepKind::kHistogram && e.depth == 0) {
+      EXPECT_EQ(e.records, data.num_records());
+      EXPECT_EQ(e.fields_touched, data.num_fields());
+      EXPECT_FALSE(e.used_sibling_subtraction);
+    }
+  }
+}
+
+TEST(Trainer, TraceChildHistogramsAreSmallerHalves) {
+  const auto data = make_data(1500, "squared");
+  trace::StepTrace tr;
+  (void)Trainer(small_config("squared", 3)).train(data, &tr);
+  for (const auto& e : tr.events()) {
+    if (e.kind == StepKind::kHistogram && e.depth > 0) {
+      EXPECT_TRUE(e.used_sibling_subtraction);
+      // A smaller child covers at most half the records of any node, hence
+      // at most half the dataset.
+      EXPECT_LE(e.records, data.num_records() / 2 + 1);
+    }
+  }
+}
+
+TEST(Trainer, TraceTraversalOncePerTree) {
+  const auto data = make_data(1000, "squared");
+  trace::StepTrace tr;
+  const auto result = Trainer(small_config("squared", 5)).train(data, &tr);
+  int traversals = 0;
+  for (const auto& e : tr.events()) {
+    if (e.kind == StepKind::kTraversal) {
+      ++traversals;
+      EXPECT_EQ(e.records, data.num_records());
+      EXPECT_GT(e.avg_path_length, 0.0);
+      EXPECT_LE(e.avg_path_length, 4.0);  // max_depth
+    }
+  }
+  EXPECT_EQ(traversals, 5);
+  EXPECT_EQ(result.model.num_trees(), 5u);
+}
+
+TEST(Trainer, TracePartitionMatchesSplitEvents) {
+  // Every partition event follows a successful split; partitions touch one
+  // field.
+  const auto data = make_data(1000, "squared");
+  trace::StepTrace tr;
+  (void)Trainer(small_config("squared", 4)).train(data, &tr);
+  std::uint64_t partitions = 0;
+  std::uint64_t splits = 0;
+  for (const auto& e : tr.events()) {
+    if (e.kind == StepKind::kPartition) {
+      ++partitions;
+      EXPECT_EQ(e.fields_touched, 1u);
+      EXPECT_GT(e.records, 0u);
+    }
+    if (e.kind == StepKind::kSplitSelect) ++splits;
+  }
+  EXPECT_GT(partitions, 0u);
+  // Each split-select either produces a partition or terminates the leaf.
+  EXPECT_LE(partitions, splits);
+}
+
+TEST(Trainer, TraceSplitScansAllBins) {
+  const auto data = make_data(1000, "squared");
+  trace::StepTrace tr;
+  (void)Trainer(small_config("squared", 2)).train(data, &tr);
+  for (const auto& e : tr.events()) {
+    if (e.kind == StepKind::kSplitSelect) {
+      EXPECT_EQ(e.bins_scanned, data.total_bins());
+    }
+  }
+}
+
+TEST(Trainer, WorkloadInfoFilled) {
+  const auto data = make_data(800, "logistic");
+  trace::WorkloadInfo info;
+  (void)Trainer(small_config("logistic", 3)).train(data, nullptr, &info);
+  EXPECT_EQ(info.nominal_records, 800u);
+  EXPECT_EQ(info.fields, 7u);
+  EXPECT_EQ(info.categorical_fields, 1u);
+  EXPECT_EQ(info.features_onehot, 6u + 8u);
+  EXPECT_EQ(info.total_bins, data.total_bins());
+  EXPECT_EQ(info.bins_per_field.size(), 7u);
+  EXPECT_EQ(info.record_bytes, data.layout().record_bytes);
+  EXPECT_EQ(info.trees, 3u);
+  EXPECT_GT(info.avg_leaf_depth, 0.0);
+}
+
+TEST(Trainer, MinNodeRecordsStopsSplitting) {
+  const auto data = make_data(500, "squared");
+  TrainerConfig cfg = small_config("squared", 2, 6);
+  cfg.min_node_records = 400;  // only the root is big enough
+  const auto result = Trainer(cfg).train(data);
+  for (const auto& tree : result.model.trees()) {
+    EXPECT_LE(tree.max_depth(), 1u);
+  }
+}
+
+TEST(Trainer, PredictionsMatchTraversalAccumulation) {
+  // predict_raw must equal base + sum of leaf weights, by reconstruction.
+  const auto data = make_data(300, "squared");
+  const auto result = Trainer(small_config("squared", 6, 3)).train(data);
+  for (std::uint64_t r = 0; r < 20; ++r) {
+    double acc = result.model.base_score();
+    for (const auto& tree : result.model.trees()) {
+      acc += tree.predict(data, r);
+    }
+    EXPECT_DOUBLE_EQ(result.model.predict_raw(data, r), acc);
+  }
+}
+
+// Depth sweep: realized depth never exceeds the budget and leaf counts stay
+// within the binary-tree bound.
+class DepthSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(DepthSweep, DepthAndLeafBounds) {
+  const auto data = make_data(1200, "squared");
+  const auto result =
+      Trainer(small_config("squared", 3, GetParam())).train(data);
+  for (const auto& tree : result.model.trees()) {
+    EXPECT_LE(tree.max_depth(), GetParam());
+    EXPECT_LE(tree.num_leaves(), 1u << GetParam());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, DepthSweep, ::testing::Values(1u, 2u, 4u, 6u));
+
+}  // namespace
+}  // namespace booster::gbdt

@@ -1,0 +1,215 @@
+// Tests for the trainer's scheduling/termination features: level-by-level
+// growth (paper SS II-A's alternative configuration), step-6 early
+// stopping, and the train/test split utility.
+#include <gtest/gtest.h>
+
+#include "core/booster_model.h"
+#include "gbdt/metrics.h"
+#include "gbdt/trainer.h"
+#include "workloads/split.h"
+#include "workloads/synth.h"
+
+namespace booster::gbdt {
+namespace {
+
+using trace::StepKind;
+
+BinnedDataset make_data(std::uint64_t n, std::uint64_t seed = 31) {
+  workloads::DatasetSpec spec;
+  spec.name = "modes";
+  spec.nominal_records = n;
+  spec.numeric_fields = 6;
+  spec.missing_rate = 0.0;
+  spec.loss = "squared";
+  spec.label_structure = workloads::LabelStructure::kDiffuse;
+  spec.label_noise = 0.3;
+  return Binner().bin(workloads::synthesize(spec, n, seed));
+}
+
+TrainerConfig config(GrowthOrder growth) {
+  TrainerConfig cfg;
+  cfg.num_trees = 5;
+  cfg.max_depth = 4;
+  cfg.loss = "squared";
+  cfg.growth = growth;
+  return cfg;
+}
+
+TEST(GrowthOrder, LevelAndVertexProduceIdenticalModels) {
+  const auto data = make_data(2500);
+  const auto vertex = Trainer(config(GrowthOrder::kVertexByVertex)).train(data);
+  const auto level = Trainer(config(GrowthOrder::kLevelByLevel)).train(data);
+  ASSERT_EQ(vertex.model.num_trees(), level.model.num_trees());
+  for (std::uint64_t r = 0; r < 100; ++r) {
+    EXPECT_DOUBLE_EQ(vertex.model.predict_raw(data, r),
+                     level.model.predict_raw(data, r));
+  }
+}
+
+TEST(GrowthOrder, LevelModeAggregatesHistogramEvents) {
+  const auto data = make_data(2500);
+  trace::StepTrace vertex_trace;
+  trace::StepTrace level_trace;
+  (void)Trainer(config(GrowthOrder::kVertexByVertex))
+      .train(data, &vertex_trace);
+  (void)Trainer(config(GrowthOrder::kLevelByLevel)).train(data, &level_trace);
+
+  auto hist_stats = [](const trace::StepTrace& t) {
+    std::uint64_t events = 0;
+    std::uint64_t records = 0;
+    for (const auto& e : t.events()) {
+      if (e.kind == StepKind::kHistogram) {
+        ++events;
+        records += e.records;
+      }
+    }
+    return std::pair{events, records};
+  };
+  const auto [v_events, v_records] = hist_stats(vertex_trace);
+  const auto [l_events, l_records] = hist_stats(level_trace);
+  // Same total binning work, fewer (coarser) events.
+  EXPECT_EQ(v_records, l_records);
+  EXPECT_LT(l_events, v_events);
+  // At most one aggregated event per (tree, level) beyond the root events.
+  EXPECT_LE(l_events, 5u * (1u + 4u));
+}
+
+TEST(GrowthOrder, OtherStepEventsUnchanged) {
+  const auto data = make_data(2000);
+  trace::StepTrace a;
+  trace::StepTrace b;
+  (void)Trainer(config(GrowthOrder::kVertexByVertex)).train(data, &a);
+  (void)Trainer(config(GrowthOrder::kLevelByLevel)).train(data, &b);
+  auto count = [](const trace::StepTrace& t, StepKind kind) {
+    std::uint64_t n = 0;
+    for (const auto& e : t.events()) n += e.kind == kind ? 1 : 0;
+    return n;
+  };
+  EXPECT_EQ(count(a, StepKind::kPartition), count(b, StepKind::kPartition));
+  EXPECT_EQ(count(a, StepKind::kSplitSelect),
+            count(b, StepKind::kSplitSelect));
+  EXPECT_EQ(count(a, StepKind::kTraversal), count(b, StepKind::kTraversal));
+}
+
+TEST(EarlyStop, DisabledByDefault) {
+  const auto data = make_data(1500);
+  const auto result = Trainer(config(GrowthOrder::kVertexByVertex)).train(data);
+  EXPECT_FALSE(result.early_stopped);
+  EXPECT_EQ(result.model.num_trees(), 5u);
+}
+
+TEST(EarlyStop, TerminatesOnLossPlateau) {
+  // Constant labels: the first tree (base score already fits) brings no
+  // improvement, so an aggressive threshold must stop the ensemble early.
+  Dataset d;
+  d.add_numeric_field("x");
+  d.resize(500);
+  for (std::uint64_t r = 0; r < 500; ++r) {
+    d.set_numeric(0, r, static_cast<float>(r % 10));
+    d.set_label(r, 1.0f);
+  }
+  const auto binned = Binner().bin(d);
+  TrainerConfig cfg = config(GrowthOrder::kVertexByVertex);
+  cfg.num_trees = 50;
+  cfg.early_stop_rel_improvement = 1e-6;
+  cfg.early_stop_patience = 2;
+  const auto result = Trainer(cfg).train(binned);
+  EXPECT_TRUE(result.early_stopped);
+  EXPECT_LT(result.model.num_trees(), 50u);
+}
+
+TEST(EarlyStop, KeepsTrainingWhileImproving) {
+  const auto data = make_data(3000);
+  TrainerConfig cfg = config(GrowthOrder::kVertexByVertex);
+  cfg.num_trees = 10;
+  cfg.early_stop_rel_improvement = 1e-9;  // loose: real signal keeps gains
+  const auto result = Trainer(cfg).train(data);
+  EXPECT_FALSE(result.early_stopped);
+  EXPECT_EQ(result.model.num_trees(), 10u);
+}
+
+TEST(TrainTestSplit, PartitionsAllRecords) {
+  workloads::DatasetSpec spec;
+  spec.name = "split";
+  spec.nominal_records = 2000;
+  spec.numeric_fields = 3;
+  spec.categorical_cardinalities = {5};
+  spec.loss = "logistic";
+  const auto data = workloads::synthesize(spec, 2000, 3);
+  const auto split = workloads::train_test_split(data, 0.25, 99);
+  EXPECT_EQ(split.train.num_records() + split.test.num_records(), 2000u);
+  EXPECT_NEAR(static_cast<double>(split.test.num_records()), 500.0, 60.0);
+  EXPECT_EQ(split.train.num_fields(), data.num_fields());
+  EXPECT_EQ(split.test.field(3).cardinality, 5u);
+}
+
+TEST(TrainTestSplit, DeterministicPerSeed) {
+  workloads::DatasetSpec spec;
+  spec.name = "split";
+  spec.nominal_records = 500;
+  spec.numeric_fields = 2;
+  spec.loss = "squared";
+  const auto data = workloads::synthesize(spec, 500, 3);
+  const auto a = workloads::train_test_split(data, 0.3, 7);
+  const auto b = workloads::train_test_split(data, 0.3, 7);
+  ASSERT_EQ(a.train.num_records(), b.train.num_records());
+  for (std::uint64_t r = 0; r < a.train.num_records(); ++r) {
+    EXPECT_EQ(a.train.numeric_value(0, r), b.train.numeric_value(0, r));
+  }
+}
+
+TEST(TrainTestSplit, HeldOutGeneralization) {
+  // A model trained on the train half must beat chance on the test half.
+  workloads::DatasetSpec spec;
+  spec.name = "gen";
+  spec.nominal_records = 6000;
+  spec.numeric_fields = 6;
+  spec.loss = "logistic";
+  spec.label_structure = workloads::LabelStructure::kDiffuse;
+  spec.label_noise = 0.3;
+  const auto data = workloads::synthesize(spec, 6000, 13);
+  const auto split = workloads::train_test_split(data, 0.3, 5);
+  TrainerConfig cfg;
+  cfg.num_trees = 15;
+  cfg.max_depth = 4;
+  cfg.loss = "logistic";
+  const auto binned_train = Binner().bin(split.train);
+  const auto binned_test = Binner().bin(split.test);
+  const auto result = Trainer(cfg).train(binned_train);
+  EXPECT_GT(auc(result.model, binned_test), 0.7);
+}
+
+TEST(MultiChipInference, MoreChipsNeverSlower) {
+  const core::BoosterModel model;
+  perf::InferenceSpec spec;
+  spec.records = 1e7;
+  spec.trees = 4000;  // too many for comfortable single-chip replication
+  spec.max_depth = 6;
+  spec.avg_path_length = 6.0;
+  spec.record_bytes = 28;
+  double prev = 1e18;
+  for (const std::uint32_t chips : {1u, 2u, 4u, 8u}) {
+    spec.chips = chips;
+    const double t = model.inference_cost(spec);
+    EXPECT_LE(t, prev * (1 + 1e-9)) << chips << " chips";
+    prev = t;
+  }
+}
+
+TEST(MultiChipInference, SaturatesAtMemoryBound) {
+  const core::BoosterModel model;
+  perf::InferenceSpec spec;
+  spec.records = 1e7;
+  spec.trees = 500;
+  spec.max_depth = 6;
+  spec.avg_path_length = 6.0;
+  spec.record_bytes = 28;
+  spec.chips = 64;  // compute trivially parallel; memory broadcast remains
+  const double t = model.inference_cost(spec);
+  const double mem_floor =
+      spec.records * 32.0 / model.config().bandwidth.streaming;
+  EXPECT_GE(t, mem_floor * 0.999);
+}
+
+}  // namespace
+}  // namespace booster::gbdt

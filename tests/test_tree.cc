@@ -1,0 +1,157 @@
+#include "gbdt/tree.h"
+
+#include <gtest/gtest.h>
+
+#include "gbdt/binning.h"
+
+namespace booster::gbdt {
+namespace {
+
+BinnedDataset two_field_data() {
+  Dataset d;
+  d.add_numeric_field("x");
+  d.add_categorical_field("c", 3);
+  d.resize(6);
+  // x values 0..5 -> bins 1..6; categories 0..2 -> bins 1..3.
+  for (std::uint64_t r = 0; r < 6; ++r) {
+    d.set_numeric(0, r, static_cast<float>(r));
+    d.set_categorical(1, r, static_cast<std::int32_t>(r % 3));
+  }
+  return Binner().bin(d);
+}
+
+SplitInfo numeric_split(std::uint32_t field, std::uint16_t threshold,
+                        bool default_left = false) {
+  SplitInfo s;
+  s.field = field;
+  s.kind = PredicateKind::kNumericLE;
+  s.threshold_bin = threshold;
+  s.default_left = default_left;
+  return s;
+}
+
+TEST(Tree, StartsAsSingleLeaf) {
+  Tree t;
+  EXPECT_EQ(t.num_nodes(), 1u);
+  EXPECT_TRUE(t.node(t.root()).is_leaf);
+  EXPECT_EQ(t.num_leaves(), 1u);
+  EXPECT_EQ(t.max_depth(), 0u);
+}
+
+TEST(Tree, SplitLeafCreatesChildren) {
+  Tree t;
+  const auto [l, r] = t.split_leaf(t.root(), numeric_split(0, 3));
+  EXPECT_EQ(t.num_nodes(), 3u);
+  EXPECT_FALSE(t.node(t.root()).is_leaf);
+  EXPECT_TRUE(t.node(l).is_leaf);
+  EXPECT_TRUE(t.node(r).is_leaf);
+  EXPECT_EQ(t.node(l).depth, 1);
+  EXPECT_EQ(t.max_depth(), 1u);
+  EXPECT_EQ(t.num_leaves(), 2u);
+}
+
+TEST(Tree, NumericRoutingByThreshold) {
+  Tree t;
+  t.split_leaf(t.root(), numeric_split(0, 3));
+  EXPECT_TRUE(t.goes_left(t.root(), 1));
+  EXPECT_TRUE(t.goes_left(t.root(), 3));
+  EXPECT_FALSE(t.goes_left(t.root(), 4));
+}
+
+TEST(Tree, MissingFollowsDefaultDirection) {
+  Tree left_default;
+  left_default.split_leaf(left_default.root(), numeric_split(0, 3, true));
+  EXPECT_TRUE(left_default.goes_left(left_default.root(), 0));
+  Tree right_default;
+  right_default.split_leaf(right_default.root(), numeric_split(0, 3, false));
+  EXPECT_FALSE(right_default.goes_left(right_default.root(), 0));
+}
+
+TEST(Tree, CategoricalEqualityRouting) {
+  Tree t;
+  SplitInfo s;
+  s.field = 1;
+  s.kind = PredicateKind::kCategoryEqual;
+  s.threshold_bin = 2;
+  t.split_leaf(t.root(), s);
+  EXPECT_TRUE(t.goes_left(t.root(), 2));
+  EXPECT_FALSE(t.goes_left(t.root(), 1));
+  EXPECT_FALSE(t.goes_left(t.root(), 3));
+}
+
+TEST(Tree, PredictReturnsLeafWeight) {
+  const auto data = two_field_data();
+  Tree t;
+  const auto [l, r] = t.split_leaf(t.root(), numeric_split(0, 3));
+  t.set_leaf_weight(l, -1.5);
+  t.set_leaf_weight(r, 2.5);
+  // Record 0 has x bin 1 (<=3) -> left; record 5 has bin 6 -> right.
+  EXPECT_DOUBLE_EQ(t.predict(data, 0), -1.5);
+  EXPECT_DOUBLE_EQ(t.predict(data, 5), 2.5);
+}
+
+TEST(Tree, PathLengthCountsEdges) {
+  const auto data = two_field_data();
+  Tree t;
+  const auto [l, r] = t.split_leaf(t.root(), numeric_split(0, 3));
+  t.split_leaf(r, numeric_split(0, 5));
+  EXPECT_EQ(t.path_length(data, 0), 1u);  // left leaf at depth 1
+  EXPECT_EQ(t.path_length(data, 5), 2u);  // right subtree at depth 2
+}
+
+TEST(Tree, RelevantFieldsDeduplicated) {
+  Tree t;
+  const auto [l, r] = t.split_leaf(t.root(), numeric_split(0, 2));
+  t.split_leaf(l, numeric_split(0, 1));
+  SplitInfo cat;
+  cat.field = 1;
+  cat.kind = PredicateKind::kCategoryEqual;
+  cat.threshold_bin = 1;
+  t.split_leaf(r, cat);
+  const auto fields = t.relevant_fields();
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[0], 0u);
+  EXPECT_EQ(fields[1], 1u);
+}
+
+TEST(Tree, TableBytesEightPerNode) {
+  Tree t;
+  t.split_leaf(t.root(), numeric_split(0, 1));
+  EXPECT_EQ(t.table_bytes(), 3u * 8u);
+}
+
+TEST(Model, SumsTreesAndBaseScore) {
+  const auto data = two_field_data();
+  Model m(0.5, make_loss("squared"));
+  for (int i = 0; i < 3; ++i) {
+    Tree t;
+    const auto [l, r] = t.split_leaf(t.root(), numeric_split(0, 3));
+    t.set_leaf_weight(l, 0.1);
+    t.set_leaf_weight(r, -0.1);
+    m.add_tree(std::move(t));
+  }
+  EXPECT_NEAR(m.predict_raw(data, 0), 0.5 + 0.3, 1e-12);
+  EXPECT_NEAR(m.predict_raw(data, 5), 0.5 - 0.3, 1e-12);
+}
+
+TEST(Model, LogisticTransformApplied) {
+  const auto data = two_field_data();
+  Model m(0.0, make_loss("logistic"));
+  EXPECT_NEAR(m.predict(data, 0), 0.5, 1e-12);
+}
+
+TEST(Model, AvgPathLengthAndMaxDepth) {
+  const auto data = two_field_data();
+  Model m(0.0, make_loss("squared"));
+  Tree t;
+  const auto [l, r] = t.split_leaf(t.root(), numeric_split(0, 3));
+  t.split_leaf(r, numeric_split(0, 5));
+  m.add_tree(std::move(t));
+  EXPECT_EQ(m.max_tree_depth(), 2u);
+  const double avg = m.avg_path_length(data);
+  EXPECT_GT(avg, 1.0);
+  EXPECT_LT(avg, 2.0);
+}
+
+}  // namespace
+}  // namespace booster::gbdt
