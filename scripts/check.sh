@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# CI entry point: configure + build with warnings-as-errors, run the tier-1
+# test suite, then run the training hot-path bench in Release.
+#
+#   scripts/check.sh [build-dir]
+#
+# Environment:
+#   BOOSTER_THREADS   thread count for the bench's threaded leg (default 8)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-check}"
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=Release \
+  -DBOOSTER_WERROR=ON
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+# Hot-path bench (quick mode keeps CI fast; JSON goes to stdout so the
+# trajectory can be archived by the caller).
+"$BUILD_DIR/bench_train_hotpath" --quick

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <mutex>
 
 #include "util/check.h"
 #include "util/rng.h"
@@ -18,6 +19,27 @@ std::uint32_t BinnedDataset::max_bins_per_field() const {
   std::uint32_t m = 0;
   for (const auto& f : fields_) m = std::max(m, f.num_bins);
   return m;
+}
+
+void BinnedDataset::ensure_row_major() const {
+  // Double-checked: after the first build this is one acquire load, so the
+  // per-histogram-build calls in the hot loop never touch the mutex. The
+  // mutex (function-local, shared by all instances) only serializes
+  // concurrent *first* calls, e.g. two threads each running Trainer::train
+  // on one shared dataset.
+  if (row_major_built_.load(std::memory_order_acquire)) return;
+  static std::mutex mutex;
+  const std::scoped_lock lock(mutex);
+  if (row_major_built_.load(std::memory_order_relaxed)) return;
+  const std::uint32_t num_fields = this->num_fields();
+  row_major_.resize(num_records_ * num_fields);
+  for (std::uint32_t f = 0; f < num_fields; ++f) {
+    const auto& col = columns_[f];
+    for (std::uint64_t r = 0; r < num_records_; ++r) {
+      row_major_[r * num_fields + f] = col[r];
+    }
+  }
+  row_major_built_.store(true, std::memory_order_release);
 }
 
 namespace {

@@ -12,7 +12,9 @@
 //                       paper adopts)
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "gbdt/dataset.h"
@@ -44,13 +46,52 @@ struct FieldBins {
   std::vector<float> upper_bounds;
 };
 
-/// The binned dataset: column-major bin indices per field plus the layout
-/// descriptor for byte accounting. This is the "redundant per-field
-/// column-major format" of the paper's third contribution; the row-major
-/// view is logical (records are just the i-th entry of every column) and
-/// layout.h computes its block footprint.
+/// The binned dataset: column-major bin indices per field plus a packed
+/// row-major bin matrix and the layout descriptor for byte accounting.
+/// Keeping both views materialized is the "redundant format" of the paper's
+/// third contribution: the per-field columns serve single-predicate steps
+/// (partition, traversal), while the row-major matrix serves histogram
+/// construction, whose inner loop reads every field of a record -- one
+/// contiguous F-entry run per record instead of F strided column gathers.
 class BinnedDataset {
  public:
+  BinnedDataset() = default;
+  // The atomic row-major flag is not copyable/movable, so spell out the
+  // special members (copying/moving while another thread builds the view
+  // is a caller error, same as for the data vectors themselves).
+  BinnedDataset(const BinnedDataset& o)
+      : fields_(o.fields_),
+        columns_(o.columns_),
+        row_major_(o.row_major_),
+        labels_(o.labels_),
+        num_records_(o.num_records_),
+        layout_(o.layout_) {
+    row_major_built_.store(o.row_major_built_.load());
+  }
+  BinnedDataset(BinnedDataset&& o) noexcept
+      : fields_(std::move(o.fields_)),
+        columns_(std::move(o.columns_)),
+        row_major_(std::move(o.row_major_)),
+        labels_(std::move(o.labels_)),
+        num_records_(o.num_records_),
+        layout_(std::move(o.layout_)) {
+    row_major_built_.store(o.row_major_built_.load());
+  }
+  BinnedDataset& operator=(const BinnedDataset& o) {
+    if (this != &o) *this = BinnedDataset(o);
+    return *this;
+  }
+  BinnedDataset& operator=(BinnedDataset&& o) noexcept {
+    fields_ = std::move(o.fields_);
+    columns_ = std::move(o.columns_);
+    row_major_ = std::move(o.row_major_);
+    labels_ = std::move(o.labels_);
+    num_records_ = o.num_records_;
+    layout_ = std::move(o.layout_);
+    row_major_built_.store(o.row_major_built_.load());
+    return *this;
+  }
+
   std::uint64_t num_records() const { return num_records_; }
   std::uint32_t num_fields() const {
     return static_cast<std::uint32_t>(fields_.size());
@@ -65,6 +106,20 @@ class BinnedDataset {
   const std::vector<BinIndex>& column(std::uint32_t field) const {
     return columns_[field];
   }
+
+  /// Packed row-major bin matrix: record r's bins occupy
+  /// [r * num_fields, (r + 1) * num_fields). The histogram build kernel
+  /// streams this directly. Only valid after ensure_row_major().
+  const BinIndex* row_major_bins() const { return row_major_.data(); }
+
+  /// Materializes the redundant row-major view on first call; later calls
+  /// are a relaxed atomic load. Lazy so that consumers that never build
+  /// histograms (perf models, metrics, inference) don't pay the
+  /// num_records * num_fields * sizeof(BinIndex) footprint or the
+  /// transpose. Thread-safe: concurrent first calls (e.g. two threads each
+  /// running Trainer::train on one shared dataset) serialize on a mutex;
+  /// once built the view is never written again.
+  void ensure_row_major() const;
 
   const std::vector<float>& labels() const { return labels_; }
 
@@ -81,6 +136,10 @@ class BinnedDataset {
  private:
   std::vector<FieldBins> fields_;
   std::vector<std::vector<BinIndex>> columns_;  // [field][record]
+  // Lazily-built redundant row-major view ([record * num_fields + field]);
+  // mutable so ensure_row_major() stays const for read-only consumers.
+  mutable std::vector<BinIndex> row_major_;
+  mutable std::atomic<bool> row_major_built_{false};
   std::vector<float> labels_;
   std::uint64_t num_records_ = 0;
   RecordLayout layout_;

@@ -1,22 +1,48 @@
 #include "gbdt/histogram.h"
 
+#include <utility>
+
 #include "util/check.h"
 
 namespace booster::gbdt {
 
 Histogram::Histogram(const BinnedDataset& data) {
-  fields_.resize(data.num_fields());
-  for (std::uint32_t f = 0; f < data.num_fields(); ++f) {
-    fields_[f].assign(data.field_bins(f).num_bins, BinStats{});
+  const std::uint32_t num_fields = data.num_fields();
+  offsets_.resize(num_fields + 1);
+  std::uint32_t total = 0;
+  for (std::uint32_t f = 0; f < num_fields; ++f) {
+    offsets_[f] = total;
+    total += data.field_bins(f).num_bins;
   }
+  offsets_[num_fields] = total;
+  bins_.assign(total, BinStats{});
 }
 
 void Histogram::build(const BinnedDataset& data,
                       std::span<const std::uint32_t> rows,
                       std::span<const GradientPair> gradients) {
-  BOOSTER_CHECK(fields_.size() == data.num_fields());
+  BOOSTER_CHECK(num_fields() == data.num_fields());
+  data.ensure_row_major();  // no-op after the first (pre-fan-out) call
+  const BinIndex* row_major = data.row_major_bins();
+  const std::size_t num_fields = data.num_fields();
+  BinStats* bins = bins_.data();
+  const std::uint32_t* offsets = offsets_.data();
+  for (const std::uint32_t r : rows) {
+    const BinIndex* record = row_major + static_cast<std::size_t>(r) * num_fields;
+    const GradientPair gp = gradients[r];
+    for (std::size_t f = 0; f < num_fields; ++f) {
+      BOOSTER_DCHECK(offsets[f] + record[f] < offsets[f + 1]);
+      bins[offsets[f] + record[f]].add(gp);
+    }
+  }
+}
+
+void Histogram::build_reference(const BinnedDataset& data,
+                                std::span<const std::uint32_t> rows,
+                                std::span<const GradientPair> gradients) {
+  BOOSTER_CHECK(num_fields() == data.num_fields());
   for (std::uint32_t f = 0; f < data.num_fields(); ++f) {
-    auto& bins = fields_[f];
+    const auto bins = mutable_field(f);
     const auto& col = data.column(f);
     for (const std::uint32_t r : rows) {
       BOOSTER_DCHECK(col[r] < bins.size());
@@ -27,37 +53,58 @@ void Histogram::build(const BinnedDataset& data,
 
 void Histogram::subtract_from(const Histogram& parent,
                               const Histogram& sibling) {
-  BOOSTER_CHECK(parent.fields_.size() == sibling.fields_.size());
-  fields_.resize(parent.fields_.size());
-  for (std::size_t f = 0; f < fields_.size(); ++f) {
-    const auto& p = parent.fields_[f];
-    const auto& s = sibling.fields_[f];
-    BOOSTER_CHECK(p.size() == s.size());
-    fields_[f].resize(p.size());
-    for (std::size_t b = 0; b < p.size(); ++b) {
-      fields_[f][b] = p[b];
-      fields_[f][b] -= s[b];
-    }
+  BOOSTER_CHECK(parent.same_shape(sibling));
+  offsets_ = parent.offsets_;
+  bins_.resize(parent.bins_.size());
+  for (std::size_t b = 0; b < bins_.size(); ++b) {
+    bins_[b] = parent.bins_[b];
+    bins_[b] -= sibling.bins_[b];
   }
 }
 
+void Histogram::subtract(const Histogram& sibling) {
+  BOOSTER_CHECK(same_shape(sibling));
+  for (std::size_t b = 0; b < bins_.size(); ++b) bins_[b] -= sibling.bins_[b];
+}
+
+void Histogram::add(const Histogram& other) {
+  BOOSTER_CHECK(same_shape(other));
+  for (std::size_t b = 0; b < bins_.size(); ++b) bins_[b] += other.bins_[b];
+}
+
 void Histogram::clear() {
-  for (auto& f : fields_) {
-    for (auto& b : f) b = BinStats{};
-  }
+  for (auto& b : bins_) b = BinStats{};
 }
 
 BinStats Histogram::totals() const {
   BinStats t;
-  if (fields_.empty()) return t;
-  for (const auto& b : fields_[0]) t += b;
+  if (num_fields() == 0) return t;
+  for (const auto& b : field(0)) t += b;
   return t;
 }
 
-std::uint64_t Histogram::total_bins() const {
-  std::uint64_t total = 0;
-  for (const auto& f : fields_) total += f.size();
-  return total;
+void HistogramPool::configure(const BinnedDataset& data) {
+  proto_ = Histogram(data);
+  free_.clear();
+  allocations_ = 0;
+  acquires_ = 0;
+}
+
+Histogram HistogramPool::acquire() {
+  ++acquires_;
+  if (free_.empty()) {
+    ++allocations_;
+    return proto_;  // copy: the one place a fresh buffer is constructed
+  }
+  Histogram h = std::move(free_.back());
+  free_.pop_back();
+  h.clear();
+  return h;
+}
+
+void HistogramPool::release(Histogram&& h) {
+  BOOSTER_CHECK(h.same_shape(proto_));
+  free_.push_back(std::move(h));
 }
 
 }  // namespace booster::gbdt

@@ -4,14 +4,23 @@
 //   * one-hot "yes-only" counting: categorical bins are per-category; the
 //     complement ("no") sums are reconstructed from the node totals;
 //   * smaller-child subtraction: parent - child computed bin-wise.
+//
+// Storage is a single flat BinStats buffer with per-field offsets (not a
+// vector of per-field vectors): one allocation per histogram, contiguous
+// subtraction/reduction, and O(1) bin addressing as offsets[f] + bin. The
+// hot build path is a single row-major pass over BinnedDataset's packed
+// row-major bin matrix -- each record touches its F bin bytes contiguously
+// instead of being gathered once per field.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <span>
 #include <vector>
 
 #include "gbdt/binning.h"
 #include "gbdt/loss.h"
+#include "util/check.h"
 
 namespace booster::gbdt {
 
@@ -38,6 +47,17 @@ struct BinStats {
     h -= o.h;
     return *this;
   }
+
+  /// Record count as an integer. Counts are exact in a double up to 2^53
+  /// (each update adds 1.0; subtraction of integer-valued doubles is
+  /// exact), so anything non-integral or negative is a logic error --
+  /// checked here instead of silently narrowed at the call sites.
+  std::uint64_t count_u64() const {
+    BOOSTER_CHECK_MSG(count >= 0.0 && count <= 9007199254740992.0 &&
+                          count == std::floor(count),
+                      "BinStats.count is not an exact non-negative integer");
+    return static_cast<std::uint64_t>(count);
+  }
 };
 
 /// Histogram over all fields of a binned dataset for one tree node.
@@ -48,32 +68,96 @@ class Histogram {
   /// Allocates zeroed bins shaped like `data`'s fields.
   explicit Histogram(const BinnedDataset& data);
 
-  /// Accumulates the gradient statistics of the records in `rows`.
-  /// This is the exact work step 1 performs: for each record, one bin
-  /// update per field.
+  /// Accumulates the gradient statistics of the records in `rows` with one
+  /// row-major pass: per record, the F bin indices are read contiguously
+  /// from the dataset's packed row-major matrix. This is the exact work
+  /// step 1 performs (one bin update per field per record), in the memory
+  /// order the paper's row-major layout prescribes.
   void build(const BinnedDataset& data, std::span<const std::uint32_t> rows,
              std::span<const GradientPair> gradients);
+
+  /// The seed's column-major gather kernel: one full pass over `rows` per
+  /// field, reading the per-field columns. Numerically it accumulates in a
+  /// different order than build(); counts are identical and G/H agree to
+  /// rounding. Kept as the scalar reference for equivalence tests and as
+  /// the baseline leg of bench_train_hotpath.
+  void build_reference(const BinnedDataset& data,
+                       std::span<const std::uint32_t> rows,
+                       std::span<const GradientPair> gradients);
 
   /// Sets *this = parent - sibling (the smaller-child trick, paper §II-A).
   void subtract_from(const Histogram& parent, const Histogram& sibling);
 
+  /// In-place smaller-child subtraction: *this -= sibling. Lets the parent
+  /// histogram's buffer be reused as the larger child's without a copy.
+  void subtract(const Histogram& sibling);
+
+  /// Bin-wise accumulation: *this += other. The reduction step of the
+  /// parallel build (per-thread partial histograms summed in chunk order).
+  void add(const Histogram& other);
+
   void clear();
 
   std::uint32_t num_fields() const {
-    return static_cast<std::uint32_t>(fields_.size());
+    return offsets_.empty()
+               ? 0
+               : static_cast<std::uint32_t>(offsets_.size() - 1);
   }
-  std::span<const BinStats> field(std::uint32_t f) const { return fields_[f]; }
-  std::span<BinStats> mutable_field(std::uint32_t f) { return fields_[f]; }
+  std::span<const BinStats> field(std::uint32_t f) const {
+    return {bins_.data() + offsets_[f], offsets_[f + 1] - offsets_[f]};
+  }
+  std::span<BinStats> mutable_field(std::uint32_t f) {
+    return {bins_.data() + offsets_[f], offsets_[f + 1] - offsets_[f]};
+  }
+
+  bool same_shape(const Histogram& o) const { return offsets_ == o.offsets_; }
 
   /// Node totals (count/G/H over all records), taken from field 0 -- every
   /// record contributes exactly one bin per field, so any field's bin sum
   /// equals the node totals. This invariant is property-tested.
   BinStats totals() const;
 
-  std::uint64_t total_bins() const;
+  std::uint64_t total_bins() const { return bins_.size(); }
 
  private:
-  std::vector<std::vector<BinStats>> fields_;
+  /// Flat per-bin stats; field f occupies [offsets_[f], offsets_[f+1]).
+  std::vector<BinStats> bins_;
+  /// Field start offsets into bins_, plus a final total-bins sentinel
+  /// (size num_fields + 1; empty for a default-constructed histogram).
+  std::vector<std::uint32_t> offsets_;
+};
+
+/// Recycles node histograms across the tree frontier and across trees so
+/// steady-state training performs zero histogram allocations: acquire()
+/// pops a cleared buffer from the free list (allocating only when the list
+/// is empty -- counted), release() returns a buffer for reuse.
+class HistogramPool {
+ public:
+  HistogramPool() = default;
+  explicit HistogramPool(const BinnedDataset& data) { configure(data); }
+
+  /// Sets the shape histograms are created with; drops pooled buffers of
+  /// any previous shape.
+  void configure(const BinnedDataset& data);
+
+  /// A cleared histogram of the configured shape.
+  Histogram acquire();
+
+  /// Returns a histogram's buffer to the free list. Shape must match.
+  void release(Histogram&& h);
+
+  /// Fresh buffer constructions (pool misses). Flat after warm-up: the
+  /// steady-state-allocation-free property is asserted on this counter.
+  std::uint64_t allocations() const { return allocations_; }
+  /// Total acquire() calls (one per node histogram ever requested).
+  std::uint64_t acquires() const { return acquires_; }
+  std::size_t available() const { return free_.size(); }
+
+ private:
+  Histogram proto_;  // zeroed template of the configured shape
+  std::vector<Histogram> free_;
+  std::uint64_t allocations_ = 0;
+  std::uint64_t acquires_ = 0;
 };
 
 }  // namespace booster::gbdt

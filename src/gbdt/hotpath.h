@@ -1,0 +1,69 @@
+// Parallel kernels of the training hot path (paper steps 1 and 3), shared
+// between Trainer and the equivalence tests / benches:
+//   * step 1: multi-threaded histogram build -- per-chunk partial
+//     histograms drawn from a HistogramPool, reduced in chunk order (so the
+//     result is deterministic for a fixed thread count);
+//   * step 3: stable in-place partition of a row-index arena span by a
+//     split predicate, via a persistent scratch buffer -- no per-node
+//     row-vector allocations.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gbdt/binning.h"
+#include "gbdt/histogram.h"
+#include "gbdt/split.h"
+#include "util/thread_pool.h"
+
+namespace booster::gbdt {
+
+/// Minimum rows per chunk before the kernels go parallel; below this the
+/// fork/join overhead dominates the work.
+inline constexpr std::uint64_t kHistogramGrain = 1024;
+inline constexpr std::uint64_t kPartitionGrain = 4096;
+
+/// Accumulates the gradient statistics of `rows` into `out` using up to
+/// pool.num_threads() chunks. Chunk 0 builds directly into `out`; the other
+/// chunks build into partial histograms acquired from `hist_pool` and are
+/// added back in chunk order, then released. With one chunk this is exactly
+/// Histogram::build. `partials_scratch` is caller-persistent storage for
+/// the per-chunk partials (cleared and refilled here; its capacity and the
+/// pooled buffers make repeated parallel builds allocation-free).
+void build_histogram_parallel(Histogram& out, const BinnedDataset& data,
+                              std::span<const std::uint32_t> rows,
+                              std::span<const GradientPair> gradients,
+                              util::ThreadPool& pool,
+                              HistogramPool& hist_pool,
+                              std::vector<Histogram>& partials_scratch);
+
+/// Routing decision of one split predicate for a record's bin -- the same
+/// routes_left rule Tree::goes_left applies during traversal.
+inline bool split_goes_left(const SplitInfo& split, BinIndex bin) {
+  return routes_left(split.kind, split.threshold_bin, split.default_left, bin);
+}
+
+/// Stable partition of src[begin, end) by `split` into dst[begin, end):
+/// rows routed left end up in dst[begin, begin + n_left) and rows routed
+/// right in dst[begin + n_left, end), each preserving their relative order
+/// (so results are identical to the scalar two-vector reference regardless
+/// of thread count). src and dst are the trainer's two persistent
+/// ping-pong row arenas -- children read from dst, so no copy-back pass is
+/// needed and no per-node row vectors are ever allocated.
+///
+/// `n_left` is the exact left-row count, which the caller already has for
+/// free: it is the split's left-bucket histogram count (counts are exact
+/// integers in a double, see BinStats::count_u64). Knowing it up front
+/// lets the serial path place both sides forward in one fused pass -- no
+/// counting pre-pass, no reversal. The function aborts if the realized
+/// partition disagrees with n_left. dst needs size >= end; `chunk_counts`
+/// needs pool.num_threads() + 1 entries.
+void partition_to(std::span<const std::uint32_t> src,
+                  std::span<std::uint32_t> dst, std::uint64_t begin,
+                  std::uint64_t end, std::uint64_t n_left,
+                  const BinnedDataset& data, const SplitInfo& split,
+                  util::ThreadPool& pool,
+                  std::span<std::uint64_t> chunk_counts);
+
+}  // namespace booster::gbdt

@@ -48,6 +48,17 @@ struct RecordLayout {
     return b;  // one record per block, possibly with slack
   }
 
+  /// Bytes of the software trainer's in-memory row-major bin matrix (the
+  /// redundant view BinnedDataset materializes): num_fields entries of
+  /// sizeof(BinIndex) per record. Distinct from row_major_bytes_per_record,
+  /// which models the hardware's byte-packed block format.
+  static std::uint64_t software_row_major_bytes(std::uint64_t num_records,
+                                                std::uint32_t num_fields,
+                                                std::uint32_t element_bytes) {
+    return num_records * static_cast<std::uint64_t>(num_fields) *
+           element_bytes;
+  }
+
   /// Computes slot widths from per-field feature counts (SRAM capacity in
   /// features, typically 256).
   static RecordLayout from_field_features(

@@ -45,6 +45,18 @@ struct SplitInfo {
   BinStats right;
 };
 
+/// The routing rule every consumer of a split predicate must agree on:
+/// bin 0 (missing) follows the learned default; numeric predicates route
+/// left when bin <= threshold; categorical when bin == threshold. Shared
+/// by step-3 partitioning (hotpath.h) and step-5 traversal
+/// (Tree::goes_left) so the two can never drift apart.
+inline bool routes_left(PredicateKind kind, std::uint16_t threshold_bin,
+                        bool default_left, BinIndex bin) {
+  if (bin == 0) return default_left;  // missing value: learned default
+  return kind == PredicateKind::kNumericLE ? bin <= threshold_bin
+                                           : bin == threshold_bin;
+}
+
 /// Leaf weight for totals (G, H): w* = -G / (H + lambda).
 double leaf_weight(const BinStats& totals, double lambda);
 

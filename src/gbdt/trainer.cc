@@ -6,7 +6,9 @@
 #include <limits>
 #include <utility>
 
+#include "gbdt/hotpath.h"
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace booster::gbdt {
 
@@ -16,13 +18,27 @@ using trace::StepEvent;
 using trace::StepKind;
 using trace::StepTrace;
 
-/// Mutable state of one frontier node during tree growth.
+/// Rows per chunk for the embarrassingly parallel per-record loops
+/// (gradient refresh, step-5 traversal, loss evaluation).
+constexpr std::uint64_t kRecordGrain = 2048;
+
+/// Mutable state of one frontier node during tree growth. The node's
+/// records are the span [begin, end) of one of the trainer's two ping-pong
+/// row arenas (`buf` says which) -- no per-node row storage. Partitioning
+/// writes a node's children into the opposite arena, which is safe because
+/// the frontier is processed strictly breadth-first: all nodes of depth d
+/// (whose rows live in arena d mod 2) are consumed before any depth-d+1
+/// node overwrites that arena's parity.
 struct FrontierNode {
   std::int32_t tree_node = 0;
   std::int32_t depth = 0;
-  std::vector<std::uint32_t> rows;
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+  std::uint8_t buf = 0;
   Histogram hist;
   BinStats totals;
+
+  std::uint64_t num_rows() const { return end - begin; }
 };
 
 void emit(StepTrace* trace, StepEvent e) {
@@ -38,6 +54,16 @@ TrainResult Trainer::train(const BinnedDataset& data, StepTrace* trace,
   auto loss = make_loss(cfg_.loss);
   const std::uint32_t num_fields = data.num_fields();
 
+  // One pool + one histogram pool + one row arena for the whole run; the
+  // per-tree loop below performs no allocations once these are warm.
+  util::ThreadPool pool(cfg_.num_threads);
+  HistogramPool hist_pool(data);
+  std::vector<std::uint32_t> row_bufs[2] = {std::vector<std::uint32_t>(n),
+                                            std::vector<std::uint32_t>(n)};
+  std::vector<std::uint64_t> chunk_counts(pool.num_threads() + 1, 0);
+  std::vector<double> chunk_sums(pool.num_threads(), 0.0);
+  std::vector<Histogram> partials_scratch;
+
   // Base score from the label mean (logit-transformed for logistic loss).
   double label_mean = 0.0;
   for (float y : data.labels()) label_mean += y;
@@ -46,20 +72,18 @@ TrainResult Trainer::train(const BinnedDataset& data, StepTrace* trace,
 
   std::vector<float> preds(n, static_cast<float>(base_score));
   std::vector<GradientPair> gradients(n);
-  auto refresh_gradients = [&] {
-    for (std::uint64_t r = 0; r < n; ++r) {
-      gradients[r] = loss->gradients(preds[r], data.labels()[r]);
-    }
-  };
   // Initial gradient pass: part of pre-processing (no tree to traverse),
   // so it is not a step-5 event.
-  refresh_gradients();
+  pool.for_chunks(0, n, kRecordGrain,
+                    [&](std::uint64_t b, std::uint64_t e, unsigned) {
+                      for (std::uint64_t r = b; r < e; ++r) {
+                        gradients[r] =
+                            loss->gradients(preds[r], data.labels()[r]);
+                      }
+                    });
 
   const SplitFinder finder(cfg_.split);
-  TrainResult result{Model(base_score, make_loss(cfg_.loss)), {}, 0.0};
-
-  std::vector<std::uint32_t> all_rows(n);
-  for (std::uint64_t r = 0; r < n; ++r) all_rows[r] = static_cast<std::uint32_t>(r);
+  TrainResult result{.model = Model(base_score, make_loss(cfg_.loss))};
 
   double leaf_depth_sum = 0.0;
   std::uint64_t leaf_count = 0;
@@ -73,14 +97,29 @@ TrainResult Trainer::train(const BinnedDataset& data, StepTrace* trace,
     // stream per level, paper SS II-A); indexed by depth.
     std::vector<std::uint64_t> level_hist_records;
 
+    // Reset arena 0 to ascending row order: the partition is stable, so
+    // every node span stays ascending all the way down -- histogram
+    // gathers then stream the row-major matrix forward (the cache behavior
+    // the seed got from its freshly-copied sorted row vectors) instead of
+    // walking the previous tree's permutation.
+    pool.for_chunks(0, n, kRecordGrain,
+                      [&](std::uint64_t b, std::uint64_t e, unsigned) {
+                        for (std::uint64_t r = b; r < e; ++r) {
+                          row_bufs[0][r] = static_cast<std::uint32_t>(r);
+                        }
+                      });
+
     // Root: bin all records (step 1 at the root covers the full dataset).
     {
       FrontierNode root;
       root.tree_node = tree.root();
       root.depth = 0;
-      root.rows = all_rows;
-      root.hist = Histogram(data);
-      root.hist.build(data, root.rows, gradients);
+      root.begin = 0;
+      root.end = n;
+      root.buf = 0;
+      root.hist = hist_pool.acquire();
+      build_histogram_parallel(root.hist, data, row_bufs[0], gradients, pool,
+                               hist_pool, partials_scratch);
       root.totals = root.hist.totals();
       emit(trace, StepEvent{.kind = StepKind::kHistogram,
                             .tree = static_cast<std::int32_t>(t),
@@ -101,10 +140,11 @@ TrainResult Trainer::train(const BinnedDataset& data, StepTrace* trace,
                                  leaf_weight(totals, cfg_.split.lambda));
         leaf_depth_sum += node.depth;
         ++leaf_count;
+        hist_pool.release(std::move(node.hist));
       };
 
       if (node.depth >= static_cast<std::int32_t>(cfg_.max_depth) ||
-          node.rows.size() < cfg_.min_node_records) {
+          node.num_rows() < cfg_.min_node_records) {
         make_leaf(node.totals);
         continue;
       }
@@ -121,31 +161,25 @@ TrainResult Trainer::train(const BinnedDataset& data, StepTrace* trace,
         continue;
       }
 
-      // Step 3: apply the predicate to partition the node's records.
-      std::vector<std::uint32_t> left_rows;
-      std::vector<std::uint32_t> right_rows;
-      left_rows.reserve(static_cast<std::size_t>(split->left.count) + 1);
-      right_rows.reserve(static_cast<std::size_t>(split->right.count) + 1);
-      {
-        const auto& col = data.column(split->field);
-        const bool numeric = split->kind == PredicateKind::kNumericLE;
-        for (const std::uint32_t r : node.rows) {
-          const BinIndex bin = col[r];
-          const bool go_left =
-              bin == 0 ? split->default_left
-                       : (numeric ? bin <= split->threshold_bin
-                                  : bin == split->threshold_bin);
-          (go_left ? left_rows : right_rows).push_back(r);
-        }
-      }
+      // Step 3: apply the predicate to partition the node's arena span into
+      // the opposite ping-pong arena (stable: identical row order to the
+      // scalar two-vector reference at any thread count).
+      // The split's left-bucket histogram count is the exact left-row
+      // count (counts are exact integers in a double); partition_to aborts
+      // if the realized partition disagrees.
+      const std::uint64_t n_left = split->left.count_u64();
+      BOOSTER_CHECK_MSG(n_left > 0 && n_left < node.num_rows(),
+                        "split produced an empty child");
+      const std::uint8_t child_buf = node.buf ^ 1;
+      partition_to(row_bufs[node.buf], row_bufs[child_buf], node.begin,
+                   node.end, n_left, data, *split, pool, chunk_counts);
       emit(trace, StepEvent{.kind = StepKind::kPartition,
                             .tree = static_cast<std::int32_t>(t),
                             .depth = node.depth,
-                            .records = node.rows.size(),
+                            .records = node.num_rows(),
                             .fields_touched = 1,
                             .record_fields = num_fields});
-      BOOSTER_CHECK_MSG(!left_rows.empty() && !right_rows.empty(),
-                        "split produced an empty child");
+      const std::uint64_t n_right = node.num_rows() - n_left;
 
       const auto [left_id, right_id] = tree.split_leaf(node.tree_node, *split);
 
@@ -164,28 +198,39 @@ TrainResult Trainer::train(const BinnedDataset& data, StepTrace* trace,
                                                        cfg_.split.lambda));
         leaf_depth_sum += 2.0 * child_depth;
         leaf_count += 2;
+        hist_pool.release(std::move(node.hist));
         continue;
       }
 
       // Step 1 at the children: explicitly bin only the smaller child; the
-      // larger child's histogram is parent - smaller (paper §II-A).
-      const bool left_smaller = left_rows.size() <= right_rows.size();
+      // larger child's histogram is parent - smaller (paper §II-A), computed
+      // in place in the parent's recycled buffer.
+      const bool left_smaller = n_left <= n_right;
       FrontierNode small;
       FrontierNode large;
       small.tree_node = left_smaller ? left_id : right_id;
       large.tree_node = left_smaller ? right_id : left_id;
       small.depth = large.depth = child_depth;
-      small.rows = left_smaller ? std::move(left_rows) : std::move(right_rows);
-      large.rows = left_smaller ? std::move(right_rows) : std::move(left_rows);
+      small.buf = large.buf = child_buf;
+      const std::uint64_t mid = node.begin + n_left;
+      small.begin = left_smaller ? node.begin : mid;
+      small.end = left_smaller ? mid : node.end;
+      large.begin = left_smaller ? mid : node.begin;
+      large.end = left_smaller ? node.end : mid;
 
-      small.hist = Histogram(data);
-      small.hist.build(data, small.rows, gradients);
+      small.hist = hist_pool.acquire();
+      build_histogram_parallel(
+          small.hist, data,
+          std::span<const std::uint32_t>(row_bufs[child_buf].data() +
+                                             small.begin,
+                                         small.num_rows()),
+          gradients, pool, hist_pool, partials_scratch);
       small.totals = small.hist.totals();
       if (cfg_.growth == GrowthOrder::kVertexByVertex) {
         emit(trace, StepEvent{.kind = StepKind::kHistogram,
                               .tree = static_cast<std::int32_t>(t),
                               .depth = child_depth,
-                              .records = small.rows.size(),
+                              .records = small.num_rows(),
                               .fields_touched = num_fields,
                               .record_fields = num_fields,
                               .used_sibling_subtraction = true});
@@ -194,10 +239,11 @@ TrainResult Trainer::train(const BinnedDataset& data, StepTrace* trace,
             static_cast<std::size_t>(child_depth)) {
           level_hist_records.resize(child_depth + 1, 0);
         }
-        level_hist_records[child_depth] += small.rows.size();
+        level_hist_records[child_depth] += small.num_rows();
       }
 
-      large.hist.subtract_from(node.hist, small.hist);
+      large.hist = std::move(node.hist);
+      large.hist.subtract(small.hist);
       large.totals = large.hist.totals();
 
       frontier.push_back(std::move(small));
@@ -221,19 +267,32 @@ TrainResult Trainer::train(const BinnedDataset& data, StepTrace* trace,
 
     // Step 5: pass every record through the completed tree, update the
     // prediction, and recompute gradient statistics for the next tree.
+    // Records are independent; per-chunk hop sums are integers, so the
+    // reduction is exact at any thread count.
+    std::fill(chunk_sums.begin(), chunk_sums.end(), 0.0);
+    pool.for_chunks(
+        0, n, kRecordGrain, [&](std::uint64_t b, std::uint64_t e, unsigned c) {
+          double chunk_hops = 0.0;
+          for (std::uint64_t r = b; r < e; ++r) {
+            // Column-major access: records are visited in ascending order,
+            // so the tree's few relevant columns stream from cache; the
+            // row-major view would stream the whole matrix.
+            std::int32_t id = tree.root();
+            std::uint32_t path = 0;
+            while (!tree.node(id).is_leaf) {
+              const TreeNode& nd = tree.node(id);
+              id = tree.goes_left(id, data.bin(nd.field, r)) ? nd.left
+                                                             : nd.right;
+              ++path;
+            }
+            preds[r] += static_cast<float>(tree.node(id).weight);
+            gradients[r] = loss->gradients(preds[r], data.labels()[r]);
+            chunk_hops += path;
+          }
+          chunk_sums[c] += chunk_hops;
+        });
     double hops = 0.0;
-    for (std::uint64_t r = 0; r < n; ++r) {
-      std::int32_t id = tree.root();
-      std::uint32_t path = 0;
-      while (!tree.node(id).is_leaf) {
-        const TreeNode& nd = tree.node(id);
-        id = tree.goes_left(id, data.bin(nd.field, r)) ? nd.left : nd.right;
-        ++path;
-      }
-      preds[r] += static_cast<float>(tree.node(id).weight);
-      gradients[r] = loss->gradients(preds[r], data.labels()[r]);
-      hops += path;
-    }
+    for (const double s : chunk_sums) hops += s;
     emit(trace, StepEvent{.kind = StepKind::kTraversal,
                           .tree = static_cast<std::int32_t>(t),
                           .depth = static_cast<std::int32_t>(tree.max_depth()),
@@ -246,10 +305,17 @@ TrainResult Trainer::train(const BinnedDataset& data, StepTrace* trace,
     TreeStats stats;
     stats.leaves = tree.num_leaves();
     stats.depth = tree.max_depth();
+    std::fill(chunk_sums.begin(), chunk_sums.end(), 0.0);
+    pool.for_chunks(
+        0, n, kRecordGrain, [&](std::uint64_t b, std::uint64_t e, unsigned c) {
+          double chunk_loss = 0.0;
+          for (std::uint64_t r = b; r < e; ++r) {
+            chunk_loss += loss->value(preds[r], data.labels()[r]);
+          }
+          chunk_sums[c] += chunk_loss;
+        });
     double total_loss = 0.0;
-    for (std::uint64_t r = 0; r < n; ++r) {
-      total_loss += loss->value(preds[r], data.labels()[r]);
-    }
+    for (const double s : chunk_sums) total_loss += s;
     stats.train_loss = total_loss / static_cast<double>(n);
     result.tree_stats.push_back(stats);
     result.model.add_tree(std::move(tree));
@@ -273,6 +339,14 @@ TrainResult Trainer::train(const BinnedDataset& data, StepTrace* trace,
 
   result.avg_leaf_depth =
       leaf_count == 0 ? 0.0 : leaf_depth_sum / static_cast<double>(leaf_count);
+
+  result.hot_path.threads = pool.num_threads();
+  result.hot_path.histogram_allocations = hist_pool.allocations();
+  result.hot_path.histogram_acquires = hist_pool.acquires();
+  result.hot_path.arena_bytes =
+      (row_bufs[0].size() + row_bufs[1].size()) * sizeof(std::uint32_t);
+  result.hot_path.row_major_matrix_bytes =
+      RecordLayout::software_row_major_bytes(n, num_fields, sizeof(BinIndex));
 
   if (info != nullptr) {
     info->nominal_records = n;

@@ -41,6 +41,15 @@ struct TrainerConfig {
   /// consecutive trees. 0 disables (train exactly num_trees).
   double early_stop_rel_improvement = 0.0;
   std::uint32_t early_stop_patience = 3;
+  /// Worker threads for the hot path (histogram build, partition, step-5
+  /// traversal). 0 = auto: the BOOSTER_THREADS environment variable when
+  /// set, otherwise the hardware concurrency. 1 forces the serial path.
+  /// The partition is stable and counts are exact, so trained trees are
+  /// structurally identical across thread counts unless two candidate
+  /// splits' gains tie within the last-ULP difference introduced by the
+  /// histogram reduction order -- measure-zero on continuous gains, but
+  /// not impossible on adversarial data.
+  std::uint32_t num_threads = 0;
 };
 
 /// Per-tree training diagnostics.
@@ -50,13 +59,34 @@ struct TreeStats {
   double train_loss = 0.0;  // mean loss after adding this tree
 };
 
+/// Allocation / threading diagnostics of one training run. The hot path is
+/// allocation-free in steady state: node histograms come from a pool
+/// (allocations counts the pool misses, which stop growing once the
+/// deepest frontier has been seen) and record partitioning reorders one
+/// persistent row-index arena in place instead of building per-node row
+/// vectors.
+struct HotPathStats {
+  std::uint32_t threads = 1;
+  /// Fresh histogram buffer constructions (pool misses) over the whole run.
+  std::uint64_t histogram_allocations = 0;
+  /// Node histograms requested (root + one per smaller child + parallel
+  /// partials). Grows with trees while histogram_allocations stays flat.
+  std::uint64_t histogram_acquires = 0;
+  /// Bytes of the two persistent ping-pong row-index arenas.
+  std::uint64_t arena_bytes = 0;
+  /// Bytes of the dataset's redundant row-major bin matrix -- the memory
+  /// the layout change trades for the single-pass histogram kernel.
+  std::uint64_t row_major_matrix_bytes = 0;
+};
+
 struct TrainResult {
   Model model;
-  std::vector<TreeStats> tree_stats;
+  std::vector<TreeStats> tree_stats{};
   double avg_leaf_depth = 0.0;  // mean realized leaf depth over all trees
   /// True when step-6 early stopping terminated the ensemble before
   /// num_trees (the model then holds fewer trees).
   bool early_stopped = false;
+  HotPathStats hot_path{};
 };
 
 class Trainer {

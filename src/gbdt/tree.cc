@@ -37,9 +37,7 @@ void Tree::set_leaf_weight(std::int32_t id, double w) {
 bool Tree::goes_left(std::int32_t id, BinIndex bin) const {
   const TreeNode& n = nodes_[id];
   BOOSTER_DCHECK(!n.is_leaf);
-  if (bin == 0) return n.default_left;  // missing value: learned default
-  if (n.kind == PredicateKind::kNumericLE) return bin <= n.threshold_bin;
-  return bin == n.threshold_bin;
+  return routes_left(n.kind, n.threshold_bin, n.default_left, bin);
 }
 
 double Tree::predict(const BinnedDataset& data, std::uint64_t record) const {

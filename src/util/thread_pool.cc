@@ -1,0 +1,107 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace booster::util {
+
+unsigned ThreadPool::default_threads() {
+  if (const char* env = std::getenv("BOOSTER_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<unsigned>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ThreadPool::ThreadPool(unsigned num_threads)
+    : num_threads_(std::min(num_threads == 0 ? default_threads() : num_threads,
+                            kMaxThreads)) {
+  workers_.reserve(num_threads_ - 1);
+  for (unsigned i = 0; i + 1 < num_threads_; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+// Tasks are statically assigned: task t belongs to participant (t mod
+// num_threads); workers take ids 0..T-2, the calling thread id T-1. A new
+// generation only starts after the previous one's done-count completed, so
+// a worker observing a generation change always reads that generation's
+// task {ctx, fn} -- there is no window where a late claim could touch a
+// finished generation's (stack-resident, already out-of-scope) callable,
+// and no shared claim counter to reset racily between generations.
+void ThreadPool::worker_loop(unsigned worker_id) {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    void* ctx = nullptr;
+    TaskFn fn = nullptr;
+    unsigned total = 0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(
+          lock, [&] { return stop_ || generation_ != seen_generation; });
+      if (stop_) return;
+      seen_generation = generation_;
+      ctx = task_ctx_;
+      fn = task_fn_;
+      total = num_tasks_;
+    }
+    for (unsigned t = worker_id; t < total; t += num_threads_) {
+      fn(ctx, t);
+      if (done_tasks_.fetch_add(1, std::memory_order_acq_rel) + 1 == total) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        done_cv_.notify_all();
+      }
+    }
+  }
+}
+
+void ThreadPool::run_tasks_impl(unsigned num_tasks, void* ctx, TaskFn fn) {
+  if (num_tasks == 0) return;
+  if (workers_.empty() || num_tasks == 1) {
+    for (unsigned t = 0; t < num_tasks; ++t) fn(ctx, t);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    task_ctx_ = ctx;
+    task_fn_ = fn;
+    num_tasks_ = num_tasks;
+    done_tasks_.store(0, std::memory_order_relaxed);
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  // The calling thread runs its own share alongside the workers.
+  for (unsigned t = num_threads_ - 1; t < num_tasks; t += num_threads_) {
+    fn(ctx, t);
+    done_tasks_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [&] {
+    return done_tasks_.load(std::memory_order_acquire) == num_tasks;
+  });
+  task_ctx_ = nullptr;
+  task_fn_ = nullptr;
+}
+
+unsigned ThreadPool::num_chunks(std::uint64_t count,
+                                std::uint64_t min_grain) const {
+  if (count == 0) return 0;
+  const std::uint64_t grain = std::max<std::uint64_t>(1, min_grain);
+  // Floor division: parallelize only when every chunk gets at least
+  // min_grain items; a range barely over the grain stays serial.
+  const std::uint64_t by_grain = std::max<std::uint64_t>(1, count / grain);
+  return static_cast<unsigned>(
+      std::min<std::uint64_t>(num_threads_, by_grain));
+}
+
+}  // namespace booster::util

@@ -36,7 +36,7 @@ Fixture make_fixture(std::uint32_t numeric_fields, std::uint32_t cat_card,
   spec.loss = "logistic";
   const auto raw = workloads::synthesize(spec, n, seed);
   Fixture f{gbdt::Binner().bin(raw), {}, {}, gbdt::TrainResult{
-      gbdt::Model(0.0, gbdt::make_loss("logistic")), {}, 0.0}};
+      .model = gbdt::Model(0.0, gbdt::make_loss("logistic"))}};
   util::Rng rng(seed);
   f.grads.resize(n);
   for (auto& gp : f.grads) {

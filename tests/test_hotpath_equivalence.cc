@@ -1,0 +1,247 @@
+// Hot-path equivalence properties (ISSUE 1 acceptance): the row-major /
+// threaded histogram build and the in-place arena partition must produce
+// the same results as the seed's scalar reference -- counts and row orders
+// exactly, G/H sums within FP-reduction tolerance, and whole trained
+// models with identical structure/split decisions at 1, 2, and 8 threads.
+// Also asserts the steady-state allocation-free property: histogram pool
+// misses stop growing with more trees, and partitioning uses one arena.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "gbdt/binning.h"
+#include "gbdt/histogram.h"
+#include "gbdt/hotpath.h"
+#include "gbdt/split.h"
+#include "gbdt/trainer.h"
+#include "util/rng.h"
+#include "workloads/synth.h"
+
+namespace booster::gbdt {
+namespace {
+
+BinnedDataset random_binned(std::uint64_t n, std::uint64_t seed) {
+  workloads::DatasetSpec spec;
+  spec.name = "hotpath";
+  spec.nominal_records = n;
+  spec.numeric_fields = 6;
+  spec.categorical_cardinalities = {7, 3};
+  spec.missing_rate = 0.15;
+  spec.loss = "logistic";
+  return Binner().bin(workloads::synthesize(spec, n, seed));
+}
+
+std::vector<GradientPair> random_gradients(std::uint64_t n,
+                                           std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<GradientPair> g(n);
+  for (auto& gp : g) {
+    gp.g = static_cast<float>(rng.normal());
+    gp.h = static_cast<float>(rng.uniform(0.1, 1.0));
+  }
+  return g;
+}
+
+void expect_histograms_equivalent(const Histogram& got, const Histogram& ref) {
+  ASSERT_EQ(got.num_fields(), ref.num_fields());
+  for (std::uint32_t f = 0; f < got.num_fields(); ++f) {
+    const auto a = got.field(f);
+    const auto b = ref.field(f);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      // Counts are integer additions: exact at any accumulation order.
+      EXPECT_DOUBLE_EQ(a[i].count, b[i].count) << "field " << f << " bin " << i;
+      EXPECT_NEAR(a[i].g, b[i].g, 1e-6);
+      EXPECT_NEAR(a[i].h, b[i].h, 1e-6);
+    }
+  }
+}
+
+TEST(HotPathEquivalence, RowMajorBuildMatchesColumnGatherReference) {
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    const auto data = random_binned(3000, seed);
+    const auto grads = random_gradients(data.num_records(), seed + 100);
+    // An arbitrary row subset in arbitrary order (as mid-tree nodes see).
+    util::Rng rng(seed + 200);
+    std::vector<std::uint32_t> rows;
+    for (std::uint32_t r = 0; r < data.num_records(); ++r) {
+      if (rng.uniform(0.0, 1.0) < 0.6) rows.push_back(r);
+    }
+    for (std::size_t i = rows.size(); i > 1; --i) {
+      std::swap(rows[i - 1], rows[rng.next_below(i)]);
+    }
+
+    Histogram row_major(data), reference(data);
+    row_major.build(data, rows, grads);
+    reference.build_reference(data, rows, grads);
+    expect_histograms_equivalent(row_major, reference);
+  }
+}
+
+TEST(HotPathEquivalence, ParallelBuildMatchesReferenceAt1_2_8Threads) {
+  const auto data = random_binned(5000, 7);
+  const auto grads = random_gradients(data.num_records(), 8);
+  std::vector<std::uint32_t> rows(data.num_records());
+  std::iota(rows.begin(), rows.end(), 0u);
+
+  Histogram reference(data);
+  reference.build_reference(data, rows, grads);
+
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    util::ThreadPool pool(threads);
+    HistogramPool hist_pool(data);
+    std::vector<Histogram> partials_scratch;
+    Histogram got = hist_pool.acquire();
+    build_histogram_parallel(got, data, rows, grads, pool, hist_pool,
+                             partials_scratch);
+    expect_histograms_equivalent(got, reference);
+  }
+}
+
+TEST(HotPathEquivalence, ArenaPartitionMatchesScalarReferenceExactly) {
+  for (const std::uint64_t seed : {11ull, 12ull}) {
+    const auto data = random_binned(4000, seed);
+    const std::uint64_t n = data.num_records();
+
+    // Candidate splits covering numeric/categorical and both default
+    // directions, on a mid-array span (as interior tree nodes see).
+    std::vector<SplitInfo> splits;
+    for (std::uint32_t f = 0; f < data.num_fields(); ++f) {
+      SplitInfo s;
+      s.field = f;
+      const bool numeric = data.field_bins(f).kind == FieldKind::kNumeric;
+      s.kind = numeric ? PredicateKind::kNumericLE
+                       : PredicateKind::kCategoryEqual;
+      s.threshold_bin =
+          static_cast<std::uint16_t>(data.field_bins(f).num_bins / 2);
+      if (s.threshold_bin == 0) s.threshold_bin = 1;
+      s.default_left = (f % 2) == 0;
+      splits.push_back(s);
+    }
+
+    for (const auto& split : splits) {
+      const std::uint64_t begin = n / 5;
+      const std::uint64_t end = n - n / 7;
+      std::vector<std::uint32_t> initial(n);
+      std::iota(initial.begin(), initial.end(), 0u);
+      // Shuffle so the span holds an arbitrary permutation.
+      util::Rng rng(seed + split.field);
+      for (std::size_t i = n; i > 1; --i) {
+        std::swap(initial[i - 1], initial[rng.next_below(i)]);
+      }
+
+      // Scalar reference: the seed's two-vector stable partition.
+      const auto& col = data.column(split.field);
+      std::vector<std::uint32_t> expect_left, expect_right;
+      for (std::uint64_t i = begin; i < end; ++i) {
+        const std::uint32_t r = initial[i];
+        (split_goes_left(split, col[r]) ? expect_left : expect_right)
+            .push_back(r);
+      }
+
+      for (const unsigned threads : {1u, 2u, 8u}) {
+        util::ThreadPool pool(threads);
+        const std::vector<std::uint32_t> src = initial;
+        std::vector<std::uint32_t> dst(n, 0xFFFFFFFFu);
+        std::vector<std::uint64_t> chunk_counts(pool.num_threads() + 1);
+        const std::uint64_t n_left = expect_left.size();
+        partition_to(src, dst, begin, end, n_left, data, split, pool,
+                     chunk_counts);
+        for (std::uint64_t i = 0; i < n_left; ++i) {
+          ASSERT_EQ(dst[begin + i], expect_left[i]);
+        }
+        for (std::uint64_t i = 0; i < expect_right.size(); ++i) {
+          ASSERT_EQ(dst[begin + n_left + i], expect_right[i]);
+        }
+        // Source and the destination outside the span: untouched.
+        for (std::uint64_t i = 0; i < n; ++i) {
+          ASSERT_EQ(src[i], initial[i]);
+        }
+        for (std::uint64_t i = 0; i < begin; ++i) {
+          ASSERT_EQ(dst[i], 0xFFFFFFFFu);
+        }
+        for (std::uint64_t i = end; i < n; ++i) {
+          ASSERT_EQ(dst[i], 0xFFFFFFFFu);
+        }
+      }
+    }
+  }
+}
+
+TrainResult train_with_threads(const BinnedDataset& data, unsigned threads,
+                               std::uint32_t trees = 6) {
+  TrainerConfig cfg;
+  cfg.num_trees = trees;
+  cfg.max_depth = 5;
+  cfg.loss = "logistic";
+  cfg.num_threads = threads;
+  return Trainer(cfg).train(data);
+}
+
+TEST(HotPathEquivalence, TrainedModelsIdenticalAcross1_2_8Threads) {
+  for (const std::uint64_t seed : {21ull, 22ull}) {
+    const auto data = random_binned(6000, seed);
+    const auto ref = train_with_threads(data, 1);
+    for (const unsigned threads : {2u, 8u}) {
+      const auto got = train_with_threads(data, threads);
+      ASSERT_EQ(got.model.num_trees(), ref.model.num_trees());
+      for (std::uint32_t t = 0; t < ref.model.num_trees(); ++t) {
+        const Tree& a = got.model.trees()[t];
+        const Tree& b = ref.model.trees()[t];
+        ASSERT_EQ(a.num_nodes(), b.num_nodes()) << "tree " << t;
+        for (std::uint32_t id = 0; id < a.num_nodes(); ++id) {
+          const TreeNode& x = a.node(static_cast<std::int32_t>(id));
+          const TreeNode& y = b.node(static_cast<std::int32_t>(id));
+          // Split decisions are exact across thread counts.
+          ASSERT_EQ(x.is_leaf, y.is_leaf);
+          ASSERT_EQ(x.field, y.field);
+          ASSERT_EQ(x.kind, y.kind);
+          ASSERT_EQ(x.threshold_bin, y.threshold_bin);
+          ASSERT_EQ(x.default_left, y.default_left);
+          ASSERT_EQ(x.left, y.left);
+          ASSERT_EQ(x.right, y.right);
+          // Weights/gains only differ by FP reduction order.
+          EXPECT_NEAR(x.weight, y.weight, 1e-9);
+          EXPECT_NEAR(x.gain, y.gain, 1e-6);
+        }
+      }
+      for (std::uint64_t r = 0; r < data.num_records(); r += 97) {
+        EXPECT_NEAR(got.model.predict_raw(data, r),
+                    ref.model.predict_raw(data, r), 1e-6);
+      }
+      EXPECT_EQ(got.hot_path.threads, threads);
+    }
+  }
+}
+
+TEST(HotPathEquivalence, SteadyStateIsAllocationFree) {
+  const auto data = random_binned(4000, 31);
+  for (const unsigned threads : {1u, 4u}) {
+    const auto short_run = train_with_threads(data, threads, /*trees=*/3);
+    const auto long_run = train_with_threads(data, threads, /*trees=*/12);
+    // More trees request more node histograms...
+    EXPECT_GT(long_run.hot_path.histogram_acquires,
+              short_run.hot_path.histogram_acquires);
+    // ...but fresh buffer allocations stop once the pool is warm: the
+    // per-node Histogram(data) of the seed is gone.
+    EXPECT_EQ(long_run.hot_path.histogram_allocations,
+              short_run.hot_path.histogram_allocations);
+    // Partitioning uses exactly one persistent arena + scratch (uint32
+    // row indices), not per-node row vectors.
+    EXPECT_EQ(long_run.hot_path.arena_bytes,
+              2 * data.num_records() * sizeof(std::uint32_t));
+  }
+}
+
+TEST(HotPathEquivalence, CountU64RoundTripsExactCounts) {
+  BinStats s;
+  s.count = 12345.0;
+  EXPECT_EQ(s.count_u64(), 12345u);
+  s.count = 0.0;
+  EXPECT_EQ(s.count_u64(), 0u);
+}
+
+}  // namespace
+}  // namespace booster::gbdt

@@ -69,7 +69,9 @@ TEST_P(PipelineFuzz, TrainingInvariantsHold) {
   for (const auto& e : trace.events()) {
     if (e.kind == trace::StepKind::kHistogram) {
       EXPECT_LE(e.records, data.num_records());
-      if (e.depth == 0) EXPECT_EQ(e.records, data.num_records());
+      if (e.depth == 0) {
+        EXPECT_EQ(e.records, data.num_records());
+      }
     }
   }
 

@@ -1,0 +1,105 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <vector>
+
+namespace booster::util {
+namespace {
+
+TEST(ThreadPool, RunsEveryTaskExactlyOnce) {
+  for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.num_threads(), threads);
+    constexpr unsigned kTasks = 64;
+    std::vector<std::atomic<int>> hits(kTasks);
+    for (auto& h : hits) h.store(0);
+    pool.run_tasks(kTasks, [&](unsigned t) { hits[t].fetch_add(1); });
+    for (unsigned t = 0; t < kTasks; ++t) {
+      EXPECT_EQ(hits[t].load(), 1) << "task " << t << " @" << threads;
+    }
+  }
+}
+
+TEST(ThreadPool, ZeroTasksIsANoop) {
+  ThreadPool pool(4);
+  pool.run_tasks(0, [&](unsigned) { FAIL() << "no task should run"; });
+}
+
+TEST(ThreadPool, PoolIsReusableAcrossCalls) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<unsigned> sum{0};
+    pool.run_tasks(10, [&](unsigned t) { sum.fetch_add(t); });
+    EXPECT_EQ(sum.load(), 45u);
+  }
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    constexpr std::uint64_t kBegin = 17, kEnd = 12345;
+    std::vector<std::atomic<int>> hits(kEnd);
+    for (auto& h : hits) h.store(0);
+    pool.parallel_for(kBegin, kEnd, 1,
+                      [&](std::uint64_t b, std::uint64_t e, unsigned) {
+                        for (std::uint64_t i = b; i < e; ++i)
+                          hits[i].fetch_add(1);
+                      });
+    for (std::uint64_t i = 0; i < kEnd; ++i) {
+      EXPECT_EQ(hits[i].load(), i >= kBegin ? 1 : 0) << i;
+    }
+  }
+}
+
+TEST(ThreadPool, ParallelForChunkIndicesAreDenseAndOrdered) {
+  ThreadPool pool(4);
+  const unsigned chunks = pool.num_chunks(10000, 1);
+  EXPECT_EQ(chunks, 4u);
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> bounds(chunks);
+  pool.parallel_for(0, 10000, 1,
+                    [&](std::uint64_t b, std::uint64_t e, unsigned c) {
+                      bounds[c] = {b, e};
+                    });
+  std::uint64_t expect_begin = 0;
+  for (unsigned c = 0; c < chunks; ++c) {
+    EXPECT_EQ(bounds[c].first, expect_begin);
+    EXPECT_LT(bounds[c].first, bounds[c].second);
+    expect_begin = bounds[c].second;
+  }
+  EXPECT_EQ(expect_begin, 10000u);
+}
+
+TEST(ThreadPool, MinGrainKeepsSmallRangesSerial) {
+  ThreadPool pool(8);
+  EXPECT_EQ(pool.num_chunks(100, 1024), 1u);
+  EXPECT_EQ(pool.num_chunks(0, 1024), 0u);
+  EXPECT_EQ(pool.num_chunks(2048, 1024), 2u);
+  EXPECT_EQ(pool.num_chunks(1u << 20, 1024), 8u);
+  unsigned calls = 0;
+  pool.parallel_for(0, 100, 1024,
+                    [&](std::uint64_t b, std::uint64_t e, unsigned c) {
+                      ++calls;
+                      EXPECT_EQ(b, 0u);
+                      EXPECT_EQ(e, 100u);
+                      EXPECT_EQ(c, 0u);
+                    });
+  EXPECT_EQ(calls, 1u);
+}
+
+TEST(ThreadPool, DefaultThreadsHonorsEnvOverride) {
+  ::setenv("BOOSTER_THREADS", "3", 1);
+  EXPECT_EQ(ThreadPool::default_threads(), 3u);
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 3u);
+  ::setenv("BOOSTER_THREADS", "bogus", 1);
+  EXPECT_GE(ThreadPool::default_threads(), 1u);
+  ::unsetenv("BOOSTER_THREADS");
+  EXPECT_GE(ThreadPool::default_threads(), 1u);
+}
+
+}  // namespace
+}  // namespace booster::util
