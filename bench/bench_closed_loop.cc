@@ -1,0 +1,124 @@
+// Closed-loop co-simulation bench (ISSUE 2 acceptance): two experiments,
+// emitted as one machine-readable JSON object (see bench/README.md).
+//
+//   1. Rate-matching sweep (paper §III-B): step-1 co-simulation of a
+//      64-field record scan while sweeping the BU count. The
+//      compute-bound fraction must cross ~0.5 near the paper's 3200-BU
+//      design point (exactly where the worked example sizes the array for
+//      ~400 GB/s); the crossing is located by linear interpolation.
+//
+//   2. Model-vs-cycle-sim agreement: per-step training times of the
+//      analytic BoosterModel vs the CycleCalibratedBoosterModel on the
+//      sampled fraud and Flight workloads. The per-step ratio is the
+//      benchable disagreement number; the test suite asserts it within
+//      15% (test_cycle_calibrated.cc), this bench archives the trend.
+//
+//   ./bench_closed_loop [--quick]
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "common.h"
+#include "core/cycle_sim.h"
+#include "perf/cycle_calibrated.h"
+#include "workloads/synth.h"
+
+using namespace booster;
+
+int main(int argc, char** argv) {
+  const auto opt = bench::BenchOptions::parse(argc, argv);
+  // The sweep is cheap and its compute-bound fraction must reflect steady
+  // state (short runs overweight the pipeline-fill backlog transient), so
+  // it does not shrink under --quick.
+  const std::uint64_t sweep_records = 24000;
+
+  // --- Experiment 1: BU-count sweep on the paper's worked example shape.
+  workloads::DatasetSpec sweep_spec;
+  sweep_spec.name = "dse64";
+  sweep_spec.nominal_records = sweep_records;
+  sweep_spec.numeric_fields = 64;
+  sweep_spec.loss = "squared";
+  const auto sweep_data =
+      gbdt::Binner().bin(workloads::synthesize(sweep_spec, sweep_records, 3));
+  std::vector<std::uint32_t> rows(sweep_records);
+  std::iota(rows.begin(), rows.end(), 0);
+
+  std::printf("{\n  \"bench\": \"closed_loop\",\n");
+  {
+    const core::CycleSim probe{core::BoosterConfig{}, memsim::DramConfig{}};
+    std::printf("  \"accel_clock_hz\": %.3e,\n  \"mem_clock_hz\": %.3e,\n",
+                probe.config().clock_hz, probe.dram().clock_hz);
+    std::printf("  \"clock_ratio\": %.6f,\n", probe.clock_ratio());
+  }
+
+  std::printf("  \"bu_sweep\": [\n");
+  double prev_bus = 0.0, prev_frac = 0.0, crossing_bus = 0.0;
+  const std::uint32_t cluster_points[] = {10, 20, 30, 40, 45, 48,
+                                          50, 55, 65, 80};
+  for (std::size_t i = 0; i < std::size(cluster_points); ++i) {
+    core::BoosterConfig cfg;
+    cfg.clusters = cluster_points[i];
+    const core::CycleSim sim{cfg, memsim::DramConfig{}};
+    const auto r = sim.run_step1(sweep_data, rows);
+    const double bus = cfg.num_bus();
+    std::printf("    {\"clusters\": %u, \"bus\": %.0f,"
+                " \"compute_bound_fraction\": %.4f,"
+                " \"achieved_gbps\": %.1f, \"records_per_cycle\": %.3f,"
+                " \"avg_queue_occupancy\": %.2f,"
+                " \"enqueue_rejections\": %llu}%s\n",
+                cluster_points[i], bus, r.compute_bound_fraction,
+                r.achieved_bandwidth / 1e9, r.records_per_cycle,
+                r.avg_queue_occupancy,
+                static_cast<unsigned long long>(r.enqueue_rejections),
+                i + 1 < std::size(cluster_points) ? "," : "");
+    if (crossing_bus == 0.0 && prev_frac > 0.5 &&
+        r.compute_bound_fraction <= 0.5) {
+      // Linear interpolation of the 0.5 crossing between sweep points.
+      crossing_bus = prev_bus + (prev_frac - 0.5) /
+                                    (prev_frac - r.compute_bound_fraction) *
+                                    (bus - prev_bus);
+    }
+    prev_bus = bus;
+    prev_frac = r.compute_bound_fraction;
+  }
+  std::printf("  ],\n  \"rate_matching_crossing_bus\": %.0f,\n", crossing_bus);
+  std::printf("  \"paper_design_bus\": 3200,\n");
+
+  // --- Experiment 2: analytic vs cycle-calibrated per-step times.
+  workloads::RunnerConfig rcfg;
+  rcfg.sim_records = opt.quick ? 8000 : opt.runner.sim_records;
+  rcfg.sim_trees = opt.quick ? 8 : opt.runner.sim_trees;
+  const core::BoosterModel analytic(bench::default_booster_config());
+  const auto cycle = bench::cycle_calibrated_booster();
+
+  std::printf("  \"workloads\": [\n");
+  const std::vector<workloads::DatasetSpec> specs = {
+      workloads::fraud_spec(), workloads::spec_by_name("Flight")};
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const auto w = workloads::run_workload(specs[i], rcfg);
+    const auto a = analytic.train_cost(w.trace, w.info);
+    const auto c = cycle.train_cost(w.trace, w.info);
+    double max_dis = 0.0;
+    std::printf("    {\"name\": \"%s\", \"steps\": [\n", w.spec.name.c_str());
+    const trace::StepKind kinds[] = {
+        trace::StepKind::kHistogram, trace::StepKind::kPartition,
+        trace::StepKind::kTraversal, trace::StepKind::kSplitSelect};
+    for (std::size_t k = 0; k < std::size(kinds); ++k) {
+      const double ratio = a[kinds[k]] > 0.0 ? c[kinds[k]] / a[kinds[k]] : 1.0;
+      if (kinds[k] != trace::StepKind::kSplitSelect) {
+        max_dis = std::max(max_dis, std::abs(ratio - 1.0));
+      }
+      std::printf("      {\"step\": \"%s\", \"analytic_s\": %.6f,"
+                  " \"cycle_s\": %.6f, \"ratio\": %.4f}%s\n",
+                  trace::step_name(kinds[k]), a[kinds[k]], c[kinds[k]], ratio,
+                  k + 1 < std::size(kinds) ? "," : "");
+    }
+    std::printf("    ], \"total_analytic_s\": %.6f, \"total_cycle_s\": %.6f,"
+                " \"max_step_disagreement\": %.4f}%s\n",
+                a.total(), c.total(), max_dis,
+                i + 1 < specs.size() ? "," : "");
+  }
+  std::printf("  ]\n}\n");
+  return 0;
+}

@@ -22,26 +22,31 @@ int main(int argc, char** argv) {
   const baselines::CpuLikeModel ideal_cpu(baselines::ideal_cpu_params());
   const baselines::CpuLikeModel ideal_gpu(baselines::ideal_gpu_params());
   const core::BoosterModel booster(bench::default_booster_config());
+  const auto booster_cycle = bench::cycle_calibrated_booster();
 
   util::Table table({"Benchmark", "Ideal GPU", "Inter-Record", "Booster",
-                     "Ideal 32-core time"});
-  std::vector<double> gpu_speedups, ir_speedups, booster_speedups;
+                     "Booster-cycle", "Ideal 32-core time"});
+  std::vector<double> gpu_speedups, ir_speedups, booster_speedups,
+      cycle_speedups;
   for (const auto& w : workloads) {
     const double cpu_t = ideal_cpu.train_cost(w.trace, w.info).total();
     const double gpu_t = ideal_gpu.train_cost(w.trace, w.info).total();
     const auto ir = bench::inter_record_for(w);
     const double ir_t = ir.train_cost(w.trace, w.info).total();
     const double booster_t = booster.train_cost(w.trace, w.info).total();
+    const double cycle_t = booster_cycle.train_cost(w.trace, w.info).total();
     gpu_speedups.push_back(cpu_t / gpu_t);
     ir_speedups.push_back(cpu_t / ir_t);
     booster_speedups.push_back(cpu_t / booster_t);
+    cycle_speedups.push_back(cpu_t / cycle_t);
     table.add_row({w.spec.name, util::fmt_x(cpu_t / gpu_t),
                    util::fmt_x(cpu_t / ir_t), util::fmt_x(cpu_t / booster_t),
-                   util::fmt_time(cpu_t)});
+                   util::fmt_x(cpu_t / cycle_t), util::fmt_time(cpu_t)});
   }
   table.add_row({"geomean", util::fmt_x(util::geomean(gpu_speedups)),
                  util::fmt_x(util::geomean(ir_speedups)),
-                 util::fmt_x(util::geomean(booster_speedups)), "-"});
+                 util::fmt_x(util::geomean(booster_speedups)),
+                 util::fmt_x(util::geomean(cycle_speedups)), "-"});
   table.print();
   std::printf("\nPaper reference: Ideal GPU 1.6-1.9x; Booster 4.6x (Flight)"
               " to 30.6x (IoT), geomean 11.4x.\n");

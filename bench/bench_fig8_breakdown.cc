@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
   const baselines::CpuLikeModel ideal_cpu(baselines::ideal_cpu_params());
   const baselines::CpuLikeModel ideal_gpu(baselines::ideal_gpu_params());
   const core::BoosterModel booster(bench::default_booster_config());
+  const auto booster_cycle = bench::cycle_calibrated_booster();
 
   util::Table table({"Benchmark", "System", "step1", "step2", "step3",
                      "step5", "total (norm)"});
@@ -36,6 +37,7 @@ int main(int argc, char** argv) {
     add("Ideal 32-core", cpu);
     add("Ideal GPU", ideal_gpu.train_cost(w.trace, w.info));
     add("Booster", booster.train_cost(w.trace, w.info));
+    add("Booster-cycle", booster_cycle.train_cost(w.trace, w.info));
   }
   table.print();
   std::printf("\nPaper reference: Booster's residual time is dominated by"

@@ -196,20 +196,6 @@ bool models_structurally_equal(const Model& a, const Model& b) {
   return true;
 }
 
-workloads::DatasetSpec fraud_spec() {
-  workloads::DatasetSpec spec;
-  spec.name = "fraud";
-  spec.description = "Synthetic card-transaction table";
-  spec.numeric_fields = 4;
-  spec.categorical_cardinalities = {500, 200, 60, 30, 12, 5};
-  spec.categorical_skew = 1.4;
-  spec.missing_rate = 0.03;
-  spec.loss = "logistic";
-  spec.label_structure = workloads::LabelStructure::kCategorical;
-  spec.label_noise = 0.4;
-  return spec;
-}
-
 struct Args {
   bool quick = false;
   unsigned threads = 0;  // 0 -> BOOSTER_THREADS else 8
@@ -255,7 +241,7 @@ int main(int argc, char** argv) {
   Args args = parse(argc, argv);
 
   std::vector<workloads::DatasetSpec> specs = {
-      fraud_spec(), workloads::spec_by_name("Flight")};
+      workloads::fraud_spec(), workloads::spec_by_name("Flight")};
 
   std::printf("{\n  \"bench\": \"train_hotpath\",\n  \"threads\": %u,\n"
               "  \"records\": %llu,\n  \"trees\": %u,\n  \"workloads\": [\n",

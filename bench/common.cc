@@ -35,6 +35,10 @@ core::BoosterConfig default_booster_config() {
   return cfg;
 }
 
+perf::CycleCalibratedBoosterModel cycle_calibrated_booster() {
+  return perf::CycleCalibratedBoosterModel(default_booster_config());
+}
+
 baselines::InterRecordModel inter_record_for(
     const workloads::WorkloadResult& w) {
   baselines::InterRecordParams p;

@@ -11,6 +11,7 @@
 #include "baselines/inter_record.h"
 #include "core/booster_model.h"
 #include "memsim/bandwidth_probe.h"
+#include "perf/cycle_calibrated.h"
 #include "perf/perf_model.h"
 #include "workloads/runner.h"
 
@@ -32,6 +33,12 @@ const memsim::BandwidthProfile& calibrated_bandwidth();
 
 /// Booster configuration with the calibrated bandwidth profile applied.
 core::BoosterConfig default_booster_config();
+
+/// The cycle-calibrated Booster model (closed-loop co-simulation replay)
+/// on the same calibrated configuration -- reported next to the analytic
+/// model in the figure benches so model-vs-cycle-sim disagreement is a
+/// first-class number.
+perf::CycleCalibratedBoosterModel cycle_calibrated_booster();
 
 /// The Inter-Record baseline for one workload (uses the paper's published
 /// per-dataset histogram copy counts; see workloads::DatasetSpec).

@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
 # CI entry point: configure + build with warnings-as-errors, run the tier-1
-# test suite, then run the training hot-path bench in Release.
+# test suite, run an ASan+UBSan build-and-ctest leg (the co-sim's retry
+# loops and engine shims are exactly where UB hides), then run the training
+# hot-path and closed-loop benches in Release.
 #
 #   scripts/check.sh [build-dir]
 #
 # Environment:
 #   BOOSTER_THREADS   thread count for the bench's threaded leg (default 8)
+#   BOOSTER_SKIP_SANITIZE=1   skip the sanitizer leg (local quick runs)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -18,6 +21,19 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
 
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 
-# Hot-path bench (quick mode keeps CI fast; JSON goes to stdout so the
-# trajectory can be archived by the caller).
+# ASan+UBSan leg: RelWithDebInfo keeps it fast enough for CI while the
+# sanitizers still see every retry loop and shim. -fno-sanitize-recover
+# turns any UB finding into a test failure.
+if [[ "${BOOSTER_SKIP_SANITIZE:-0}" != "1" ]]; then
+  ASAN_DIR="${BUILD_DIR}-asan"
+  cmake -B "$ASAN_DIR" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DBOOSTER_SANITIZE=ON
+  cmake --build "$ASAN_DIR" -j "$(nproc)"
+  ctest --test-dir "$ASAN_DIR" --output-on-failure -j "$(nproc)"
+fi
+
+# Benches (quick mode keeps CI fast; JSON goes to stdout so the trajectory
+# can be archived by the caller).
 "$BUILD_DIR/bench_train_hotpath" --quick
+"$BUILD_DIR/bench_closed_loop" --quick

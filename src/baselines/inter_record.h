@@ -36,7 +36,10 @@ struct InterRecordParams {
   /// banking area overhead), so the same silicon holds more bytes.
   double sram_budget_bytes = 15.5e6;
 
-  memsim::BandwidthProfile bandwidth{400.0e9, 180.0e9, 120.0e9, 403.2e9};
+  // Default profile matches the FR-FCFS model's measured rates (kept in
+  // sync with core::BoosterConfig so un-calibrated comparisons stay
+  // apples-to-apples).
+  memsim::BandwidthProfile bandwidth{400.0e9, 378.0e9, 266.0e9, 403.2e9};
   perf::HostParams host{};
 };
 

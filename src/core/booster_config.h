@@ -46,11 +46,13 @@ struct BoosterConfig {
   std::uint32_t inference_bus = 3000;
 
   // Calibrated DRAM sustained bandwidths (memsim::BandwidthProbe). The
-  // default constants match the Table IV configuration's measured rates;
-  // benches recalibrate from the cycle-level model at startup.
+  // default constants match the Table IV configuration's measured rates
+  // under the FR-FCFS model (streaming ~402, stride-16 gather ~380, random
+  // ~267 GB/s -- the tFAW activate bound keeps even random traffic at ~2/3
+  // of peak); benches recalibrate from the cycle-level model at startup.
   memsim::BandwidthProfile bandwidth{/*streaming=*/400.0e9,
-                                     /*strided_gather=*/180.0e9,
-                                     /*random=*/120.0e9,
+                                     /*strided_gather=*/378.0e9,
+                                     /*random=*/266.0e9,
                                      /*peak=*/403.2e9};
 
   std::uint32_t num_bus() const { return clusters * bus_per_cluster; }

@@ -72,23 +72,59 @@ perf::StepBreakdown BoosterModel::train_cost(
   // next -- refetching the gradient pair stream once per extra partition.
   const double field_partitions = std::max(1.0, std::ceil(slots / num_bus));
 
+  const double block = perf::kBlockBytes;
+  const double slot_bytes = perf::slot_bytes_per_record(info.record_bytes);
+
   perf::StepBreakdown out;
   for (const auto& e : trace.events()) {
     if (e.kind == StepKind::kSplitSelect) continue;
     const double recs = trace.scaled_records(e);
-    const double density = nominal > 0.0 ? recs / nominal : 1.0;
-    double bytes = event_bytes(e, recs, info, density);
-    if (e.kind == StepKind::kHistogram && field_partitions > 1.0) {
-      bytes += (field_partitions - 1.0) * recs * perf::kGradientBytes;
-    }
+    const double density =
+        nominal > 0.0 ? std::clamp(recs / nominal, 1e-12, 1.0) : 1.0;
 
-    // Memory time: column gathers at sparse nodes pay the strided-gather
-    // rate; everything else streams.
-    const bool gather = e.kind == StepKind::kPartition &&
-                        cfg_.redundant_column_format && density < 0.25;
-    const double bw = gather ? cfg_.bandwidth.strided_gather
-                             : cfg_.bandwidth.streaming;
-    const double mem_s = bytes / bw;
+    // Memory time, per stream component: the primary fetch (records or the
+    // predicate column) pays the density-aware effective bandwidth of its
+    // gather -- row hits decay gradually as the touched-block fraction
+    // falls, the rule the closed-loop co-sim validates -- while the side
+    // streams (gradients, pointers, write-backs) always stream.
+    double mem_s = 0.0;
+    switch (e.kind) {
+      case StepKind::kHistogram: {
+        const double rec_b =
+            recs *
+            perf::row_bytes_per_record_at_density(info.record_bytes, density);
+        const double span_b = std::max(rec_b, recs / density * slot_bytes);
+        double side_b = recs * perf::kGradientBytes * field_partitions;
+        if (e.depth > 0) side_b += recs * perf::kPointerBytes;
+        mem_s = rec_b / perf::effective_bandwidth(cfg_.bandwidth,
+                                                  rec_b / span_b) +
+                side_b / cfg_.bandwidth.streaming;
+        break;
+      }
+      case StepKind::kPartition: {
+        double primary_b = 0.0;
+        double touched = 1.0;
+        if (cfg_.redundant_column_format) {
+          primary_b =
+              perf::expected_touched_blocks(recs, density, block) * block;
+          touched = primary_b / (recs / density);  // 1-byte column elements
+        } else {
+          primary_b = recs * perf::row_bytes_per_record(info.record_bytes,
+                                                        e.depth == 0);
+          touched = primary_b / (recs / density * slot_bytes);
+        }
+        mem_s = primary_b /
+                    perf::effective_bandwidth(cfg_.bandwidth, touched) +
+                2.0 * recs * perf::kPointerBytes / cfg_.bandwidth.streaming;
+        break;
+      }
+      case StepKind::kTraversal:
+        // All records traverse the new tree: dense streaming either format.
+        mem_s = event_bytes(e, recs, info, density) / cfg_.bandwidth.streaming;
+        break;
+      case StepKind::kSplitSelect:
+        break;
+    }
 
     // Compute time under the BU pipeline model.
     double compute_cycles = fill_cycles;

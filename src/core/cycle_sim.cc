@@ -4,16 +4,320 @@
 #include <cmath>
 #include <deque>
 
-#include "core/engines.h"
 #include "memsim/memory_system.h"
+#include "perf/traffic.h"
 #include "util/check.h"
+#include "util/rng.h"
 
 namespace booster::core {
 
-CycleSimResult Step1CycleSim::run(const gbdt::BinnedDataset& data,
-                                  std::span<const std::uint32_t> rows) const {
+namespace {
+
+/// Disjoint address region per stream (block units), far larger than any
+/// replayed working set so streams never alias.
+constexpr std::uint64_t kStreamRegionBlocks = 1ULL << 30;
+
+/// Records below this are considered fully served (doubles accumulate
+/// fractional records across blocks).
+constexpr double kRecordEps = 1e-6;
+
+}  // namespace
+
+CycleSimResult CycleSim::run_issues(std::span<const Issue> issues,
+                                    const EngineServiceRate& rate,
+                                    double total_records) const {
   CycleSimResult result;
-  if (rows.empty()) return result;
+  result.mem_clock_hz = dram_.clock_hz;
+  result.accel_clock_hz = cfg_.clock_hz;
+  if (issues.empty()) return result;
+
+  // Records actually carried by the issue list (equals total_records up to
+  // per-block rounding); serving targets this so the loop always terminates.
+  double carried = 0.0;
+  for (const Issue& is : issues) carried += is.records;
+
+  memsim::MemorySystem mem(dram_);
+  const double ratio = clock_ratio();
+  // Fetch window: in-flight requests plus completed-but-unconsumed blocks
+  // held in the on-chip double buffer. Two full channel-queue drain windows
+  // per channel, so a memory-bound front-end genuinely overfills the
+  // FR-FCFS queues (exercising enqueue rejection and retry), while a
+  // compute-bound run fills the buffer with unconsumed records and
+  // throttles issue long before the queues see pressure.
+  const std::size_t window_blocks =
+      2ULL * dram_.channels * std::max<std::uint32_t>(1, dram_.queue_depth);
+
+  std::size_t next_issue = 0;
+  std::uint64_t in_flight = 0;
+  std::uint64_t buffered_blocks = 0;
+  std::size_t completions_seen = 0;
+  // Completion order within the memory system is per-channel FIFO but
+  // interleaved across channels; we approximate arrival accounting by
+  // matching completions to issue order (records arrive with their block's
+  // position in the stream -- adequate for throughput, which is what this
+  // simulation measures).
+  std::deque<float> issue_order_records;
+  // Completed record-carrying blocks whose records are still buffered; the
+  // head drains as the BU array serves, freeing double-buffer space.
+  std::deque<float> ready_records;
+
+  double buffered_records = 0.0;
+  double records_served = 0.0;
+  // Broadcast-pipeline fill: the array serves nothing until the pipeline is
+  // full, modeled as an initial service-token debt.
+  double service_tokens =
+      -static_cast<double>(rate.fill_cycles) * rate.records_per_cycle;
+  std::uint64_t compute_blocked_cycles = 0;
+
+  while (records_served < carried - kRecordEps || next_issue < issues.size() ||
+         !mem.idle()) {
+    // Issue fetches while the double buffer has room; a rejected enqueue
+    // (full channel queue) leaves the cursor in place -- the front-end
+    // retries the same block next cycle. This is the back-pressure loop.
+    while (next_issue < issues.size() &&
+           in_flight + buffered_blocks < window_blocks) {
+      const Issue& is = issues[next_issue];
+      if (!mem.enqueue(is.block, is.is_write)) break;
+      issue_order_records.push_back(is.records);
+      ++next_issue;
+      ++in_flight;
+    }
+
+    mem.tick();
+
+    // Drain completions (FIFO by issue order approximation). Blocks whose
+    // records are not yet consumed occupy double-buffer space.
+    const std::uint64_t completed = mem.completed_requests();
+    while (completions_seen < completed) {
+      BOOSTER_DCHECK(!issue_order_records.empty());
+      const float recs = issue_order_records.front();
+      issue_order_records.pop_front();
+      if (recs > 0.0f) {
+        buffered_records += recs;
+        ready_records.push_back(recs);
+        ++buffered_blocks;
+      }
+      ++completions_seen;
+      --in_flight;
+    }
+
+    // BU array consumes buffered records at its pipelined rate, advanced by
+    // the accelerator/memory clock ratio per memory tick.
+    service_tokens += rate.records_per_cycle * ratio;
+    if (service_tokens > 0.0 && buffered_records > 0.0) {
+      const double served = std::min(service_tokens, buffered_records);
+      buffered_records -= served;
+      records_served += served;
+      service_tokens -= served;
+      // Free double-buffer blocks whose records are fully consumed.
+      double remaining = served;
+      while (remaining > 0.0 && !ready_records.empty()) {
+        if (ready_records.front() <= remaining + 1e-9f) {
+          remaining -= ready_records.front();
+          ready_records.pop_front();
+          --buffered_blocks;
+        } else {
+          ready_records.front() -= static_cast<float>(remaining);
+          remaining = 0.0;
+        }
+      }
+    }
+    // If records are still waiting after serving, compute was the blocker
+    // this cycle.
+    if (buffered_records > kRecordEps) ++compute_blocked_cycles;
+    // Bound token accumulation during stalls, but never below one whole
+    // record or slow configurations could never serve anything.
+    service_tokens = std::min(
+        service_tokens, std::max(2.0, rate.records_per_cycle * ratio * 4.0));
+
+    BOOSTER_CHECK_MSG(mem.now() < (1ULL << 34), "cycle sim did not converge");
+  }
+
+  result.mem_cycles = mem.now();
+  result.accel_cycles =
+      static_cast<std::uint64_t>(std::llround(ratio * mem.now()));
+  result.seconds = static_cast<double>(mem.now()) / dram_.clock_hz;
+  result.dram_bytes = mem.bytes_transferred();
+  result.achieved_bandwidth = mem.achieved_bandwidth();
+  result.compute_bound_fraction =
+      static_cast<double>(compute_blocked_cycles) /
+      static_cast<double>(std::max<std::uint64_t>(1, result.mem_cycles));
+  result.records_per_cycle =
+      total_records /
+      static_cast<double>(std::max<std::uint64_t>(1, result.accel_cycles));
+  result.enqueue_rejections = mem.enqueue_rejections();
+  result.avg_queue_occupancy = mem.avg_queue_occupancy();
+  result.queue_full_fraction =
+      static_cast<double>(mem.queue_full_channel_cycles()) /
+      (static_cast<double>(std::max<std::uint64_t>(1, result.mem_cycles)) *
+       dram_.channels);
+  result.row_hit_rate = mem.row_hit_rate();
+  return result;
+}
+
+CycleSimResult CycleSim::run_streams(std::span<const StreamSpec> streams,
+                                     const EngineServiceRate& rate,
+                                     double total_records) const {
+  // Merge the streams into one issue order with a largest-remainder
+  // interleave: the fetch engines round-robin proportionally to stream
+  // size, so side streams (gradients, pointers) arrive alongside the
+  // records they belong to rather than trailing at the end.
+  std::uint64_t total_blocks = 0;
+  for (const StreamSpec& s : streams) total_blocks += s.blocks;
+  CycleSimResult empty;
+  empty.mem_clock_hz = dram_.clock_hz;
+  empty.accel_clock_hz = cfg_.clock_hz;
+  if (total_blocks == 0) return empty;
+
+  util::Rng rng(0xC0517ULL);  // deterministic gather jitter
+  std::vector<Issue> issues;
+  issues.reserve(total_blocks);
+  std::vector<std::uint64_t> cursor(streams.size(), 0);
+  std::vector<double> error(streams.size(), 0.0);
+  std::vector<double> weight(streams.size(), 0.0);
+  for (std::size_t i = 0; i < streams.size(); ++i) {
+    weight[i] =
+        static_cast<double>(streams[i].blocks) / static_cast<double>(total_blocks);
+  }
+  for (std::uint64_t n = 0; n < total_blocks; ++n) {
+    std::size_t pick = streams.size();
+    double best = -1.0;
+    for (std::size_t i = 0; i < streams.size(); ++i) {
+      if (cursor[i] >= streams[i].blocks) continue;
+      error[i] += weight[i];
+      if (error[i] > best) {
+        best = error[i];
+        pick = i;
+      }
+    }
+    BOOSTER_DCHECK(pick < streams.size());
+    const StreamSpec& s = streams[pick];
+    error[pick] -= 1.0;
+    std::uint64_t addr = s.base_block + cursor[pick] * s.stride_blocks;
+    if (s.jitter && s.stride_blocks > 1) {
+      addr += rng.next_below(s.stride_blocks);
+    }
+    issues.push_back(Issue{addr, static_cast<float>(s.records_per_block),
+                           s.is_write});
+    ++cursor[pick];
+  }
+  return run_issues(issues, rate, total_records);
+}
+
+CycleSimResult CycleSim::run(const StepRequest& req) const {
+  using trace::StepKind;
+  CycleSimResult empty;
+  empty.mem_clock_hz = dram_.clock_hz;
+  empty.accel_clock_hz = cfg_.clock_hz;
+  if (req.records <= 0.0 || req.kind == StepKind::kSplitSelect) return empty;
+
+  const double recs = req.records;
+  const double density = std::clamp(req.density, 1e-9, 1.0);
+  const bool dense = density >= 1.0 - 1e-9;
+  const double bb = dram_.block_bytes;
+  const std::uint32_t record_bytes = std::max<std::uint32_t>(1, req.record_bytes);
+
+  std::vector<StreamSpec> streams;
+  std::uint64_t next_region = 0;
+  auto region = [&] { return (next_region++) * kStreamRegionBlocks; };
+  auto blocks_of = [&](double bytes) {
+    return static_cast<std::uint64_t>(
+        std::max(1.0, std::ceil(bytes / bb)));
+  };
+  auto add_sequential = [&](double bytes, bool is_write, double carried) {
+    if (bytes <= 0.0) return;
+    const std::uint64_t blocks = blocks_of(bytes);
+    streams.push_back(StreamSpec{region(), blocks, 1, false, is_write,
+                                 carried / static_cast<double>(blocks)});
+  };
+  // A gather touching `blocks` of a `span_blocks`-wide region: stride is
+  // the mean gap; jitter spreads touches over channels the way a real
+  // subset of record pointers does.
+  auto add_gather = [&](double blocks_d, double span_blocks, double carried) {
+    const auto blocks = static_cast<std::uint64_t>(std::max(1.0, std::ceil(blocks_d)));
+    const auto stride = static_cast<std::uint64_t>(std::max(
+        1.0, std::floor(span_blocks / static_cast<double>(blocks))));
+    streams.push_back(StreamSpec{region(), blocks, stride, stride > 1, false,
+                                 carried / static_cast<double>(blocks)});
+  };
+
+  const double slot_bytes = perf::slot_bytes_per_record(record_bytes);
+
+  EngineServiceRate rate;
+  switch (req.kind) {
+    case StepKind::kHistogram: {
+      std::vector<std::uint32_t> bins = req.bins_per_field;
+      if (bins.empty()) bins.assign(1, cfg_.sram_bins());
+      const BinMapping mapping = BinMapping::build(
+          cfg_.group_by_field_mapping ? MappingStrategy::kGroupByField
+                                      : MappingStrategy::kNaivePack,
+          bins, cfg_.sram_bins());
+      rate = histogram_service_rate(cfg_, mapping);
+      // Record fetch: density-aware pair packing; sparse nodes gather from
+      // the full record region (records are never physically compacted).
+      const double rec_bytes =
+          recs * perf::row_bytes_per_record_at_density(record_bytes, density);
+      const double span_blocks =
+          std::max(rec_bytes / bb, recs / density * slot_bytes / bb);
+      add_gather(std::ceil(rec_bytes / bb), span_blocks, recs);
+      // Gradient-pair stream, refetched once per extra field partition
+      // (paper §III-C extension 1).
+      const double field_partitions = std::max(
+          1.0, std::ceil(static_cast<double>(mapping.slots_per_copy()) /
+                         cfg_.num_bus()));
+      add_sequential(recs * perf::kGradientBytes * field_partitions,
+                     /*is_write=*/false, 0.0);
+      // Relevant-record pointer stream at non-root nodes (the same
+      // depth-based rule the analytic model charges).
+      if (req.depth > 0) add_sequential(recs * perf::kPointerBytes, false, 0.0);
+      break;
+    }
+    case StepKind::kPartition: {
+      rate = partition_service_rate(cfg_);
+      if (cfg_.redundant_column_format) {
+        // Gather of the predicate field's 1-byte column.
+        const double column_blocks =
+            perf::expected_touched_blocks(recs, density, bb);
+        add_gather(column_blocks, recs / density / bb, recs);
+      } else {
+        const double rec_bytes =
+            recs * perf::row_bytes_per_record(record_bytes, dense);
+        add_gather(std::ceil(rec_bytes / bb),
+                   std::max(rec_bytes / bb, recs / density * slot_bytes / bb),
+                   recs);
+      }
+      add_sequential(recs * perf::kPointerBytes, /*is_write=*/false, 0.0);
+      add_sequential(recs * perf::kPointerBytes, /*is_write=*/true, 0.0);
+      break;
+    }
+    case StepKind::kTraversal: {
+      rate = traversal_service_rate(cfg_, req.avg_path_length);
+      if (cfg_.redundant_column_format) {
+        // All records traverse the new tree: the relevant field columns
+        // stream densely.
+        add_sequential(recs * std::max<std::uint32_t>(1, req.fields_touched),
+                       false, recs);
+      } else {
+        add_sequential(recs * perf::row_bytes_per_record(record_bytes, true),
+                       false, recs);
+      }
+      add_sequential(recs * perf::kGradientBytes, /*is_write=*/false, 0.0);
+      add_sequential(recs * perf::kGradientBytes, /*is_write=*/true, 0.0);
+      break;
+    }
+    case StepKind::kSplitSelect:
+      return empty;  // host-side; never co-simulated
+  }
+  if (!req.include_fill) rate.fill_cycles = 0;
+  return run_streams(streams, rate, recs);
+}
+
+CycleSimResult CycleSim::run_step1(const gbdt::BinnedDataset& data,
+                                   std::span<const std::uint32_t> rows) const {
+  CycleSimResult empty;
+  empty.mem_clock_hz = dram_.clock_hz;
+  empty.accel_clock_hz = cfg_.clock_hz;
+  if (rows.empty()) return empty;
 
   // --- Address generation: records live row-major and packed; the fetch
   // unit requests each distinct block once, in pointer order. A block may
@@ -30,119 +334,56 @@ CycleSimResult Step1CycleSim::run(const gbdt::BinnedDataset& data,
         (static_cast<std::uint64_t>(r) * record_bytes + record_bytes - 1) /
         block_bytes;
     for (std::uint64_t b = first_block; b <= last_block; ++b) {
-      if (!block_fetches.empty() && block_fetches.back().first == b) {
-        // Packed neighbour: the pending block also carries this record.
-        ++block_fetches.back().second;
-      } else {
-        block_fetches.push_back({b, b == last_block ? 1u : 0u});
+      if (block_fetches.empty() || block_fetches.back().first != b) {
+        block_fetches.push_back({b, 0u});
       }
+      // Each record becomes serviceable when its *last* block arrives (a
+      // packed block may complete several records at once, a spanning
+      // record only counts once).
+      if (b == last_block) ++block_fetches.back().second;
     }
   }
   // Gradient-pair stream: 8 bytes per record, fetched alongside from a
-  // disjoint region (sequential blocks).
+  // disjoint region (sequential blocks), interleaved proportionally with
+  // the record fetches.
   const std::uint64_t gh_blocks =
       (rows.size() * 8 + block_bytes - 1) / block_bytes;
 
-  // --- BU array service rate (records/cycle) under the configured mapping.
+  std::vector<Issue> issues;
+  issues.reserve(block_fetches.size() + gh_blocks);
+  const double total_blocks =
+      static_cast<double>(block_fetches.size() + gh_blocks);
+  const double rec_weight =
+      static_cast<double>(block_fetches.size()) / total_blocks;
+  const double gh_weight = static_cast<double>(gh_blocks) / total_blocks;
+  double rec_err = 0.0, gh_err = 0.0;
+  std::size_t next_rec = 0;
+  std::uint64_t next_gh = 0;
+  while (next_rec < block_fetches.size() || next_gh < gh_blocks) {
+    rec_err += next_rec < block_fetches.size() ? rec_weight : 0.0;
+    gh_err += next_gh < gh_blocks ? gh_weight : 0.0;
+    if (next_rec < block_fetches.size() &&
+        (rec_err >= gh_err || next_gh >= gh_blocks)) {
+      issues.push_back(Issue{block_fetches[next_rec].first,
+                             static_cast<float>(block_fetches[next_rec].second),
+                             false});
+      rec_err -= 1.0;
+      ++next_rec;
+    } else {
+      issues.push_back(Issue{kStreamRegionBlocks + next_gh, 0.0f, false});
+      gh_err -= 1.0;
+      ++next_gh;
+    }
+  }
+
+  // --- BU array service rate under the configured mapping.
   const BinMapping mapping = BinMapping::build(
       cfg_.group_by_field_mapping ? MappingStrategy::kGroupByField
                                   : MappingStrategy::kNaivePack,
       BinnedFieldShape::of(data).bins_per_field, cfg_.sram_bins());
-  const double clusters_per_copy = std::max(
-      1.0, std::ceil(static_cast<double>(mapping.slots_per_copy()) /
-                     cfg_.bus_per_cluster));
-  const double copies =
-      std::max(1.0, std::floor(cfg_.clusters / clusters_per_copy));
-  const double records_per_cycle =
-      copies / (mapping.serialization_factor() *
-                static_cast<double>(cfg_.cycles_per_field_update));
+  const EngineServiceRate rate = histogram_service_rate(cfg_, mapping);
 
-  // --- Cycle loop: memory completes blocks into the double buffer; the BU
-  // array drains records from it at its pipelined rate.
-  memsim::MemorySystem mem(dram_);
-  const std::uint64_t gh_region = 1ULL << 30;  // disjoint address space
-  std::size_t next_fetch = 0;   // index into block_fetches
-  std::uint64_t next_gh = 0;    // gh blocks issued
-  std::deque<std::uint32_t> arrivals;  // records-per-completed-block, FIFO
-  // Double buffering bounds outstanding fetch data (two burst windows).
-  const std::size_t buffer_blocks = 2ULL * dram_.channels * 4;
-
-  std::uint64_t records_served = 0;
-  std::uint64_t buffered_records = 0;
-  double service_tokens = 0.0;
-  std::uint64_t compute_blocked_cycles = 0;
-  std::uint64_t outstanding = 0;
-  std::size_t completions_seen = 0;
-
-  // Completion order within the memory system is per-channel FIFO but
-  // interleaved across channels; we approximate arrival accounting by
-  // matching completions to issue order (records arrive with their block's
-  // position in the stream -- adequate for throughput, which is what this
-  // simulation measures).
-  std::deque<std::uint32_t> issue_order_records;
-
-  const std::uint64_t total_records = rows.size();
-  while (records_served < total_records) {
-    // Issue fetches while the double buffer has room.
-    while (outstanding < buffer_blocks) {
-      if (next_fetch < block_fetches.size()) {
-        if (!mem.enqueue(block_fetches[next_fetch].first, false)) break;
-        issue_order_records.push_back(block_fetches[next_fetch].second);
-        ++next_fetch;
-        ++outstanding;
-      } else if (next_gh < gh_blocks) {
-        if (!mem.enqueue(gh_region + next_gh, false)) break;
-        issue_order_records.push_back(0);  // gh blocks carry no records
-        ++next_gh;
-        ++outstanding;
-      } else {
-        break;
-      }
-    }
-
-    mem.tick();
-
-    // Drain completions (FIFO by issue order approximation).
-    const std::uint64_t completed = mem.completed_requests();
-    while (completions_seen < completed) {
-      BOOSTER_DCHECK(!issue_order_records.empty());
-      buffered_records += issue_order_records.front();
-      issue_order_records.pop_front();
-      ++completions_seen;
-      --outstanding;
-    }
-
-    // BU array consumes buffered records at its pipelined rate.
-    service_tokens += records_per_cycle;
-    const auto can_serve = static_cast<std::uint64_t>(service_tokens);
-    if (can_serve > 0) {
-      const std::uint64_t served = std::min<std::uint64_t>(can_serve, buffered_records);
-      buffered_records -= served;
-      records_served += served;
-      service_tokens -= static_cast<double>(served);
-      // If records were waiting and the array could not take them all,
-      // compute was the blocker this cycle.
-      if (buffered_records > 0) ++compute_blocked_cycles;
-    } else if (buffered_records > 0) {
-      ++compute_blocked_cycles;
-    }
-    // Bound token accumulation during stalls, but never below one whole
-    // record or slow configurations could never serve anything.
-    service_tokens =
-        std::min(service_tokens, std::max(2.0, records_per_cycle * 4.0));
-
-    BOOSTER_CHECK_MSG(mem.now() < (1ULL << 34), "cycle sim did not converge");
-  }
-
-  result.cycles = mem.now();
-  result.dram_bytes = mem.bytes_transferred();
-  result.achieved_bandwidth = mem.achieved_bandwidth();
-  result.compute_bound_fraction =
-      static_cast<double>(compute_blocked_cycles) /
-      static_cast<double>(result.cycles);
-  result.records_per_cycle = static_cast<double>(total_records) /
-                             static_cast<double>(result.cycles);
-  return result;
+  return run_issues(issues, rate, static_cast<double>(rows.size()));
 }
 
 }  // namespace booster::core

@@ -1,48 +1,141 @@
-// Cycle-coupled simulation of the histogram-binning step (step 1): the
+// Closed-loop cycle co-simulation of the accelerated training steps: the
 // cycle-level DRAM model and the BU array advance together, cycle by cycle,
-// with double-buffered record fetches feeding the BU pipeline. Nothing is
+// with a double-buffered fetch/commit front-end feeding the BU pipeline and
+// retrying whenever MemorySystem::enqueue rejects (full channel queue --
+// the FR-FCFS back-pressure that makes bandwidth self-limiting). Nothing is
 // assumed about which side limits throughput -- rate matching *emerges*
 // (or fails to) from the interaction, which is how we validate the
 // analytic BoosterModel's max(memory, compute) costing and the paper's
 // §III-B sizing argument (3200 BUs saturate ~400 GB/s for 64-field
 // records; fewer BUs go compute-bound, more go memory-bound).
+//
+// Three entry points, lowest level first:
+//   * run_streams: explicit address streams vs an engine service rate;
+//   * run(StepRequest): synthesizes the fetch/commit streams of one step
+//     event class (step 1 histogram, step 3 partition, step 5 traversal)
+//     from its logical quantities -- the replay path CycleCalibratedBooster-
+//     Model (perf/cycle_calibrated.h) drives per (step, depth, size) class;
+//   * run_step1: step 1 over concrete rows of a binned dataset, with the
+//     exact block packing of the row list (the RTL-validation path).
+//
+// The accelerator (BoosterConfig::clock_hz, 1 GHz default) and the memory
+// system (DramConfig::clock_hz, 1.05 GHz default) run in their own clock
+// domains; the loop ticks at memory granularity and advances the BU side by
+// the clock ratio per tick. CycleSimResult reports both domains.
 #pragma once
 
 #include <cstdint>
 #include <span>
+#include <vector>
 
 #include "core/bin_mapping.h"
 #include "core/booster_config.h"
+#include "core/engines.h"
 #include "gbdt/binning.h"
 #include "memsim/dram_config.h"
+#include "trace/step_trace.h"
 
 namespace booster::core {
 
 struct CycleSimResult {
-  std::uint64_t cycles = 0;
-  /// DRAM bytes moved (record blocks + gradient-pair stream).
+  /// Elapsed cycles in each clock domain (accel = mem * accel_hz / mem_hz).
+  std::uint64_t mem_cycles = 0;
+  std::uint64_t accel_cycles = 0;
+  double mem_clock_hz = 0.0;
+  double accel_clock_hz = 0.0;
+  /// Wall time of the run (mem_cycles at the memory clock).
+  double seconds = 0.0;
+  /// DRAM bytes moved (record blocks + gradient/pointer streams).
   std::uint64_t dram_bytes = 0;
   /// Achieved DRAM bandwidth over the run (bytes/sec at the memory clock).
   double achieved_bandwidth = 0.0;
   /// Fraction of cycles the BU array was the blocker (fetch buffer full,
   /// records waiting): ~1 means compute-bound, ~0 means memory-bound.
   double compute_bound_fraction = 0.0;
-  /// Records processed per accelerator cycle.
+  /// Records processed per *accelerator* cycle.
   double records_per_cycle = 0.0;
+  /// Closed-loop back-pressure statistics from the memory system.
+  std::uint64_t enqueue_rejections = 0;   // front-end retries (queue full)
+  double avg_queue_occupancy = 0.0;       // mean queued requests per channel
+  double queue_full_fraction = 0.0;       // channel-cycles with a full queue
+  double row_hit_rate = 0.0;
 };
 
-/// Simulates step 1 over `rows` of `data`. The accelerator and memory
-/// clocks are taken as 1:1 (1 GHz vs 1.05 GHz in the defaults -- within
-/// 5%, folded into the result's bandwidth).
-class Step1CycleSim {
+/// One address stream of a step's fetch/commit front-end: `blocks` touches
+/// starting at `base_block`, `stride_blocks` apart (stride > 1 models the
+/// sparse gathers of deep tree nodes; `jitter` spreads touches within the
+/// stride so they interleave over channels like a real pointer subset).
+/// `records_per_block` is how many records each completed block delivers to
+/// the BU array (0 for side streams: gradients, pointers, write-backs).
+struct StreamSpec {
+  std::uint64_t base_block = 0;
+  std::uint64_t blocks = 0;
+  std::uint64_t stride_blocks = 1;
+  bool jitter = false;
+  bool is_write = false;
+  double records_per_block = 0.0;
+};
+
+/// Work of one step event (class) for the generic replay front-end. The
+/// logical quantities mirror trace::StepEvent; `density` is the fraction of
+/// all records reaching the node (drives block packing and gather strides).
+struct StepRequest {
+  trace::StepKind kind = trace::StepKind::kHistogram;
+  double records = 0.0;
+  std::int32_t depth = 0;             // node depth (depth > 0 fetches the
+                                      // relevant-record pointer stream)
+  std::uint32_t record_bytes = 0;
+  std::uint32_t fields_touched = 0;   // step 5: tree's relevant columns
+  double avg_path_length = 0.0;       // step 5
+  double density = 1.0;
+  bool include_fill = true;           // charge the broadcast-pipeline fill
+  /// Per-field bin counts (step 1: drives the bin-to-SRAM mapping).
+  std::vector<std::uint32_t> bins_per_field;
+};
+
+class CycleSim {
  public:
-  Step1CycleSim(BoosterConfig cfg, memsim::DramConfig dram)
+  CycleSim(BoosterConfig cfg, memsim::DramConfig dram)
       : cfg_(cfg), dram_(dram) {}
 
-  CycleSimResult run(const gbdt::BinnedDataset& data,
-                     std::span<const std::uint32_t> rows) const;
+  const BoosterConfig& config() const { return cfg_; }
+  const memsim::DramConfig& dram() const { return dram_; }
+
+  /// Accelerator cycles advanced per memory cycle.
+  double clock_ratio() const { return cfg_.clock_hz / dram_.clock_hz; }
+
+  /// Generic replay: synthesizes the step's fetch/commit streams from the
+  /// request's logical quantities and co-simulates them against the BU
+  /// service rate of the step's engine shim.
+  CycleSimResult run(const StepRequest& req) const;
+
+  /// Step 1 over concrete `rows` of `data`: exact block packing from the
+  /// row list (a block satisfies several packed requested records), with
+  /// the gradient-pair stream fetched alongside.
+  CycleSimResult run_step1(const gbdt::BinnedDataset& data,
+                           std::span<const std::uint32_t> rows) const;
+
+  /// Lowest level: explicit streams, issued with weighted round-robin
+  /// interleave, double-buffered and retrying on enqueue rejection, against
+  /// `rate`. `total_records` is what the BU side must consume; the run ends
+  /// when all records are served and the memory system has drained.
+  CycleSimResult run_streams(std::span<const StreamSpec> streams,
+                             const EngineServiceRate& rate,
+                             double total_records) const;
 
  private:
+  struct Issue {
+    std::uint64_t block = 0;
+    float records = 0.0f;
+    bool is_write = false;
+  };
+
+  /// Merges streams into one issue order (largest-remainder interleave, the
+  /// multi-stream fetch engine round-robin) and runs the cycle loop.
+  CycleSimResult run_issues(std::span<const Issue> issues,
+                            const EngineServiceRate& rate,
+                            double total_records) const;
+
   BoosterConfig cfg_;
   memsim::DramConfig dram_;
 };

@@ -1,6 +1,7 @@
 #include "core/engines.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/check.h"
 
@@ -91,6 +92,38 @@ gbdt::Histogram HistogramEngine::harvest(const gbdt::BinnedDataset& data) const 
 
 void HistogramEngine::clear() {
   for (auto& u : units_) u.clear();
+}
+
+EngineServiceRate histogram_service_rate(const BoosterConfig& cfg,
+                                         const BinMapping& mapping) {
+  EngineServiceRate rate;
+  rate.fill_cycles = cfg.num_bus() / cfg.bus_link_span;
+  const double clusters_per_copy = std::max(
+      1.0, std::ceil(static_cast<double>(mapping.slots_per_copy()) /
+                     cfg.bus_per_cluster));
+  const double copies =
+      std::max(1.0, std::floor(cfg.clusters / clusters_per_copy));
+  rate.records_per_cycle =
+      copies / (mapping.serialization_factor() *
+                static_cast<double>(cfg.cycles_per_field_update));
+  return rate;
+}
+
+EngineServiceRate partition_service_rate(const BoosterConfig& cfg) {
+  EngineServiceRate rate;
+  rate.fill_cycles = cfg.num_bus() / cfg.bus_link_span;
+  rate.records_per_cycle = static_cast<double>(cfg.num_bus());
+  return rate;
+}
+
+EngineServiceRate traversal_service_rate(const BoosterConfig& cfg,
+                                         double avg_path_length) {
+  EngineServiceRate rate;
+  rate.fill_cycles = cfg.num_bus() / cfg.bus_link_span;
+  const double cycles_per_record =
+      std::max(1.0, avg_path_length * cfg.cycles_per_hop);
+  rate.records_per_cycle = cfg.num_bus() / cycles_per_record;
+  return rate;
 }
 
 PredicateEngine::Result PredicateEngine::run(

@@ -95,6 +95,34 @@ class TraversalEngine {
   BoosterConfig cfg_;
 };
 
+/// Steady-state drain rate of one accelerated step on the BU array, in the
+/// *accelerator* clock domain. These shims are the cycle-level contract
+/// between the functional engines above and the closed-loop co-simulation
+/// (core/cycle_sim.h): the co-sim couples these rates against the DRAM
+/// model cycle by cycle, and each shim matches the corresponding engine's
+/// own cycle accounting in steady state.
+struct EngineServiceRate {
+  /// Records consumed per accelerator cycle once the pipeline is full.
+  double records_per_cycle = 0.0;
+  /// Broadcast-pipeline fill before the first record (num_bus / link span).
+  std::uint64_t fill_cycles = 0;
+};
+
+/// Step 1: one histogram copy accepts a record every
+/// serialization * cycles_per_field_update cycles; copies are
+/// cluster-granular (HistogramEngine's busiest-SRAM rule in steady state).
+EngineServiceRate histogram_service_rate(const BoosterConfig& cfg,
+                                         const BinMapping& mapping);
+
+/// Step 3: every BU evaluates the replicated predicate on one record per
+/// cycle (PredicateEngine's cycle rule).
+EngineServiceRate partition_service_rate(const BoosterConfig& cfg);
+
+/// Step 5: each record costs avg_path_length * cycles_per_hop BU-cycles,
+/// spread over the array (TraversalEngine's cycle rule).
+EngineServiceRate traversal_service_rate(const BoosterConfig& cfg,
+                                         double avg_path_length);
+
 /// Batch inference (paper §III-D): the ensemble's trees are loaded one per
 /// BU, replicated floor(inference_bus / trees) times; each record is
 /// broadcast to all BUs and every tree walks it independently.

@@ -1,6 +1,7 @@
 #include "gbdt/split.h"
 
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace booster::gbdt {
 
@@ -76,13 +77,12 @@ void SplitFinder::scan_categorical(std::uint32_t field,
   }
 }
 
-std::optional<SplitInfo> SplitFinder::find_best(
-    const Histogram& hist, const BinnedDataset& data,
-    std::uint64_t* bins_scanned) const {
-  std::optional<SplitInfo> best;
-  const BinStats totals = hist.totals();
-  std::uint64_t scanned = 0;
-  for (std::uint32_t f = 0; f < hist.num_fields(); ++f) {
+void SplitFinder::scan_fields(const Histogram& hist, const BinnedDataset& data,
+                              const BinStats& totals, std::uint32_t begin,
+                              std::uint32_t end,
+                              std::optional<SplitInfo>& best,
+                              std::uint64_t& scanned) const {
+  for (std::uint32_t f = begin; f < end; ++f) {
     const auto bins = hist.field(f);
     if (bins.size() <= 1) continue;
     if (data.field_bins(f).kind == FieldKind::kNumeric) {
@@ -91,6 +91,50 @@ std::optional<SplitInfo> SplitFinder::find_best(
       scan_categorical(f, bins, totals, best);
     }
     scanned += bins.size();
+  }
+}
+
+std::optional<SplitInfo> SplitFinder::find_best(
+    const Histogram& hist, const BinnedDataset& data,
+    std::uint64_t* bins_scanned) const {
+  return find_best(hist, data, /*pool=*/nullptr, bins_scanned);
+}
+
+std::optional<SplitInfo> SplitFinder::find_best(
+    const Histogram& hist, const BinnedDataset& data, util::ThreadPool* pool,
+    std::uint64_t* bins_scanned) const {
+  const std::uint32_t num_fields = hist.num_fields();
+  const BinStats totals = hist.totals();
+  const unsigned chunks =
+      pool != nullptr ? pool->num_chunks(num_fields, kSplitScanGrain) : 1;
+  if (chunks <= 1) {
+    std::optional<SplitInfo> best;
+    std::uint64_t scanned = 0;
+    scan_fields(hist, data, totals, 0, num_fields, best, scanned);
+    if (bins_scanned != nullptr) *bins_scanned = scanned;
+    return best;
+  }
+
+  std::vector<std::optional<SplitInfo>> chunk_best(chunks);
+  std::vector<std::uint64_t> chunk_scanned(chunks, 0);
+  pool->parallel_for(
+      0, num_fields, kSplitScanGrain,
+      [&](std::uint64_t begin, std::uint64_t end, unsigned c) {
+        scan_fields(hist, data, totals, static_cast<std::uint32_t>(begin),
+                    static_cast<std::uint32_t>(end), chunk_best[c],
+                    chunk_scanned[c]);
+      });
+
+  // Merge in chunk order with strict > : keeps the earliest maximum, which
+  // is exactly the serial scan's tie-breaking (fields scan in order within
+  // each chunk, and chunks cover the fields in order).
+  std::optional<SplitInfo> best;
+  std::uint64_t scanned = 0;
+  for (unsigned c = 0; c < chunks; ++c) {
+    scanned += chunk_scanned[c];
+    if (chunk_best[c] && (!best || chunk_best[c]->gain > best->gain)) {
+      best = chunk_best[c];
+    }
   }
   if (bins_scanned != nullptr) *bins_scanned = scanned;
   return best;

@@ -16,7 +16,16 @@
 
 #include "gbdt/histogram.h"
 
+namespace booster::util {
+class ThreadPool;
+}
+
 namespace booster::gbdt {
+
+/// Minimum fields per chunk before the split scan goes parallel; a chunk
+/// needs enough bins to amortize the fork/join (wide categorical fields
+/// dominate either way, so a small grain suffices).
+inline constexpr std::uint64_t kSplitScanGrain = 2;
 
 struct SplitConfig {
   double lambda = 1.0;           // L2 weight regularization
@@ -77,7 +86,24 @@ class SplitFinder {
                                      const BinnedDataset& data,
                                      std::uint64_t* bins_scanned = nullptr) const;
 
+  /// Threaded variant: fields are scanned in parallel chunks over `pool`
+  /// (nullptr or a 1-thread pool falls back to the serial scan). The result
+  /// is identical to the serial scan at every thread count: chunks are
+  /// contiguous field ranges scanned in field order, and per-chunk bests
+  /// merge in chunk order keeping the first maximum -- the serial
+  /// first-max-wins tie-breaking, bit for bit.
+  std::optional<SplitInfo> find_best(const Histogram& hist,
+                                     const BinnedDataset& data,
+                                     util::ThreadPool* pool,
+                                     std::uint64_t* bins_scanned = nullptr) const;
+
  private:
+  /// Serial scan of fields [begin, end) (the per-chunk body).
+  void scan_fields(const Histogram& hist, const BinnedDataset& data,
+                   const BinStats& totals, std::uint32_t begin,
+                   std::uint32_t end, std::optional<SplitInfo>& best,
+                   std::uint64_t& scanned) const;
+
   void scan_numeric(std::uint32_t field, std::span<const BinStats> bins,
                     const BinStats& totals, std::optional<SplitInfo>& best) const;
   void scan_categorical(std::uint32_t field, std::span<const BinStats> bins,

@@ -151,7 +151,7 @@ TrainResult Trainer::train(const BinnedDataset& data, StepTrace* trace,
 
       // Step 2: scan every bin of every field for the best split (host).
       std::uint64_t bins_scanned = 0;
-      const auto split = finder.find_best(node.hist, data, &bins_scanned);
+      const auto split = finder.find_best(node.hist, data, &pool, &bins_scanned);
       emit(trace, StepEvent{.kind = StepKind::kSplitSelect,
                             .tree = static_cast<std::int32_t>(t),
                             .depth = node.depth,

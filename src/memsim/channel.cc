@@ -16,7 +16,10 @@ Channel::Channel(const DramConfig& cfg, std::uint32_t index)
 
 bool Channel::enqueue(const Request& req, std::uint64_t bank,
                       std::uint64_t row) {
-  if (queue_full()) return false;
+  if (queue_full()) {
+    ++enqueue_rejections_;
+    return false;
+  }
   BOOSTER_DCHECK(bank < banks_.size());
   queue_.push_back(Entry{req, bank, row});
   return true;
@@ -87,6 +90,8 @@ void Channel::record_activate(Cycle now) {
 
 void Channel::tick(Cycle now, const std::function<void(const Request&)>& on_done) {
   if (!queue_.empty()) ++busy_cycles_;
+  queue_occupancy_sum_ += queue_.size();
+  if (queue_full()) ++queue_full_cycles_;
   (void)try_issue(now);
   // Retire bursts whose data has fully transferred.
   while (!in_flight_.empty() && in_flight_.front().req.complete_cycle <= now) {

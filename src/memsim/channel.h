@@ -33,6 +33,14 @@ class Channel {
   std::uint64_t bytes_transferred() const { return bytes_transferred_; }
   std::uint64_t busy_cycles() const { return busy_cycles_; }
 
+  /// Back-pressure statistics: enqueue attempts refused because the queue
+  /// was full (each is one caller retry), cycles ticked with a full queue,
+  /// and the per-tick sum of queued requests (occupancy integral -- divide
+  /// by elapsed cycles for the mean queue depth).
+  std::uint64_t enqueue_rejections() const { return enqueue_rejections_; }
+  std::uint64_t queue_full_cycles() const { return queue_full_cycles_; }
+  std::uint64_t queue_occupancy_sum() const { return queue_occupancy_sum_; }
+
   /// Aggregate bank counters: a column access that did not require an
   /// ACTIVATE is a row-buffer hit, so hit rate = 1 - activations/accesses.
   std::uint64_t bank_accesses() const;
@@ -66,6 +74,9 @@ class Channel {
   Cycle data_bus_free_at_ = 0;
   std::uint64_t bytes_transferred_ = 0;
   std::uint64_t busy_cycles_ = 0;
+  std::uint64_t enqueue_rejections_ = 0;
+  std::uint64_t queue_full_cycles_ = 0;
+  std::uint64_t queue_occupancy_sum_ = 0;
 };
 
 }  // namespace booster::memsim

@@ -51,6 +51,32 @@ std::uint64_t MemorySystem::bytes_transferred() const {
   return total;
 }
 
+std::uint64_t MemorySystem::pending_requests() const {
+  std::uint64_t total = 0;
+  for (const auto& ch : channels_) total += ch.pending();
+  return total;
+}
+
+std::uint64_t MemorySystem::enqueue_rejections() const {
+  std::uint64_t total = 0;
+  for (const auto& ch : channels_) total += ch.enqueue_rejections();
+  return total;
+}
+
+std::uint64_t MemorySystem::queue_full_channel_cycles() const {
+  std::uint64_t total = 0;
+  for (const auto& ch : channels_) total += ch.queue_full_cycles();
+  return total;
+}
+
+double MemorySystem::avg_queue_occupancy() const {
+  if (now_ == 0) return 0.0;
+  std::uint64_t total = 0;
+  for (const auto& ch : channels_) total += ch.queue_occupancy_sum();
+  return static_cast<double>(total) /
+         (static_cast<double>(now_) * static_cast<double>(channels_.size()));
+}
+
 double MemorySystem::row_hit_rate() const {
   std::uint64_t accesses = 0;
   std::uint64_t activations = 0;

@@ -38,6 +38,18 @@ class MemorySystem {
   std::uint64_t bytes_transferred() const;
   double row_hit_rate() const;
 
+  /// Requests currently queued or in flight across all channels.
+  std::uint64_t pending_requests() const;
+
+  /// Back-pressure statistics, aggregated over channels: refused enqueue
+  /// attempts (caller retries), channel-cycles spent with a full queue, and
+  /// the mean queued-request count per channel over the run so far. These
+  /// are what the closed-loop co-simulation feeds back to the accelerator
+  /// front-end (see core/cycle_sim.h).
+  std::uint64_t enqueue_rejections() const;
+  std::uint64_t queue_full_channel_cycles() const;
+  double avg_queue_occupancy() const;
+
   /// Measured bandwidth over the simulation so far (bytes/sec).
   double achieved_bandwidth() const;
 

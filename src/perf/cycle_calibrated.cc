@@ -1,0 +1,67 @@
+#include "perf/cycle_calibrated.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace booster::perf {
+
+using trace::StepKind;
+
+CycleCalibratedBoosterModel::CycleCalibratedBoosterModel(
+    core::BoosterConfig cfg, memsim::DramConfig dram, HostParams host,
+    std::string name_suffix)
+    : cfg_(cfg),
+      dram_(dram),
+      host_(host),
+      suffix_(std::move(name_suffix)),
+      analytic_(cfg, host) {}
+
+std::string CycleCalibratedBoosterModel::name() const {
+  return "Booster-cycle" + suffix_;
+}
+
+StepBreakdown CycleCalibratedBoosterModel::train_cost(
+    const trace::StepTrace& trace, const trace::WorkloadInfo& info) const {
+  const core::CycleSim sim(cfg_, dram_);
+  const double nominal = static_cast<double>(info.nominal_records);
+  // Broadcast-pipeline fill, charged once per event (it is sub-linear in
+  // records, so it must not ride the linear scaling below).
+  const double fill_s =
+      static_cast<double>(cfg_.num_bus() / cfg_.bus_link_span) / cfg_.clock_hz;
+
+  StepBreakdown out;
+  for (const auto& c : trace.replay_classes()) {
+    core::StepRequest req;
+    req.kind = c.kind;
+    req.depth = c.depth;
+    req.record_bytes = info.record_bytes;
+    req.fields_touched = static_cast<std::uint32_t>(
+        std::max(1.0, std::round(c.avg_fields_touched)));
+    req.avg_path_length = c.avg_path_length;
+    req.density =
+        nominal > 0.0 ? std::min(1.0, c.avg_records / nominal) : 1.0;
+    req.include_fill = false;
+    if (c.kind == StepKind::kHistogram) req.bins_per_field = info.bins_per_field;
+
+    const double sim_records = std::min(c.avg_records, kMaxSimRecords);
+    req.records = sim_records;
+    const core::CycleSimResult r = sim.run(req);
+    const double steady_s = r.seconds * (c.avg_records / sim_records);
+    out[c.kind] += (steady_s + fill_s) * static_cast<double>(c.events);
+  }
+  for (auto& s : out.seconds) s *= trace.repeat();
+  out[StepKind::kSplitSelect] = host_split_seconds(trace, host_);
+  return out;
+}
+
+double CycleCalibratedBoosterModel::inference_cost(
+    const InferenceSpec& spec) const {
+  return analytic_.inference_cost(spec);
+}
+
+Activity CycleCalibratedBoosterModel::train_activity(
+    const trace::StepTrace& trace, const trace::WorkloadInfo& info) const {
+  return analytic_.train_activity(trace, info);
+}
+
+}  // namespace booster::perf

@@ -1,0 +1,58 @@
+// Booster performance model whose training-step costs come from the
+// closed-loop cycle co-simulation (core::CycleSim) instead of the analytic
+// max(memory, compute) rule. It replays the trace's replay classes -- one
+// representative co-sim run per (step, depth, size-octave) class, linearly
+// scaled to the class's nominal records -- so burst throttling, FR-FCFS
+// back-pressure, row-hit decay at sparse deep-node gathers, and
+// queue-occupancy stalls all show up in the reported step times. It
+// implements the common PerfModel interface, so it slots into every figure
+// bench next to the analytic BoosterModel and the baselines, turning
+// model-vs-cycle-sim disagreement into a first-class, benchable number
+// (bench_closed_loop reports it per step).
+//
+// Step 2 is charged at host cost like every model; inference and the
+// energy-model activity delegate to the analytic model (they share the
+// traffic accounting and are not closed-loop quantities).
+#pragma once
+
+#include <string>
+
+#include "core/booster_model.h"
+#include "core/cycle_sim.h"
+#include "memsim/dram_config.h"
+#include "perf/host.h"
+#include "perf/perf_model.h"
+
+namespace booster::perf {
+
+class CycleCalibratedBoosterModel final : public PerfModel {
+ public:
+  explicit CycleCalibratedBoosterModel(core::BoosterConfig cfg = {},
+                                       memsim::DramConfig dram = {},
+                                       HostParams host = {},
+                                       std::string name_suffix = "");
+
+  const core::BoosterConfig& config() const { return cfg_; }
+  const memsim::DramConfig& dram() const { return dram_; }
+
+  std::string name() const override;
+  StepBreakdown train_cost(const trace::StepTrace& trace,
+                           const trace::WorkloadInfo& info) const override;
+  double inference_cost(const InferenceSpec& spec) const override;
+  Activity train_activity(const trace::StepTrace& trace,
+                          const trace::WorkloadInfo& info) const override;
+
+  /// Upper bound on records co-simulated per replay class; larger classes
+  /// are simulated at this size and scaled linearly (steady-state rates are
+  /// linear in records; the per-event pipeline fill is charged separately).
+  static constexpr double kMaxSimRecords = 48000.0;
+
+ private:
+  core::BoosterConfig cfg_;
+  memsim::DramConfig dram_;
+  HostParams host_;
+  std::string suffix_;
+  core::BoosterModel analytic_;  // inference + activity costing
+};
+
+}  // namespace booster::perf

@@ -5,6 +5,13 @@
 
 namespace booster::perf {
 
+double slot_bytes_per_record(std::uint32_t record_bytes) {
+  const double b = kBlockBytes;
+  return record_bytes * 2 <= b
+             ? b / 2.0
+             : std::ceil(static_cast<double>(record_bytes) / b) * b;
+}
+
 double row_bytes_per_record(std::uint32_t record_bytes, bool dense) {
   const double b = kBlockBytes;
   if (record_bytes > b) {
@@ -25,6 +32,29 @@ double row_bytes_per_record_at_density(std::uint32_t record_bytes,
     return b / (1.0 + density);
   }
   return b;
+}
+
+double effective_bandwidth(const memsim::BandwidthProfile& bw,
+                           double touched_fraction) {
+  const double t = std::clamp(touched_fraction, 1e-12, 1.0);
+  const double stride = 1.0 / t;
+  // Fit to the FR-FCFS model's measured stride sweep (see the closed-loop
+  // co-sim, core/cycle_sim.h): flat at streaming up to stride ~8 (row hits
+  // decay but the open-page scheduler hides them), then a log-linear roll
+  // down to the calibrated stride-16 gather rate, reaching the random rate
+  // (the tFAW activate bound) around stride ~64.
+  constexpr double kFlatStride = 8.0;
+  constexpr double kCalStride = 16.0;  // BandwidthProbe's gather stride
+  constexpr double kRandomStride = 64.0;
+  if (stride <= kFlatStride) return bw.streaming;
+  if (stride <= kCalStride) {
+    const double f = std::log(stride / kFlatStride) /
+                     std::log(kCalStride / kFlatStride);
+    return bw.streaming * std::pow(bw.strided_gather / bw.streaming, f);
+  }
+  const double f = std::min(1.0, std::log(stride / kCalStride) /
+                                     std::log(kRandomStride / kCalStride));
+  return bw.strided_gather * std::pow(bw.random / bw.strided_gather, f);
 }
 
 double expected_touched_blocks(double wanted, double density,

@@ -5,6 +5,7 @@
 
 #include <cstdint>
 
+#include "memsim/bandwidth_probe.h"
 #include "trace/step_trace.h"
 
 namespace booster::perf {
@@ -18,6 +19,13 @@ inline constexpr double kGradientBytes = 8.0;
 /// Bytes of one record pointer in the relevant-record streams.
 inline constexpr double kPointerBytes = 4.0;
 
+/// DRAM bytes one record's slot occupies in the packed row-major layout:
+/// two records share a block when each fits in half, larger records round
+/// up to whole blocks. This is the span sparse fetches gather over (shared
+/// by the analytic model and the cycle co-sim so their gather strides can
+/// never drift apart).
+double slot_bytes_per_record(std::uint32_t record_bytes);
+
 /// Effective bytes fetched per record in row-major format. Applies the
 /// paper's packing rules: whole blocks per record; two records share a
 /// block when a record fits in half a block *and* the fetch is dense
@@ -30,6 +38,18 @@ double row_bytes_per_record(std::uint32_t record_bytes, bool dense);
 /// expected bytes per wanted record interpolate 64 -> 32 as density 0 -> 1.
 double row_bytes_per_record_at_density(std::uint32_t record_bytes,
                                        double density);
+
+/// Effective sustained bandwidth of a fetch that touches a fraction
+/// `touched_fraction` of the blocks in its span (mean stride =
+/// 1 / touched_fraction). Interpolates the calibrated streaming and
+/// strided-gather rates log-linearly in stride, anchored at the probe's
+/// calibration stride of 16 (memsim::BandwidthProbe), and decays toward
+/// the random rate beyond it -- the density-aware rule the closed-loop
+/// cycle co-simulation (core/cycle_sim.h) validated against the FR-FCFS
+/// DRAM model: row hits decay gradually as gathers sparsen, not in one
+/// cliff at an arbitrary density threshold.
+double effective_bandwidth(const memsim::BandwidthProfile& bw,
+                           double touched_fraction);
 
 /// Expected number of blocks touched when gathering `wanted` elements that
 /// are randomly spread with density `density` (wanted / span) over a span

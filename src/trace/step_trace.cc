@@ -1,5 +1,9 @@
 #include "trace/step_trace.h"
 
+#include <cmath>
+#include <map>
+#include <tuple>
+
 #include "util/check.h"
 
 namespace booster::trace {
@@ -44,6 +48,34 @@ StepTotals StepTrace::totals() const {
   }
   t.trees = static_cast<std::uint64_t>(max_tree + 1);
   return t;
+}
+
+std::vector<ReplayClass> StepTrace::replay_classes() const {
+  std::map<std::tuple<int, std::int32_t, std::int32_t>, ReplayClass> classes;
+  for (const auto& e : events_) {
+    if (e.kind == StepKind::kSplitSelect) continue;
+    const double recs = scaled_records(e);
+    if (recs <= 0.0) continue;
+    const auto octave = static_cast<std::int32_t>(
+        std::floor(std::log2(std::max(1.0, recs))));
+    auto& c = classes[{static_cast<int>(e.kind), e.depth, octave}];
+    c.kind = e.kind;
+    c.depth = e.depth;
+    c.records_octave = octave;
+    ++c.events;
+    c.records += recs;
+    c.avg_fields_touched += recs * e.fields_touched;
+    c.avg_path_length += recs * e.avg_path_length;
+  }
+  std::vector<ReplayClass> out;
+  out.reserve(classes.size());
+  for (auto& [key, c] : classes) {
+    c.avg_records = c.records / static_cast<double>(c.events);
+    c.avg_fields_touched /= c.records;
+    c.avg_path_length /= c.records;
+    out.push_back(c);
+  }
+  return out;
 }
 
 StepTrace StepTrace::scaled_by(double factor) const {

@@ -80,6 +80,25 @@ struct StepTotals {
   std::uint64_t trees = 0;
 };
 
+/// Aggregated replay class for cycle co-simulation (perf/cycle_calibrated.h):
+/// events of one step kind at one depth and one per-event-size octave are
+/// statistically similar enough to replay through a single representative
+/// co-sim run and scale. The octave split matters on lopsided categorical
+/// trees, where one depth holds both a ~99%-density heavy chain node and
+/// many tiny siblings whose sparse gathers cost very differently.
+struct ReplayClass {
+  StepKind kind = StepKind::kHistogram;
+  std::int32_t depth = 0;
+  /// floor(log2(scaled per-event records)): events within one octave differ
+  /// by at most 2x in record count (and therefore node density).
+  std::int32_t records_octave = 0;
+  std::uint64_t events = 0;
+  double records = 0.0;             // scaled records, summed over events
+  double avg_records = 0.0;         // records / events
+  double avg_fields_touched = 0.0;  // record-weighted mean
+  double avg_path_length = 0.0;     // record-weighted mean (step 5)
+};
+
 /// The full trace of one training (or batch-inference) run.
 class StepTrace {
  public:
@@ -111,6 +130,12 @@ class StepTrace {
 
   /// Computes aggregate totals (scaled).
   StepTotals totals() const;
+
+  /// Groups the accelerated (non-host) events into replay classes, sorted
+  /// by (kind, depth, octave). Record counts are scaled; repeat() is NOT
+  /// folded in -- models multiply their final per-step times by repeat(),
+  /// exactly as with per-event costing.
+  std::vector<ReplayClass> replay_classes() const;
 
   /// Returns a new trace whose scale is multiplied by `factor`; used for the
   /// paper's Fig 12 dataset-size scaling study (10x replication).

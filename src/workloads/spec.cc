@@ -126,6 +126,21 @@ std::vector<DatasetSpec> paper_datasets() {
   return specs;
 }
 
+DatasetSpec fraud_spec(std::uint64_t nominal_records) {
+  DatasetSpec spec;
+  spec.name = "fraud";
+  spec.description = "Synthetic card-transaction table";
+  spec.nominal_records = nominal_records;
+  spec.numeric_fields = 4;
+  spec.categorical_cardinalities = {500, 200, 60, 30, 12, 5};
+  spec.categorical_skew = 1.4;
+  spec.missing_rate = 0.03;
+  spec.loss = "logistic";
+  spec.label_structure = LabelStructure::kCategorical;
+  spec.label_noise = 0.4;
+  return spec;
+}
+
 DatasetSpec spec_by_name(const std::string& name) {
   for (auto& s : paper_datasets()) {
     if (s.name == name) return s;

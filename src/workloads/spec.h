@@ -56,6 +56,12 @@ struct DatasetSpec {
 /// The five benchmarks of Table III.
 std::vector<DatasetSpec> paper_datasets();
 
+/// Synthetic fraud-scoring table (not in Table III): heavy categorical
+/// fields with skewed categories. Shared by the hot-path and closed-loop
+/// benches and the cycle-calibration tests so they all mean the same
+/// workload by "fraud".
+DatasetSpec fraud_spec(std::uint64_t nominal_records = 2'000'000);
+
 /// Lookup by name; aborts if unknown.
 DatasetSpec spec_by_name(const std::string& name);
 

@@ -1,0 +1,102 @@
+// CycleCalibratedBoosterModel vs the analytic BoosterModel (ISSUE 2
+// acceptance): per-step training times from closed-loop cycle co-simulation
+// must agree with the analytic max(memory, compute) costing within 15% on
+// the sampled fraud and Flight workloads, while sharing the host step-2
+// cost and the analytic inference/activity rules. Disagreement beyond that
+// band would mean the analytic bandwidth/service rules have drifted from
+// the FR-FCFS + BU-pipeline reality (bench_closed_loop reports the same
+// ratios as JSON for trend tracking).
+#include "perf/cycle_calibrated.h"
+
+#include <gtest/gtest.h>
+
+#include "core/booster_model.h"
+#include "workloads/runner.h"
+
+namespace booster::perf {
+namespace {
+
+using trace::StepKind;
+
+const workloads::WorkloadResult& workload(int which) {
+  static const auto runs = [] {
+    workloads::RunnerConfig cfg;
+    cfg.sim_records = 8000;
+    cfg.sim_trees = 8;
+    std::vector<workloads::WorkloadResult> w;
+    w.push_back(workloads::run_workload(workloads::fraud_spec(), cfg));
+    w.push_back(
+        workloads::run_workload(workloads::spec_by_name("Flight"), cfg));
+    return w;
+  }();
+  return runs[which];
+}
+
+constexpr StepKind kAccelSteps[] = {StepKind::kHistogram, StepKind::kPartition,
+                                    StepKind::kTraversal};
+
+TEST(CycleCalibrated, AgreesWithAnalyticWithin15PercentPerStep) {
+  const core::BoosterModel analytic;
+  const CycleCalibratedBoosterModel cycle;
+  for (int i = 0; i < 2; ++i) {
+    const auto& w = workload(i);
+    const auto a = analytic.train_cost(w.trace, w.info);
+    const auto c = cycle.train_cost(w.trace, w.info);
+    for (const StepKind k : kAccelSteps) {
+      ASSERT_GT(a[k], 0.0) << w.info.name;
+      const double ratio = c[k] / a[k];
+      EXPECT_GT(ratio, 0.85) << w.info.name << " " << trace::step_name(k);
+      EXPECT_LT(ratio, 1.15) << w.info.name << " " << trace::step_name(k);
+    }
+    // Step 2 is the same host cost in both models, to the bit.
+    EXPECT_DOUBLE_EQ(c[StepKind::kSplitSelect], a[StepKind::kSplitSelect]);
+  }
+}
+
+TEST(CycleCalibrated, ImplementsPerfModelInterface) {
+  const CycleCalibratedBoosterModel model;
+  EXPECT_EQ(model.name(), "Booster-cycle");
+  EXPECT_EQ(CycleCalibratedBoosterModel({}, {}, {}, "-x").name(),
+            "Booster-cycle-x");
+
+  // Inference and energy activity delegate to the analytic rules (they are
+  // not closed-loop quantities).
+  const core::BoosterModel analytic;
+  InferenceSpec spec;
+  spec.records = 1e6;
+  spec.trees = 500;
+  spec.max_depth = 6;
+  spec.avg_path_length = 6.0;
+  spec.record_bytes = 28;
+  EXPECT_DOUBLE_EQ(model.inference_cost(spec), analytic.inference_cost(spec));
+  const auto& w = workload(0);
+  const auto act_c = model.train_activity(w.trace, w.info);
+  const auto act_a = analytic.train_activity(w.trace, w.info);
+  EXPECT_DOUBLE_EQ(act_c.dram_bytes, act_a.dram_bytes);
+  EXPECT_DOUBLE_EQ(act_c.sram_accesses, act_a.sram_accesses);
+}
+
+TEST(CycleCalibrated, RepeatScalesAcceleratedSteps) {
+  const CycleCalibratedBoosterModel model;
+  const auto& w = workload(0);
+  auto trace2 = w.trace;
+  trace2.set_repeat(w.trace.repeat() * 2.0);
+  const auto base = model.train_cost(w.trace, w.info);
+  const auto doubled = model.train_cost(trace2, w.info);
+  for (const StepKind k : kAccelSteps) {
+    EXPECT_NEAR(doubled[k], 2.0 * base[k], 1e-9 * base[k]);
+  }
+}
+
+TEST(CycleCalibrated, DeterministicAcrossCalls) {
+  const CycleCalibratedBoosterModel model;
+  const auto& w = workload(1);
+  const auto a = model.train_cost(w.trace, w.info);
+  const auto b = model.train_cost(w.trace, w.info);
+  for (std::size_t i = 0; i < a.seconds.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.seconds[i], b.seconds[i]);
+  }
+}
+
+}  // namespace
+}  // namespace booster::perf

@@ -1,6 +1,6 @@
-// Cycle-coupled step-1 simulation vs the analytic model: rate matching
+// Closed-loop cycle co-simulation vs the analytic model: rate matching
 // must *emerge* from the DRAM/BU interaction, validating the paper's
-// sizing argument and the analytic max(memory, compute) costing.
+// sizing argument (§III-B) and the analytic max(memory, compute) costing.
 #include "core/cycle_sim.h"
 
 #include <gtest/gtest.h>
@@ -31,9 +31,9 @@ std::vector<std::uint32_t> all_rows(std::uint64_t n) {
 TEST(CycleSim, CompletesAndMovesExpectedBytes) {
   const auto data = make_data(28, 20000);
   const auto rows = all_rows(20000);
-  const Step1CycleSim sim{BoosterConfig{}, memsim::DramConfig{}};
-  const auto r = sim.run(data, rows);
-  EXPECT_GT(r.cycles, 0u);
+  const CycleSim sim{BoosterConfig{}, memsim::DramConfig{}};
+  const auto r = sim.run_step1(data, rows);
+  EXPECT_GT(r.mem_cycles, 0u);
   // Records: 28 B tightly packed -> 20000*28/64 = 8750 blocks; gradients:
   // 20000*8/64 = 2500 blocks.
   const double expected_blocks = 20000.0 * 28.0 / 64.0 + 2500.0;
@@ -41,13 +41,47 @@ TEST(CycleSim, CompletesAndMovesExpectedBytes) {
               expected_blocks * 0.08);
 }
 
+TEST(CycleSim, ReportsBothClockDomains) {
+  // 64-field records at full scale: memory-bound, so the memory clock sets
+  // the wall time and the accelerator clock only changes how many of *its*
+  // cycles that time covers.
+  const auto data = make_data(64, 16000);
+  BoosterConfig cfg;
+  memsim::DramConfig dram;
+  const CycleSim sim{cfg, dram};
+  EXPECT_NEAR(sim.clock_ratio(), 1.0e9 / 1.05e9, 1e-12);
+  const auto r = sim.run_step1(data, all_rows(16000));
+  EXPECT_DOUBLE_EQ(r.accel_clock_hz, cfg.clock_hz);
+  EXPECT_DOUBLE_EQ(r.mem_clock_hz, dram.clock_hz);
+  // The accelerator clock is 1 GHz vs the 1.05 GHz memory clock, so the
+  // same wall time covers ~4.8% fewer accelerator cycles.
+  EXPECT_NEAR(static_cast<double>(r.accel_cycles),
+              static_cast<double>(r.mem_cycles) * sim.clock_ratio(), 1.0);
+  EXPECT_NEAR(r.seconds,
+              static_cast<double>(r.mem_cycles) / dram.clock_hz, 1e-12);
+  // A faster memory clock at the same topology finishes the memory-bound
+  // run in less wall time -- but only until the BU array becomes the
+  // bottleneck (the design is rate-matched, so 2x memory flips the run
+  // compute-bound). A compute-bound run (tiny array) does not care at all.
+  memsim::DramConfig fast = dram;
+  fast.clock_hz = 2.1e9;
+  const auto r2 = CycleSim{cfg, fast}.run_step1(data, all_rows(16000));
+  EXPECT_LT(r2.seconds, r.seconds);
+  EXPECT_GT(r2.compute_bound_fraction, r.compute_bound_fraction);
+  BoosterConfig tiny;
+  tiny.clusters = 2;
+  const auto c1 = CycleSim{tiny, dram}.run_step1(data, all_rows(16000));
+  const auto c2 = CycleSim{tiny, fast}.run_step1(data, all_rows(16000));
+  EXPECT_NEAR(c2.seconds, c1.seconds, c1.seconds * 0.02);
+}
+
 TEST(CycleSim, FullScaleBoosterIsMemoryBound) {
   // 3200 BUs on a 64-field record -- the paper's worked example (SS III-B):
   // 6.25 blocks/cycle x 64 fields x 8 cycles = 3200 BUs. The run must be
   // memory-bound with high DRAM utilization.
   const auto data = make_data(64, 30000);
-  const Step1CycleSim sim{BoosterConfig{}, memsim::DramConfig{}};
-  const auto r = sim.run(data, all_rows(30000));
+  const CycleSim sim{BoosterConfig{}, memsim::DramConfig{}};
+  const auto r = sim.run_step1(data, all_rows(30000));
   EXPECT_LT(r.compute_bound_fraction, 0.5);
   EXPECT_GT(r.achieved_bandwidth,
             0.6 * memsim::DramConfig{}.peak_bandwidth_bytes_per_sec());
@@ -58,11 +92,32 @@ TEST(CycleSim, TinyArrayGoesComputeBound) {
   const auto data = make_data(28, 30000);
   BoosterConfig small;
   small.clusters = 2;
-  const Step1CycleSim sim{small, memsim::DramConfig{}};
-  const auto r = sim.run(data, all_rows(30000));
+  const CycleSim sim{small, memsim::DramConfig{}};
+  const auto r = sim.run_step1(data, all_rows(30000));
   EXPECT_GT(r.compute_bound_fraction, 0.5);
-  // Throughput collapses to the BU service rate: copies/(8 cycles).
+  // Throughput collapses to the BU service rate: copies/(8 cycles), in
+  // accelerator cycles.
   EXPECT_NEAR(r.records_per_cycle, 2.0 / 8.0, 0.05);
+}
+
+TEST(CycleSim, BackpressureStatsExposeTheBottleneck) {
+  const auto data = make_data(64, 24000);
+  const auto rows = all_rows(24000);
+  // Memory-bound at full scale: channel queues run hot, so the front-end
+  // sees enqueue rejections and substantial queue occupancy.
+  const auto mem_bound =
+      CycleSim{BoosterConfig{}, memsim::DramConfig{}}.run_step1(data, rows);
+  EXPECT_GT(mem_bound.enqueue_rejections, 0u);
+  EXPECT_GT(mem_bound.avg_queue_occupancy, 0.5);
+  EXPECT_GT(mem_bound.row_hit_rate, 0.8);  // streaming fetch
+  // Compute-bound tiny array: the double buffer throttles issue long before
+  // the queues fill, so occupancy collapses.
+  BoosterConfig tiny;
+  tiny.clusters = 2;
+  const auto cpu_bound =
+      CycleSim{tiny, memsim::DramConfig{}}.run_step1(data, rows);
+  EXPECT_LT(cpu_bound.avg_queue_occupancy, mem_bound.avg_queue_occupancy);
+  EXPECT_LT(cpu_bound.queue_full_fraction, 0.05);
 }
 
 TEST(CycleSim, ThroughputMatchesAnalyticModelWithinTolerance) {
@@ -73,8 +128,8 @@ TEST(CycleSim, ThroughputMatchesAnalyticModelWithinTolerance) {
   for (const std::uint32_t clusters : {4u, 50u}) {
     BoosterConfig cfg;
     cfg.clusters = clusters;
-    const Step1CycleSim sim{cfg, memsim::DramConfig{}};
-    const auto r = sim.run(data, rows);
+    const CycleSim sim{cfg, memsim::DramConfig{}};
+    const auto r = sim.run_step1(data, rows);
 
     // Analytic: memory time (records + gradient bytes at streaming rate
     // ~peak) vs compute time (records * 8 / copies).
@@ -83,33 +138,30 @@ TEST(CycleSim, ThroughputMatchesAnalyticModelWithinTolerance) {
     const double copies = clusters;                 // 64 fields = 1 cluster
     const double comp_cycles = 24000.0 * 8.0 / copies;
     const double analytic = std::max(mem_cycles, comp_cycles);
-    EXPECT_NEAR(static_cast<double>(r.cycles), analytic, analytic * 0.25)
+    EXPECT_NEAR(static_cast<double>(r.mem_cycles), analytic, analytic * 0.25)
         << clusters << " clusters";
   }
 }
 
 TEST(CycleSim, RateMatchingKneeNearPaperDesign) {
   // Sweeping the array size, the crossover from compute-bound to
-  // memory-bound must bracket the paper's 50-cluster design for 64-field
-  // records (the worked example of SS III-B).
+  // memory-bound must bracket the paper's 50-cluster / 3200-BU design for
+  // 64-field records (the worked example of SS III-B): compute-bound well
+  // below it, memory-bound just above it, with compute_bound_fraction
+  // crossing ~0.5 in between.
   const auto data = make_data(64, 16000);
   const auto rows = all_rows(16000);
-  double small_fraction = 0.0;
-  double large_fraction = 0.0;
-  {
+  auto fraction_at = [&](std::uint32_t clusters) {
     BoosterConfig cfg;
-    cfg.clusters = 10;
-    small_fraction =
-        Step1CycleSim{cfg, memsim::DramConfig{}}.run(data, rows).compute_bound_fraction;
-  }
-  {
-    BoosterConfig cfg;
-    cfg.clusters = 100;
-    large_fraction =
-        Step1CycleSim{cfg, memsim::DramConfig{}}.run(data, rows).compute_bound_fraction;
-  }
-  EXPECT_GT(small_fraction, 0.5);  // 640 BUs: compute-bound
-  EXPECT_LT(large_fraction, 0.2);  // 6400 BUs: memory-bound
+    cfg.clusters = clusters;
+    return CycleSim{cfg, memsim::DramConfig{}}
+        .run_step1(data, rows)
+        .compute_bound_fraction;
+  };
+  EXPECT_GT(fraction_at(10), 0.5);   // 640 BUs: deeply compute-bound
+  EXPECT_GT(fraction_at(35), 0.5);   // 2240 BUs: still compute-bound
+  EXPECT_LT(fraction_at(55), 0.5);   // 3520 BUs: memory-bound
+  EXPECT_LT(fraction_at(100), 0.2);  // 6400 BUs: deeply memory-bound
 }
 
 TEST(CycleSim, SerializationSlowsNaiveMappingOnCategoricalData) {
@@ -127,16 +179,105 @@ TEST(CycleSim, SerializationSlowsNaiveMappingOnCategoricalData) {
   grouped.clusters = 2;  // force the compute-bound regime
   BoosterConfig naive = grouped;
   naive.group_by_field_mapping = false;
-  const auto g = Step1CycleSim{grouped, memsim::DramConfig{}}.run(data, rows);
-  const auto n = Step1CycleSim{naive, memsim::DramConfig{}}.run(data, rows);
-  EXPECT_GT(n.cycles, g.cycles);
+  const auto g = CycleSim{grouped, memsim::DramConfig{}}.run_step1(data, rows);
+  const auto n = CycleSim{naive, memsim::DramConfig{}}.run_step1(data, rows);
+  EXPECT_GT(n.mem_cycles, g.mem_cycles);
 }
 
 TEST(CycleSim, EmptyRowsAreFree) {
   const auto data = make_data(8, 100);
-  const Step1CycleSim sim{BoosterConfig{}, memsim::DramConfig{}};
-  const auto r = sim.run(data, {});
-  EXPECT_EQ(r.cycles, 0u);
+  const CycleSim sim{BoosterConfig{}, memsim::DramConfig{}};
+  const auto r = sim.run_step1(data, {});
+  EXPECT_EQ(r.mem_cycles, 0u);
+}
+
+// --- Generic step replay (the StepRequest front-end). -----------------
+
+StepRequest histogram_request(double records, std::uint32_t record_bytes,
+                              double density) {
+  StepRequest req;
+  req.kind = trace::StepKind::kHistogram;
+  req.records = records;
+  req.record_bytes = record_bytes;
+  req.density = density;
+  req.bins_per_field.assign(record_bytes, 256);  // one byte per field
+  return req;
+}
+
+TEST(CycleSimReplay, DenseHistogramMatchesRowListPath) {
+  // The generic front-end and the exact row-list path must agree on a
+  // dense full-scan: same streams, same service rate.
+  const std::uint64_t n = 24000;
+  const auto data = make_data(64, n);
+  const CycleSim sim{BoosterConfig{}, memsim::DramConfig{}};
+  const auto exact = sim.run_step1(data, all_rows(n));
+  const auto replay = sim.run(
+      histogram_request(static_cast<double>(n),
+                        data.layout().record_bytes, 1.0));
+  EXPECT_NEAR(static_cast<double>(replay.mem_cycles),
+              static_cast<double>(exact.mem_cycles),
+              0.15 * static_cast<double>(exact.mem_cycles));
+}
+
+TEST(CycleSimReplay, SparseGatherDecaysRowHitsAndBandwidth) {
+  // Deep-node histogram fetch at 1% density: the record gather strides
+  // ~50 blocks apart across the full region, so row hits collapse and
+  // achieved bandwidth decays toward the tFAW-bounded activate rate (~2/3
+  // of peak -- FR-FCFS keeps even row-miss-heavy gathers well fed). This
+  // is the closed-loop effect the open-loop analytic model approximates
+  // with perf::effective_bandwidth().
+  BoosterConfig wide;  // oversize the array so both runs are memory-bound
+  wide.clusters = 200;
+  const CycleSim sim{wide, memsim::DramConfig{}};
+  auto dense_req = histogram_request(30000, 28, 1.0);
+  auto sparse_req = histogram_request(30000, 28, 0.01);
+  sparse_req.depth = 5;            // deep node: pointer stream included
+  dense_req.include_fill = false;  // steady-state bandwidth comparison
+  sparse_req.include_fill = false;
+  const auto dense = sim.run(dense_req);
+  const auto sparse = sim.run(sparse_req);
+  EXPECT_LT(sparse.row_hit_rate, 0.5 * dense.row_hit_rate);
+  EXPECT_LT(sparse.achieved_bandwidth, 0.85 * dense.achieved_bandwidth);
+  EXPECT_GT(sparse.achieved_bandwidth,
+            0.5 * memsim::DramConfig{}.peak_bandwidth_bytes_per_sec());
+}
+
+TEST(CycleSimReplay, PartitionAndTraversalComplete) {
+  const CycleSim sim{BoosterConfig{}, memsim::DramConfig{}};
+  StepRequest part;
+  part.kind = trace::StepKind::kPartition;
+  part.records = 20000;
+  part.record_bytes = 28;
+  part.density = 0.5;
+  part.include_fill = false;  // short event; fill is charged separately
+  const auto p = sim.run(part);
+  EXPECT_GT(p.mem_cycles, 0u);
+  // Column format: ~1 B column + 8 B pointers per record.
+  EXPECT_NEAR(static_cast<double>(p.dram_bytes), 20000.0 * 9.0,
+              20000.0 * 9.0 * 0.25);
+  // 3200 predicate evaluations per cycle: partition is always memory-bound.
+  EXPECT_LT(p.compute_bound_fraction, 0.1);
+
+  StepRequest trav;
+  trav.kind = trace::StepKind::kTraversal;
+  trav.records = 20000;
+  trav.record_bytes = 28;
+  trav.fields_touched = 12;
+  trav.avg_path_length = 6.0;
+  const auto t = sim.run(trav);
+  EXPECT_GT(t.mem_cycles, 0u);
+  // 12 column bytes + 16 B of g/h read+write per record.
+  EXPECT_NEAR(static_cast<double>(t.dram_bytes), 20000.0 * 28.0,
+              20000.0 * 28.0 * 0.2);
+}
+
+TEST(CycleSimReplay, SplitSelectIsHostSideAndFree) {
+  const CycleSim sim{BoosterConfig{}, memsim::DramConfig{}};
+  StepRequest req;
+  req.kind = trace::StepKind::kSplitSelect;
+  req.records = 1000;
+  const auto r = sim.run(req);
+  EXPECT_EQ(r.mem_cycles, 0u);
 }
 
 }  // namespace

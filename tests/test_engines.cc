@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <numeric>
 
 #include "gbdt/trainer.h"
@@ -125,6 +126,63 @@ TEST(HistogramEngine, ClearResetsState) {
   engine.clear();
   const auto hist = engine.harvest(f.data);
   EXPECT_DOUBLE_EQ(hist.totals().count, 0.0);
+}
+
+TEST(EngineServiceRates, MatchEngineCycleAccounting) {
+  // The co-sim's service-rate shims are the cycle-level contract with the
+  // functional engines: each shim's steady rate must match the cycles the
+  // corresponding engine actually counts (fill excluded).
+  const auto f = make_fixture(6, 0, 2000);
+  BoosterConfig cfg;
+  cfg.clusters = 1;  // the functional engines model one histogram copy
+
+  // Step 1, group-by-field: one update per SRAM per record.
+  HistogramEngine hist(cfg, BinnedFieldShape::of(f.data),
+                       MappingStrategy::kGroupByField);
+  const auto hist_rate = histogram_service_rate(cfg, hist.mapping());
+  const std::uint64_t hist_cycles = hist.run(f.data, f.rows, f.grads);
+  EXPECT_EQ(hist_rate.fill_cycles, cfg.num_bus() / cfg.bus_link_span);
+  EXPECT_NEAR(static_cast<double>(hist_cycles - hist_rate.fill_cycles),
+              static_cast<double>(f.rows.size()) / hist_rate.records_per_cycle,
+              1.0);
+
+  // Step 1, naive packing on a categorical shape: serialization shows up
+  // identically in the shim and the engine.
+  const auto g = make_fixture(2, 30, 600);
+  HistogramEngine naive(cfg, BinnedFieldShape::of(g.data),
+                        MappingStrategy::kNaivePack);
+  const auto naive_rate = histogram_service_rate(cfg, naive.mapping());
+  const std::uint64_t naive_cycles = naive.run(g.data, g.rows, g.grads);
+  // The engine charges the per-record busiest SRAM, the shim the mapping's
+  // worst case; they agree when every record touches the busiest SRAM
+  // (group-by-field always; naive within the busiest-SRAM bound).
+  EXPECT_GE(static_cast<double>(naive_cycles - naive_rate.fill_cycles) + 1.0,
+            static_cast<double>(g.rows.size()) / naive_rate.records_per_cycle *
+                0.5);
+  EXPECT_LE(static_cast<double>(naive_cycles - naive_rate.fill_cycles),
+            static_cast<double>(g.rows.size()) / naive_rate.records_per_cycle +
+                1.0);
+
+  // Step 3: one predicate evaluation per BU per cycle.
+  const auto& tree = f.train.model.trees().front();
+  ASSERT_FALSE(tree.node(tree.root()).is_leaf);
+  const PredicateEngine pred{cfg};
+  const auto pres = pred.run(f.data, tree, tree.root(), f.rows);
+  const auto part_rate = partition_service_rate(cfg);
+  EXPECT_NEAR(static_cast<double>(pres.cycles - part_rate.fill_cycles),
+              std::ceil(static_cast<double>(f.rows.size()) /
+                        part_rate.records_per_cycle),
+              1.0);
+
+  // Step 5: avg_path_length * cycles_per_hop BU-cycles per record.
+  const TraversalEngine trav{cfg};
+  const auto tres = trav.run(f.data, tree);
+  const auto trav_rate = traversal_service_rate(cfg, tres.avg_path_length);
+  EXPECT_NEAR(static_cast<double>(tres.cycles - trav_rate.fill_cycles),
+              static_cast<double>(f.data.num_records()) /
+                  trav_rate.records_per_cycle,
+              static_cast<double>(f.data.num_records()) /
+                  trav_rate.records_per_cycle * 0.02 + 2.0);
 }
 
 TEST(PredicateEngine, MatchesTreeRouting) {

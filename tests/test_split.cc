@@ -5,6 +5,9 @@
 #include <numeric>
 
 #include "gbdt/binning.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+#include "workloads/synth.h"
 
 namespace booster::gbdt {
 namespace {
@@ -230,6 +233,71 @@ TEST(SplitFinder, UniformGradientsYieldNoSplit) {
   const auto data = dataset_from_bins(bins, 5);
   const auto hist = build_hist(data, grads);
   EXPECT_FALSE(SplitFinder().find_best(hist, data).has_value());
+}
+
+// --- Threaded split scan: 1-thread-equivalence property. ---------------
+
+TEST(SplitFinderThreaded, IdenticalToSerialAtAnyThreadCount) {
+  // Property: the parallel field scan returns bit-identical results to the
+  // serial scan at every thread count -- same split (field, kind,
+  // threshold, default direction, exact gain and child stats) and the same
+  // bins_scanned -- over mixed numeric/categorical workloads with random
+  // gradients.
+  for (const std::uint64_t seed : {1ULL, 7ULL, 42ULL}) {
+    workloads::DatasetSpec spec;
+    spec.name = "split-prop";
+    spec.nominal_records = 4000;
+    spec.numeric_fields = 6;
+    spec.categorical_cardinalities = {40, 17, 5};
+    spec.loss = "logistic";
+    spec.label_structure = workloads::LabelStructure::kCategorical;
+    const auto data = Binner().bin(workloads::synthesize(spec, 4000, seed));
+
+    util::Rng rng(seed * 977);
+    std::vector<GradientPair> grads(data.num_records());
+    for (auto& g : grads) {
+      g = {static_cast<float>(rng.uniform(-1.0, 1.0)),
+           static_cast<float>(rng.uniform(0.1, 1.0))};
+    }
+    const auto hist = build_hist(data, grads);
+
+    const SplitFinder finder;
+    std::uint64_t serial_scanned = 0;
+    const auto serial = finder.find_best(hist, data, &serial_scanned);
+    ASSERT_TRUE(serial.has_value());
+
+    for (const unsigned threads : {1u, 2u, 3u, 8u}) {
+      util::ThreadPool pool(threads);
+      std::uint64_t scanned = 0;
+      const auto parallel = finder.find_best(hist, data, &pool, &scanned);
+      ASSERT_TRUE(parallel.has_value()) << threads << " threads";
+      EXPECT_EQ(parallel->field, serial->field) << threads << " threads";
+      EXPECT_EQ(parallel->kind, serial->kind);
+      EXPECT_EQ(parallel->threshold_bin, serial->threshold_bin);
+      EXPECT_EQ(parallel->default_left, serial->default_left);
+      EXPECT_DOUBLE_EQ(parallel->gain, serial->gain);
+      EXPECT_DOUBLE_EQ(parallel->left.g, serial->left.g);
+      EXPECT_DOUBLE_EQ(parallel->left.h, serial->left.h);
+      EXPECT_DOUBLE_EQ(parallel->left.count, serial->left.count);
+      EXPECT_DOUBLE_EQ(parallel->right.g, serial->right.g);
+      EXPECT_EQ(scanned, serial_scanned) << threads << " threads";
+    }
+  }
+}
+
+TEST(SplitFinderThreaded, NoSplitAgreesAcrossThreadCounts) {
+  std::vector<BinIndex> bins;
+  std::vector<GradientPair> grads;
+  for (int i = 0; i < 64; ++i) {
+    bins.push_back(static_cast<BinIndex>(1 + (i % 4)));
+    grads.push_back({1.0f, 1.0f});
+  }
+  const auto data = dataset_from_bins(bins, 5);
+  const auto hist = build_hist(data, grads);
+  for (const unsigned threads : {1u, 4u}) {
+    util::ThreadPool pool(threads);
+    EXPECT_FALSE(SplitFinder().find_best(hist, data, &pool).has_value());
+  }
 }
 
 }  // namespace

@@ -85,6 +85,56 @@ TEST(StepTrace, TreesFromMaxTreeIndex) {
   EXPECT_EQ(t.totals().trees, 8u);
 }
 
+TEST(StepTrace, ReplayClassesGroupByKindDepthAndOctave) {
+  StepTrace t(10.0);  // scale 10: records below are in simulated units
+  // Two similar depth-1 histogram events (same octave after scaling), one
+  // much smaller one (different octave), a partition, and a host event
+  // (must be excluded).
+  auto a = hist_event(60, 4);
+  a.depth = 1;
+  auto b = hist_event(100, 4);
+  b.depth = 1;
+  auto c = hist_event(3, 4);
+  c.depth = 1;
+  t.add(a);
+  t.add(b);
+  t.add(c);
+  StepEvent p;
+  p.kind = StepKind::kPartition;
+  p.depth = 0;
+  p.records = 220;
+  t.add(p);
+  StepEvent s;
+  s.kind = StepKind::kSplitSelect;
+  s.bins_scanned = 99;
+  t.add(s);
+
+  const auto classes = t.replay_classes();
+  ASSERT_EQ(classes.size(), 3u);
+  // Sorted by (kind, depth, octave): the two big histogram events merge
+  // (600 and 1000 scaled records share octave 9), the 30-record event is
+  // its own class, the partition is separate, the host event is absent.
+  EXPECT_EQ(classes[0].kind, StepKind::kHistogram);
+  EXPECT_EQ(classes[0].events, 1u);
+  EXPECT_DOUBLE_EQ(classes[0].records, 30.0);
+  EXPECT_EQ(classes[1].kind, StepKind::kHistogram);
+  EXPECT_EQ(classes[1].events, 2u);
+  EXPECT_DOUBLE_EQ(classes[1].records, 1600.0);
+  EXPECT_DOUBLE_EQ(classes[1].avg_records, 800.0);
+  EXPECT_DOUBLE_EQ(classes[1].avg_fields_touched, 4.0);
+  EXPECT_EQ(classes[2].kind, StepKind::kPartition);
+  EXPECT_DOUBLE_EQ(classes[2].records, 2200.0);
+}
+
+TEST(StepTrace, ReplayClassesIgnoreRepeatLikePerEventCosting) {
+  StepTrace t(1.0);
+  t.add(hist_event(500, 2));
+  t.set_repeat(4.0);
+  const auto classes = t.replay_classes();
+  ASSERT_EQ(classes.size(), 1u);
+  EXPECT_DOUBLE_EQ(classes[0].records, 500.0);  // repeat applied by models
+}
+
 TEST(StepName, AllKindsNamed) {
   EXPECT_STREQ(step_name(StepKind::kHistogram), "step1-hist");
   EXPECT_STREQ(step_name(StepKind::kSplitSelect), "step2-split");
