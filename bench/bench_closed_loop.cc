@@ -19,15 +19,17 @@
 #include <numeric>
 #include <vector>
 
-#include "common.h"
 #include "core/cycle_sim.h"
 #include "perf/cycle_calibrated.h"
+#include "sim/runner.h"
+#include "sim/scenario.h"
+#include "util/thread_pool.h"
 #include "workloads/synth.h"
 
 using namespace booster;
 
 int main(int argc, char** argv) {
-  const auto opt = bench::BenchOptions::parse(argc, argv);
+  const auto opt = sim::parse_run_options(argc, argv);
   // The sweep is cheap and its compute-bound fraction must reflect steady
   // state (short runs overweight the pipeline-fill backlog transient), so
   // it does not shrink under --quick.
@@ -87,10 +89,15 @@ int main(int argc, char** argv) {
 
   // --- Experiment 2: analytic vs cycle-calibrated per-step times.
   workloads::RunnerConfig rcfg;
-  rcfg.sim_records = opt.quick ? 8000 : opt.runner.sim_records;
-  rcfg.sim_trees = opt.quick ? 8 : opt.runner.sim_trees;
-  const core::BoosterModel analytic(bench::default_booster_config());
-  const auto cycle = bench::cycle_calibrated_booster();
+  if (opt.quick) sim::apply_quick(&rcfg);
+  const core::BoosterModel analytic(sim::calibrated_booster_config());
+  // The per-(step, depth, octave) replay co-sims fan out over a pool --
+  // this bench is a single "cell", so it owns the parallelism.
+  const unsigned replay_threads =
+      opt.threads != 0 ? opt.threads : util::ThreadPool::default_threads();
+  const perf::CycleCalibratedBoosterModel cycle(
+      sim::calibrated_booster_config(), memsim::DramConfig{}, {}, "",
+      replay_threads);
 
   std::printf("  \"workloads\": [\n");
   const std::vector<workloads::DatasetSpec> specs = {

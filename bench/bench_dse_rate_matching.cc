@@ -5,54 +5,69 @@
 // both sides -- BU count at fixed bandwidth, and bandwidth at fixed BU
 // count -- and reports where each configuration's training time lands, plus
 // silicon cost from the Table VI model.
+//
+// Formatting shim over the "dse_bu_sweep" and "dse_bandwidth_sweep"
+// scenarios (bench/scenarios/dse_*.json) -- both run their sweep cells in
+// parallel on the scenario runner's thread pool; pass --json for the
+// canonical cell dumps.
 #include <cmath>
 #include <cstdio>
 
-#include "baselines/cpu_like.h"
-#include "common.h"
 #include "energy/area_power.h"
+#include "sim/library.h"
+#include "sim/runner.h"
+#include "util/stats.h"
 #include "util/table.h"
 
+using namespace booster;
+
+namespace {
+
+/// Geomean over workloads of ideal-32core time / booster time at one sweep
+/// point (model order in both DSE specs: ideal-32core, booster).
+double geomean_speedup(const sim::ScenarioResult& res, std::size_t sweep) {
+  std::vector<double> speedups;
+  for (std::size_t w = 0; w < res.workloads.size(); ++w) {
+    speedups.push_back(res.cell(sweep, w, 0).total_seconds /
+                       res.cell(sweep, w, 1).total_seconds);
+  }
+  return util::geomean(speedups);
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  using namespace booster;
-  const auto opt = bench::BenchOptions::parse(argc, argv);
-  bench::print_header(
+  const auto opt = sim::parse_run_options(argc, argv);
+  sim::print_header(
       "DSE: rate-matching the BU array to the memory system",
       "Booster paper, Section III-B (sizing argument); extension study");
 
-  const auto workloads = bench::load_workloads(opt);
-  const baselines::CpuLikeModel cpu(baselines::ideal_cpu_params());
+  std::string error;
+  const auto bu = sim::ScenarioRunner().run(*sim::builtin_scenario("dse_bu_sweep"),
+                                            opt, &error);
+  if (!bu) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+
   const energy::AreaPowerModel silicon;
-  const auto bw = bench::calibrated_bandwidth();
-
-  // Geomean speedup over the five benchmarks for each configuration.
-  auto geomean_speedup = [&](const core::BoosterConfig& cfg) {
-    double log_sum = 0.0;
-    const core::BoosterModel model(cfg);
-    for (const auto& w : workloads) {
-      const double s = cpu.train_cost(w.trace, w.info).total() /
-                       model.train_cost(w.trace, w.info).total();
-      log_sum += std::log(s);
-    }
-    return std::exp(log_sum / static_cast<double>(workloads.size()));
-  };
-
-  std::printf("BU-count sweep at %.0f GB/s streaming:\n", bw.streaming / 1e9);
+  std::printf("BU-count sweep at %.0f GB/s streaming:\n",
+              bu->cells[0].booster.bandwidth.streaming / 1e9);
   util::Table bus_sweep({"clusters", "BUs", "geomean speedup", "area mm^2",
                          "power W"});
   double prev = 0.0;
   double knee_clusters = 0.0;
-  for (const std::uint32_t clusters : {5u, 10u, 20u, 30u, 40u, 50u, 65u, 80u}) {
-    core::BoosterConfig cfg = bench::default_booster_config();
-    cfg.clusters = clusters;
-    const double speedup = geomean_speedup(cfg);
+  for (std::size_t s = 0; s < bu->sweep_values.size(); ++s) {
+    const auto& cfg = bu->cell(s, 0, 0).booster;
+    const double speedup = geomean_speedup(*bu, s);
     const auto chip = silicon.estimate(cfg.num_bus()).total();
-    bus_sweep.add_row({std::to_string(clusters), std::to_string(cfg.num_bus()),
-                       util::fmt_x(speedup), util::fmt(chip.area_mm2, 1),
+    bus_sweep.add_row({std::to_string(cfg.clusters),
+                       std::to_string(cfg.num_bus()), util::fmt_x(speedup),
+                       util::fmt(chip.area_mm2, 1),
                        util::fmt(chip.power_w, 1)});
     // Knee: first configuration whose marginal gain drops under 5%.
     if (prev > 0.0 && knee_clusters == 0.0 && speedup / prev < 1.05) {
-      knee_clusters = clusters;
+      knee_clusters = cfg.clusters;
     }
     prev = speedup;
   }
@@ -60,19 +75,29 @@ int main(int argc, char** argv) {
   std::printf("Marginal gain falls below 5%% at ~%0.f clusters (paper design:"
               " 50 clusters / 3200 BUs).\n\n", knee_clusters);
 
+  const auto bw = sim::ScenarioRunner().run(
+      *sim::builtin_scenario("dse_bandwidth_sweep"), opt, &error);
+  if (!bw) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+
   std::printf("Bandwidth sweep at 3200 BUs (scaling all patterns together):\n");
   util::Table bw_sweep({"streaming GB/s", "geomean speedup"});
-  for (const double scale : {0.25, 0.5, 1.0, 2.0, 4.0}) {
-    core::BoosterConfig cfg = bench::default_booster_config();
-    cfg.bandwidth.streaming *= scale;
-    cfg.bandwidth.strided_gather *= scale;
-    cfg.bandwidth.random *= scale;
-    cfg.bandwidth.peak *= scale;
-    bw_sweep.add_row({util::fmt(cfg.bandwidth.streaming / 1e9, 0),
-                      util::fmt_x(geomean_speedup(cfg))});
+  for (std::size_t s = 0; s < bw->sweep_values.size(); ++s) {
+    bw_sweep.add_row(
+        {util::fmt(bw->cell(s, 0, 0).booster.bandwidth.streaming / 1e9, 0),
+         util::fmt_x(geomean_speedup(*bw, s))});
   }
   bw_sweep.print();
   std::printf("\nReading: gains saturate in both directions around the"
               " paper's 3200-BU / 400 GB/s design point.\n");
+  if (opt.json) {
+    // One parseable document covering both sweeps.
+    sim::Json out = sim::Json::object();
+    out.set("bu_sweep", bu->to_json());
+    out.set("bandwidth_sweep", bw->to_json());
+    std::fputs(out.dump().c_str(), stdout);
+  }
   return 0;
 }

@@ -4,33 +4,41 @@
 // Shared Memory vs 32 KB L1D); Booster below both (2 KB SRAMs); CPU and GPU
 // DRAM energy identical (same blocks); Booster's DRAM energy lower via the
 // redundant column format.
+//
+// Formatting shim over the "fig10_energy" scenario
+// (bench/scenarios/fig10_energy.json): cells carry each model's
+// perf::Activity, converted to joules here; pass --json for the canonical
+// cell dump.
 #include <cstdio>
 
 #include <vector>
 
-#include "baselines/cpu_like.h"
-#include "common.h"
 #include "energy/energy_model.h"
+#include "sim/library.h"
+#include "sim/runner.h"
 #include "util/stats.h"
 #include "util/table.h"
 
 int main(int argc, char** argv) {
   using namespace booster;
-  const auto opt = bench::BenchOptions::parse(argc, argv);
-  bench::print_header("Fig 10: SRAM and DRAM energy (normalized)",
-                      "Booster paper, Section V-D, Figure 10");
+  const auto opt = sim::parse_run_options(argc, argv);
+  const auto spec = *sim::builtin_scenario("fig10_energy");
+  sim::print_header(spec.title, spec.paper_ref);
 
-  const auto workloads = bench::load_workloads(opt);
-  const baselines::CpuLikeModel ideal_cpu(baselines::ideal_cpu_params());
-  const baselines::CpuLikeModel ideal_gpu(baselines::ideal_gpu_params());
-  const core::BoosterModel booster(bench::default_booster_config());
+  std::string error;
+  const auto res = sim::ScenarioRunner().run(spec, opt, &error);
+  if (!res) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+
+  // Model order: ideal-32core, ideal-gpu, booster.
   const energy::EnergyModel em;
-
   std::vector<double> gpu_sram, gpu_dram, booster_sram, booster_dram;
-  for (const auto& w : workloads) {
-    const auto cpu = em.energy(ideal_cpu.train_activity(w.trace, w.info));
-    const auto gpu = em.energy(ideal_gpu.train_activity(w.trace, w.info));
-    const auto bst = em.energy(booster.train_activity(w.trace, w.info));
+  for (std::size_t w = 0; w < res->workloads.size(); ++w) {
+    const auto cpu = em.energy(res->cell(0, w, 0).activity);
+    const auto gpu = em.energy(res->cell(0, w, 1).activity);
+    const auto bst = em.energy(res->cell(0, w, 2).activity);
     gpu_sram.push_back(gpu.sram_joules / cpu.sram_joules);
     gpu_dram.push_back(gpu.dram_joules / cpu.dram_joules);
     booster_sram.push_back(bst.sram_joules / cpu.sram_joules);
@@ -46,5 +54,6 @@ int main(int argc, char** argv) {
   table.print();
   std::printf("\nPaper reference: Booster strictly lower in both; GPU SRAM"
               " energy ~2.6x CPU; CPU and GPU DRAM identical.\n");
+  if (opt.json) std::fputs(res->to_json().dump().c_str(), stdout);
   return 0;
 }

@@ -6,47 +6,54 @@
 //      Mq2008 (irregularity + small-dataset overheads), while the Ideal GPU
 //      is uniformly faster -- the workload irregularity that motivates an
 //      accelerator.
+//
+// Formatting shim over the "fig11_validation" scenario
+// (bench/scenarios/fig11_validation.json); pass --json for the canonical
+// cell dump.
 #include <cstdio>
 
-#include "baselines/cpu_like.h"
-#include "common.h"
+#include "sim/library.h"
+#include "sim/runner.h"
 #include "util/table.h"
 
 int main(int argc, char** argv) {
   using namespace booster;
-  const auto opt = bench::BenchOptions::parse(argc, argv);
-  bench::print_header("Fig 11: Ideal vs Real configurations",
-                      "Booster paper, Section V-E, Figure 11");
+  const auto opt = sim::parse_run_options(argc, argv);
+  const auto spec = *sim::builtin_scenario("fig11_validation");
+  sim::print_header(spec.title, spec.paper_ref);
 
-  const auto workloads = bench::load_workloads(opt);
-  const baselines::CpuLikeModel ideal_cpu(baselines::ideal_cpu_params());
-  const baselines::CpuLikeModel real_cpu(baselines::real_cpu_params());
-  const baselines::CpuLikeModel ideal_gpu(baselines::ideal_gpu_params());
-  const baselines::CpuLikeModel real_gpu(baselines::real_gpu_params());
-  const core::BoosterModel booster(bench::default_booster_config());
-  const auto booster_cycle = bench::cycle_calibrated_booster();
+  std::string error;
+  const auto res = sim::ScenarioRunner().run(spec, opt, &error);
+  if (!res) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
 
+  // Model order: ideal-32core, real-32core, ideal-gpu, real-gpu, booster,
+  // booster-cycle.
   util::Table table({"Benchmark", "Ideal 32-core", "Real 32-core",
                      "Ideal GPU", "Real GPU", "Booster", "Booster-cycle",
                      "GPU wins on real?"});
   bool ok_bounds = true;
-  for (const auto& w : workloads) {
-    const double icpu = ideal_cpu.train_cost(w.trace, w.info).total();
-    const double rcpu = real_cpu.train_cost(w.trace, w.info).total();
-    const double igpu = ideal_gpu.train_cost(w.trace, w.info).total();
-    const double rgpu = real_gpu.train_cost(w.trace, w.info).total();
-    const double bst = booster.train_cost(w.trace, w.info).total();
-    const double bstc = booster_cycle.train_cost(w.trace, w.info).total();
+  for (std::size_t w = 0; w < res->workloads.size(); ++w) {
+    const double icpu = res->cell(0, w, 0).total_seconds;
+    const double rcpu = res->cell(0, w, 1).total_seconds;
+    const double igpu = res->cell(0, w, 2).total_seconds;
+    const double rgpu = res->cell(0, w, 3).total_seconds;
+    const double bst = res->cell(0, w, 4).total_seconds;
+    const double bstc = res->cell(0, w, 5).total_seconds;
     ok_bounds &= (icpu <= rcpu) && (igpu <= rgpu);
     // Normalized to Ideal 32-core, as in the figure.
-    table.add_row({w.spec.name, "1.00", util::fmt(rcpu / icpu),
-                   util::fmt(igpu / icpu), util::fmt(rgpu / icpu),
-                   util::fmt(bst / icpu, 3), util::fmt(bstc / icpu, 3),
+    table.add_row({res->workloads[w].spec.name, "1.00",
+                   util::fmt(rcpu / icpu), util::fmt(igpu / icpu),
+                   util::fmt(rgpu / icpu), util::fmt(bst / icpu, 3),
+                   util::fmt(bstc / icpu, 3),
                    rgpu < rcpu ? "yes" : "no (CPU wins)"});
   }
   table.print();
   std::printf("\nIdeal <= Real everywhere: %s\n", ok_bounds ? "yes" : "NO");
   std::printf("Paper reference: real GPU loses to the real multicore for"
               " Allstate and Mq2008; Ideal GPU always beats Ideal 32-core.\n");
+  if (opt.json) std::fputs(res->to_json().dump().c_str(), stdout);
   return 0;
 }

@@ -3,51 +3,54 @@
 // (geomean 11.4 -> 27.9 in the paper, range 9.8-61.5) while the Ideal GPU
 // stays under 2x, because per-node host overheads amortize and the
 // record-proportional accelerated steps dominate.
+//
+// Formatting shim over the "fig12_scaling" scenario
+// (bench/scenarios/fig12_scaling.json), a record-scale sweep with values
+// [1, 10]; pass --json for the canonical cell dump.
 #include <cstdio>
 
 #include <vector>
 
-#include "baselines/cpu_like.h"
-#include "common.h"
+#include "sim/library.h"
+#include "sim/runner.h"
 #include "util/stats.h"
 #include "util/table.h"
 
 int main(int argc, char** argv) {
   using namespace booster;
-  const auto opt = bench::BenchOptions::parse(argc, argv);
-  bench::print_header("Fig 12: sensitivity to dataset size (10x scale-up)",
-                      "Booster paper, Section V-F, Figure 12");
+  const auto opt = sim::parse_run_options(argc, argv);
+  const auto spec = *sim::builtin_scenario("fig12_scaling");
+  sim::print_header(spec.title, spec.paper_ref);
 
-  const auto workloads = bench::load_workloads(opt);
-  const baselines::CpuLikeModel ideal_cpu(baselines::ideal_cpu_params());
-  const baselines::CpuLikeModel ideal_gpu(baselines::ideal_gpu_params());
-  const core::BoosterModel booster(bench::default_booster_config());
+  std::string error;
+  const auto res = sim::ScenarioRunner().run(spec, opt, &error);
+  if (!res) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
 
+  // Model order: ideal-32core, ideal-gpu, booster; sweep points 1x, 10x.
   util::Table table({"Benchmark", "GPU 1x", "GPU 10x", "Booster 1x",
                      "Booster 10x"});
   std::vector<double> b1, b10;
-  for (const auto& w : workloads) {
-    // 10x more records: scale the trace's record dimension only (tree count
-    // and histogram sizes are unchanged, as in the paper's replication).
-    const auto scaled = w.trace.scaled_by(10.0);
-    trace::WorkloadInfo info10 = w.info;
-    info10.nominal_records *= 10;
-
-    const double cpu1 = ideal_cpu.train_cost(w.trace, w.info).total();
-    const double cpu10 = ideal_cpu.train_cost(scaled, info10).total();
-    const double gpu1 = cpu1 / ideal_gpu.train_cost(w.trace, w.info).total();
-    const double gpu10 = cpu10 / ideal_gpu.train_cost(scaled, info10).total();
-    const double bst1 = cpu1 / booster.train_cost(w.trace, w.info).total();
-    const double bst10 = cpu10 / booster.train_cost(scaled, info10).total();
+  for (std::size_t w = 0; w < res->workloads.size(); ++w) {
+    const double cpu1 = res->cell(0, w, 0).total_seconds;
+    const double cpu10 = res->cell(1, w, 0).total_seconds;
+    const double gpu1 = cpu1 / res->cell(0, w, 1).total_seconds;
+    const double gpu10 = cpu10 / res->cell(1, w, 1).total_seconds;
+    const double bst1 = cpu1 / res->cell(0, w, 2).total_seconds;
+    const double bst10 = cpu10 / res->cell(1, w, 2).total_seconds;
     b1.push_back(bst1);
     b10.push_back(bst10);
-    table.add_row({w.spec.name, util::fmt_x(gpu1), util::fmt_x(gpu10),
-                   util::fmt_x(bst1), util::fmt_x(bst10)});
+    table.add_row({res->workloads[w].spec.name, util::fmt_x(gpu1),
+                   util::fmt_x(gpu10), util::fmt_x(bst1),
+                   util::fmt_x(bst10)});
   }
   table.add_row({"geomean", "-", "-", util::fmt_x(util::geomean(b1)),
                  util::fmt_x(util::geomean(b10))});
   table.print();
   std::printf("\nPaper reference: every benchmark speeds up more at 10x;"
               " geomean 11.4 -> 27.9; GPU stays < 2x.\n");
+  if (opt.json) std::fputs(res->to_json().dump().c_str(), stdout);
   return 0;
 }

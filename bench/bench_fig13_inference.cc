@@ -3,47 +3,54 @@
 // Expected shape: deep-tree benchmarks cluster around ~55x; IoT is the
 // outlier (~21x) because its shallow trees cut the multicore's work while
 // Booster's throughput tracks the *maximum* tree depth; mean ~45x.
+//
+// Formatting shim over the "fig13_inference" scenario
+// (bench/scenarios/fig13_inference.json), which sets include_inference so
+// every cell carries the model's batch-inference latency; pass --json for
+// the canonical cell dump.
 #include <cstdio>
 
+#include <string>
 #include <vector>
 
-#include "baselines/cpu_like.h"
-#include "common.h"
+#include "sim/library.h"
+#include "sim/runner.h"
 #include "util/stats.h"
 #include "util/table.h"
 
 int main(int argc, char** argv) {
   using namespace booster;
-  const auto opt = bench::BenchOptions::parse(argc, argv);
-  bench::print_header("Fig 13: batch inference speedup",
-                      "Booster paper, Section V-H, Figure 13");
+  const auto opt = sim::parse_run_options(argc, argv);
+  const auto spec = *sim::builtin_scenario("fig13_inference");
+  sim::print_header(spec.title, spec.paper_ref);
 
-  const auto workloads = bench::load_workloads(opt);
-  const baselines::CpuLikeModel ideal_cpu(baselines::ideal_cpu_params());
-  const core::BoosterModel booster(bench::default_booster_config());
+  std::string error;
+  const auto res = sim::ScenarioRunner().run(spec, opt, &error);
+  if (!res) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
 
+  // Model order: ideal-32core, booster.
   util::Table table({"Benchmark", "avg path", "max depth", "Booster time",
                      "Ideal 32-core time", "Speedup"});
   std::vector<double> speedups;
-  for (const auto& w : workloads) {
-    perf::InferenceSpec spec;
-    spec.records = static_cast<double>(w.spec.nominal_records);
-    spec.trees = w.info.trees;
-    spec.max_depth = w.train.model.max_tree_depth();
-    spec.avg_path_length = w.train.model.avg_path_length(w.binned);
-    spec.record_bytes = w.info.record_bytes;
-
-    const double cpu_t = ideal_cpu.inference_cost(spec);
-    const double bst_t = booster.inference_cost(spec);
+  for (std::size_t w = 0; w < res->workloads.size(); ++w) {
+    const auto& wl = res->workloads[w];
+    const double cpu_t = res->cell(0, w, 0).inference_seconds;
+    const double bst_t = res->cell(0, w, 1).inference_seconds;
     speedups.push_back(cpu_t / bst_t);
-    table.add_row({w.spec.name, util::fmt(spec.avg_path_length),
-                   std::to_string(spec.max_depth), util::fmt_time(bst_t),
-                   util::fmt_time(cpu_t), util::fmt_x(cpu_t / bst_t)});
+    table.add_row({wl.spec.name,
+                   util::fmt(wl.train.model.avg_path_length(wl.binned)),
+                   std::to_string(wl.train.model.max_tree_depth()),
+                   util::fmt_time(bst_t), util::fmt_time(cpu_t),
+                   util::fmt_x(cpu_t / bst_t)});
   }
   table.add_row({"mean", "-", "-", "-", "-",
                  util::fmt_x(util::mean(speedups))});
   table.print();
   std::printf("\nPaper reference: ~55.5x for the four deep-tree benchmarks,"
               " 21.1x for IoT (shallow trees), 45x mean.\n");
+  if (opt.json) std::fputs(res->to_json().dump().c_str(), stdout);
   return 0;
 }

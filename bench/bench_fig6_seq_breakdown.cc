@@ -3,28 +3,36 @@
 // for over 98% of run time except Mq2008 (small dataset); step 1's share is
 // reduced for Allstate/Flight (lopsided one-hot splits shrink child
 // binning) and elevated for IoT (shallow trees).
+//
+// Formatting shim over the "fig6_seq_breakdown" scenario
+// (bench/scenarios/fig6_seq_breakdown.json); pass --json for the canonical
+// cell dump.
 #include <cstdio>
 
-#include "baselines/cpu_like.h"
-#include "common.h"
+#include "sim/library.h"
+#include "sim/runner.h"
 #include "util/table.h"
 
 int main(int argc, char** argv) {
   using namespace booster;
-  const auto opt = bench::BenchOptions::parse(argc, argv);
-  bench::print_header("Fig 6: sequential execution time breakdown",
-                      "Booster paper, Section IV, Figure 6");
+  const auto opt = sim::parse_run_options(argc, argv);
+  const auto spec = *sim::builtin_scenario("fig6_seq_breakdown");
+  sim::print_header(spec.title, spec.paper_ref);
 
-  const auto workloads = bench::load_workloads(opt);
-  const baselines::CpuLikeModel seq(baselines::sequential_cpu_params());
+  std::string error;
+  const auto res = sim::ScenarioRunner().run(spec, opt, &error);
+  if (!res) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
 
   util::Table table({"Benchmark", "step1-hist", "step2-split",
                      "step3-partition", "step5-traversal", "steps 1+3+5",
                      "total"});
-  for (const auto& w : workloads) {
-    const auto t = seq.train_cost(w.trace, w.info);
+  for (std::size_t w = 0; w < res->workloads.size(); ++w) {
+    const auto& t = res->cell(0, w, 0).breakdown;  // seq-cpu
     const double accel = 1.0 - t.fraction(trace::StepKind::kSplitSelect);
-    table.add_row({w.spec.name,
+    table.add_row({res->workloads[w].spec.name,
                    util::fmt_pct(t.fraction(trace::StepKind::kHistogram)),
                    util::fmt_pct(t.fraction(trace::StepKind::kSplitSelect)),
                    util::fmt_pct(t.fraction(trace::StepKind::kPartition)),
@@ -35,5 +43,6 @@ int main(int argc, char** argv) {
   std::printf("\nPaper reference: steps 1/3/5 >= ~90-98%% everywhere;"
               " lowest for Mq2008; step 1 share reduced for Allstate/Flight"
               " and elevated for IoT.\n");
+  if (opt.json) std::fputs(res->to_json().dump().c_str(), stdout);
   return 0;
 }

@@ -3,43 +3,50 @@
 // Expected shape: Ideal GPU 1.6-1.9x everywhere; IR between GPU and Booster
 // where a histogram copy fits (Higgs, Mq2008) and near/below GPU otherwise;
 // Booster from ~4.6x (Flight) to ~30.6x (IoT), geomean ~11.4x.
+//
+// Formatting shim over the "fig7_speedup" scenario
+// (bench/scenarios/fig7_speedup.json); pass --json for the canonical cell
+// dump. test_scenario asserts the runner reproduces the legacy per-model
+// wiring bit-identically, serial and parallel.
 #include <cstdio>
 
 #include <vector>
 
-#include "baselines/cpu_like.h"
-#include "common.h"
+#include "sim/library.h"
+#include "sim/runner.h"
 #include "util/stats.h"
 #include "util/table.h"
 
 int main(int argc, char** argv) {
   using namespace booster;
-  const auto opt = bench::BenchOptions::parse(argc, argv);
-  bench::print_header("Fig 7: performance comparison (training speedup)",
-                      "Booster paper, Section V-A, Figure 7");
+  const auto opt = sim::parse_run_options(argc, argv);
+  const auto spec = *sim::builtin_scenario("fig7_speedup");
+  sim::print_header(spec.title, spec.paper_ref);
 
-  const auto workloads = bench::load_workloads(opt);
-  const baselines::CpuLikeModel ideal_cpu(baselines::ideal_cpu_params());
-  const baselines::CpuLikeModel ideal_gpu(baselines::ideal_gpu_params());
-  const core::BoosterModel booster(bench::default_booster_config());
-  const auto booster_cycle = bench::cycle_calibrated_booster();
+  std::string error;
+  const auto res = sim::ScenarioRunner().run(spec, opt, &error);
+  if (!res) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
 
+  // Model order in the spec: ideal-32core, ideal-gpu, inter-record,
+  // booster, booster-cycle.
   util::Table table({"Benchmark", "Ideal GPU", "Inter-Record", "Booster",
                      "Booster-cycle", "Ideal 32-core time"});
   std::vector<double> gpu_speedups, ir_speedups, booster_speedups,
       cycle_speedups;
-  for (const auto& w : workloads) {
-    const double cpu_t = ideal_cpu.train_cost(w.trace, w.info).total();
-    const double gpu_t = ideal_gpu.train_cost(w.trace, w.info).total();
-    const auto ir = bench::inter_record_for(w);
-    const double ir_t = ir.train_cost(w.trace, w.info).total();
-    const double booster_t = booster.train_cost(w.trace, w.info).total();
-    const double cycle_t = booster_cycle.train_cost(w.trace, w.info).total();
+  for (std::size_t w = 0; w < res->workloads.size(); ++w) {
+    const double cpu_t = res->cell(0, w, 0).total_seconds;
+    const double gpu_t = res->cell(0, w, 1).total_seconds;
+    const double ir_t = res->cell(0, w, 2).total_seconds;
+    const double booster_t = res->cell(0, w, 3).total_seconds;
+    const double cycle_t = res->cell(0, w, 4).total_seconds;
     gpu_speedups.push_back(cpu_t / gpu_t);
     ir_speedups.push_back(cpu_t / ir_t);
     booster_speedups.push_back(cpu_t / booster_t);
     cycle_speedups.push_back(cpu_t / cycle_t);
-    table.add_row({w.spec.name, util::fmt_x(cpu_t / gpu_t),
+    table.add_row({res->workloads[w].spec.name, util::fmt_x(cpu_t / gpu_t),
                    util::fmt_x(cpu_t / ir_t), util::fmt_x(cpu_t / booster_t),
                    util::fmt_x(cpu_t / cycle_t), util::fmt_time(cpu_t)});
   }
@@ -50,5 +57,6 @@ int main(int argc, char** argv) {
   table.print();
   std::printf("\nPaper reference: Ideal GPU 1.6-1.9x; Booster 4.6x (Flight)"
               " to 30.6x (IoT), geomean 11.4x.\n");
+  if (opt.json) std::fputs(res->to_json().dump().c_str(), stdout);
   return 0;
 }

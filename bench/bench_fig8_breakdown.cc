@@ -3,45 +3,48 @@
 // uniform reduction of the accelerated steps with step 2 unchanged; Booster
 // makes the accelerated steps small so its residual is dominated by the
 // unaccelerated step 2; speedups inversely correlate with step 2's share.
+//
+// Formatting shim over the "fig8_breakdown" scenario
+// (bench/scenarios/fig8_breakdown.json); pass --json for the canonical
+// cell dump.
 #include <cstdio>
 
-#include "baselines/cpu_like.h"
-#include "common.h"
+#include "sim/library.h"
+#include "sim/runner.h"
 #include "util/table.h"
 
 int main(int argc, char** argv) {
   using namespace booster;
-  const auto opt = bench::BenchOptions::parse(argc, argv);
-  bench::print_header("Fig 8: execution time breakdown (normalized)",
-                      "Booster paper, Section V-B, Figure 8");
+  const auto opt = sim::parse_run_options(argc, argv);
+  const auto spec = *sim::builtin_scenario("fig8_breakdown");
+  sim::print_header(spec.title, spec.paper_ref);
 
-  const auto workloads = bench::load_workloads(opt);
-  const baselines::CpuLikeModel ideal_cpu(baselines::ideal_cpu_params());
-  const baselines::CpuLikeModel ideal_gpu(baselines::ideal_gpu_params());
-  const core::BoosterModel booster(bench::default_booster_config());
-  const auto booster_cycle = bench::cycle_calibrated_booster();
+  std::string error;
+  const auto res = sim::ScenarioRunner().run(spec, opt, &error);
+  if (!res) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
 
   util::Table table({"Benchmark", "System", "step1", "step2", "step3",
                      "step5", "total (norm)"});
-  for (const auto& w : workloads) {
-    const auto cpu = ideal_cpu.train_cost(w.trace, w.info);
-    const double base = cpu.total();
-    auto add = [&](const std::string& sys, const perf::StepBreakdown& b) {
-      table.add_row({w.spec.name, sys,
-                     util::fmt_pct(b[trace::StepKind::kHistogram] / base),
-                     util::fmt_pct(b[trace::StepKind::kSplitSelect] / base),
-                     util::fmt_pct(b[trace::StepKind::kPartition] / base),
-                     util::fmt_pct(b[trace::StepKind::kTraversal] / base),
-                     util::fmt_pct(b.total() / base)});
-    };
-    add("Ideal 32-core", cpu);
-    add("Ideal GPU", ideal_gpu.train_cost(w.trace, w.info));
-    add("Booster", booster.train_cost(w.trace, w.info));
-    add("Booster-cycle", booster_cycle.train_cost(w.trace, w.info));
+  for (std::size_t w = 0; w < res->workloads.size(); ++w) {
+    const double base = res->cell(0, w, 0).total_seconds;  // ideal-32core
+    for (std::size_t m = 0; m < spec.models.size(); ++m) {
+      const auto& c = res->cell(0, w, m);
+      table.add_row(
+          {res->workloads[w].spec.name, c.model_name,
+           util::fmt_pct(c.breakdown[trace::StepKind::kHistogram] / base),
+           util::fmt_pct(c.breakdown[trace::StepKind::kSplitSelect] / base),
+           util::fmt_pct(c.breakdown[trace::StepKind::kPartition] / base),
+           util::fmt_pct(c.breakdown[trace::StepKind::kTraversal] / base),
+           util::fmt_pct(c.total_seconds / base)});
+    }
   }
   table.print();
   std::printf("\nPaper reference: Booster's residual time is dominated by"
               " the unaccelerated step 2; speedups inversely correlate with"
               " step 2's share.\n");
+  if (opt.json) std::fputs(res->to_json().dump().c_str(), stdout);
   return 0;
 }

@@ -2,33 +2,45 @@
 // generators must reproduce the published schema statistics; the "Seq. Time"
 // column reports our sequential-CPU model's estimate next to the paper's
 // measured minutes.
+//
+// Formatting shim over the "table3_datasets" scenario
+// (bench/scenarios/table3_datasets.json); pass --json for the canonical
+// cell dump.
 #include <cstdio>
 
-#include "baselines/cpu_like.h"
-#include "common.h"
+#include <string>
+
+#include "sim/library.h"
+#include "sim/runner.h"
 #include "util/table.h"
 
 int main(int argc, char** argv) {
   using namespace booster;
-  const auto opt = bench::BenchOptions::parse(argc, argv);
-  bench::print_header("Table III: dataset and model characteristics",
-                      "Booster paper, Section IV, Table III");
+  const auto opt = sim::parse_run_options(argc, argv);
+  const auto spec = *sim::builtin_scenario("table3_datasets");
+  sim::print_header(spec.title, spec.paper_ref);
 
-  const auto workloads = bench::load_workloads(opt);
-  const baselines::CpuLikeModel seq(baselines::sequential_cpu_params());
+  std::string error;
+  const auto res = sim::ScenarioRunner().run(spec, opt, &error);
+  if (!res) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
 
   util::Table table({"Name", "#Records(M)", "#Fields", "Categ.",
                      "#Features(one-hot)", "Seq time (model)",
                      "Seq time (paper)"});
-  for (const auto& w : workloads) {
-    const auto t = seq.train_cost(w.trace, w.info);
-    table.add_row({w.spec.name, util::fmt(w.spec.nominal_records / 1e6, 0),
-                   std::to_string(w.info.fields),
-                   std::to_string(w.info.categorical_fields),
-                   std::to_string(w.info.features_onehot),
-                   util::fmt_time(t.total()),
-                   util::fmt(w.spec.paper_seq_minutes, 1) + " min"});
+  for (std::size_t w = 0; w < res->workloads.size(); ++w) {
+    const auto& wl = res->workloads[w];
+    const double seq_t = res->cell(0, w, 0).total_seconds;  // seq-cpu
+    table.add_row({wl.spec.name, util::fmt(wl.spec.nominal_records / 1e6, 0),
+                   std::to_string(wl.info.fields),
+                   std::to_string(wl.info.categorical_fields),
+                   std::to_string(wl.info.features_onehot),
+                   util::fmt_time(seq_t),
+                   util::fmt(wl.spec.paper_seq_minutes, 1) + " min"});
   }
   table.print();
+  if (opt.json) std::fputs(res->to_json().dump().c_str(), stdout);
   return 0;
 }

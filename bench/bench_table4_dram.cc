@@ -1,20 +1,33 @@
 // Regenerates Table IV: the DRAM configuration, plus the measured sustained
 // bandwidth of the cycle-level model for each access pattern the training
-// steps generate. The paper reports ~400 GB/s sustained for this
-// configuration (24 channels, 16 banks, 1 KB rows, 12-12-12-28).
+// steps generate, and the stride anchors the effective-bandwidth
+// interpolation calibrates from the stride sweep. The paper reports
+// ~400 GB/s sustained for this configuration (24 channels, 16 banks, 1 KB
+// rows, 12-12-12-28).
+//
+// Formatting shim over the "table4_dram" scenario
+// (bench/scenarios/table4_dram.json): a pure memory-system scenario (no
+// workloads or models) whose DRAM config block drives the probe here.
 #include <cstdio>
 
-#include "common.h"
 #include "memsim/bandwidth_probe.h"
+#include "sim/library.h"
+#include "sim/runner.h"
 #include "util/table.h"
 
 int main(int argc, char** argv) {
   using namespace booster;
-  (void)bench::BenchOptions::parse(argc, argv);
-  bench::print_header("Table IV: DRAM configuration + sustained bandwidth",
-                      "Booster paper, Section IV, Table IV");
+  (void)sim::parse_run_options(argc, argv);
+  const auto spec = *sim::builtin_scenario("table4_dram");
+  sim::print_header(spec.title, spec.paper_ref);
 
-  const memsim::DramConfig cfg;
+  std::string error;
+  const auto cfg_opt = spec.dram_config(&error);
+  if (!cfg_opt) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+  const memsim::DramConfig cfg = *cfg_opt;
   std::printf("Channels, banks, row: %u, %u, %u B\n", cfg.channels,
               cfg.banks_per_channel, cfg.row_bytes);
   std::printf("tCAS-tRP-tRCD-tRAS:   %u-%u-%u-%u\n", cfg.tCAS, cfg.tRP,
@@ -41,6 +54,12 @@ int main(int argc, char** argv) {
                    util::fmt_pct(r.utilization)});
   }
   table.print();
-  std::printf("\nPaper reference: sustained bandwidth of about 400 GB/s.\n");
+
+  const auto& profile = sim::calibrated_profile(cfg);
+  std::printf("\nCalibrated stride anchors: flat to stride %.0f, gather rate"
+              " at %.0f, random by %.0f\n",
+              profile.flat_stride, profile.cal_stride,
+              profile.random_stride);
+  std::printf("Paper reference: sustained bandwidth of about 400 GB/s.\n");
   return 0;
 }

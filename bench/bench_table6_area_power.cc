@@ -2,20 +2,34 @@
 // Booster chip at 45 nm / 1 GHz, plus the banked-vs-monolithic SRAM
 // comparison the paper discusses (3200 banks cost ~70% more area and ~59%
 // more static power than one 6.4 MB array).
+//
+// Formatting shim over the "table6_area_power" scenario
+// (bench/scenarios/table6_area_power.json): a pure silicon-model scenario
+// (no workloads or models) whose accelerator config block feeds
+// energy::AreaPowerModel here.
 #include <cstdio>
 
-#include "common.h"
+#include <string>
+
 #include "energy/area_power.h"
+#include "sim/library.h"
+#include "sim/runner.h"
 #include "util/table.h"
 
 int main(int argc, char** argv) {
   using namespace booster;
-  (void)bench::BenchOptions::parse(argc, argv);
-  bench::print_header("Table VI: area and power estimates",
-                      "Booster paper, Section V-G, Table VI");
+  (void)sim::parse_run_options(argc, argv);
+  const auto spec = *sim::builtin_scenario("table6_area_power");
+  sim::print_header(spec.title, spec.paper_ref);
 
+  std::string error;
+  const auto cfg_opt = spec.booster_config(core::BoosterConfig{}, &error);
+  if (!cfg_opt) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+  const core::BoosterConfig cfg = *cfg_opt;
   const energy::AreaPowerModel model;
-  const core::BoosterConfig cfg;
   const auto chip = model.estimate(cfg.num_bus());
 
   util::Table table({"Component", "Area (mm^2)", "Power (W)"});

@@ -1,0 +1,111 @@
+// Declarative experiment driver: runs any scenario .json file through
+// sim::ScenarioRunner, with no per-experiment code. The checked-in paper
+// figures live in bench/scenarios/ (each is `dump` of a builtin spec; see
+// bench/README.md "Scenario files").
+//
+//   booster_scenarios run <spec.json> [--quick] [--threads N]
+//   booster_scenarios run-builtin <name> [--quick] [--threads N]
+//   booster_scenarios --list
+//   booster_scenarios dump <name>
+//
+// `run` prints the provenance header, a generic per-cell table, and the
+// canonical JSON block (sim::ScenarioResult::to_json) -- the same object
+// the ported bench binaries emit under --json, so outputs are diffable.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "sim/library.h"
+#include "sim/runner.h"
+
+using namespace booster;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  booster_scenarios run <spec.json> [--quick] [--threads N]\n"
+               "  booster_scenarios run-builtin <name> [--quick]"
+               " [--threads N]\n"
+               "  booster_scenarios --list\n"
+               "  booster_scenarios dump <name>\n");
+  return 2;
+}
+
+int list_scenarios() {
+  for (const auto& s : sim::builtin_scenarios()) {
+    std::printf("%-22s %s\n", s.name.c_str(), s.title.c_str());
+  }
+  return 0;
+}
+
+int dump_scenario(const std::string& name) {
+  const auto spec = sim::builtin_scenario(name);
+  if (!spec) {
+    std::fprintf(stderr, "unknown builtin scenario \"%s\" (see --list)\n",
+                 name.c_str());
+    return 1;
+  }
+  std::fputs(spec->to_json().dump().c_str(), stdout);
+  return 0;
+}
+
+int run_scenario(const sim::ScenarioSpec& spec, const sim::RunOptions& opt) {
+  sim::print_header(spec.title.empty() ? spec.name : spec.title,
+                    spec.paper_ref.empty() ? "(no paper reference)"
+                                           : spec.paper_ref);
+  std::string error;
+  const auto result = sim::ScenarioRunner().run(spec, opt, &error);
+  if (!result) {
+    std::fprintf(stderr, "scenario \"%s\": %s\n", spec.name.c_str(),
+                 error.c_str());
+    return 1;
+  }
+  if (!result->cells.empty()) {
+    result->print_table();
+    std::printf("\n");
+  }
+  std::fputs(result->to_json().dump().c_str(), stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+
+  if (command == "--list" || command == "list") return list_scenarios();
+
+  if (command == "dump") {
+    if (argc < 3) return usage();
+    return dump_scenario(argv[2]);
+  }
+
+  const sim::RunOptions opt = sim::parse_run_options(argc, argv);
+
+  if (command == "run") {
+    if (argc < 3 || argv[2][0] == '-') return usage();
+    std::string error;
+    const auto spec = sim::ScenarioSpec::from_file(argv[2], &error);
+    if (!spec) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
+    }
+    return run_scenario(*spec, opt);
+  }
+
+  if (command == "run-builtin") {
+    if (argc < 3) return usage();
+    const auto spec = sim::builtin_scenario(argv[2]);
+    if (!spec) {
+      std::fprintf(stderr, "unknown builtin scenario \"%s\" (see --list)\n",
+                   argv[2]);
+      return 1;
+    }
+    return run_scenario(*spec, opt);
+  }
+
+  return usage();
+}

@@ -33,6 +33,28 @@ if [[ "${BOOSTER_SKIP_SANITIZE:-0}" != "1" ]]; then
   ctest --test-dir "$ASAN_DIR" --output-on-failure -j "$(nproc)"
 fi
 
+# Scenario smoke leg: the CLI must list exactly the checked-in scenario
+# specs (names golden-checked against bench/scenarios/), and every spec
+# must parse, round-trip, and execute under --quick.
+LISTED=$("$BUILD_DIR/booster_scenarios" --list | awk '{print $1}' | sort)
+CHECKED_IN=$(ls bench/scenarios/*.json | xargs -n1 basename | sed 's/\.json$//' | sort)
+if ! diff <(echo "$LISTED") <(echo "$CHECKED_IN"); then
+  echo "booster_scenarios --list does not match bench/scenarios/*.json" >&2
+  exit 1
+fi
+for name in $LISTED; do
+  if ! diff <("$BUILD_DIR/booster_scenarios" dump "$name") \
+            "bench/scenarios/$name.json"; then
+    echo "bench/scenarios/$name.json drifted from the builtin spec;" \
+         "regenerate with: booster_scenarios dump $name" >&2
+    exit 1
+  fi
+done
+for spec in bench/scenarios/*.json; do
+  echo "--- scenario: $spec (--quick)"
+  "$BUILD_DIR/booster_scenarios" run "$spec" --quick > /dev/null
+done
+
 # Benches (quick mode keeps CI fast; JSON goes to stdout so the trajectory
 # can be archived by the caller).
 "$BUILD_DIR/bench_train_hotpath" --quick

@@ -1,5 +1,7 @@
 #include "memsim/bandwidth_probe.h"
 
+#include <algorithm>
+
 #include "memsim/memory_system.h"
 #include "util/rng.h"
 
@@ -63,6 +65,36 @@ BandwidthProfile BandwidthProbe::calibrate(std::uint64_t num_requests) const {
   profile.random =
       measure(AccessPattern::kRandom, num_requests).bandwidth_bytes_per_sec;
   profile.peak = cfg_.peak_bandwidth_bytes_per_sec();
+
+  // Stride sweep for the interpolation anchors. Tolerances are a few
+  // percent: sustained rates at neighbouring strides differ by much more
+  // than the probe's run-to-run resolution once the decay starts.
+  const std::uint64_t sweep_requests =
+      std::max<std::uint64_t>(8000, num_requests / 4);
+  constexpr double kFlatTolerance = 0.97;    // still "at streaming"
+  constexpr double kRandomTolerance = 1.05;  // already "at random"
+  profile.cal_stride = static_cast<double>(kCalibrationStride);
+  profile.flat_stride = 1.0;
+  profile.random_stride = 0.0;
+  for (const std::uint64_t stride : {2ULL, 4ULL, 6ULL, 8ULL, 12ULL, 16ULL,
+                                     24ULL, 32ULL, 48ULL, 64ULL, 96ULL}) {
+    const double bw =
+        measure(AccessPattern::kStridedGather, sweep_requests, stride)
+            .bandwidth_bytes_per_sec;
+    if (stride < kCalibrationStride &&
+        bw >= kFlatTolerance * profile.streaming) {
+      profile.flat_stride = static_cast<double>(stride);
+    }
+    if (profile.random_stride == 0.0 && stride > kCalibrationStride &&
+        bw <= kRandomTolerance * profile.random) {
+      profile.random_stride = static_cast<double>(stride);
+    }
+  }
+  if (profile.random_stride == 0.0) profile.random_stride = 128.0;
+  // Anchor ordering flat < cal < random holds by construction: flat
+  // candidates come from strides < kCalibrationStride, random candidates
+  // from strides > it (effective_bandwidth additionally repairs ordering
+  // defensively for hand-built profiles).
   return profile;
 }
 

@@ -25,12 +25,22 @@ struct ProbeResult {
   double utilization = 0.0;  // achieved / peak
 };
 
-/// Calibrated sustained bandwidths for all patterns of one DRAM config.
+/// Calibrated sustained bandwidths for all patterns of one DRAM config,
+/// plus the stride anchors of the effective-bandwidth interpolation
+/// (perf::effective_bandwidth): bandwidth holds at `streaming` up to
+/// `flat_stride`, passes through `strided_gather` at `cal_stride` (the
+/// stride the gather rate was measured at), and reaches `random` by
+/// `random_stride`. The defaults are the hand-fit values for the Table IV
+/// configuration; BandwidthProbe::calibrate replaces them with anchors
+/// measured from a stride sweep so non-default DRAM configs stay honest.
 struct BandwidthProfile {
   double streaming = 0.0;
-  double strided_gather = 0.0;  // at the probe's default stride
+  double strided_gather = 0.0;  // at cal_stride
   double random = 0.0;
   double peak = 0.0;
+  double flat_stride = 8.0;
+  double cal_stride = 16.0;
+  double random_stride = 64.0;
 
   double for_pattern(AccessPattern p) const {
     switch (p) {
@@ -47,15 +57,25 @@ struct BandwidthProfile {
 
 class BandwidthProbe {
  public:
+  /// Stride the strided_gather rate is measured at; cal_stride of every
+  /// calibrated profile.
+  static constexpr std::uint64_t kCalibrationStride = 16;
+
   explicit BandwidthProbe(const DramConfig& cfg = DramConfig{}) : cfg_(cfg) {}
 
   /// Runs `num_requests` block transfers of the given pattern through the
   /// cycle-level model and reports sustained bandwidth. `stride_blocks`
   /// applies to kStridedGather only.
   ProbeResult measure(AccessPattern pattern, std::uint64_t num_requests = 200000,
-                      std::uint64_t stride_blocks = 16) const;
+                      std::uint64_t stride_blocks = kCalibrationStride) const;
 
   /// Measures all three patterns; the result feeds every step-cost model.
+  /// Also sweeps the gather stride to place the interpolation anchors:
+  /// flat_stride = the widest stride whose gather rate still holds near the
+  /// streaming rate, random_stride = the narrowest stride already down at
+  /// the random rate (see BandwidthProfile). The sweep uses a fraction of
+  /// `num_requests` per point -- anchor placement needs the shape of the
+  /// decay, not its last percent of precision.
   BandwidthProfile calibrate(std::uint64_t num_requests = 200000) const;
 
  private:

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
+
+#include "util/thread_pool.h"
 
 namespace booster::perf {
 
@@ -9,11 +12,12 @@ using trace::StepKind;
 
 CycleCalibratedBoosterModel::CycleCalibratedBoosterModel(
     core::BoosterConfig cfg, memsim::DramConfig dram, HostParams host,
-    std::string name_suffix)
+    std::string name_suffix, unsigned replay_threads)
     : cfg_(cfg),
       dram_(dram),
       host_(host),
       suffix_(std::move(name_suffix)),
+      replay_threads_(replay_threads == 0 ? 1 : replay_threads),
       analytic_(cfg, host) {}
 
 std::string CycleCalibratedBoosterModel::name() const {
@@ -29,8 +33,14 @@ StepBreakdown CycleCalibratedBoosterModel::train_cost(
   const double fill_s =
       static_cast<double>(cfg_.num_bus() / cfg_.bus_link_span) / cfg_.clock_hz;
 
-  StepBreakdown out;
-  for (const auto& c : trace.replay_classes()) {
+  const std::vector<trace::ReplayClass> classes = trace.replay_classes();
+  // One co-sim run per class; classes are independent, so they fan out over
+  // the pool. Per-class seconds land in their own slot and are reduced
+  // serially in class order below -- the breakdown is bit-identical at
+  // every thread count.
+  std::vector<double> class_seconds(classes.size(), 0.0);
+  const auto replay_class = [&](std::size_t i) {
+    const auto& c = classes[i];
     core::StepRequest req;
     req.kind = c.kind;
     req.depth = c.depth;
@@ -47,7 +57,19 @@ StepBreakdown CycleCalibratedBoosterModel::train_cost(
     req.records = sim_records;
     const core::CycleSimResult r = sim.run(req);
     const double steady_s = r.seconds * (c.avg_records / sim_records);
-    out[c.kind] += (steady_s + fill_s) * static_cast<double>(c.events);
+    class_seconds[i] = (steady_s + fill_s) * static_cast<double>(c.events);
+  };
+  if (replay_threads_ > 1 && classes.size() > 1) {
+    util::ThreadPool pool(replay_threads_);
+    pool.run_tasks(static_cast<unsigned>(classes.size()),
+                   [&](unsigned i) { replay_class(i); });
+  } else {
+    for (std::size_t i = 0; i < classes.size(); ++i) replay_class(i);
+  }
+
+  StepBreakdown out;
+  for (std::size_t i = 0; i < classes.size(); ++i) {
+    out[classes[i].kind] += class_seconds[i];
   }
   for (auto& s : out.seconds) s *= trace.repeat();
   out[StepKind::kSplitSelect] = host_split_seconds(trace, host_);

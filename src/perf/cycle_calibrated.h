@@ -30,7 +30,17 @@ class CycleCalibratedBoosterModel final : public PerfModel {
   explicit CycleCalibratedBoosterModel(core::BoosterConfig cfg = {},
                                        memsim::DramConfig dram = {},
                                        HostParams host = {},
-                                       std::string name_suffix = "");
+                                       std::string name_suffix = "",
+                                       unsigned replay_threads = 1);
+
+  /// Per-(step, depth, octave) replay-class co-sims are independent; with
+  /// replay_threads > 1 train_cost runs them on a util::ThreadPool. The
+  /// per-class results are reduced serially in class order afterwards, so
+  /// the breakdown is bit-identical at every thread count. Keep this at 1
+  /// when the caller already parallelizes across train_cost invocations
+  /// (sim::ScenarioRunner treats one train_cost as one cell).
+  void set_replay_threads(unsigned n) { replay_threads_ = n == 0 ? 1 : n; }
+  unsigned replay_threads() const { return replay_threads_; }
 
   const core::BoosterConfig& config() const { return cfg_; }
   const memsim::DramConfig& dram() const { return dram_; }
@@ -52,6 +62,7 @@ class CycleCalibratedBoosterModel final : public PerfModel {
   memsim::DramConfig dram_;
   HostParams host_;
   std::string suffix_;
+  unsigned replay_threads_ = 1;
   core::BoosterModel analytic_;  // inference + activity costing
 };
 

@@ -38,22 +38,25 @@ double effective_bandwidth(const memsim::BandwidthProfile& bw,
                            double touched_fraction) {
   const double t = std::clamp(touched_fraction, 1e-12, 1.0);
   const double stride = 1.0 / t;
-  // Fit to the FR-FCFS model's measured stride sweep (see the closed-loop
-  // co-sim, core/cycle_sim.h): flat at streaming up to stride ~8 (row hits
-  // decay but the open-page scheduler hides them), then a log-linear roll
-  // down to the calibrated stride-16 gather rate, reaching the random rate
-  // (the tFAW activate bound) around stride ~64.
-  constexpr double kFlatStride = 8.0;
-  constexpr double kCalStride = 16.0;  // BandwidthProbe's gather stride
-  constexpr double kRandomStride = 64.0;
-  if (stride <= kFlatStride) return bw.streaming;
-  if (stride <= kCalStride) {
-    const double f = std::log(stride / kFlatStride) /
-                     std::log(kCalStride / kFlatStride);
+  // Shape validated against the FR-FCFS model's stride sweep (see the
+  // closed-loop co-sim, core/cycle_sim.h): flat at streaming while the
+  // open-page scheduler hides the row-hit decay, then a log-linear roll
+  // down to the calibrated gather rate, reaching the random rate (the tFAW
+  // activate bound) at the random anchor. The anchor strides live in the
+  // profile: defaults are the hand-fit 8/16/64 of the Table IV config,
+  // calibrated profiles carry anchors measured by BandwidthProbe's stride
+  // sweep so non-default DRAM configs keep an honest decay curve.
+  const double flat_stride = std::max(1.0, bw.flat_stride);
+  const double cal_stride = std::max(flat_stride * 1.0001, bw.cal_stride);
+  const double random_stride = std::max(cal_stride * 1.0001, bw.random_stride);
+  if (stride <= flat_stride) return bw.streaming;
+  if (stride <= cal_stride) {
+    const double f =
+        std::log(stride / flat_stride) / std::log(cal_stride / flat_stride);
     return bw.streaming * std::pow(bw.strided_gather / bw.streaming, f);
   }
-  const double f = std::min(1.0, std::log(stride / kCalStride) /
-                                     std::log(kRandomStride / kCalStride));
+  const double f = std::min(1.0, std::log(stride / cal_stride) /
+                                     std::log(random_stride / cal_stride));
   return bw.strided_gather * std::pow(bw.random / bw.strided_gather, f);
 }
 

@@ -1,0 +1,111 @@
+// Minimal JSON document model for the scenario layer (sim/scenario.h).
+// Scenarios live in checked-in .json files, so the representation is built
+// for lossless round-trips rather than speed: objects preserve insertion
+// order, numbers print in their shortest round-trip form (integers without
+// an exponent), and dump(parse(dump(x))) == dump(x) is a fixpoint the test
+// suite asserts. No external dependency; parse errors are reported as
+// position-annotated strings, never exceptions or aborts, so a malformed
+// scenario file fails a CLI run with a message instead of killing the
+// process.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace booster::sim {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  using Array = std::vector<Json>;
+  /// Insertion-ordered key/value pairs (deterministic serialization).
+  using Object = std::vector<std::pair<std::string, Json>>;
+
+  Json() = default;
+  Json(std::nullptr_t) {}
+  Json(bool b) : type_(Type::kBool), bool_(b) {}
+  Json(double v) : type_(Type::kNumber), num_(v) {}
+  Json(int v) : type_(Type::kNumber), num_(v) {}
+  Json(unsigned v) : type_(Type::kNumber), num_(v) {}
+  Json(std::int64_t v) : type_(Type::kNumber), num_(static_cast<double>(v)) {}
+  Json(std::uint64_t v) : type_(Type::kNumber), num_(static_cast<double>(v)) {}
+  Json(std::string s) : type_(Type::kString), str_(std::move(s)) {}
+  Json(const char* s) : type_(Type::kString), str_(s) {}
+
+  static Json array() {
+    Json j;
+    j.type_ = Type::kArray;
+    return j;
+  }
+  static Json object() {
+    Json j;
+    j.type_ = Type::kObject;
+    return j;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool as_bool(bool fallback = false) const {
+    return is_bool() ? bool_ : fallback;
+  }
+  double as_double(double fallback = 0.0) const {
+    return is_number() ? num_ : fallback;
+  }
+  const std::string& as_string() const { return str_; }
+
+  const Array& items() const { return arr_; }
+  const Object& members() const { return obj_; }
+
+  /// Object lookup; nullptr when absent or not an object.
+  const Json* find(std::string_view key) const;
+
+  /// Object insert-or-replace; converts a null value to an empty object
+  /// first so builders can chain sets.
+  Json& set(std::string key, Json value);
+
+  /// Array append; converts a null value to an empty array first.
+  Json& push_back(Json value);
+
+  std::size_t size() const {
+    return is_array() ? arr_.size() : is_object() ? obj_.size() : 0;
+  }
+
+  bool operator==(const Json& other) const;
+
+  /// Parses one JSON document (trailing whitespace allowed, nothing else).
+  /// Returns nullopt and sets *error ("line L, column C: ...") on failure.
+  static std::optional<Json> parse(std::string_view text, std::string* error);
+
+  /// Reads and parses a file; the filename is prefixed to *error.
+  static std::optional<Json> parse_file(const std::string& path,
+                                        std::string* error);
+
+  /// Serializes with 2-space indentation and a trailing newline at the top
+  /// level, matching the checked-in bench/scenarios/*.json format.
+  std::string dump() const;
+
+  /// Writes dump() to a file; returns false and sets *error on IO failure.
+  bool dump_file(const std::string& path, std::string* error) const;
+
+ private:
+  void dump_to(std::string* out, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  Array arr_;
+  Object obj_;
+};
+
+}  // namespace booster::sim

@@ -1,0 +1,162 @@
+#include "sim/library.h"
+
+namespace booster::sim {
+
+namespace {
+
+const std::vector<std::string> kPaperWorkloads = {"IoT", "Higgs", "Allstate",
+                                                  "Mq2008", "Flight"};
+
+ModelSpec model(std::string name, std::string label = "",
+                Json overrides = {}) {
+  ModelSpec m;
+  m.model = std::move(name);
+  m.label = std::move(label);
+  m.overrides = std::move(overrides);
+  return m;
+}
+
+ScenarioSpec base(std::string name, std::string title, std::string paper_ref,
+                  std::vector<std::string> workloads = kPaperWorkloads) {
+  ScenarioSpec s;
+  s.name = std::move(name);
+  s.title = std::move(title);
+  s.paper_ref = std::move(paper_ref);
+  s.workloads = std::move(workloads);
+  return s;
+}
+
+std::vector<ScenarioSpec> make_builtin() {
+  std::vector<ScenarioSpec> out;
+
+  {
+    auto s = base("fig6_seq_breakdown",
+                  "Fig 6: sequential execution time breakdown",
+                  "Booster paper, Section IV, Figure 6");
+    s.models = {model("seq-cpu")};
+    out.push_back(std::move(s));
+  }
+  {
+    auto s = base("fig7_speedup",
+                  "Fig 7: performance comparison (training speedup)",
+                  "Booster paper, Section V-A, Figure 7");
+    s.models = {model("ideal-32core"), model("ideal-gpu"),
+                model("inter-record"), model("booster"),
+                model("booster-cycle")};
+    out.push_back(std::move(s));
+  }
+  {
+    auto s = base("fig8_breakdown",
+                  "Fig 8: execution time breakdown (normalized)",
+                  "Booster paper, Section V-B, Figure 8");
+    s.models = {model("ideal-32core"), model("ideal-gpu"), model("booster"),
+                model("booster-cycle")};
+    out.push_back(std::move(s));
+  }
+  {
+    auto s = base("fig9_ablation", "Fig 9: isolating Booster's optimizations",
+                  "Booster paper, Section V-C, Figure 9");
+    Json no_opts = Json::object();
+    no_opts.set("group_by_field_mapping", false);
+    no_opts.set("redundant_column_format", false);
+    Json with_mapping = Json::object();
+    with_mapping.set("group_by_field_mapping", true);
+    with_mapping.set("redundant_column_format", false);
+    s.models = {model("ideal-32core"),
+                model("booster", "-no-opts", std::move(no_opts)),
+                model("booster", "+group-by-field", std::move(with_mapping)),
+                model("booster", "+column-format")};
+    out.push_back(std::move(s));
+  }
+  {
+    auto s = base("fig10_energy", "Fig 10: SRAM and DRAM energy (normalized)",
+                  "Booster paper, Section V-D, Figure 10");
+    s.models = {model("ideal-32core"), model("ideal-gpu"), model("booster")};
+    out.push_back(std::move(s));
+  }
+  {
+    auto s = base("fig11_validation", "Fig 11: Ideal vs Real configurations",
+                  "Booster paper, Section V-E, Figure 11");
+    s.models = {model("ideal-32core"), model("real-32core"),
+                model("ideal-gpu"), model("real-gpu"), model("booster"),
+                model("booster-cycle")};
+    out.push_back(std::move(s));
+  }
+  {
+    auto s = base("fig12_scaling",
+                  "Fig 12: sensitivity to dataset size (10x scale-up)",
+                  "Booster paper, Section V-F, Figure 12");
+    s.models = {model("ideal-32core"), model("ideal-gpu"), model("booster")};
+    s.sweep_axis = SweepAxis::kRecordScale;
+    s.sweep_values = {1.0, 10.0};
+    out.push_back(std::move(s));
+  }
+  {
+    auto s = base("fig13_inference", "Fig 13: batch inference speedup",
+                  "Booster paper, Section V-H, Figure 13");
+    s.models = {model("ideal-32core"), model("booster")};
+    s.include_inference = true;
+    out.push_back(std::move(s));
+  }
+  {
+    auto s = base("table3_datasets",
+                  "Table III: dataset and model characteristics",
+                  "Booster paper, Section IV, Table III");
+    s.models = {model("seq-cpu")};
+    out.push_back(std::move(s));
+  }
+  {
+    // Pure memory-system scenario: no workloads or models; the shim drives
+    // memsim::BandwidthProbe with the spec's DRAM config.
+    auto s = base("table4_dram",
+                  "Table IV: DRAM configuration + sustained bandwidth",
+                  "Booster paper, Section IV, Table IV", {});
+    out.push_back(std::move(s));
+  }
+  {
+    // Silicon-model scenario: the shim feeds the spec's accelerator config
+    // to energy::AreaPowerModel.
+    auto s = base("table6_area_power", "Table VI: area and power estimates",
+                  "Booster paper, Section V-G, Table VI", {});
+    out.push_back(std::move(s));
+  }
+  {
+    auto s = base("dse_bu_sweep",
+                  "DSE: BU-count sweep (rate-matching the memory system)",
+                  "Booster paper, Section III-B (sizing argument);"
+                  " extension study");
+    s.models = {model("ideal-32core"), model("booster")};
+    s.sweep_axis = SweepAxis::kClusters;
+    s.sweep_values = {5, 10, 20, 30, 40, 50, 65, 80};
+    out.push_back(std::move(s));
+  }
+  {
+    auto s = base("dse_bandwidth_sweep",
+                  "DSE: bandwidth sweep at the 3200-BU design point",
+                  "Booster paper, Section III-B (sizing argument);"
+                  " extension study");
+    s.models = {model("ideal-32core"), model("booster")};
+    s.sweep_axis = SweepAxis::kBandwidthScale;
+    s.sweep_values = {0.25, 0.5, 1.0, 2.0, 4.0};
+    out.push_back(std::move(s));
+  }
+
+  return out;
+}
+
+}  // namespace
+
+const std::vector<ScenarioSpec>& builtin_scenarios() {
+  static const std::vector<ScenarioSpec>* scenarios =
+      new std::vector<ScenarioSpec>(make_builtin());
+  return *scenarios;
+}
+
+std::optional<ScenarioSpec> builtin_scenario(const std::string& name) {
+  for (const auto& s : builtin_scenarios()) {
+    if (s.name == name) return s;
+  }
+  return std::nullopt;
+}
+
+}  // namespace booster::sim

@@ -1,0 +1,22 @@
+// The builtin scenario library: every paper figure/table experiment (and
+// the DSE sweeps) as a ScenarioSpec. The checked-in bench/scenarios/*.json
+// files are exactly `booster_scenarios dump <name>` of these specs --
+// test_scenario asserts file == dump(builtin) so the two can never drift,
+// and scripts/check.sh golden-checks `booster_scenarios --list` against the
+// directory listing.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "sim/scenario.h"
+
+namespace booster::sim {
+
+/// All builtin scenarios, in bench/README.md presentation order.
+const std::vector<ScenarioSpec>& builtin_scenarios();
+
+/// Lookup by name; nullopt when unknown.
+std::optional<ScenarioSpec> builtin_scenario(const std::string& name);
+
+}  // namespace booster::sim

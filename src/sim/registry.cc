@@ -1,0 +1,276 @@
+#include "sim/registry.h"
+
+#include <cmath>
+#include <utility>
+
+#include "baselines/cpu_like.h"
+#include "baselines/inter_record.h"
+#include "core/booster_model.h"
+#include "perf/cycle_calibrated.h"
+
+namespace booster::sim {
+
+namespace {
+
+void set_error(std::string* error, const std::string& message) {
+  if (error != nullptr && error->empty()) *error = message;
+}
+
+/// CPU-like override keys mirror baselines::CpuLikeParams; per-step
+/// irregularity factors stay factory-defined (they encode the paper's
+/// qualitative analysis, not a tuning knob).
+bool apply_cpu_like_overrides(const Json& delta,
+                              baselines::CpuLikeParams* p,
+                              std::string* error) {
+  if (delta.is_null()) return true;
+  if (!delta.is_object()) {
+    set_error(error, "model overrides must be a JSON object");
+    return false;
+  }
+  for (const auto& [key, value] : delta.members()) {
+    double* field = nullptr;
+    if (key == "lanes") {
+      field = &p->lanes;
+    } else if (key == "clock_hz") {
+      field = &p->clock_hz;
+    } else if (key == "cycles_per_hist_update") {
+      field = &p->cycles_per_hist_update;
+    } else if (key == "cycles_per_partition") {
+      field = &p->cycles_per_partition;
+    } else if (key == "cycles_per_hop") {
+      field = &p->cycles_per_hop;
+    } else if (key == "cycles_per_record_update") {
+      field = &p->cycles_per_record_update;
+    } else if (key == "hist_penalty_per_onehot") {
+      field = &p->hist_penalty_per_onehot;
+    } else if (key == "hist_penalty_cap") {
+      field = &p->hist_penalty_cap;
+    } else if (key == "per_event_overhead_s") {
+      field = &p->per_event_overhead_s;
+    } else if (key == "sram_energy_norm") {
+      field = &p->sram_energy_norm;
+    } else {
+      set_error(error, "unknown key \"" + key + "\" in cpu-like overrides");
+      return false;
+    }
+    if (!value.is_number()) {
+      set_error(error, "cpu-like override \"" + key + "\" must be a number");
+      return false;
+    }
+    *field = value.as_double();
+  }
+  return true;
+}
+
+bool apply_inter_record_overrides(const Json& delta,
+                                  baselines::InterRecordParams* p,
+                                  bool* copies_overridden,
+                                  std::string* error) {
+  *copies_overridden = false;
+  if (delta.is_null()) return true;
+  if (!delta.is_object()) {
+    set_error(error, "model overrides must be a JSON object");
+    return false;
+  }
+  for (const auto& [key, value] : delta.members()) {
+    if (!value.is_number()) {
+      set_error(error,
+                "inter-record override \"" + key + "\" must be a number");
+      return false;
+    }
+    const double v = value.as_double();
+    const bool integer_key = key == "copies" || key == "spill_lanes";
+    if (integer_key && (v < 0.0 || v != std::floor(v) || v > 4294967295.0)) {
+      set_error(error, "inter-record override \"" + key +
+                           "\" must be a non-negative integer");
+      return false;
+    }
+    if (key == "copies") {
+      p->copies = static_cast<std::uint32_t>(v);
+      *copies_overridden = true;
+    } else if (key == "spill_lanes") {
+      p->spill_lanes = static_cast<std::uint32_t>(v);
+    } else if (key == "clock_hz") {
+      p->clock_hz = v;
+    } else if (key == "cycles_per_update") {
+      p->cycles_per_update = v;
+    } else if (key == "cycles_per_partition") {
+      p->cycles_per_partition = v;
+    } else if (key == "cycles_per_hop") {
+      p->cycles_per_hop = v;
+    } else if (key == "sram_budget_bytes") {
+      p->sram_budget_bytes = v;
+    } else {
+      set_error(error,
+                "unknown key \"" + key + "\" in inter-record overrides");
+      return false;
+    }
+  }
+  return true;
+}
+
+ModelRegistry::Factory cpu_like_factory(
+    baselines::CpuLikeParams (*params_fn)()) {
+  return [params_fn](const ModelContext& ctx, const ModelSpec& spec,
+                     std::string* error) -> std::unique_ptr<perf::PerfModel> {
+    (void)ctx;
+    baselines::CpuLikeParams p = params_fn();
+    if (!apply_cpu_like_overrides(spec.overrides, &p, error)) return nullptr;
+    if (!spec.label.empty()) p.name = spec.label;
+    return std::make_unique<baselines::CpuLikeModel>(std::move(p));
+  };
+}
+
+std::unique_ptr<perf::PerfModel> make_booster(const ModelContext& ctx,
+                                              const ModelSpec& spec,
+                                              std::string* error) {
+  core::BoosterConfig cfg = ctx.booster;
+  if (!apply_booster_delta(spec.overrides, &cfg, error)) return nullptr;
+  return std::make_unique<core::BoosterModel>(cfg, ctx.host, spec.label);
+}
+
+std::unique_ptr<perf::PerfModel> make_booster_cycle(const ModelContext& ctx,
+                                                    const ModelSpec& spec,
+                                                    std::string* error) {
+  unsigned replay_threads = ctx.replay_threads;
+  Json booster_delta;
+  if (spec.overrides.is_object()) {
+    // "replay_threads" belongs to the model wrapper, everything else is a
+    // BoosterConfig delta.
+    for (const auto& [key, value] : spec.overrides.members()) {
+      if (key == "replay_threads") {
+        const double v = value.is_number() ? value.as_double() : -1.0;
+        if (v < 1.0 || v != std::floor(v) || v > 4294967295.0) {
+          set_error(error, "booster-cycle override replay_threads must be a"
+                           " positive integer");
+          return nullptr;
+        }
+        replay_threads = static_cast<unsigned>(v);
+      } else {
+        booster_delta.set(key, value);
+      }
+    }
+  } else if (!spec.overrides.is_null()) {
+    set_error(error, "model overrides must be a JSON object");
+    return nullptr;
+  }
+  core::BoosterConfig cfg = ctx.booster;
+  if (!apply_booster_delta(booster_delta, &cfg, error)) return nullptr;
+  return std::make_unique<perf::CycleCalibratedBoosterModel>(
+      cfg, ctx.dram, ctx.host, spec.label, replay_threads);
+}
+
+std::unique_ptr<perf::PerfModel> make_inter_record(const ModelContext& ctx,
+                                                   const ModelSpec& spec,
+                                                   std::string* error) {
+  baselines::InterRecordParams p;
+  p.bandwidth = ctx.booster.bandwidth;
+  p.host = ctx.host;
+  bool copies_overridden = false;
+  if (!apply_inter_record_overrides(spec.overrides, &p, &copies_overridden,
+                                    error)) {
+    return nullptr;
+  }
+  if (!copies_overridden && ctx.workload != nullptr) {
+    // The paper's published per-dataset copy counts when available,
+    // area-budget estimate otherwise (non-paper datasets).
+    p.copies =
+        ctx.workload->spec.ir_copies >= 0
+            ? static_cast<std::uint32_t>(ctx.workload->spec.ir_copies)
+            : baselines::InterRecordModel::estimate_copies(ctx.workload->info,
+                                                           p);
+  }
+  return std::make_unique<baselines::InterRecordModel>(p);
+}
+
+}  // namespace
+
+const ModelRegistry& ModelRegistry::builtin() {
+  static const ModelRegistry* registry = [] {
+    auto* r = new ModelRegistry();
+    r->add("seq-cpu", cpu_like_factory(&baselines::sequential_cpu_params));
+    r->add("ideal-32core", cpu_like_factory(&baselines::ideal_cpu_params));
+    r->add("ideal-gpu", cpu_like_factory(&baselines::ideal_gpu_params));
+    r->add("real-32core", cpu_like_factory(&baselines::real_cpu_params));
+    r->add("real-gpu", cpu_like_factory(&baselines::real_gpu_params));
+    r->add("inter-record", &make_inter_record);
+    r->add("booster", &make_booster);
+    r->add("booster-cycle", &make_booster_cycle);
+    return r;
+  }();
+  return *registry;
+}
+
+void ModelRegistry::add(std::string name, Factory factory) {
+  for (auto& [n, f] : factories_) {
+    if (n == name) {
+      f = std::move(factory);
+      return;
+    }
+  }
+  factories_.emplace_back(std::move(name), std::move(factory));
+}
+
+bool ModelRegistry::contains(const std::string& name) const {
+  for (const auto& [n, f] : factories_) {
+    if (n == name) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> ModelRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [n, f] : factories_) out.push_back(n);
+  return out;
+}
+
+std::unique_ptr<perf::PerfModel> ModelRegistry::create(
+    const ModelSpec& spec, const ModelContext& ctx,
+    std::string* error) const {
+  for (const auto& [n, f] : factories_) {
+    if (n == spec.model) return f(ctx, spec, error);
+  }
+  std::string known;
+  for (const auto& [n, f] : factories_) {
+    if (!known.empty()) known += ", ";
+    known += n;
+  }
+  set_error(error, "unknown model \"" + spec.model + "\" (registered: " +
+                       known + ")");
+  return nullptr;
+}
+
+WorkloadRegistry WorkloadRegistry::with_builtin() {
+  WorkloadRegistry r;
+  for (auto& spec : workloads::paper_datasets()) r.add(std::move(spec));
+  r.add(workloads::fraud_spec());
+  return r;
+}
+
+void WorkloadRegistry::add(workloads::DatasetSpec spec) {
+  for (auto& s : specs_) {
+    if (s.name == spec.name) {
+      s = std::move(spec);
+      return;
+    }
+  }
+  specs_.push_back(std::move(spec));
+}
+
+const workloads::DatasetSpec* WorkloadRegistry::find(
+    const std::string& name) const {
+  for (const auto& s : specs_) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> WorkloadRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(specs_.size());
+  for (const auto& s : specs_) out.push_back(s.name);
+  return out;
+}
+
+}  // namespace booster::sim

@@ -1,0 +1,89 @@
+// Factory-by-name registries behind the Scenario API: ModelRegistry maps
+// names like "booster", "booster-cycle", "ideal-gpu", or "inter-record" to
+// perf::PerfModel factories (with per-model JSON config overrides), and
+// WorkloadRegistry maps dataset names to workloads::DatasetSpec. Scenario
+// files reference both by name, so adding a model variant or dataset is a
+// registration, never a recompile of the experiment drivers.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/booster_config.h"
+#include "memsim/dram_config.h"
+#include "perf/host.h"
+#include "perf/perf_model.h"
+#include "sim/scenario.h"
+#include "workloads/runner.h"
+#include "workloads/spec.h"
+
+namespace booster::sim {
+
+/// Everything a model factory may depend on: the resolved accelerator and
+/// DRAM configs of the scenario cell (bandwidth profile already applied)
+/// and, for workload-dependent models like Inter-Record (whose on-chip
+/// histogram copy count is a dataset property), the workload itself.
+struct ModelContext {
+  core::BoosterConfig booster;
+  memsim::DramConfig dram;
+  perf::HostParams host;
+  /// Co-sim parallelism for the cycle-calibrated model (see
+  /// perf::CycleCalibratedBoosterModel::set_replay_threads).
+  unsigned replay_threads = 1;
+  /// Null during spec validation; set for real cell construction.
+  const workloads::WorkloadResult* workload = nullptr;
+};
+
+class ModelRegistry {
+ public:
+  /// Builds one model instance. `spec.overrides` carries model-specific
+  /// config deltas (unknown keys are errors); `spec.label` is the display
+  /// label / name suffix. Returns nullptr and sets *error on failure.
+  using Factory = std::function<std::unique_ptr<perf::PerfModel>(
+      const ModelContext& ctx, const ModelSpec& spec, std::string* error)>;
+
+  /// The standard roster: seq-cpu, ideal-32core, ideal-gpu, real-32core,
+  /// real-gpu, inter-record, booster (analytic), booster-cycle
+  /// (closed-loop co-sim replay).
+  static const ModelRegistry& builtin();
+
+  ModelRegistry() = default;
+
+  /// Registers (or replaces) a factory under `name`.
+  void add(std::string name, Factory factory);
+
+  bool contains(const std::string& name) const;
+  std::vector<std::string> names() const;
+
+  /// Instantiates `spec.model`; unknown names and bad overrides return
+  /// nullptr with *error set.
+  std::unique_ptr<perf::PerfModel> create(const ModelSpec& spec,
+                                          const ModelContext& ctx,
+                                          std::string* error) const;
+
+ private:
+  std::vector<std::pair<std::string, Factory>> factories_;
+};
+
+class WorkloadRegistry {
+ public:
+  /// The five Table III benchmarks plus the synthetic "fraud" table.
+  static WorkloadRegistry with_builtin();
+
+  WorkloadRegistry() = default;
+
+  /// Registers (or replaces, by name) a dataset spec.
+  void add(workloads::DatasetSpec spec);
+
+  /// nullptr when unknown.
+  const workloads::DatasetSpec* find(const std::string& name) const;
+
+  std::vector<std::string> names() const;
+
+ private:
+  std::vector<workloads::DatasetSpec> specs_;
+};
+
+}  // namespace booster::sim

@@ -98,5 +98,24 @@ TEST(CycleCalibrated, DeterministicAcrossCalls) {
   }
 }
 
+TEST(CycleCalibrated, ReplayThreadsDoNotChangeResults) {
+  // The per-class co-sims fan out over a thread pool, but the per-class
+  // seconds are reduced serially in class order -- the breakdown must be
+  // bit-identical at every replay thread count.
+  const auto& w = workload(0);
+  const CycleCalibratedBoosterModel serial;
+  const auto base = serial.train_cost(w.trace, w.info);
+  for (const unsigned threads : {2u, 3u, 8u}) {
+    const CycleCalibratedBoosterModel threaded(
+        core::BoosterConfig{}, memsim::DramConfig{}, HostParams{}, "",
+        threads);
+    EXPECT_EQ(threaded.replay_threads(), threads);
+    const auto got = threaded.train_cost(w.trace, w.info);
+    for (std::size_t i = 0; i < base.seconds.size(); ++i) {
+      EXPECT_EQ(got.seconds[i], base.seconds[i]) << "threads=" << threads;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace booster::perf

@@ -200,5 +200,24 @@ TEST_P(BurstSweep, PeakBandwidthTracksBusWidth) {
 
 INSTANTIATE_TEST_SUITE_P(Widths, BurstSweep, ::testing::Values(8u, 16u, 32u));
 
+TEST(StrideAnchors, CalibrateMeasuresOrderedAnchors) {
+  // The stride sweep must place the effective-bandwidth anchors in order
+  // around the fixed calibration stride, with the rates they bracket also
+  // ordered. Small request count: anchor placement needs the decay shape,
+  // not bandwidth precision.
+  const BandwidthProbe probe;
+  const BandwidthProfile p = probe.calibrate(12000);
+  EXPECT_EQ(p.cal_stride,
+            static_cast<double>(BandwidthProbe::kCalibrationStride));
+  EXPECT_GE(p.flat_stride, 1.0);
+  EXPECT_LT(p.flat_stride, p.cal_stride);
+  EXPECT_GT(p.random_stride, p.cal_stride);
+  EXPECT_GE(p.streaming, p.strided_gather);
+  EXPECT_GE(p.strided_gather, p.random);
+  // The default Table IV config genuinely holds streaming rate past
+  // stride 2 (open-page scheduling hides early row-hit decay).
+  EXPECT_GE(p.flat_stride, 2.0);
+}
+
 }  // namespace
 }  // namespace booster::memsim

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "perf/host.h"
 
 namespace booster::perf {
@@ -121,6 +123,75 @@ TEST(HostSplit, IgnoresNonSplitEvents) {
   e.records = 1000000;
   t.add(e);
   EXPECT_DOUBLE_EQ(host_split_seconds(t, {}), 0.0);
+}
+
+TEST(EffectiveBandwidth, AnchorsPinTheInterpolation) {
+  memsim::BandwidthProfile bw;
+  bw.streaming = 400e9;
+  bw.strided_gather = 380e9;
+  bw.random = 266e9;
+  bw.peak = 403e9;
+  // Defaults: flat to stride 8, gather rate at 16, random by 64.
+  EXPECT_DOUBLE_EQ(effective_bandwidth(bw, 1.0), bw.streaming);
+  EXPECT_DOUBLE_EQ(effective_bandwidth(bw, 1.0 / 8.0), bw.streaming);
+  EXPECT_DOUBLE_EQ(effective_bandwidth(bw, 1.0 / 16.0), bw.strided_gather);
+  EXPECT_DOUBLE_EQ(effective_bandwidth(bw, 1.0 / 64.0), bw.random);
+  EXPECT_DOUBLE_EQ(effective_bandwidth(bw, 1.0 / 4096.0), bw.random);
+}
+
+TEST(EffectiveBandwidth, MonotoneNonIncreasingInStride) {
+  memsim::BandwidthProfile bw;
+  bw.streaming = 400e9;
+  bw.strided_gather = 380e9;
+  bw.random = 266e9;
+  double prev = 1e18;
+  for (double stride = 1.0; stride <= 256.0; stride *= 1.5) {
+    const double got = effective_bandwidth(bw, 1.0 / stride);
+    EXPECT_LE(got, prev + 1e-3) << "stride " << stride;
+    prev = got;
+  }
+}
+
+TEST(EffectiveBandwidth, CalibratedAnchorsMoveTheDecay) {
+  // A profile whose decay was measured to start later and finish later
+  // must report higher bandwidth in the mid-stride range than the default
+  // anchors -- the knob the probe's stride sweep calibrates.
+  memsim::BandwidthProfile late = {/*streaming=*/400e9,
+                                   /*strided_gather=*/380e9,
+                                   /*random=*/266e9,
+                                   /*peak=*/403e9,
+                                   /*flat_stride=*/12.0,
+                                   /*cal_stride=*/24.0,
+                                   /*random_stride=*/96.0};
+  memsim::BandwidthProfile def = late;
+  def.flat_stride = 8.0;
+  def.cal_stride = 16.0;
+  def.random_stride = 64.0;
+  EXPECT_DOUBLE_EQ(effective_bandwidth(late, 1.0 / 12.0), late.streaming);
+  EXPECT_LT(effective_bandwidth(def, 1.0 / 12.0), late.streaming);
+  for (const double stride : {20.0, 32.0, 48.0}) {
+    EXPECT_GT(effective_bandwidth(late, 1.0 / stride),
+              effective_bandwidth(def, 1.0 / stride))
+        << "stride " << stride;
+  }
+}
+
+TEST(EffectiveBandwidth, DegenerateAnchorOrderingIsRepaired) {
+  // Anchors out of order (a toy config where every stride measures alike)
+  // must not produce NaNs or reversed interpolation.
+  memsim::BandwidthProfile bw;
+  bw.streaming = 100e9;
+  bw.strided_gather = 90e9;
+  bw.random = 80e9;
+  bw.flat_stride = 32.0;
+  bw.cal_stride = 16.0;  // below flat_stride on purpose
+  bw.random_stride = 8.0;
+  for (double stride = 1.0; stride <= 128.0; stride *= 2.0) {
+    const double got = effective_bandwidth(bw, 1.0 / stride);
+    EXPECT_TRUE(std::isfinite(got)) << "stride " << stride;
+    EXPECT_GE(got, bw.random * 0.99);
+    EXPECT_LE(got, bw.streaming * 1.01);
+  }
 }
 
 }  // namespace
