@@ -23,7 +23,10 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 
 # ASan+UBSan leg: RelWithDebInfo keeps it fast enough for CI while the
 # sanitizers still see every retry loop and shim. -fno-sanitize-recover
-# turns any UB finding into a test failure.
+# turns any UB finding into a test failure. ctest globs every tests/*.cc
+# binary, so the sharded-equivalence layer (test_sharded_equivalence and
+# the histogram merge property tests) runs under the sanitizers too --
+# exactly where a cross-shard race or arena overrun would surface.
 if [[ "${BOOSTER_SKIP_SANITIZE:-0}" != "1" ]]; then
   ASAN_DIR="${BUILD_DIR}-asan"
   cmake -B "$ASAN_DIR" -S . \
@@ -55,7 +58,14 @@ for spec in bench/scenarios/*.json; do
   "$BUILD_DIR/booster_scenarios" run "$spec" --quick > /dev/null
 done
 
+# The shard-sweep DSE scenario must also run through the builtin path (the
+# ISSUE 4 acceptance command): its functional sample trains through the
+# sharded engine (runner.shards) before the perf sweep.
+"$BUILD_DIR/booster_scenarios" run-builtin dse_shard_sweep --quick > /dev/null
+
 # Benches (quick mode keeps CI fast; JSON goes to stdout so the trajectory
-# can be archived by the caller).
+# can be archived by the caller). bench_sharded exits non-zero if sharded
+# output ever diverges from the single-shard trainer.
 "$BUILD_DIR/bench_train_hotpath" --quick
 "$BUILD_DIR/bench_closed_loop" --quick
+"$BUILD_DIR/bench_sharded" --quick

@@ -45,6 +45,14 @@ struct BoosterConfig {
   // of the 3200 to host 6 replicas of a 500-tree ensemble).
   std::uint32_t inference_bus = 3000;
 
+  // Training shards for scale-out projections (gbdt::ShardedTrainer is the
+  // functional engine; see the "shards" sweep axis in sim/scenario.h).
+  // Each shard is modeled as a full Booster node -- its own BU array and
+  // memory system -- holding 1/S of the records; per-node shard histograms
+  // merge in fixed shard order after every step-1 event, charged as
+  // streaming DRAM traffic. 1 = single-node (no merge traffic).
+  std::uint32_t training_shards = 1;
+
   // Calibrated DRAM sustained bandwidths (memsim::BandwidthProbe). The
   // default constants match the Table IV configuration's measured rates
   // under the FR-FCFS model (streaming ~402, stride-16 gather ~380, random

@@ -75,12 +75,32 @@ perf::StepBreakdown BoosterModel::train_cost(
   const double block = perf::kBlockBytes;
   const double slot_bytes = perf::slot_bytes_per_record(info.record_bytes);
 
+  // Scale-out projection (config training_shards): every shard is a full
+  // Booster node holding 1/S of the records, so per-record memory and
+  // compute divide by S, while each step-1 event pays a histogram-merge
+  // pass -- the S-1 remote shard histograms stream in and fold into the
+  // merged copy (read + write-back), charged at the sequential-stream
+  // effective bandwidth. This is the cost shape of the functional
+  // gbdt::ShardedTrainer's fixed-order Histogram::add merge.
+  const double shards = std::max<std::uint32_t>(1, cfg_.training_shards);
+  const double merge_bytes_per_hist =
+      shards > 1.0 ? 2.0 * (shards - 1.0) *
+                         static_cast<double>(info.total_bins) *
+                         cfg_.bin_entry_bytes
+                   : 0.0;
+  const double merge_s_per_hist =
+      merge_bytes_per_hist / perf::effective_bandwidth(cfg_.bandwidth, 1.0);
+
   perf::StepBreakdown out;
   for (const auto& e : trace.events()) {
     if (e.kind == StepKind::kSplitSelect) continue;
-    const double recs = trace.scaled_records(e);
+    const double event_recs = trace.scaled_records(e);
+    // Density of the gather is a property of the node, not the shard: a
+    // shard's slice of a node covers the same fraction of its slice of the
+    // layout span.
     const double density =
-        nominal > 0.0 ? std::clamp(recs / nominal, 1e-12, 1.0) : 1.0;
+        nominal > 0.0 ? std::clamp(event_recs / nominal, 1e-12, 1.0) : 1.0;
+    const double recs = event_recs / shards;  // per-shard share
 
     // Memory time, per stream component: the primary fetch (records or the
     // predicate column) pays the density-aware effective bandwidth of its
@@ -143,7 +163,13 @@ perf::StepBreakdown BoosterModel::train_cost(
         break;
     }
     const double compute_s = compute_cycles / cfg_.clock_hz;
-    out[e.kind] += std::max(mem_s, compute_s);
+    double step_s = std::max(mem_s, compute_s);
+    if (e.kind == StepKind::kHistogram) {
+      // One S-way merge per node histogram; level-by-level traces
+      // aggregate a whole level's nodes into one event (e.histograms).
+      step_s += merge_s_per_hist * e.histograms;
+    }
+    out[e.kind] += step_s;
   }
   for (auto& s : out.seconds) s *= trace.repeat();
   out[StepKind::kSplitSelect] = perf::host_split_seconds(trace, host_);
@@ -179,6 +205,14 @@ perf::Activity BoosterModel::train_activity(
   perf::Activity act;
   act.sram_energy_per_access_norm = 0.71;  // 2 KB SRAM (paper Table V)
   const double nominal = static_cast<double>(info.nominal_records);
+  // Shard-merge traffic mirrors train_cost: read + write-back of the S-1
+  // remote shard histograms per step-1 event.
+  const double shards = std::max<std::uint32_t>(1, cfg_.training_shards);
+  const double merge_bytes_per_hist =
+      shards > 1.0 ? 2.0 * (shards - 1.0) *
+                         static_cast<double>(info.total_bins) *
+                         cfg_.bin_entry_bytes
+                   : 0.0;
   for (const auto& e : trace.events()) {
     const double recs = trace.scaled_records(e) * trace.repeat();
     const double density =
@@ -202,6 +236,9 @@ perf::Activity BoosterModel::train_activity(
     act.dram_bytes +=
         event_bytes(e, trace.scaled_records(e), info, density) *
         trace.repeat();
+    if (e.kind == StepKind::kHistogram) {
+      act.dram_bytes += merge_bytes_per_hist * e.histograms * trace.repeat();
+    }
   }
   return act;
 }

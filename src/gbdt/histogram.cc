@@ -29,10 +29,14 @@ void Histogram::build(const BinnedDataset& data,
   const std::uint32_t* offsets = offsets_.data();
   for (const std::uint32_t r : rows) {
     const BinIndex* record = row_major + static_cast<std::size_t>(r) * num_fields;
-    const GradientPair gp = gradients[r];
+    // Quantize once per record (idempotent, so callers holding already
+    // quantized pairs pay nothing); the F bin updates below are then exact
+    // additions in any order -- see quantize_stat in the header.
+    const double qg = quantize_stat(gradients[r].g);
+    const double qh = quantize_stat(gradients[r].h);
     for (std::size_t f = 0; f < num_fields; ++f) {
       BOOSTER_DCHECK(offsets[f] + record[f] < offsets[f + 1]);
-      bins[offsets[f] + record[f]].add(gp);
+      bins[offsets[f] + record[f]].add_quantized(qg, qh);
     }
   }
 }
@@ -80,6 +84,16 @@ BinStats Histogram::totals() const {
   BinStats t;
   if (num_fields() == 0) return t;
   for (const auto& b : field(0)) t += b;
+  // Exactness guard (see kStatSumCapacity): the order-insensitivity of
+  // quantized accumulation only holds while sums stay in the exact range.
+  // totals() runs once per tree node in both trainers, so a workload that
+  // outgrows the capacity fails loudly here instead of silently losing
+  // the bit-identity contract.
+  BOOSTER_CHECK_MSG(std::abs(t.g) <= kStatSumCapacity &&
+                        t.h <= kStatSumCapacity,
+                    "histogram G/H totals exceed the quantized-exact "
+                    "capacity (2^29); normalize gradients or enlarge "
+                    "kStatQuantum");
   return t;
 }
 

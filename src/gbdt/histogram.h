@@ -11,6 +11,16 @@
 // hot build path is a single row-major pass over BinnedDataset's packed
 // row-major bin matrix -- each record touches its F bin bytes contiguously
 // instead of being gathered once per field.
+//
+// Accumulation is *exactly* order-insensitive: every gradient contribution
+// is snapped to a fixed power-of-two quantum before it enters a bin (see
+// quantize_stat), so bin values are always integer multiples of the quantum
+// and IEEE addition/subtraction of them is exact -- associative and
+// commutative, like the integer counts. Chunked parallel builds, sibling
+// subtraction, and per-shard histogram merges (Histogram::add in
+// gbdt::ShardedTrainer) therefore produce bit-identical bins for *any*
+// chunking, shard split, and merge order. Distributed-histogram GBDT only
+// works if the merge operator has exactly this property.
 #pragma once
 
 #include <cmath>
@@ -24,16 +34,52 @@
 
 namespace booster::gbdt {
 
-/// One histogram bin: record count plus summed gradient statistics.
+/// Gradient-statistic quantum: every per-record g/h contribution is rounded
+/// to the nearest multiple of 2^-24 before accumulation. Multiples of a
+/// power-of-two quantum are closed under IEEE +/- while the running sum
+/// stays below 2^53 * quantum = 2^29 in magnitude (kStatSumCapacity), and
+/// within that range every such addition is *exact* -- so histogram sums
+/// are independent of accumulation order, bit for bit. The rounding error
+/// per record is <= 2^-25 (~3e-8), far below the fp32 gradient noise.
+///
+/// The capacity bound is *enforced*, not just documented: totals() aborts
+/// when a node's |G| or H leaves the exact range (H is a sum of
+/// non-negative h, so the node total bounds every bin and every prefix sum
+/// of h; G can cancel across bins, so its check is necessary-but-not-
+/// sufficient -- a workload that trips either check needs gradient
+/// normalization or a larger quantum, not silent last-ULP divergence).
+/// At 2^29 capacity even the 50M-record nominal workloads keep an order
+/// of magnitude of headroom for |g| <= 1-style losses.
+inline constexpr double kStatQuantum = 5.9604644775390625e-08;   // 2^-24
+inline constexpr double kStatInvQuantum = 16777216.0;            // 2^24
+inline constexpr double kStatSumCapacity = 536870912.0;          // 2^29
+
+/// Snaps a gradient statistic (or any accumulated metric term, e.g. the
+/// per-record training loss) to the quantum grid. Idempotent: a quantized
+/// value round-trips unchanged, so double-quantizing is harmless. Uses the
+/// default round-to-nearest mode; deterministic across call sites.
+inline double quantize_stat(double x) {
+  return std::nearbyint(x * kStatInvQuantum) * kStatQuantum;
+}
+
+/// One histogram bin: record count plus summed gradient statistics. The
+/// g/h fields only ever hold multiples of kStatQuantum (see above), which
+/// is what makes every merge/subtract below exact.
 struct BinStats {
   double count = 0.0;
   double g = 0.0;
   double h = 0.0;
 
-  void add(const GradientPair& gp) {
+  /// Accumulates a pair whose statistics are already on the quantum grid
+  /// (the hot build loop quantizes once per record, not once per field).
+  void add_quantized(double qg, double qh) {
     count += 1.0;
-    g += gp.g;
-    h += gp.h;
+    g += qg;
+    h += qh;
+  }
+
+  void add(const GradientPair& gp) {
+    add_quantized(quantize_stat(gp.g), quantize_stat(gp.h));
   }
   BinStats& operator+=(const BinStats& o) {
     count += o.count;
@@ -77,10 +123,10 @@ class Histogram {
              std::span<const GradientPair> gradients);
 
   /// The seed's column-major gather kernel: one full pass over `rows` per
-  /// field, reading the per-field columns. Numerically it accumulates in a
-  /// different order than build(); counts are identical and G/H agree to
-  /// rounding. Kept as the scalar reference for equivalence tests and as
-  /// the baseline leg of bench_train_hotpath.
+  /// field, reading the per-field columns. It accumulates in a different
+  /// order than build(), but quantized accumulation is exact, so the two
+  /// kernels produce bit-identical bins. Kept as the scalar reference for
+  /// equivalence tests and as the baseline leg of bench_train_hotpath.
   void build_reference(const BinnedDataset& data,
                        std::span<const std::uint32_t> rows,
                        std::span<const GradientPair> gradients);
@@ -93,7 +139,9 @@ class Histogram {
   void subtract(const Histogram& sibling);
 
   /// Bin-wise accumulation: *this += other. The reduction step of the
-  /// parallel build (per-thread partial histograms summed in chunk order).
+  /// parallel build (per-thread partial histograms summed in chunk order)
+  /// and the per-shard merge operator of gbdt::ShardedTrainer. Exact and
+  /// order-insensitive: bins hold quantum multiples (see quantize_stat).
   void add(const Histogram& other);
 
   void clear();

@@ -1,5 +1,8 @@
 #include "gbdt/split.h"
 
+#include <algorithm>
+#include <vector>
+
 #include "util/check.h"
 #include "util/thread_pool.h"
 
@@ -94,6 +97,50 @@ void SplitFinder::scan_fields(const Histogram& hist, const BinnedDataset& data,
   }
 }
 
+void SplitFinder::scan_bin_range(const Histogram& hist,
+                                 const BinnedDataset& data,
+                                 const BinStats& totals, std::uint64_t begin,
+                                 std::uint64_t end,
+                                 std::optional<SplitInfo>& best,
+                                 std::uint64_t& scanned) const {
+  std::uint64_t field_offset = 0;
+  for (std::uint32_t f = 0; f < hist.num_fields(); ++f) {
+    const auto bins = hist.field(f);
+    const std::uint64_t field_begin = field_offset;
+    const std::uint64_t field_end = field_begin + bins.size();
+    field_offset = field_end;
+    if (field_end <= begin) continue;
+    if (field_begin >= end) break;  // fields are laid out in order
+    if (bins.size() <= 1) continue;
+    // Local bin range [lo, hi) of this field covered by the chunk.
+    const std::size_t lo = std::max(begin, field_begin) - field_begin;
+    const std::size_t hi = std::min(end, field_end) - field_begin;
+    scanned += hi - lo;
+
+    const BinStats& missing = bins[0];
+    if (data.field_bins(f).kind == FieldKind::kNumeric) {
+      // Serial candidates are b in [1, size-1) with left = sum bins[1..b].
+      // Replay the prefix up to the chunk's first candidate with the exact
+      // additions the serial scan performs, then continue in place.
+      const std::size_t first = std::max<std::size_t>(lo, 1);
+      BinStats left;
+      for (std::size_t b = 1; b < first; ++b) left += bins[b];
+      for (std::size_t b = first; b < hi && b + 1 < bins.size(); ++b) {
+        left += bins[b];
+        consider(f, PredicateKind::kNumericLE, static_cast<std::uint16_t>(b),
+                 left, missing, totals, best);
+      }
+    } else {
+      // Categorical candidates are independent: b in [1, size).
+      for (std::size_t b = std::max<std::size_t>(lo, 1); b < hi; ++b) {
+        consider(f, PredicateKind::kCategoryEqual,
+                 static_cast<std::uint16_t>(b), bins[b], missing, totals,
+                 best);
+      }
+    }
+  }
+}
+
 std::optional<SplitInfo> SplitFinder::find_best(
     const Histogram& hist, const BinnedDataset& data,
     std::uint64_t* bins_scanned) const {
@@ -107,6 +154,48 @@ std::optional<SplitInfo> SplitFinder::find_best(
   const BinStats totals = hist.totals();
   const unsigned chunks =
       pool != nullptr ? pool->num_chunks(num_fields, kSplitScanGrain) : 1;
+
+  // Field chunks are balanced only when no single field dwarfs a fair
+  // per-thread share of the bins; one dominating categorical field
+  // (ROADMAP "chunk by bins") would serialize the scan into its chunk --
+  // or, with only 2-3 fields, prevent field-parallelism entirely. Switch
+  // to bin-granular chunks in that case (checked before the field-chunk
+  // fallback so few-field/huge-field histograms still parallelize). Both
+  // paths are serial-identical, so which one runs never changes the
+  // result.
+  if (pool != nullptr) {
+    const std::uint64_t total_bins = hist.total_bins();
+    std::uint64_t max_field_bins = 0;
+    for (std::uint32_t f = 0; f < num_fields; ++f) {
+      max_field_bins = std::max<std::uint64_t>(max_field_bins,
+                                               hist.field(f).size());
+    }
+    const unsigned threads = std::max(1u, pool->num_threads());
+    const unsigned bin_chunks =
+        pool->num_chunks(total_bins, kSplitScanBinGrain);
+    const bool dominated = max_field_bins > 2 * total_bins / threads;
+    if (dominated && bin_chunks > 1) {
+      std::vector<std::optional<SplitInfo>> chunk_best(bin_chunks);
+      std::vector<std::uint64_t> chunk_scanned(bin_chunks, 0);
+      pool->parallel_for(0, total_bins, kSplitScanBinGrain,
+                         [&](std::uint64_t begin, std::uint64_t end,
+                             unsigned c) {
+                           scan_bin_range(hist, data, totals, begin, end,
+                                          chunk_best[c], chunk_scanned[c]);
+                         });
+      std::optional<SplitInfo> best;
+      std::uint64_t scanned = 0;
+      for (unsigned c = 0; c < bin_chunks; ++c) {
+        scanned += chunk_scanned[c];
+        if (chunk_best[c] && (!best || chunk_best[c]->gain > best->gain)) {
+          best = chunk_best[c];
+        }
+      }
+      if (bins_scanned != nullptr) *bins_scanned = scanned;
+      return best;
+    }
+  }
+
   if (chunks <= 1) {
     std::optional<SplitInfo> best;
     std::uint64_t scanned = 0;

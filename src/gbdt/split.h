@@ -27,6 +27,11 @@ namespace booster::gbdt {
 /// dominate either way, so a small grain suffices).
 inline constexpr std::uint64_t kSplitScanGrain = 2;
 
+/// Minimum bins per chunk for the bin-granular scan that kicks in when one
+/// field's bin count dominates the histogram (a huge categorical field
+/// would otherwise serialize the whole scan into its chunk).
+inline constexpr std::uint64_t kSplitScanBinGrain = 128;
+
 struct SplitConfig {
   double lambda = 1.0;           // L2 weight regularization
   double gamma = 0.0;            // per-leaf complexity penalty
@@ -89,9 +94,17 @@ class SplitFinder {
   /// Threaded variant: fields are scanned in parallel chunks over `pool`
   /// (nullptr or a 1-thread pool falls back to the serial scan). The result
   /// is identical to the serial scan at every thread count: chunks are
-  /// contiguous field ranges scanned in field order, and per-chunk bests
-  /// merge in chunk order keeping the first maximum -- the serial
-  /// first-max-wins tie-breaking, bit for bit.
+  /// contiguous ranges scanned in field order, and per-chunk bests merge in
+  /// chunk order keeping the first maximum -- the serial first-max-wins
+  /// tie-breaking, bit for bit. Chunks are normally whole-field ranges;
+  /// when one field's bin count dwarfs a fair per-thread share (a huge
+  /// categorical field -- including the 2-3-field histograms where field
+  /// granularity cannot parallelize at all), the scan chunks by *bins*
+  /// instead: chunks cover contiguous ranges of the global bin index
+  /// space, and a chunk entering a numeric field mid-way first replays the
+  /// field's left-prefix accumulation up to its start bin -- the same
+  /// additions in the same order, so candidate gains stay bit-identical to
+  /// the serial scan.
   std::optional<SplitInfo> find_best(const Histogram& hist,
                                      const BinnedDataset& data,
                                      util::ThreadPool* pool,
@@ -103,6 +116,17 @@ class SplitFinder {
                    const BinStats& totals, std::uint32_t begin,
                    std::uint32_t end, std::optional<SplitInfo>& best,
                    std::uint64_t& scanned) const;
+
+  /// Serial scan of the global bin index range [begin, end) -- the
+  /// per-chunk body of the bin-granular scan. Fields overlapping the range
+  /// are visited in field order; numeric fields entered mid-way replay
+  /// their left-prefix first (see find_best). `scanned` counts the covered
+  /// bins of fields with more than one bin, so per-chunk counts sum to the
+  /// serial scan's total.
+  void scan_bin_range(const Histogram& hist, const BinnedDataset& data,
+                      const BinStats& totals, std::uint64_t begin,
+                      std::uint64_t end, std::optional<SplitInfo>& best,
+                      std::uint64_t& scanned) const;
 
   void scan_numeric(std::uint32_t field, std::span<const BinStats> bins,
                     const BinStats& totals, std::optional<SplitInfo>& best) const;

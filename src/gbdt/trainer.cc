@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "gbdt/hotpath.h"
+#include "gbdt/sharded.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
 
@@ -49,6 +50,11 @@ void emit(StepTrace* trace, StepEvent e) {
 
 TrainResult Trainer::train(const BinnedDataset& data, StepTrace* trace,
                            trace::WorkloadInfo* info) const {
+  if (cfg_.num_shards > 1) {
+    // Sharded training is a drop-in engine swap: per-shard histograms
+    // merged in fixed shard order, bit-identical output (sharded.h).
+    return ShardedTrainer(cfg_).train(data, trace, info);
+  }
   const std::uint64_t n = data.num_records();
   BOOSTER_CHECK_MSG(n > 0, "cannot train on an empty dataset");
   auto loss = make_loss(cfg_.loss);
@@ -94,8 +100,11 @@ TrainResult Trainer::train(const BinnedDataset& data, StepTrace* trace,
     Tree tree;
     std::deque<FrontierNode> frontier;
     // Level-by-level growth aggregates child binning per level (one record
-    // stream per level, paper SS II-A); indexed by depth.
+    // stream per level, paper SS II-A); indexed by depth. The node count
+    // rides along so the aggregated event reports how many per-node
+    // histograms it covers (StepEvent::histograms).
     std::vector<std::uint64_t> level_hist_records;
+    std::vector<std::uint32_t> level_hist_nodes;
 
     // Reset arena 0 to ascending row order: the partition is stable, so
     // every node span stays ascending all the way down -- histogram
@@ -238,8 +247,10 @@ TrainResult Trainer::train(const BinnedDataset& data, StepTrace* trace,
         if (level_hist_records.size() <=
             static_cast<std::size_t>(child_depth)) {
           level_hist_records.resize(child_depth + 1, 0);
+          level_hist_nodes.resize(child_depth + 1, 0);
         }
         level_hist_records[child_depth] += small.num_rows();
+        ++level_hist_nodes[child_depth];
       }
 
       large.hist = std::move(node.hist);
@@ -261,6 +272,7 @@ TrainResult Trainer::train(const BinnedDataset& data, StepTrace* trace,
                               .records = level_hist_records[depth],
                               .fields_touched = num_fields,
                               .record_fields = num_fields,
+                              .histograms = level_hist_nodes[depth],
                               .used_sibling_subtraction = true});
       }
     }
@@ -310,12 +322,22 @@ TrainResult Trainer::train(const BinnedDataset& data, StepTrace* trace,
         0, n, kRecordGrain, [&](std::uint64_t b, std::uint64_t e, unsigned c) {
           double chunk_loss = 0.0;
           for (std::uint64_t r = b; r < e; ++r) {
-            chunk_loss += loss->value(preds[r], data.labels()[r]);
+            // Quantized terms make the reduction exact in any grouping, so
+            // train_loss (and the step-6 early-stop decisions it feeds) is
+            // bit-identical across thread and shard counts.
+            chunk_loss += quantize_stat(loss->value(preds[r], data.labels()[r]));
           }
           chunk_sums[c] += chunk_loss;
         });
     double total_loss = 0.0;
     for (const double s : chunk_sums) total_loss += s;
+    // Loss terms are non-negative, so the total bounds every partial sum;
+    // within capacity the quantized reduction is exact in any grouping
+    // (same guard as Histogram::totals -- fail loudly, never drift).
+    BOOSTER_CHECK_MSG(total_loss <= kStatSumCapacity,
+                      "training-loss sum exceeds the quantized-exact "
+                      "capacity (2^29); normalize labels or enlarge "
+                      "kStatQuantum");
     stats.train_loss = total_loss / static_cast<double>(n);
     result.tree_stats.push_back(stats);
     result.model.add_tree(std::move(tree));
@@ -348,35 +370,45 @@ TrainResult Trainer::train(const BinnedDataset& data, StepTrace* trace,
   result.hot_path.row_major_matrix_bytes =
       RecordLayout::software_row_major_bytes(n, num_fields, sizeof(BinIndex));
 
-  if (info != nullptr) {
-    info->nominal_records = n;
-    info->fields = num_fields;
-    info->categorical_fields = 0;
-    std::uint64_t onehot = 0;
-    for (std::uint32_t f = 0; f < num_fields; ++f) {
-      const auto& fb = data.field_bins(f);
-      if (fb.kind == FieldKind::kCategorical) {
-        ++info->categorical_fields;
-        onehot += fb.num_bins - 1;  // per-category one-hot features
-      } else {
-        ++onehot;
-      }
-    }
-    info->features_onehot = static_cast<std::uint32_t>(onehot);
-    info->total_bins = data.total_bins();
-    info->max_bins_per_field = data.max_bins_per_field();
-    info->bins_per_field.clear();
-    info->bins_per_field.reserve(num_fields);
-    for (std::uint32_t f = 0; f < num_fields; ++f) {
-      info->bins_per_field.push_back(data.field_bins(f).num_bins);
-    }
-    info->trees = cfg_.num_trees;
-    info->max_depth = cfg_.max_depth;
-    info->avg_leaf_depth = result.avg_leaf_depth;
-    info->record_bytes = data.layout().record_bytes;
-  }
+  detail::fill_workload_info(data, cfg_, result, info);
 
   return result;
 }
+
+namespace detail {
+
+void fill_workload_info(const BinnedDataset& data, const TrainerConfig& cfg,
+                        const TrainResult& result,
+                        trace::WorkloadInfo* info) {
+  if (info == nullptr) return;
+  const std::uint32_t num_fields = data.num_fields();
+  info->nominal_records = data.num_records();
+  info->fields = num_fields;
+  info->categorical_fields = 0;
+  std::uint64_t onehot = 0;
+  for (std::uint32_t f = 0; f < num_fields; ++f) {
+    const auto& fb = data.field_bins(f);
+    if (fb.kind == FieldKind::kCategorical) {
+      ++info->categorical_fields;
+      onehot += fb.num_bins - 1;  // per-category one-hot features
+    } else {
+      ++onehot;
+    }
+  }
+  info->features_onehot = static_cast<std::uint32_t>(onehot);
+  info->total_bins = data.total_bins();
+  info->max_bins_per_field = data.max_bins_per_field();
+  info->bins_per_field.clear();
+  info->bins_per_field.reserve(num_fields);
+  for (std::uint32_t f = 0; f < num_fields; ++f) {
+    info->bins_per_field.push_back(data.field_bins(f).num_bins);
+  }
+  info->trees = cfg.num_trees;
+  info->max_depth = cfg.max_depth;
+  info->avg_leaf_depth = result.avg_leaf_depth;
+  info->record_bytes = data.layout().record_bytes;
+}
+
+}  // namespace detail
 
 }  // namespace booster::gbdt

@@ -44,12 +44,18 @@ struct TrainerConfig {
   /// Worker threads for the hot path (histogram build, partition, step-5
   /// traversal). 0 = auto: the BOOSTER_THREADS environment variable when
   /// set, otherwise the hardware concurrency. 1 forces the serial path.
-  /// The partition is stable and counts are exact, so trained trees are
-  /// structurally identical across thread counts unless two candidate
-  /// splits' gains tie within the last-ULP difference introduced by the
-  /// histogram reduction order -- measure-zero on continuous gains, but
-  /// not impossible on adversarial data.
+  /// The partition is stable, counts are exact, and histogram accumulation
+  /// is quantized-exact (gbdt::quantize_stat), so trained models --
+  /// structure, weights, gains, and predictions -- are bit-identical
+  /// across thread counts.
   std::uint32_t num_threads = 0;
+  /// Contiguous row shards for sharded training (gbdt::ShardedTrainer in
+  /// sharded.h). 0 or 1 runs the classic single-shard hot path; > 1 makes
+  /// Trainer::train delegate to ShardedTrainer, which partitions records
+  /// into num_shards contiguous ranges, builds per-shard histograms, and
+  /// merges them with Histogram::add in fixed shard order. Output is
+  /// bit-identical to the single-shard path at every shard count.
+  std::uint32_t num_shards = 1;
 };
 
 /// Per-tree training diagnostics.
@@ -57,6 +63,17 @@ struct TreeStats {
   std::uint32_t leaves = 0;
   std::uint32_t depth = 0;
   double train_loss = 0.0;  // mean loss after adding this tree
+};
+
+/// Per-shard slice of the hot-path diagnostics (sharded training only).
+/// Each shard owns its row range, histogram pool, and ping-pong arenas, so
+/// the steady-state allocation-free property holds *per shard*: every
+/// shard's histogram_allocations goes flat once its pool is warm.
+struct ShardHotPathStats {
+  std::uint64_t rows = 0;  // records owned by this shard
+  std::uint64_t histogram_allocations = 0;
+  std::uint64_t histogram_acquires = 0;
+  std::uint64_t arena_bytes = 0;
 };
 
 /// Allocation / threading diagnostics of one training run. The hot path is
@@ -67,16 +84,24 @@ struct TreeStats {
 /// vectors.
 struct HotPathStats {
   std::uint32_t threads = 1;
-  /// Fresh histogram buffer constructions (pool misses) over the whole run.
+  /// Row shards the run was partitioned into (1 = classic hot path).
+  std::uint32_t shards = 1;
+  /// Fresh histogram buffer constructions (pool misses) over the whole run,
+  /// summed over every pool (merged-histogram pool + per-shard pools).
   std::uint64_t histogram_allocations = 0;
   /// Node histograms requested (root + one per smaller child + parallel
   /// partials). Grows with trees while histogram_allocations stays flat.
   std::uint64_t histogram_acquires = 0;
-  /// Bytes of the two persistent ping-pong row-index arenas.
+  /// Histogram::add merge operations performed by sharded training (one
+  /// per shard per merged node histogram; 0 on the single-shard path).
+  std::uint64_t histogram_merges = 0;
+  /// Bytes of the persistent ping-pong row-index arenas (all shards).
   std::uint64_t arena_bytes = 0;
   /// Bytes of the dataset's redundant row-major bin matrix -- the memory
   /// the layout change trades for the single-pass histogram kernel.
   std::uint64_t row_major_matrix_bytes = 0;
+  /// One entry per shard when sharded training ran; empty otherwise.
+  std::vector<ShardHotPathStats> per_shard{};
 };
 
 struct TrainResult {
@@ -107,5 +132,12 @@ class Trainer {
  private:
   TrainerConfig cfg_;
 };
+
+namespace detail {
+/// Fills the workload metadata block shared by Trainer and ShardedTrainer
+/// (field/bin shape, ensemble shape, realized leaf depth).
+void fill_workload_info(const BinnedDataset& data, const TrainerConfig& cfg,
+                        const TrainResult& result, trace::WorkloadInfo* info);
+}  // namespace detail
 
 }  // namespace booster::gbdt

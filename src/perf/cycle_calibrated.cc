@@ -10,6 +10,20 @@ namespace booster::perf {
 
 using trace::StepKind;
 
+namespace {
+
+/// The co-sim replays single-node traces and does not model the sharded
+/// scale-out (BoosterConfig::training_shards), so the analytic delegate
+/// used for inference/activity costing must be single-node too --
+/// otherwise a shards sweep would report merge DRAM traffic against
+/// unsharded cycle times.
+core::BoosterConfig single_node(core::BoosterConfig cfg) {
+  cfg.training_shards = 1;
+  return cfg;
+}
+
+}  // namespace
+
 CycleCalibratedBoosterModel::CycleCalibratedBoosterModel(
     core::BoosterConfig cfg, memsim::DramConfig dram, HostParams host,
     std::string name_suffix, unsigned replay_threads)
@@ -18,7 +32,7 @@ CycleCalibratedBoosterModel::CycleCalibratedBoosterModel(
       host_(host),
       suffix_(std::move(name_suffix)),
       replay_threads_(replay_threads == 0 ? 1 : replay_threads),
-      analytic_(cfg, host) {}
+      analytic_(single_node(cfg), host) {}
 
 std::string CycleCalibratedBoosterModel::name() const {
   return "Booster-cycle" + suffix_;

@@ -140,6 +140,34 @@ std::vector<ScenarioSpec> make_builtin() {
     s.sweep_values = {0.25, 0.5, 1.0, 2.0, 4.0};
     out.push_back(std::move(s));
   }
+  {
+    // Scale-out DSE: a 50M-record nominal workload (the class the paper
+    // sizes Booster against) swept over training shard counts. The
+    // functional sample itself trains through gbdt::ShardedTrainer
+    // (runner.shards = 4) -- sharded output is bit-identical to the
+    // single-shard trainer, so only the perf models' scale-out projection
+    // varies across the sweep: per-shard record bandwidth shrinks the
+    // step work while per-event histogram-merge traffic grows with S.
+    auto s = base("dse_shard_sweep",
+                  "DSE: sharded-training sweep (per-shard bandwidth vs"
+                  " histogram-merge traffic)",
+                  "Booster paper, Section III-B (50M-record sizing);"
+                  " extension study",
+                  {"synth50m", "Flight"});
+    workloads::DatasetSpec d;
+    d.name = "synth50m";
+    d.description = "50M-record nominal scale-out workload";
+    d.nominal_records = 50'000'000;
+    d.numeric_fields = 24;
+    d.categorical_cardinalities = {64, 16, 8};
+    d.missing_rate = 0.05;
+    s.datasets = {d};
+    s.models = {model("ideal-32core"), model("booster")};
+    s.sweep_axis = SweepAxis::kShards;
+    s.sweep_values = {1, 2, 4, 8, 16, 32};
+    s.shards = 4;
+    out.push_back(std::move(s));
+  }
 
   return out;
 }

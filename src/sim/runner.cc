@@ -248,6 +248,14 @@ std::optional<ScenarioResult> ScenarioRunner::run(const ScenarioSpec& spec,
         }
         record_scale = value;
         break;
+      case SweepAxis::kShards:
+        if (value < 1.0 || value != std::floor(value)) {
+          set_error(error, "sweep axis shards requires positive integer"
+                           " values");
+          return std::nullopt;
+        }
+        cfg.training_shards = static_cast<std::uint32_t>(value);
+        break;
     }
     point_configs.push_back(cfg);
     record_scales.push_back(record_scale);

@@ -19,6 +19,8 @@ const char* sweep_axis_name(SweepAxis axis) {
       return "bandwidth-scale";
     case SweepAxis::kRecordScale:
       return "record-scale";
+    case SweepAxis::kShards:
+      return "shards";
   }
   return "none";
 }
@@ -26,7 +28,7 @@ const char* sweep_axis_name(SweepAxis axis) {
 std::optional<SweepAxis> sweep_axis_from_name(std::string_view name) {
   for (const SweepAxis axis :
        {SweepAxis::kNone, SweepAxis::kClusters, SweepAxis::kBandwidthScale,
-        SweepAxis::kRecordScale}) {
+        SweepAxis::kRecordScale, SweepAxis::kShards}) {
     if (name == sweep_axis_name(axis)) return axis;
   }
   return std::nullopt;
@@ -228,6 +230,7 @@ bool apply_booster_delta(const Json& delta, core::BoosterConfig* cfg,
   r.boolean("group_by_field_mapping", &cfg->group_by_field_mapping);
   r.boolean("redundant_column_format", &cfg->redundant_column_format);
   r.u32("inference_bus", &cfg->inference_bus);
+  r.u32("training_shards", &cfg->training_shards);
   if (const Json* bwj = r.child("bandwidth")) {
     if (!apply_bandwidth_delta(*bwj, &cfg->bandwidth, error)) return false;
   }
@@ -354,6 +357,7 @@ workloads::RunnerConfig ScenarioSpec::runner_config(bool quick) const {
   cfg.nominal_trees = nominal_trees;
   cfg.max_depth = max_depth;
   cfg.seed = seed;
+  cfg.num_shards = shards;
   if (quick) apply_quick(&cfg);
   return cfg;
 }
@@ -421,6 +425,7 @@ Json ScenarioSpec::to_json() const {
   }
   if (max_depth != defaults.max_depth) runner.set("max_depth", max_depth);
   if (seed != defaults.seed) runner.set("seed", seed);
+  if (shards != defaults.shards) runner.set("shards", shards);
   if (runner.size() > 0) j.set("runner", std::move(runner));
 
   if (include_inference) j.set("include_inference", true);
@@ -501,7 +506,7 @@ std::optional<ScenarioSpec> ScenarioSpec::from_json(const Json& json,
     if (!parsed) {
       set_error(error, "scenario.sweep.axis: unknown axis \"" + axis +
                            "\" (expected none, clusters, bandwidth-scale,"
-                           " or record-scale)");
+                           " record-scale, or shards)");
       return std::nullopt;
     }
     spec.sweep_axis = *parsed;
@@ -519,6 +524,7 @@ std::optional<ScenarioSpec> ScenarioSpec::from_json(const Json& json,
     rr.u32("nominal_trees", &spec.nominal_trees);
     rr.u32("max_depth", &spec.max_depth);
     rr.u64("seed", &spec.seed);
+    rr.u32("shards", &spec.shards);
     if (!rr.finish()) return std::nullopt;
   }
 

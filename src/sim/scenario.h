@@ -39,11 +39,15 @@ void apply_quick(workloads::RunnerConfig* cfg);
 ///   kRecordScale    -- dataset size: the trace's record dimension scaled
 ///                      (the paper's Fig 12 replication; octave values
 ///                      1, 2, 4, ... give record-count octaves)
+///   kShards         -- training shards: BoosterConfig::training_shards
+///                      (scale-out projection: per-shard Booster nodes,
+///                      histogram-merge traffic after every step-1 event)
 enum class SweepAxis : std::uint8_t {
   kNone = 0,
   kClusters,
   kBandwidthScale,
   kRecordScale,
+  kShards,
 };
 
 const char* sweep_axis_name(SweepAxis axis);
@@ -92,6 +96,12 @@ struct ScenarioSpec {
   std::uint32_t nominal_trees = 500;
   std::uint32_t max_depth = 6;
   std::uint64_t seed = 42;
+  /// Row shards for the *functional* training runs (TrainerConfig
+  /// num_shards -> gbdt::ShardedTrainer). Sharded output is bit-identical
+  /// to unsharded, so this exercises the sharded engine in the pipeline
+  /// without perturbing any downstream number. Distinct from the "shards"
+  /// sweep axis, which varies the perf model's scale-out projection.
+  std::uint32_t shards = 1;
 
   /// Also compute each model's batch-inference cost per cell (Fig 13).
   bool include_inference = false;

@@ -59,6 +59,12 @@ struct StepEvent {
   /// Histogram bins scanned (step 2 only).
   std::uint64_t bins_scanned = 0;
 
+  /// Node histograms this event covers (step 1 only). Vertex-by-vertex
+  /// growth emits one event per node (1); level-by-level growth aggregates
+  /// a level's smaller-child builds into one event, so per-histogram costs
+  /// (e.g. the sharded-training merge pass) must scale by this count.
+  std::uint32_t histograms = 1;
+
   /// Average path length for traversal events (may be fractional after
   /// averaging over records); equals `depth` bound for full trees.
   double avg_path_length = 0.0;

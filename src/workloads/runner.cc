@@ -16,6 +16,7 @@ WorkloadResult run_workload(const DatasetSpec& spec, RunnerConfig cfg) {
   tcfg.num_trees = cfg.sim_trees;
   tcfg.max_depth = cfg.max_depth;
   tcfg.loss = spec.loss;
+  tcfg.num_shards = cfg.num_shards;
   gbdt::Trainer trainer(tcfg);
 
   trace::StepTrace trace;

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <numeric>
+#include <span>
+#include <vector>
 
 #include "util/rng.h"
 #include "workloads/synth.h"
@@ -171,6 +173,144 @@ TEST(Histogram, TotalBinsMatchesDataset) {
   const auto data = small_binned(100);
   Histogram hist(data);
   EXPECT_EQ(hist.total_bins(), data.total_bins());
+}
+
+// --- Quantized-exact accumulation: the shard-merge contract. ------------
+
+void expect_bins_bit_identical(const Histogram& a, const Histogram& b) {
+  ASSERT_EQ(a.num_fields(), b.num_fields());
+  for (std::uint32_t f = 0; f < a.num_fields(); ++f) {
+    const auto x = a.field(f);
+    const auto y = b.field(f);
+    ASSERT_EQ(x.size(), y.size());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      // EXPECT_EQ, not NEAR: quantized accumulation is exact, so any
+      // grouping of the same records produces the same bits.
+      EXPECT_EQ(x[i].count, y[i].count) << "field " << f << " bin " << i;
+      EXPECT_EQ(x[i].g, y[i].g) << "field " << f << " bin " << i;
+      EXPECT_EQ(x[i].h, y[i].h) << "field " << f << " bin " << i;
+    }
+  }
+}
+
+TEST(HistogramMerge, QuantizeStatIsIdempotentOnTheGrid) {
+  for (const double x : {0.0, 1.0, -0.37, 123.456, -1e-9, 0.99999988079071}) {
+    const double q = quantize_stat(x);
+    EXPECT_EQ(quantize_stat(q), q) << x;
+    // On-grid: an exact multiple of the quantum.
+    EXPECT_EQ(q, std::nearbyint(q * kStatInvQuantum) * kStatQuantum);
+    // Close to the input: within half a quantum.
+    EXPECT_NEAR(q, x, kStatQuantum / 2) << x;
+  }
+}
+
+TEST(HistogramMerge, ExactUnderAnyContiguousShardSplit) {
+  // The ShardedTrainer contract: per-shard histograms over contiguous row
+  // ranges, merged with Histogram::add in shard order, are bit-identical
+  // to one build over all rows -- for every shard count, including uneven
+  // splits (n = 997 is prime).
+  const std::uint64_t n = 997;
+  const auto data = small_binned(n, 5);
+  const auto grads = random_gradients(n, 6);
+  const auto rows = all_rows(n);
+
+  Histogram whole(data);
+  whole.build(data, rows, grads);
+  const std::uint64_t count = whole.totals().count_u64();
+  EXPECT_EQ(count, n);  // count conservation, exactly
+
+  for (const std::uint32_t shards : {2u, 3u, 5u, 8u, 16u}) {
+    Histogram merged(data);
+    std::uint64_t merged_rows = 0;
+    for (std::uint32_t s = 0; s < shards; ++s) {
+      const std::uint64_t begin = n * s / shards;
+      const std::uint64_t end = n * (s + 1) / shards;
+      Histogram part(data);
+      part.build(data,
+                 std::span<const std::uint32_t>(rows.data() + begin,
+                                                end - begin),
+                 grads);
+      merged_rows += part.totals().count_u64();
+      merged.add(part);
+    }
+    EXPECT_EQ(merged_rows, n) << shards << " shards";
+    EXPECT_EQ(merged.totals().count_u64(), n) << shards << " shards";
+    expect_bins_bit_identical(merged, whole);
+  }
+}
+
+TEST(HistogramMerge, ExactUnderAnyMergeOrder) {
+  // Order-insensitivity of the merge operator itself: forward, reverse,
+  // and odd/even interleaved merge orders all produce the same bits.
+  const std::uint64_t n = 1200;
+  const auto data = small_binned(n, 7);
+  const auto grads = random_gradients(n, 8);
+  const auto rows = all_rows(n);
+  const std::uint32_t shards = 7;
+
+  std::vector<Histogram> parts;
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    const std::uint64_t begin = n * s / shards;
+    const std::uint64_t end = n * (s + 1) / shards;
+    Histogram part(data);
+    part.build(data,
+               std::span<const std::uint32_t>(rows.data() + begin,
+                                              end - begin),
+               grads);
+    parts.push_back(std::move(part));
+  }
+
+  std::vector<std::vector<std::uint32_t>> orders = {
+      {0, 1, 2, 3, 4, 5, 6}, {6, 5, 4, 3, 2, 1, 0}, {1, 3, 5, 0, 2, 4, 6}};
+  Histogram reference(data);
+  for (std::size_t o = 0; o < orders.size(); ++o) {
+    Histogram merged(data);
+    for (const std::uint32_t s : orders[o]) merged.add(parts[s]);
+    if (o == 0) {
+      reference = merged;
+    } else {
+      expect_bins_bit_identical(merged, reference);
+    }
+  }
+}
+
+TEST(HistogramMerge, RowMajorReferenceAndChunkedBuildsAllBitIdentical) {
+  // With exact accumulation the row-major kernel, the column-gather
+  // reference, and an arbitrary two-piece split all agree bit for bit.
+  const std::uint64_t n = 800;
+  const auto data = small_binned(n, 9);
+  const auto grads = random_gradients(n, 10);
+  const auto rows = all_rows(n);
+
+  Histogram row_major(data), reference(data), pieces(data);
+  row_major.build(data, rows, grads);
+  reference.build_reference(data, rows, grads);
+  pieces.build(data, std::span<const std::uint32_t>(rows.data(), 311), grads);
+  pieces.build(data,
+               std::span<const std::uint32_t>(rows.data() + 311, n - 311),
+               grads);
+  expect_bins_bit_identical(reference, row_major);
+  expect_bins_bit_identical(pieces, row_major);
+}
+
+TEST(HistogramMerge, SubtractionIsExactOnQuantizedSums) {
+  // parent - smaller == larger, bit for bit (the sibling trick never
+  // leaves FP residue on the quantum grid).
+  const std::uint64_t n = 900;
+  const auto data = small_binned(n, 11);
+  const auto grads = random_gradients(n, 12);
+  const auto rows = all_rows(n);
+
+  Histogram parent(data), left(data), right_direct(data);
+  parent.build(data, rows, grads);
+  left.build(data, std::span<const std::uint32_t>(rows.data(), 350), grads);
+  right_direct.build(
+      data, std::span<const std::uint32_t>(rows.data() + 350, n - 350),
+      grads);
+
+  Histogram right_sub;
+  right_sub.subtract_from(parent, left);
+  expect_bins_bit_identical(right_sub, right_direct);
 }
 
 }  // namespace

@@ -359,6 +359,99 @@ TEST(GoldenEquivalence, BuSweepParallelMatchesSerialPerCell) {
             serial->cell(3, 0, 1).total_seconds);
 }
 
+TEST(ShardSweep, AxisAndRunnerShardsRoundTripThroughJson) {
+  // Golden check on the checked-in scenario's spec: the shards sweep axis
+  // and the functional runner.shards knob survive serialize -> parse.
+  const auto spec = builtin_scenario("dse_shard_sweep");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(spec->sweep_axis, SweepAxis::kShards);
+  EXPECT_EQ(spec->shards, 4u);
+  ASSERT_EQ(spec->datasets.size(), 1u);
+  EXPECT_EQ(spec->datasets[0].name, "synth50m");
+  EXPECT_EQ(spec->datasets[0].nominal_records, 50'000'000u);
+
+  const Json j = spec->to_json();
+  const Json* sweep = j.find("sweep");
+  ASSERT_NE(sweep, nullptr);
+  EXPECT_EQ(sweep->find("axis")->as_string(), "shards");
+  const Json* runner = j.find("runner");
+  ASSERT_NE(runner, nullptr);
+  EXPECT_DOUBLE_EQ(runner->find("shards")->as_double(), 4.0);
+
+  std::string error;
+  const auto reparsed = ScenarioSpec::from_json(j, &error);
+  ASSERT_TRUE(reparsed.has_value()) << error;
+  EXPECT_TRUE(*reparsed == *spec);
+  EXPECT_EQ(reparsed->sweep_axis, SweepAxis::kShards);
+  EXPECT_EQ(reparsed->shards, 4u);
+  EXPECT_EQ(reparsed->sweep_values, spec->sweep_values);
+}
+
+TEST(ShardSweep, NonIntegerShardValuesAreErrors) {
+  auto spec = *builtin_scenario("dse_shard_sweep");
+  spec.sweep_values = {1.5};
+  spec.sim_records = 2000;
+  spec.sim_trees = 2;
+  RunOptions opt;
+  opt.calibrate_bandwidth = false;
+  std::string error;
+  EXPECT_FALSE(ScenarioRunner().run(spec, opt, &error).has_value());
+  EXPECT_NE(error.find("shards"), std::string::npos) << error;
+}
+
+TEST(ShardSweep, ParallelMatchesSerialPerCell) {
+  // Acceptance: dse_shard_sweep's cells run in parallel with per-cell
+  // output identical to a serial run (trimmed sweep + small functional
+  // sample; runner.shards = 4 stays, so the sharded training engine
+  // itself is exercised inside the pipeline).
+  auto spec = *builtin_scenario("dse_shard_sweep");
+  spec.sweep_values = {1, 4, 16};
+  spec.sim_records = 3000;
+  spec.sim_trees = 3;
+  ASSERT_EQ(spec.shards, 4u);
+
+  RunOptions serial_opt;
+  serial_opt.threads = 1;
+  serial_opt.calibrate_bandwidth = false;
+  RunOptions parallel_opt = serial_opt;
+  parallel_opt.threads = 4;
+
+  std::string error;
+  const auto serial = ScenarioRunner().run(spec, serial_opt, &error);
+  ASSERT_TRUE(serial.has_value()) << error;
+  const auto parallel = ScenarioRunner().run(spec, parallel_opt, &error);
+  ASSERT_TRUE(parallel.has_value()) << error;
+
+  ASSERT_EQ(serial->cells.size(),
+            spec.sweep_values.size() * spec.workloads.size() *
+                spec.models.size());
+  ASSERT_EQ(serial->cells.size(), parallel->cells.size());
+  for (std::size_t i = 0; i < serial->cells.size(); ++i) {
+    const auto& a = serial->cells[i];
+    const auto& b = parallel->cells[i];
+    EXPECT_EQ(a.model_name, b.model_name);
+    EXPECT_EQ(a.sweep_value, b.sweep_value);
+    EXPECT_EQ(a.total_seconds, b.total_seconds) << "cell " << i;
+    for (int k = 0; k < trace::kNumStepKinds; ++k) {
+      EXPECT_EQ(a.breakdown.seconds[k], b.breakdown.seconds[k])
+          << "cell " << i << " step " << k;
+    }
+    EXPECT_EQ(a.activity.dram_bytes, b.activity.dram_bytes) << "cell " << i;
+  }
+
+  // The axis reached the models: the booster cells (model index 1) vary
+  // across shard counts -- per-shard bandwidth shrinks the record steps
+  // while merge traffic grows -- whereas the CPU baseline (model index 0)
+  // ignores training_shards entirely.
+  EXPECT_NE(serial->cell(0, 0, 1).total_seconds,
+            serial->cell(2, 0, 1).total_seconds);
+  EXPECT_EQ(serial->cell(0, 0, 0).total_seconds,
+            serial->cell(2, 0, 0).total_seconds);
+  // And the resolved per-point booster config carries the shard count.
+  EXPECT_EQ(serial->cell(1, 0, 1).booster.training_shards, 4u);
+  EXPECT_EQ(serial->cell(2, 0, 1).booster.training_shards, 16u);
+}
+
 TEST(ScenarioRunner, CanonicalJsonNamesEveryCell) {
   auto spec = *builtin_scenario("fig6_seq_breakdown");
   spec.workloads = {"fraud"};

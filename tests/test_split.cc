@@ -285,6 +285,109 @@ TEST(SplitFinderThreaded, IdenticalToSerialAtAnyThreadCount) {
   }
 }
 
+TEST(SplitFinderThreaded, BinChunkedScanMatchesSerialOnDominantField) {
+  // ROADMAP "chunk by bins": when one huge categorical field holds most of
+  // the histogram's bins, field-granular chunks would serialize into that
+  // field's chunk, so the scan switches to bin-granular chunks -- numeric
+  // fields entered mid-chunk replay their left-prefix accumulation, and
+  // the chunk-order first-max merge must still pin the serial scan's
+  // result bit for bit at every thread count.
+  for (const std::uint64_t seed : {3ULL, 19ULL}) {
+    workloads::DatasetSpec spec;
+    spec.name = "skewed";
+    spec.nominal_records = 6000;
+    spec.numeric_fields = 2;
+    // One dominating categorical field (~1800 bins, far more than every
+    // other field combined) plus a small one.
+    spec.categorical_cardinalities = {1800, 6};
+    spec.categorical_skew = 1.05;  // flat-ish: most categories populated
+    spec.missing_rate = 0.05;
+    spec.loss = "logistic";
+    const auto data = Binner().bin(workloads::synthesize(spec, 6000, seed));
+
+    // The dominant field must actually dominate the bin space, otherwise
+    // this test exercises nothing.
+    ASSERT_GT(data.max_bins_per_field() * 2, data.total_bins());
+
+    util::Rng rng(seed * 131);
+    std::vector<GradientPair> grads(data.num_records());
+    for (auto& g : grads) {
+      g = {static_cast<float>(rng.uniform(-1.0, 1.0)),
+           static_cast<float>(rng.uniform(0.1, 1.0))};
+    }
+    const auto hist = build_hist(data, grads);
+
+    const SplitFinder finder;
+    std::uint64_t serial_scanned = 0;
+    const auto serial = finder.find_best(hist, data, &serial_scanned);
+    ASSERT_TRUE(serial.has_value());
+
+    for (const unsigned threads : {1u, 2u, 3u, 8u}) {
+      util::ThreadPool pool(threads);
+      std::uint64_t scanned = 0;
+      const auto parallel = finder.find_best(hist, data, &pool, &scanned);
+      ASSERT_TRUE(parallel.has_value()) << threads << " threads";
+      EXPECT_EQ(parallel->field, serial->field) << threads << " threads";
+      EXPECT_EQ(parallel->kind, serial->kind) << threads << " threads";
+      EXPECT_EQ(parallel->threshold_bin, serial->threshold_bin)
+          << threads << " threads";
+      EXPECT_EQ(parallel->default_left, serial->default_left)
+          << threads << " threads";
+      EXPECT_EQ(parallel->gain, serial->gain) << threads << " threads";
+      EXPECT_EQ(parallel->left.g, serial->left.g) << threads << " threads";
+      EXPECT_EQ(parallel->left.h, serial->left.h) << threads << " threads";
+      EXPECT_EQ(parallel->left.count, serial->left.count)
+          << threads << " threads";
+      EXPECT_EQ(parallel->right.g, serial->right.g) << threads << " threads";
+      EXPECT_EQ(scanned, serial_scanned) << threads << " threads";
+    }
+  }
+}
+
+TEST(SplitFinderThreaded, BinChunkedScanEngagesWithTooFewFieldsToChunk) {
+  // Two fields, one of them huge: field-granular chunking cannot
+  // parallelize at all (num_chunks(2, grain=2) == 1), so this histogram
+  // reaches the bin-granular path directly -- and must still match the
+  // serial scan exactly.
+  workloads::DatasetSpec spec;
+  spec.name = "two-field";
+  spec.nominal_records = 5000;
+  spec.numeric_fields = 1;
+  spec.categorical_cardinalities = {2000};
+  spec.categorical_skew = 1.05;
+  spec.loss = "logistic";
+  const auto data = Binner().bin(workloads::synthesize(spec, 5000, 77));
+  ASSERT_EQ(data.num_fields(), 2u);
+  ASSERT_GT(data.max_bins_per_field() * 2, data.total_bins());
+
+  util::Rng rng(779);
+  std::vector<GradientPair> grads(data.num_records());
+  for (auto& g : grads) {
+    g = {static_cast<float>(rng.uniform(-1.0, 1.0)),
+         static_cast<float>(rng.uniform(0.1, 1.0))};
+  }
+  const auto hist = build_hist(data, grads);
+
+  const SplitFinder finder;
+  std::uint64_t serial_scanned = 0;
+  const auto serial = finder.find_best(hist, data, &serial_scanned);
+  ASSERT_TRUE(serial.has_value());
+
+  for (const unsigned threads : {2u, 8u}) {
+    util::ThreadPool pool(threads);
+    std::uint64_t scanned = 0;
+    const auto parallel = finder.find_best(hist, data, &pool, &scanned);
+    ASSERT_TRUE(parallel.has_value()) << threads << " threads";
+    EXPECT_EQ(parallel->field, serial->field) << threads << " threads";
+    EXPECT_EQ(parallel->threshold_bin, serial->threshold_bin)
+        << threads << " threads";
+    EXPECT_EQ(parallel->gain, serial->gain) << threads << " threads";
+    EXPECT_EQ(parallel->left.count, serial->left.count)
+        << threads << " threads";
+    EXPECT_EQ(scanned, serial_scanned) << threads << " threads";
+  }
+}
+
 TEST(SplitFinderThreaded, NoSplitAgreesAcrossThreadCounts) {
   std::vector<BinIndex> bins;
   std::vector<GradientPair> grads;
