@@ -21,6 +21,7 @@
 #include "gbdt/binning.h"
 #include "gbdt/sharded.h"
 #include "gbdt/trainer.h"
+#include "ipc/codec.h"
 #include "workloads/spec.h"
 #include "workloads/synth.h"
 
@@ -141,9 +142,50 @@ int main(int argc, char** argv) {
     const auto reference = gbdt::Trainer(cfg).train(data);
     const double reference_s = seconds_since(t0);
 
+    // Per-shard-histogram serialize/deserialize cost (the wire unit the
+    // distributed merge pays per Histogram::add; bench_distributed times
+    // the whole transport stack on top of this in-process baseline).
+    double encode_us = 0.0;
+    double decode_us = 0.0;
+    std::uint64_t hist_bytes = 0;
+    {
+      gbdt::Histogram hist(data);
+      std::vector<std::uint32_t> rows(data.num_records());
+      for (std::uint64_t r = 0; r < rows.size(); ++r) {
+        rows[r] = static_cast<std::uint32_t>(r);
+      }
+      std::vector<gbdt::GradientPair> gradients(data.num_records(),
+                                                {0.25f, 0.5f});
+      hist.build(data, rows, gradients);
+      hist_bytes = ipc::HistogramCodec::encoded_histogram_bytes(hist);
+      constexpr int kReps = 100;
+      std::vector<std::uint8_t> payload;
+      t0 = std::chrono::steady_clock::now();
+      for (int i = 0; i < kReps; ++i) {
+        payload.clear();
+        ipc::HistogramCodec::encode_histogram(hist, &payload);
+      }
+      encode_us = seconds_since(t0) / kReps * 1e6;
+      gbdt::Histogram decoded(data);
+      t0 = std::chrono::steady_clock::now();
+      for (int i = 0; i < kReps; ++i) {
+        ipc::ByteReader r(payload);
+        if (!ipc::HistogramCodec::decode_histogram_into(r, &decoded)) {
+          return 1;
+        }
+      }
+      decode_us = seconds_since(t0) / kReps * 1e6;
+    }
+
     std::printf("    {\"name\": \"%s\", \"fields\": %u,"
-                " \"single_shard_s\": %.4f,\n     \"shard_legs\": [\n",
-                spec.name.c_str(), data.num_fields(), reference_s);
+                " \"single_shard_s\": %.4f,\n"
+                "     \"histogram_wire_bytes\": %llu,"
+                " \"serialize_us_per_histogram\": %.2f,"
+                " \"deserialize_us_per_histogram\": %.2f,\n"
+                "     \"shard_legs\": [\n",
+                spec.name.c_str(), data.num_fields(), reference_s,
+                static_cast<unsigned long long>(hist_bytes), encode_us,
+                decode_us);
 
     for (std::size_t k = 0; k < shard_counts.size(); ++k) {
       gbdt::TrainerConfig scfg = cfg;
@@ -157,14 +199,21 @@ int main(int argc, char** argv) {
       for (const auto& ss : sharded.hot_path.per_shard) {
         shard_allocs += ss.histogram_allocations;
       }
+      // What the per-node shard merges would move over a transport: one
+      // encoded histogram per Histogram::add (the distributed trainer's
+      // wire unit) -- the in-process baseline bench_distributed compares
+      // its measured wire_bytes against.
+      const std::uint64_t merge_bytes =
+          sharded.hot_path.histogram_merges * hist_bytes;
       std::printf(
           "      {\"shards\": %u, \"wall_s\": %.4f,"
           " \"bit_identical_to_single_shard\": %s,\n"
-          "       \"histogram_merges\": %llu,"
+          "       \"histogram_merges\": %llu, \"merge_bytes\": %llu,"
           " \"shard_histogram_allocations\": %llu,"
           " \"arena_bytes\": %llu}%s\n",
           shard_counts[k], sharded_s, identical ? "true" : "false",
           static_cast<unsigned long long>(sharded.hot_path.histogram_merges),
+          static_cast<unsigned long long>(merge_bytes),
           static_cast<unsigned long long>(shard_allocs),
           static_cast<unsigned long long>(sharded.hot_path.arena_bytes),
           k + 1 < shard_counts.size() ? "," : "");

@@ -25,8 +25,12 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 # sanitizers still see every retry loop and shim. -fno-sanitize-recover
 # turns any UB finding into a test failure. ctest globs every tests/*.cc
 # binary, so the sharded-equivalence layer (test_sharded_equivalence and
-# the histogram merge property tests) runs under the sanitizers too --
-# exactly where a cross-shard race or arena overrun would surface.
+# the histogram merge property tests) AND the distributed layer
+# (test_distributed, test_distributed_faults, test_ipc_*) run under the
+# sanitizers too -- exactly where a cross-shard race, arena overrun, or
+# codec out-of-bounds read would surface. The multi_process example runs
+# its loopback (threads-as-ranks) variant here so the full rank-0 driver
+# + worker protocol executes under the sanitizers in one process.
 if [[ "${BOOSTER_SKIP_SANITIZE:-0}" != "1" ]]; then
   ASAN_DIR="${BUILD_DIR}-asan"
   cmake -B "$ASAN_DIR" -S . \
@@ -34,6 +38,8 @@ if [[ "${BOOSTER_SKIP_SANITIZE:-0}" != "1" ]]; then
     -DBOOSTER_SANITIZE=ON
   cmake --build "$ASAN_DIR" -j "$(nproc)"
   ctest --test-dir "$ASAN_DIR" --output-on-failure -j "$(nproc)"
+  "$ASAN_DIR/multi_process" --transport loopback --procs 3 --shards 8 \
+    --records 6000 --trees 3
 fi
 
 # Scenario smoke leg: the CLI must list exactly the checked-in scenario
@@ -63,9 +69,20 @@ done
 # sharded engine (runner.shards) before the perf sweep.
 "$BUILD_DIR/booster_scenarios" run-builtin dse_shard_sweep --quick > /dev/null
 
+# Cross-process leg (ISSUE 5 acceptance): the multi_process example forks
+# real worker processes over the file and socket transports and exits
+# non-zero if any rank's model diverges by a bit from the in-process
+# trainer.
+"$BUILD_DIR/multi_process" --transport file --procs 3 --shards 8 \
+  --records 8000 --trees 4
+"$BUILD_DIR/multi_process" --transport socket --procs 4 --shards 3 \
+  --records 8000 --trees 4
+
 # Benches (quick mode keeps CI fast; JSON goes to stdout so the trajectory
-# can be archived by the caller). bench_sharded exits non-zero if sharded
-# output ever diverges from the single-shard trainer.
+# can be archived by the caller). bench_sharded and bench_distributed exit
+# non-zero if sharded / distributed output ever diverges from the
+# in-process trainer.
 "$BUILD_DIR/bench_train_hotpath" --quick
 "$BUILD_DIR/bench_closed_loop" --quick
 "$BUILD_DIR/bench_sharded" --quick
+"$BUILD_DIR/bench_distributed" --quick

@@ -1,0 +1,116 @@
+// Cross-process sharded GBDT training over a pluggable histogram
+// transport (ROADMAP cross-process follow-on). The world is a star of
+// `world_size` ranks around rank 0:
+//
+//   * every rank holds the same BinnedDataset and the same config, and
+//     owns a contiguous range of the global shard partition (a
+//     gbdt::ShardGroup);
+//   * workers build per-shard node histograms and ship them to rank 0
+//     over ipc::ReliableChannel (versioned, checksummed, sequence-numbered
+//     frames -- ipc::HistogramCodec);
+//   * rank 0 merges shard histograms with Histogram::add in fixed global
+//     shard order, runs the (threaded, serial-identical) split scan, and
+//     broadcasts each split decision; every rank applies the decision to
+//     its own shards. Finished trees and per-tree verdicts broadcast the
+//     same way, so every rank returns the same model;
+//   * faults are survived by the channel's retry protocol (per-message
+//     checksum + sequence numbers + bounded re-request); a worker that
+//     stays unresponsive through the attempt budget is declared dead and
+//     rank 0 re-executes its shards locally (catch-up replay of finished
+//     trees plus the current tree's decision log -- pure recomputation,
+//     so the result is unchanged).
+//
+// Because the shard merge is quantized-exact and the per-shard partition
+// is stable (PR 4), the trained model -- structure, weights, gains,
+// per-tree losses, predictions, and rank-0's StepTrace -- is bit-identical
+// to gbdt::Trainer at every (transport, world size, shard count, thread
+// count), including under every recoverable injected fault. That contract
+// is EXPECT_EQ-asserted by tests/test_distributed.cc and
+// tests/test_distributed_faults.cc.
+#pragma once
+
+#include <cstdint>
+
+#include "gbdt/trainer.h"
+#include "ipc/reliable.h"
+#include "ipc/transport.h"
+#include "ipc/world.h"
+
+namespace booster::gbdt {
+
+struct DistributedConfig {
+  TrainerConfig trainer;
+  /// Retry protocol knobs (per-attempt timeout, attempt budget, resend
+  /// window).
+  ipc::ReliableConfig channel;
+  /// Re-execute a dead worker's shards on rank 0 (catch-up replay). When
+  /// off, a dead worker aborts training loudly.
+  bool adopt_dead_workers = true;
+};
+
+/// Post-train diagnostics of one rank's view of the run.
+struct DistributedStats {
+  std::uint32_t world_size = 1;
+  std::uint32_t rank = 0;
+  std::uint32_t shards_total = 0;
+  std::uint32_t shards_local = 0;    // owned at start (rank's own range)
+  std::uint32_t shards_adopted = 0;  // re-executed for dead workers (rank 0)
+  std::uint32_t dead_workers = 0;
+  ipc::ReliableStats channel;
+  ipc::TransportStats transport;
+};
+
+class DistributedTrainer {
+ public:
+  /// `transport` is this rank's endpoint (borrowed; may outlive the
+  /// trainer). nullptr runs a single-rank world with no communication --
+  /// exactly ShardedTrainer's engine (and what ShardedTrainer delegates
+  /// to).
+  DistributedTrainer(DistributedConfig cfg, ipc::Transport* transport);
+
+  const DistributedConfig& config() const { return cfg_; }
+  std::uint32_t rank() const;
+  std::uint32_t world_size() const;
+
+  /// Trains the ensemble. All ranks must call train with the identical
+  /// dataset and config, concurrently. Every rank returns the same model,
+  /// tree stats, and early-stop flag; `trace`/`info` are filled from
+  /// rank 0's driver loop (workers fill `info` and leave `trace` empty --
+  /// the trace needs merge-side quantities only rank 0 has).
+  /// TrainResult.hot_path.per_shard covers the shards this rank executed
+  /// (all of them on rank 0 of a single-rank world).
+  TrainResult train(const BinnedDataset& data,
+                    trace::StepTrace* trace = nullptr,
+                    trace::WorkloadInfo* info = nullptr);
+
+  /// Diagnostics of the last train() call.
+  const DistributedStats& stats() const { return stats_; }
+
+ private:
+  TrainResult train_rank0(const BinnedDataset& data, trace::StepTrace* trace,
+                          trace::WorkloadInfo* info);
+  TrainResult train_worker(const BinnedDataset& data,
+                           trace::WorkloadInfo* info);
+
+  DistributedConfig cfg_;
+  ipc::Transport* transport_;
+  DistributedStats stats_;
+};
+
+/// Runs a full `world`-sized training world in this process, one thread
+/// per rank, and returns rank 0's result. `all_results` (optional)
+/// receives the *worker* ranks' results (ranks 1..R-1, in rank order;
+/// TrainResult is move-only, so rank 0's lives in the return value);
+/// `all_stats` receives per-rank stats indexed by rank. The convenience
+/// harness behind the equivalence tests, bench_distributed, the scenario
+/// runner's runner.procs knob, and the multi_process example's loopback
+/// mode.
+TrainResult train_in_process(const DistributedConfig& cfg,
+                             ipc::InProcessWorld& world,
+                             const BinnedDataset& data,
+                             trace::StepTrace* trace = nullptr,
+                             trace::WorkloadInfo* info = nullptr,
+                             std::vector<TrainResult>* all_results = nullptr,
+                             std::vector<DistributedStats>* all_stats = nullptr);
+
+}  // namespace booster::gbdt

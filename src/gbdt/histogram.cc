@@ -18,6 +18,17 @@ Histogram::Histogram(const BinnedDataset& data) {
   bins_.assign(total, BinStats{});
 }
 
+Histogram::Histogram(std::span<const std::uint32_t> bins_per_field) {
+  offsets_.resize(bins_per_field.size() + 1);
+  std::uint32_t total = 0;
+  for (std::size_t f = 0; f < bins_per_field.size(); ++f) {
+    offsets_[f] = total;
+    total += bins_per_field[f];
+  }
+  offsets_[bins_per_field.size()] = total;
+  bins_.assign(total, BinStats{});
+}
+
 void Histogram::build(const BinnedDataset& data,
                       std::span<const std::uint32_t> rows,
                       std::span<const GradientPair> gradients) {

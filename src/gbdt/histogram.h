@@ -114,6 +114,11 @@ class Histogram {
   /// Allocates zeroed bins shaped like `data`'s fields.
   explicit Histogram(const BinnedDataset& data);
 
+  /// Allocates zeroed bins with an explicit per-field bin count -- the
+  /// shape-only constructor ipc::HistogramCodec decodes into (the wire
+  /// carries the shape, not the dataset).
+  explicit Histogram(std::span<const std::uint32_t> bins_per_field);
+
   /// Accumulates the gradient statistics of the records in `rows` with one
   /// row-major pass: per record, the F bin indices are read contiguously
   /// from the dataset's packed row-major matrix. This is the exact work

@@ -1,0 +1,338 @@
+#include "gbdt/shard_ops.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "gbdt/hotpath.h"
+#include "util/check.h"
+#include "util/thread_pool.h"
+
+namespace booster::gbdt {
+
+ShardGroup::ShardGroup(const BinnedDataset& data, const TrainerConfig& cfg,
+                       std::uint32_t num_shards, std::uint32_t shard_begin,
+                       std::uint32_t shard_end, util::ThreadPool* pool)
+    : data_(data),
+      cfg_(cfg),
+      pool_(pool),
+      num_shards_(num_shards),
+      shard_begin_(shard_begin),
+      shard_end_(shard_end) {
+  BOOSTER_CHECK(shard_begin <= shard_end && shard_end <= num_shards);
+  const std::uint32_t local = num_local();
+  if (local == 0) return;
+  // Surplus threads sub-chunk every per-shard task: ceil(T / L) chunks per
+  // shard keeps all T threads fed even when L < T. Chunk regrouping never
+  // changes a bit (quantized-exact accumulation, stable partition).
+  sub_ = (pool_->num_threads() + local - 1) / local;
+  data_.ensure_row_major();
+  const std::uint64_t n = data_.num_records();
+  shards_.resize(local);
+  for (std::uint32_t ls = 0; ls < local; ++ls) {
+    const auto [begin, end] = shard_row_range(n, num_shards_, shard_begin_ + ls);
+    Shard& sh = shards_[ls];
+    sh.row_begin = begin;
+    sh.row_end = end;
+    sh.pool.configure(data_);
+    sh.bufs[0].resize(end - begin);
+    sh.bufs[1].resize(end - begin);
+  }
+  preds_.resize(n);
+  gradients_.resize(n);
+  chunk_lefts_.resize(static_cast<std::size_t>(local) * sub_);
+  shard_lefts_.resize(local);
+  chunk_hops_.resize(static_cast<std::size_t>(local) * sub_);
+  chunk_losses_.resize(static_cast<std::size_t>(local) * sub_);
+}
+
+std::uint32_t ShardGroup::acquire_slot() {
+  if (!free_slots_.empty()) {
+    const std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  const std::uint32_t slot = next_slot_++;
+  span_bounds_.resize(static_cast<std::size_t>(next_slot_) * 2 * num_local());
+  return slot;
+}
+
+void ShardGroup::release_slot(std::uint32_t slot) {
+  free_slots_.push_back(slot);
+}
+
+void ShardGroup::reset(const Loss& loss, double base_score) {
+  if (num_local() == 0) return;
+  std::fill(preds_.begin(), preds_.end(), static_cast<float>(base_score));
+  pool_->run_tasks(num_local() * sub_, [&](unsigned task) {
+    const Shard& sh = shards_[task / sub_];
+    const auto [b, e] =
+        chunk_range(sh.row_begin, sh.row_end, task % sub_, sub_);
+    for (std::uint64_t r = b; r < e; ++r) {
+      gradients_[r] = loss.gradients(preds_[r], data_.labels()[r]);
+    }
+  });
+}
+
+void ShardGroup::begin_tree(std::uint64_t root_rows) {
+  frontier_.clear();
+  pending_valid_ = false;
+  built_valid_ = false;
+  if (num_local() == 0) return;
+  pool_->run_tasks(num_local() * sub_, [&](unsigned task) {
+    Shard& sh = shards_[task / sub_];
+    const auto [b, e] = chunk_range(0, sh.num_rows(), task % sub_, sub_);
+    for (std::uint64_t i = b; i < e; ++i) {
+      sh.bufs[0][i] = static_cast<std::uint32_t>(sh.row_begin + i);
+    }
+  });
+  Node root;
+  root.slot = acquire_slot();
+  root.buf = 0;
+  root.depth = 0;
+  root.rows = root_rows;
+  for (std::uint32_t ls = 0; ls < num_local(); ++ls) {
+    span_begin(root.slot, ls) = 0;
+    span_end(root.slot, ls) = shards_[ls].num_rows();
+  }
+  frontier_.push_back(root);
+  pending_ = root;
+  pending_valid_ = true;
+}
+
+bool ShardGroup::head_is_bounds_leaf() const {
+  const Node& head = frontier_.front();
+  return head.depth >= static_cast<std::int32_t>(cfg_.max_depth) ||
+         head.rows < cfg_.min_node_records;
+}
+
+void ShardGroup::apply_leaf() {
+  BOOSTER_CHECK(!frontier_.empty());
+  release_slot(frontier_.front().slot);
+  frontier_.pop_front();
+}
+
+bool ShardGroup::apply_split(const SplitInfo& split) {
+  BOOSTER_CHECK(!frontier_.empty());
+  const Node node = frontier_.front();
+  frontier_.pop_front();
+  const std::uint64_t n_left_total = split.left.count_u64();
+  const std::uint64_t n_right_total = node.rows - n_left_total;
+  const std::uint8_t child_buf = node.buf ^ 1;
+  const std::uint32_t local = num_local();
+
+  if (local > 0) {
+    // Phase 1 (count) and phase 2 (stable scatter) over the flattened
+    // (shard, sub-chunk) task grid: chunks are contiguous and written in
+    // chunk order, so each shard's partition is stable -- the row order
+    // the bit-identity argument needs -- while threads > shards still
+    // find work.
+    const auto& col = data_.column(split.field);
+    pool_->run_tasks(local * sub_, [&](unsigned task) {
+      const std::uint32_t ls = task / sub_;
+      Shard& sh = shards_[ls];
+      const auto [b, e] = chunk_range(span_begin(node.slot, ls),
+                                      span_end(node.slot, ls), task % sub_,
+                                      sub_);
+      const std::vector<std::uint32_t>& src = sh.bufs[node.buf];
+      std::uint64_t lefts = 0;
+      for (std::uint64_t i = b; i < e; ++i) {
+        lefts += split_goes_left(split, col[src[i]]);
+      }
+      chunk_lefts_[task] = lefts;
+    });
+    for (std::uint32_t ls = 0; ls < local; ++ls) {
+      std::uint64_t total = 0;
+      for (std::uint32_t c = 0; c < sub_; ++c) {
+        total += chunk_lefts_[static_cast<std::size_t>(ls) * sub_ + c];
+      }
+      shard_lefts_[ls] = total;
+    }
+    // When this group covers the whole partition (the single-rank world /
+    // Trainer delegation path), the realized left total must equal the
+    // split's claimed bucket count -- the cross-shard invariant the
+    // pre-distributed ShardedTrainer asserted. Partial groups can only
+    // check their chunks (below); rank 0's merged histogram counts imply
+    // the global identity.
+    if (shard_begin_ == 0 && shard_end_ == num_shards_) {
+      std::uint64_t group_left = 0;
+      for (std::uint32_t ls = 0; ls < local; ++ls) {
+        group_left += shard_lefts_[ls];
+      }
+      BOOSTER_CHECK_MSG(
+          group_left == n_left_total,
+          "sharded partition disagrees with the split's bucket counts");
+    }
+    pool_->run_tasks(local * sub_, [&](unsigned task) {
+      const std::uint32_t ls = task / sub_;
+      const std::uint32_t c = task % sub_;
+      Shard& sh = shards_[ls];
+      const std::uint64_t sb = span_begin(node.slot, ls);
+      const auto [b, e] = chunk_range(sb, span_end(node.slot, ls), c, sub_);
+      std::uint64_t lefts_before = 0;
+      for (std::uint32_t p = 0; p < c; ++p) {
+        lefts_before += chunk_lefts_[static_cast<std::size_t>(ls) * sub_ + p];
+      }
+      const std::vector<std::uint32_t>& src = sh.bufs[node.buf];
+      std::vector<std::uint32_t>& dst = sh.bufs[child_buf];
+      std::uint64_t left_w = sb + lefts_before;
+      std::uint64_t right_w =
+          sb + shard_lefts_[ls] + ((b - sb) - lefts_before);
+      for (std::uint64_t i = b; i < e; ++i) {
+        const std::uint32_t row = src[i];
+        if (split_goes_left(split, col[row])) {
+          dst[left_w++] = row;
+        } else {
+          dst[right_w++] = row;
+        }
+      }
+      BOOSTER_CHECK_MSG(left_w == sb + lefts_before + chunk_lefts_[task],
+                        "shard partition disagrees with its count pass");
+    });
+  }
+
+  const std::int32_t child_depth = node.depth + 1;
+  if (child_depth >= static_cast<std::int32_t>(cfg_.max_depth)) {
+    // Both children are terminal leaves: nothing further reads their rows
+    // this tree, so no child spans (and no pending build) are needed.
+    release_slot(node.slot);
+    return false;
+  }
+
+  const bool left_smaller = n_left_total <= n_right_total;
+  Node small;
+  Node large;
+  small.buf = large.buf = child_buf;
+  small.depth = large.depth = child_depth;
+  small.rows = left_smaller ? n_left_total : n_right_total;
+  large.rows = left_smaller ? n_right_total : n_left_total;
+  small.slot = acquire_slot();
+  large.slot = acquire_slot();
+  for (std::uint32_t ls = 0; ls < local; ++ls) {
+    const std::uint64_t sb = span_begin(node.slot, ls);
+    const std::uint64_t se = span_end(node.slot, ls);
+    const std::uint64_t mid = sb + shard_lefts_[ls];
+    span_begin(small.slot, ls) = left_smaller ? sb : mid;
+    span_end(small.slot, ls) = left_smaller ? mid : se;
+    span_begin(large.slot, ls) = left_smaller ? mid : sb;
+    span_end(large.slot, ls) = left_smaller ? se : mid;
+  }
+  release_slot(node.slot);
+  frontier_.push_back(small);
+  frontier_.push_back(large);
+  pending_ = small;
+  pending_valid_ = true;
+  return true;
+}
+
+void ShardGroup::build_pending() {
+  BOOSTER_CHECK_MSG(pending_valid_, "no pending histogram build");
+  BOOSTER_CHECK_MSG(!built_valid_, "previous build not yet released");
+  const std::uint32_t local = num_local();
+  // Acquire every buffer on the driving thread: the per-shard pools are
+  // not thread-safe, and pre-acquisition keeps the fan-out allocation-free
+  // once the pools are warm.
+  for (std::uint32_t ls = 0; ls < local; ++ls) {
+    Shard& sh = shards_[ls];
+    sh.built = sh.pool.acquire();
+    while (sh.partials.size() + 1 < sub_) sh.partials.push_back(Histogram{});
+    for (std::uint32_t c = 0; c + 1 < sub_; ++c) {
+      sh.partials[c] = sh.pool.acquire();
+    }
+  }
+  pool_->run_tasks(local * sub_, [&](unsigned task) {
+    const std::uint32_t ls = task / sub_;
+    const std::uint32_t c = task % sub_;
+    Shard& sh = shards_[ls];
+    const auto [b, e] = chunk_range(span_begin(pending_.slot, ls),
+                                    span_end(pending_.slot, ls), c, sub_);
+    Histogram& h = c == 0 ? sh.built : sh.partials[c - 1];
+    h.build(data_,
+            std::span<const std::uint32_t>(sh.bufs[pending_.buf].data() + b,
+                                           e - b),
+            gradients_);
+  });
+  // Chunk partials merge in chunk order; any grouping is exact, so the
+  // per-shard result is bit-identical to a serial whole-span build.
+  for (std::uint32_t ls = 0; ls < local; ++ls) {
+    Shard& sh = shards_[ls];
+    for (std::uint32_t c = 0; c + 1 < sub_; ++c) {
+      sh.built.add(sh.partials[c]);
+      sh.pool.release(std::move(sh.partials[c]));
+      ++internal_merges_;
+    }
+  }
+  pending_valid_ = false;
+  built_valid_ = true;
+}
+
+const Histogram& ShardGroup::built_histogram(std::uint32_t local_shard) const {
+  BOOSTER_CHECK(built_valid_ && local_shard < num_local());
+  return shards_[local_shard].built;
+}
+
+void ShardGroup::release_built() {
+  BOOSTER_CHECK(built_valid_);
+  for (Shard& sh : shards_) sh.pool.release(std::move(sh.built));
+  built_valid_ = false;
+}
+
+void ShardGroup::finish_tree(const Tree& tree, const Loss& loss, double* hops,
+                             double* quantized_loss) {
+  const std::uint32_t local = num_local();
+  if (local == 0) {
+    if (hops != nullptr) *hops = 0.0;
+    if (quantized_loss != nullptr) *quantized_loss = 0.0;
+    return;
+  }
+  pool_->run_tasks(local * sub_, [&](unsigned task) {
+    const Shard& sh = shards_[task / sub_];
+    const auto [b, e] =
+        chunk_range(sh.row_begin, sh.row_end, task % sub_, sub_);
+    double chunk_hops = 0.0;
+    double chunk_loss = 0.0;
+    for (std::uint64_t r = b; r < e; ++r) {
+      std::int32_t id = tree.root();
+      std::uint32_t path = 0;
+      while (!tree.node(id).is_leaf) {
+        const TreeNode& nd = tree.node(id);
+        id = tree.goes_left(id, data_.bin(nd.field, r)) ? nd.left : nd.right;
+        ++path;
+      }
+      preds_[r] += static_cast<float>(tree.node(id).weight);
+      gradients_[r] = loss.gradients(preds_[r], data_.labels()[r]);
+      chunk_hops += path;
+      chunk_loss += quantize_stat(loss.value(preds_[r], data_.labels()[r]));
+    }
+    chunk_hops_[task] = chunk_hops;
+    chunk_losses_[task] = chunk_loss;
+  });
+  // Hop sums are integer-valued and loss terms quantized, so these
+  // reductions are exact in any grouping; (shard, chunk) order keeps them
+  // readable.
+  double hop_total = 0.0;
+  double loss_total = 0.0;
+  for (std::uint32_t t = 0; t < local * sub_; ++t) {
+    hop_total += chunk_hops_[t];
+    loss_total += chunk_losses_[t];
+  }
+  if (hops != nullptr) *hops = hop_total;
+  if (quantized_loss != nullptr) *quantized_loss = loss_total;
+}
+
+std::vector<ShardHotPathStats> ShardGroup::shard_stats() const {
+  std::vector<ShardHotPathStats> stats;
+  stats.reserve(num_local());
+  for (const Shard& sh : shards_) {
+    ShardHotPathStats ss;
+    ss.rows = sh.num_rows();
+    ss.histogram_allocations = sh.pool.allocations();
+    ss.histogram_acquires = sh.pool.acquires();
+    ss.arena_bytes =
+        (sh.bufs[0].size() + sh.bufs[1].size()) * sizeof(std::uint32_t);
+    ss.sub_chunks = sub_;
+    stats.push_back(ss);
+  }
+  return stats;
+}
+
+}  // namespace booster::gbdt

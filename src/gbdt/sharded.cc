@@ -1,487 +1,19 @@
 #include "gbdt/sharded.h"
 
-#include <algorithm>
-#include <cmath>
-#include <deque>
-#include <limits>
-#include <span>
-#include <utility>
-#include <vector>
-
-#include "gbdt/hotpath.h"
-#include "util/check.h"
-#include "util/thread_pool.h"
+#include "gbdt/distributed.h"
 
 namespace booster::gbdt {
 
-namespace {
-
-using trace::StepEvent;
-using trace::StepKind;
-using trace::StepTrace;
-
-void emit(StepTrace* trace, StepEvent e) {
-  if (trace != nullptr) trace->add(e);
-}
-
-/// One contiguous row shard. Everything here is owned exclusively by the
-/// shard's task during fan-outs (per-shard pools and arenas are never
-/// touched cross-shard), so no synchronization is needed beyond the pool's
-/// own fork/join barrier.
-struct Shard {
-  std::uint64_t row_begin = 0;
-  std::uint64_t row_end = 0;
-  /// Shard-private pool for the shard's partial node histograms.
-  HistogramPool pool;
-  /// Two ping-pong arenas of the shard's global row indices, sized to the
-  /// shard's row count; node spans index into these with shard-local
-  /// offsets. Same parity discipline as the single-shard trainer: depth-d
-  /// spans live in arena d mod 2.
-  std::vector<std::uint32_t> bufs[2];
-  /// Per-node scratch, written only by this shard's task.
-  Histogram hist;            // shard partial of the current node
-  std::uint64_t n_left = 0;  // shard-local left count of the last partition
-  double sum = 0.0;          // shard reduction term (hops / quantized loss)
-
-  std::uint64_t num_rows() const { return row_end - row_begin; }
-};
-
-/// Recycled storage for per-(node, shard) arena spans: slot `i` holds K
-/// begin/end pairs at [i * K, (i + 1) * K). acquire() reuses released
-/// slots and grows only while the live frontier widens, so steady-state
-/// training allocates no per-node span storage -- the span analogue of
-/// HistogramPool's allocation-free property.
-class SpanPool {
- public:
-  explicit SpanPool(std::uint32_t shards) : shards_(shards) {}
-
-  std::uint32_t acquire() {
-    if (!free_.empty()) {
-      const std::uint32_t slot = free_.back();
-      free_.pop_back();
-      return slot;
-    }
-    const std::uint32_t slot =
-        static_cast<std::uint32_t>(begin_.size() / shards_);
-    begin_.resize(begin_.size() + shards_);
-    end_.resize(end_.size() + shards_);
-    return slot;
-  }
-  void release(std::uint32_t slot) { free_.push_back(slot); }
-
-  std::uint64_t& begin(std::uint32_t slot, std::uint32_t s) {
-    return begin_[static_cast<std::size_t>(slot) * shards_ + s];
-  }
-  std::uint64_t& end(std::uint32_t slot, std::uint32_t s) {
-    return end_[static_cast<std::size_t>(slot) * shards_ + s];
-  }
-
- private:
-  std::uint32_t shards_;
-  std::vector<std::uint64_t> begin_;
-  std::vector<std::uint64_t> end_;
-  std::vector<std::uint32_t> free_;
-};
-
-/// One frontier node during sharded tree growth: its rows are the union of
-/// K shard-local arena spans (SpanPool slot), all in the same arena parity.
-struct FrontierNode {
-  std::int32_t tree_node = 0;
-  std::int32_t depth = 0;
-  std::uint32_t slot = 0;  // SpanPool slot holding the K shard spans
-  std::uint64_t rows = 0;  // total rows across shards
-  std::uint8_t buf = 0;
-  Histogram hist;  // merged histogram (from the trainer's merged pool)
-  BinStats totals;
-};
-
-}  // namespace
-
-TrainResult ShardedTrainer::train(const BinnedDataset& data, StepTrace* trace,
+TrainResult ShardedTrainer::train(const BinnedDataset& data,
+                                  trace::StepTrace* trace,
                                   trace::WorkloadInfo* info) const {
-  const std::uint64_t n = data.num_records();
-  BOOSTER_CHECK_MSG(n > 0, "cannot train on an empty dataset");
-  auto loss = make_loss(cfg_.loss);
-  const std::uint32_t num_fields = data.num_fields();
-  // Empty shards would be harmless but pointless; clamp to the row count.
-  const std::uint32_t num_shards = static_cast<std::uint32_t>(
-      std::min<std::uint64_t>(std::max(1u, cfg_.num_shards), n));
-
-  util::ThreadPool pool(cfg_.num_threads);
-  // Shard tasks only ever read the row-major view; materialize it before
-  // the first fan-out.
-  data.ensure_row_major();
-
-  std::vector<Shard> shards(num_shards);
-  for (std::uint32_t s = 0; s < num_shards; ++s) {
-    const auto [begin, end] = shard_row_range(n, num_shards, s);
-    shards[s].row_begin = begin;
-    shards[s].row_end = end;
-    shards[s].pool.configure(data);
-    shards[s].bufs[0].resize(end - begin);
-    shards[s].bufs[1].resize(end - begin);
-  }
-  /// Merged per-node histograms live in their own pool (the sharded
-  /// analogue of the single-shard trainer's one pool).
-  HistogramPool merged_pool(data);
-  SpanPool spans(num_shards);
-  std::uint64_t histogram_merges = 0;
-
-  // Base score from the label mean: same serial pass as Trainer (one pass
-  // per train call; keeping the code identical keeps the result identical).
-  double label_mean = 0.0;
-  for (float y : data.labels()) label_mean += y;
-  label_mean /= static_cast<double>(n);
-  const double base_score = loss->base_score(label_mean);
-
-  std::vector<float> preds(n, static_cast<float>(base_score));
-  std::vector<GradientPair> gradients(n);
-  pool.run_tasks(num_shards, [&](unsigned s) {
-    const Shard& sh = shards[s];
-    for (std::uint64_t r = sh.row_begin; r < sh.row_end; ++r) {
-      gradients[r] = loss->gradients(preds[r], data.labels()[r]);
-    }
-  });
-
-  // Per-shard build of one node's spans, merged with Histogram::add in
-  // fixed shard order. Quantized accumulation makes the result bit-equal
-  // to a single pass over the concatenated spans -- the property the whole
-  // subsystem rests on (see histogram.h).
-  const auto build_merged = [&](const FrontierNode& node) {
-    pool.run_tasks(num_shards, [&](unsigned s) {
-      Shard& sh = shards[s];
-      const std::uint64_t begin = spans.begin(node.slot, s);
-      const std::uint64_t end = spans.end(node.slot, s);
-      sh.hist = sh.pool.acquire();
-      sh.hist.build(data,
-                    std::span<const std::uint32_t>(
-                        sh.bufs[node.buf].data() + begin, end - begin),
-                    gradients);
-    });
-    Histogram merged = merged_pool.acquire();
-    for (std::uint32_t s = 0; s < num_shards; ++s) {
-      merged.add(shards[s].hist);
-      shards[s].pool.release(std::move(shards[s].hist));
-    }
-    histogram_merges += num_shards;
-    return merged;
-  };
-
-  const SplitFinder finder(cfg_.split);
-  TrainResult result{.model = Model(base_score, make_loss(cfg_.loss))};
-
-  double leaf_depth_sum = 0.0;
-  std::uint64_t leaf_count = 0;
-  double prev_loss = std::numeric_limits<double>::infinity();
-  std::uint32_t stagnant_trees = 0;
-
-  for (std::uint32_t t = 0; t < cfg_.num_trees; ++t) {
-    Tree tree;
-    std::deque<FrontierNode> frontier;
-    std::vector<std::uint64_t> level_hist_records;
-    std::vector<std::uint32_t> level_hist_nodes;
-
-    // Reset every shard's arena 0 to its ascending row range. The shard
-    // partition below is stable, so every shard span stays ascending, and
-    // concatenating spans in shard order reproduces the single-arena order
-    // of the unsharded trainer.
-    pool.run_tasks(num_shards, [&](unsigned s) {
-      Shard& sh = shards[s];
-      for (std::uint64_t i = 0; i < sh.num_rows(); ++i) {
-        sh.bufs[0][i] = static_cast<std::uint32_t>(sh.row_begin + i);
-      }
-    });
-
-    // Root: every shard bins its whole range (step 1 at the root covers
-    // the full dataset), merged in shard order.
-    {
-      FrontierNode root;
-      root.tree_node = tree.root();
-      root.depth = 0;
-      root.rows = n;
-      root.buf = 0;
-      root.slot = spans.acquire();
-      for (std::uint32_t s = 0; s < num_shards; ++s) {
-        spans.begin(root.slot, s) = 0;
-        spans.end(root.slot, s) = shards[s].num_rows();
-      }
-      root.hist = build_merged(root);
-      root.totals = root.hist.totals();
-      emit(trace, StepEvent{.kind = StepKind::kHistogram,
-                            .tree = static_cast<std::int32_t>(t),
-                            .depth = 0,
-                            .records = n,
-                            .fields_touched = num_fields,
-                            .record_fields = num_fields});
-      frontier.push_back(std::move(root));
-    }
-
-    while (!frontier.empty()) {
-      FrontierNode node = std::move(frontier.front());
-      frontier.pop_front();
-
-      auto make_leaf = [&](const BinStats& totals) {
-        tree.set_leaf_weight(node.tree_node,
-                             cfg_.learning_rate *
-                                 leaf_weight(totals, cfg_.split.lambda));
-        leaf_depth_sum += node.depth;
-        ++leaf_count;
-        merged_pool.release(std::move(node.hist));
-        spans.release(node.slot);
-      };
-
-      if (node.depth >= static_cast<std::int32_t>(cfg_.max_depth) ||
-          node.rows < cfg_.min_node_records) {
-        make_leaf(node.totals);
-        continue;
-      }
-
-      // Step 2 on the merged histogram (threaded scan; serial-identical).
-      std::uint64_t bins_scanned = 0;
-      const auto split =
-          finder.find_best(node.hist, data, &pool, &bins_scanned);
-      emit(trace, StepEvent{.kind = StepKind::kSplitSelect,
-                            .tree = static_cast<std::int32_t>(t),
-                            .depth = node.depth,
-                            .bins_scanned = bins_scanned});
-      if (!split) {
-        make_leaf(node.totals);
-        continue;
-      }
-
-      // Step 3: every shard partitions its span into its opposite arena.
-      // Stable within each shard; the shard-local left count pins the
-      // boundary (count pass first -- the shard cannot know its own split
-      // of the global n_left up front).
-      const std::uint64_t n_left = split->left.count_u64();
-      BOOSTER_CHECK_MSG(n_left > 0 && n_left < node.rows,
-                        "split produced an empty child");
-      const std::uint8_t child_buf = node.buf ^ 1;
-      pool.run_tasks(num_shards, [&](unsigned s) {
-        Shard& sh = shards[s];
-        const std::uint64_t begin = spans.begin(node.slot, s);
-        const std::uint64_t end = spans.end(node.slot, s);
-        const auto& col = data.column(split->field);
-        const std::vector<std::uint32_t>& src = sh.bufs[node.buf];
-        std::vector<std::uint32_t>& dst = sh.bufs[child_buf];
-        std::uint64_t shard_left = 0;
-        for (std::uint64_t i = begin; i < end; ++i) {
-          shard_left += split_goes_left(*split, col[src[i]]);
-        }
-        std::uint64_t left_w = begin;
-        std::uint64_t right_w = begin + shard_left;
-        for (std::uint64_t i = begin; i < end; ++i) {
-          const std::uint32_t row = src[i];
-          if (split_goes_left(*split, col[row])) {
-            dst[left_w++] = row;
-          } else {
-            dst[right_w++] = row;
-          }
-        }
-        BOOSTER_CHECK_MSG(left_w == begin + shard_left && right_w == end,
-                          "shard partition disagrees with its count pass");
-        sh.n_left = shard_left;
-      });
-      std::uint64_t left_total = 0;
-      for (const Shard& sh : shards) left_total += sh.n_left;
-      BOOSTER_CHECK_MSG(
-          left_total == n_left,
-          "sharded partition disagrees with the split's bucket counts");
-      emit(trace, StepEvent{.kind = StepKind::kPartition,
-                            .tree = static_cast<std::int32_t>(t),
-                            .depth = node.depth,
-                            .records = node.rows,
-                            .fields_touched = 1,
-                            .record_fields = num_fields});
-      const std::uint64_t n_right = node.rows - n_left;
-
-      const auto [left_id, right_id] = tree.split_leaf(node.tree_node, *split);
-
-      const std::int32_t child_depth = node.depth + 1;
-      const bool children_may_split =
-          child_depth < static_cast<std::int32_t>(cfg_.max_depth);
-
-      if (!children_may_split) {
-        tree.set_leaf_weight(left_id, cfg_.learning_rate *
-                                          leaf_weight(split->left,
-                                                      cfg_.split.lambda));
-        tree.set_leaf_weight(right_id, cfg_.learning_rate *
-                                           leaf_weight(split->right,
-                                                       cfg_.split.lambda));
-        leaf_depth_sum += 2.0 * child_depth;
-        leaf_count += 2;
-        merged_pool.release(std::move(node.hist));
-        spans.release(node.slot);
-        continue;
-      }
-
-      // Step 1 at the children: bin only the smaller child per shard; the
-      // larger child is parent - smaller on the merged buffers (exact).
-      const bool left_smaller = n_left <= n_right;
-      FrontierNode small;
-      FrontierNode large;
-      small.tree_node = left_smaller ? left_id : right_id;
-      large.tree_node = left_smaller ? right_id : left_id;
-      small.depth = large.depth = child_depth;
-      small.buf = large.buf = child_buf;
-      small.rows = left_smaller ? n_left : n_right;
-      large.rows = left_smaller ? n_right : n_left;
-      small.slot = spans.acquire();
-      large.slot = spans.acquire();
-      for (std::uint32_t s = 0; s < num_shards; ++s) {
-        const std::uint64_t begin = spans.begin(node.slot, s);
-        const std::uint64_t end = spans.end(node.slot, s);
-        const std::uint64_t mid = begin + shards[s].n_left;
-        spans.begin(small.slot, s) = left_smaller ? begin : mid;
-        spans.end(small.slot, s) = left_smaller ? mid : end;
-        spans.begin(large.slot, s) = left_smaller ? mid : begin;
-        spans.end(large.slot, s) = left_smaller ? end : mid;
-      }
-      spans.release(node.slot);
-
-      small.hist = build_merged(small);
-      small.totals = small.hist.totals();
-      if (cfg_.growth == GrowthOrder::kVertexByVertex) {
-        emit(trace, StepEvent{.kind = StepKind::kHistogram,
-                              .tree = static_cast<std::int32_t>(t),
-                              .depth = child_depth,
-                              .records = small.rows,
-                              .fields_touched = num_fields,
-                              .record_fields = num_fields,
-                              .used_sibling_subtraction = true});
-      } else {
-        if (level_hist_records.size() <=
-            static_cast<std::size_t>(child_depth)) {
-          level_hist_records.resize(child_depth + 1, 0);
-          level_hist_nodes.resize(child_depth + 1, 0);
-        }
-        level_hist_records[child_depth] += small.rows;
-        ++level_hist_nodes[child_depth];
-      }
-
-      large.hist = std::move(node.hist);
-      large.hist.subtract(small.hist);
-      large.totals = large.hist.totals();
-
-      frontier.push_back(std::move(small));
-      frontier.push_back(std::move(large));
-    }
-
-    if (cfg_.growth == GrowthOrder::kLevelByLevel) {
-      for (std::size_t depth = 0; depth < level_hist_records.size(); ++depth) {
-        if (level_hist_records[depth] == 0) continue;
-        emit(trace, StepEvent{.kind = StepKind::kHistogram,
-                              .tree = static_cast<std::int32_t>(t),
-                              .depth = static_cast<std::int32_t>(depth),
-                              .records = level_hist_records[depth],
-                              .fields_touched = num_fields,
-                              .record_fields = num_fields,
-                              .histograms = level_hist_nodes[depth],
-                              .used_sibling_subtraction = true});
-      }
-    }
-
-    // Step 5: every shard passes its own records through the finished tree
-    // and refreshes gradients. Per-shard hop sums are integer-valued, so
-    // the shard-order reduction is exact at any shard count.
-    pool.run_tasks(num_shards, [&](unsigned s) {
-      Shard& sh = shards[s];
-      double shard_hops = 0.0;
-      for (std::uint64_t r = sh.row_begin; r < sh.row_end; ++r) {
-        std::int32_t id = tree.root();
-        std::uint32_t path = 0;
-        while (!tree.node(id).is_leaf) {
-          const TreeNode& nd = tree.node(id);
-          id = tree.goes_left(id, data.bin(nd.field, r)) ? nd.left : nd.right;
-          ++path;
-        }
-        preds[r] += static_cast<float>(tree.node(id).weight);
-        gradients[r] = loss->gradients(preds[r], data.labels()[r]);
-        shard_hops += path;
-      }
-      sh.sum = shard_hops;
-    });
-    double hops = 0.0;
-    for (const Shard& sh : shards) hops += sh.sum;
-    emit(trace, StepEvent{.kind = StepKind::kTraversal,
-                          .tree = static_cast<std::int32_t>(t),
-                          .depth = static_cast<std::int32_t>(tree.max_depth()),
-                          .records = n,
-                          .fields_touched = static_cast<std::uint32_t>(
-                              tree.relevant_fields().size()),
-                          .record_fields = num_fields,
-                          .avg_path_length = hops / static_cast<double>(n)});
-
-    TreeStats stats;
-    stats.leaves = tree.num_leaves();
-    stats.depth = tree.max_depth();
-    // Quantized loss terms sum exactly in any grouping: bit-identical
-    // train_loss (and step-6 decisions) to the unsharded trainer.
-    pool.run_tasks(num_shards, [&](unsigned s) {
-      Shard& sh = shards[s];
-      double shard_loss = 0.0;
-      for (std::uint64_t r = sh.row_begin; r < sh.row_end; ++r) {
-        shard_loss += quantize_stat(loss->value(preds[r], data.labels()[r]));
-      }
-      sh.sum = shard_loss;
-    });
-    double total_loss = 0.0;
-    for (const Shard& sh : shards) total_loss += sh.sum;
-    // Same exactness guard as Trainer: non-negative terms, so the total
-    // bounds every shard partial.
-    BOOSTER_CHECK_MSG(total_loss <= kStatSumCapacity,
-                      "training-loss sum exceeds the quantized-exact "
-                      "capacity (2^29); normalize labels or enlarge "
-                      "kStatQuantum");
-    stats.train_loss = total_loss / static_cast<double>(n);
-    result.tree_stats.push_back(stats);
-    result.model.add_tree(std::move(tree));
-
-    // Step 6: identical early-stopping rule to Trainer.
-    if (cfg_.early_stop_rel_improvement > 0.0) {
-      const double improvement =
-          prev_loss <= 0.0 ? 0.0 : (prev_loss - stats.train_loss) / prev_loss;
-      if (std::isfinite(prev_loss) &&
-          improvement < cfg_.early_stop_rel_improvement) {
-        if (++stagnant_trees >= cfg_.early_stop_patience) {
-          result.early_stopped = true;
-          break;
-        }
-      } else {
-        stagnant_trees = 0;
-      }
-      prev_loss = stats.train_loss;
-    }
-  }
-
-  result.avg_leaf_depth =
-      leaf_count == 0 ? 0.0 : leaf_depth_sum / static_cast<double>(leaf_count);
-
-  result.hot_path.threads = pool.num_threads();
-  result.hot_path.shards = num_shards;
-  result.hot_path.histogram_merges = histogram_merges;
-  result.hot_path.histogram_allocations = merged_pool.allocations();
-  result.hot_path.histogram_acquires = merged_pool.acquires();
-  result.hot_path.arena_bytes = 0;
-  result.hot_path.per_shard.reserve(num_shards);
-  for (const Shard& sh : shards) {
-    ShardHotPathStats ss;
-    ss.rows = sh.num_rows();
-    ss.histogram_allocations = sh.pool.allocations();
-    ss.histogram_acquires = sh.pool.acquires();
-    ss.arena_bytes =
-        (sh.bufs[0].size() + sh.bufs[1].size()) * sizeof(std::uint32_t);
-    result.hot_path.histogram_allocations += ss.histogram_allocations;
-    result.hot_path.histogram_acquires += ss.histogram_acquires;
-    result.hot_path.arena_bytes += ss.arena_bytes;
-    result.hot_path.per_shard.push_back(ss);
-  }
-  result.hot_path.row_major_matrix_bytes =
-      RecordLayout::software_row_major_bytes(n, num_fields, sizeof(BinIndex));
-
-  detail::fill_workload_info(data, cfg_, result, info);
-
-  return result;
+  // The single-rank world of the distributed engine: one ShardGroup
+  // covering every shard, no transport, no communication -- the same
+  // driver loop rank 0 runs in a real multi-process world.
+  DistributedConfig cfg;
+  cfg.trainer = cfg_;
+  DistributedTrainer trainer(cfg, /*transport=*/nullptr);
+  return trainer.train(data, trace, info);
 }
 
 }  // namespace booster::gbdt

@@ -1,49 +1,43 @@
 // Sharded GBDT training (ROADMAP "Sharded training"): partition the
 // records into K contiguous row shards, give every shard its own histogram
 // pool and ping-pong row arenas, run the per-shard histogram build /
-// partition / traversal as shard tasks on util::ThreadPool, and merge the
-// per-node shard histograms with Histogram::add in fixed shard order before
-// running the (already-threaded) SplitFinder on the merged result.
+// partition / traversal as (sub-chunked) shard tasks on util::ThreadPool,
+// and merge the per-shard histograms with Histogram::add in fixed shard
+// order before running the (already-threaded) SplitFinder on the merged
+// result.
 //
-// Because histogram accumulation is quantized-exact (gbdt::quantize_stat),
-// the shard merge is *exactly* order-insensitive, and because the per-shard
-// partition is stable and shard ranges are contiguous, concatenating the
-// shards' arena spans in shard order reproduces the single-shard row order
-// node by node. The trained model -- tree structure, split decisions, leaf
-// weights, gains, predictions, and per-tree metrics -- is therefore
-// bit-identical to gbdt::Trainer at every shard count, which is what the
-// equivalence-test layer (tests/test_sharded_equivalence.cc) asserts and
-// what makes the engine trustworthy for the 50M-record nominal workloads
-// the paper sizes Booster against (the same merge operator distributes
-// across processes; see ROADMAP follow-ons).
+// Since the cross-process PR the engine itself lives in
+// gbdt::DistributedTrainer (distributed.h) with the per-shard half in
+// gbdt::ShardGroup (shard_ops.h); ShardedTrainer is the zero-transport
+// single-rank world of that engine. Because histogram accumulation is
+// quantized-exact (gbdt::quantize_stat), the shard merge is *exactly*
+// order-insensitive, and because the per-shard partition is stable over
+// contiguous shard ranges, the trained model -- tree structure, split
+// decisions, leaf weights, gains, predictions, and per-tree metrics -- is
+// bit-identical to gbdt::Trainer at every shard count, thread count, and
+// sub-chunking, which is what the equivalence-test layer
+// (tests/test_sharded_equivalence.cc) asserts. The same merge operator
+// distributes across processes -- tests/test_distributed.cc extends the
+// contract over real transports.
 #pragma once
 
 #include <cstdint>
-#include <utility>
 
+#include "gbdt/shard_ops.h"
 #include "gbdt/trainer.h"
 
 namespace booster::gbdt {
-
-/// Row range [begin, end) of shard `s` out of `shards` over `n` records:
-/// contiguous, near-equal, boundaries a pure function of (n, shards) --
-/// the same fixed-share rule util::ThreadPool::parallel_for uses for
-/// chunks. Requires n * shards < 2^64 (always true for row counts).
-inline std::pair<std::uint64_t, std::uint64_t> shard_row_range(
-    std::uint64_t n, std::uint32_t shards, std::uint32_t s) {
-  return {n * s / shards, n * (s + 1) / shards};
-}
 
 /// Drop-in sharded replacement for Trainer::train. Constructed from the
 /// same TrainerConfig; cfg.num_shards selects the shard count (values 0/1
 /// still run through the sharded engine with one shard -- useful for
 /// equivalence tests -- whereas Trainer::train only delegates here for
 /// num_shards > 1). Shard tasks run on a pool of cfg.num_threads threads;
-/// shard count and thread count are independent knobs. Known limitation:
-/// parallelism tops out at num_shards (each shard's work is one serial
-/// task), so threads > shards idle the surplus -- exactness would survive
-/// per-shard sub-chunking (any grouping merges to the same bits), it just
-/// has not been needed yet; see the ROADMAP follow-on.
+/// shard count and thread count are independent knobs. When threads >
+/// shards, every per-shard task is sub-chunked into ceil(threads / shards)
+/// contiguous row chunks (ShardHotPathStats::sub_chunks), so the surplus
+/// threads contribute instead of idling -- exactness is grouping-
+/// independent, so this is pure scheduling.
 class ShardedTrainer {
  public:
   explicit ShardedTrainer(TrainerConfig cfg = {}) : cfg_(cfg) {}

@@ -74,6 +74,11 @@ struct ShardHotPathStats {
   std::uint64_t histogram_allocations = 0;
   std::uint64_t histogram_acquires = 0;
   std::uint64_t arena_bytes = 0;
+  /// Sub-chunks each of this shard's tasks (build, partition, traversal)
+  /// was split into: ceil(threads / shards), so threads > shards no longer
+  /// idles the surplus (1 = whole-shard tasks). Any chunking merges to the
+  /// same bits -- see gbdt::quantize_stat.
+  std::uint32_t sub_chunks = 1;
 };
 
 /// Allocation / threading diagnostics of one training run. The hot path is
@@ -92,9 +97,14 @@ struct HotPathStats {
   /// Node histograms requested (root + one per smaller child + parallel
   /// partials). Grows with trees while histogram_allocations stays flat.
   std::uint64_t histogram_acquires = 0;
-  /// Histogram::add merge operations performed by sharded training (one
-  /// per shard per merged node histogram; 0 on the single-shard path).
+  /// Per-shard Histogram::add merges into node histograms (one per shard
+  /// per merged node; 0 on the single-shard path). This is the operation
+  /// whose operand crosses the transport in distributed training, so
+  /// merges x encoded-histogram-bytes is the wire traffic of a run.
   std::uint64_t histogram_merges = 0;
+  /// Intra-shard chunk-partial merges from sub-chunking (threads >
+  /// shards); local reductions that never cross a transport.
+  std::uint64_t chunk_merges = 0;
   /// Bytes of the persistent ping-pong row-index arenas (all shards).
   std::uint64_t arena_bytes = 0;
   /// Bytes of the dataset's redundant row-major bin matrix -- the memory

@@ -8,6 +8,25 @@ namespace booster::gbdt {
 
 Tree::Tree() { nodes_.push_back(TreeNode{}); }
 
+Tree Tree::from_nodes(std::vector<TreeNode> nodes) {
+  BOOSTER_CHECK_MSG(!nodes.empty(), "tree node table is empty");
+  BOOSTER_CHECK_MSG(nodes[0].depth == 0, "tree root must have depth 0");
+  const auto count = static_cast<std::int32_t>(nodes.size());
+  for (std::int32_t id = 0; id < count; ++id) {
+    const TreeNode& n = nodes[id];
+    if (n.is_leaf) continue;
+    BOOSTER_CHECK_MSG(n.left > id && n.left < count && n.right > id &&
+                          n.right < count,
+                      "tree node table has out-of-range child links");
+    BOOSTER_CHECK_MSG(nodes[n.left].depth == n.depth + 1 &&
+                          nodes[n.right].depth == n.depth + 1,
+                      "tree node table has inconsistent depths");
+  }
+  Tree tree;
+  tree.nodes_ = std::move(nodes);
+  return tree;
+}
+
 std::pair<std::int32_t, std::int32_t> Tree::split_leaf(std::int32_t id,
                                                        const SplitInfo& info) {
   BOOSTER_CHECK(nodes_[id].is_leaf);

@@ -36,6 +36,15 @@ class Tree {
   /// Creates a tree consisting of a single (yet unweighted) root leaf.
   Tree();
 
+  /// Reconstructs a tree from a flat node table -- the inverse of reading
+  /// nodes_ out node by node, used when a finished tree arrives over the
+  /// wire (ipc::HistogramCodec's tree-complete message). Validates the
+  /// table's structural invariants (root at 0, children appended after
+  /// their parent, consistent depths) and aborts on violations: trees come
+  /// from rank 0 over a checksummed channel, so a bad table is a protocol
+  /// bug, not line noise.
+  static Tree from_nodes(std::vector<TreeNode> nodes);
+
   std::int32_t root() const { return 0; }
   const TreeNode& node(std::int32_t id) const { return nodes_[id]; }
   std::uint32_t num_nodes() const {

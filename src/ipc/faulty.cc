@@ -1,0 +1,81 @@
+#include "ipc/faulty.h"
+
+namespace booster::ipc {
+
+FaultyTransport::FaultyTransport(Transport* inner, FaultConfig faults,
+                                 std::uint64_t seed)
+    : inner_(inner),
+      faults_(faults),
+      rng_(seed),
+      held_(inner->world_size()),
+      holding_(inner->world_size(), false) {}
+
+bool FaultyTransport::deliver(std::uint32_t dst,
+                              std::span<const std::uint8_t> frame) {
+  const bool ok = inner_->send(dst, frame);
+  if (ok) {
+    ++stats_.frames_sent;
+    stats_.bytes_sent += frame.size();
+  }
+  return ok;
+}
+
+bool FaultyTransport::send(std::uint32_t dst,
+                           std::span<const std::uint8_t> frame) {
+  // Fault draws happen in a fixed order so the schedule is a pure function
+  // of (seed, send index) regardless of which fault rates are enabled.
+  const double u_drop = rng_.next_double();
+  const double u_trunc = rng_.next_double();
+  const double u_dup = rng_.next_double();
+  const double u_reorder = rng_.next_double();
+  const double u_flip = rng_.next_double();
+  const double u_where = rng_.next_double();
+
+  bool ok = true;
+  if (u_drop < faults_.drop) {
+    ++fault_stats_.dropped;
+  } else if (u_trunc < faults_.truncate && !frame.empty()) {
+    ++fault_stats_.truncated;
+    const std::size_t keep =
+        static_cast<std::size_t>(u_where * static_cast<double>(frame.size()));
+    ok = deliver(dst, frame.subspan(0, keep));
+  } else if (u_dup < faults_.duplicate) {
+    ++fault_stats_.duplicated;
+    ok = deliver(dst, frame) && deliver(dst, frame);
+  } else if (u_reorder < faults_.reorder && dst < held_.size() &&
+             !holding_[dst]) {
+    // Hold this frame; it goes out right after the next frame to `dst`.
+    ++fault_stats_.reordered;
+    held_[dst].assign(frame.begin(), frame.end());
+    holding_[dst] = true;
+    return true;
+  } else if (u_flip < faults_.bitflip && !frame.empty()) {
+    ++fault_stats_.bitflipped;
+    std::vector<std::uint8_t> corrupted(frame.begin(), frame.end());
+    const std::uint64_t bit = rng_.next_below(corrupted.size() * 8);
+    corrupted[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    ok = deliver(dst, corrupted);
+  } else {
+    ok = deliver(dst, frame);
+  }
+
+  if (dst < held_.size() && holding_[dst]) {
+    holding_[dst] = false;
+    ok = deliver(dst, held_[dst]) && ok;
+    held_[dst].clear();
+  }
+  return ok;
+}
+
+RecvStatus FaultyTransport::recv(std::uint32_t src,
+                                 std::vector<std::uint8_t>* frame,
+                                 std::chrono::milliseconds timeout) {
+  const RecvStatus st = inner_->recv(src, frame, timeout);
+  if (st == RecvStatus::kOk) {
+    ++stats_.frames_received;
+    stats_.bytes_received += frame->size();
+  }
+  return st;
+}
+
+}  // namespace booster::ipc

@@ -1,0 +1,73 @@
+// Fault-injection transport decorator: wraps any Transport and perturbs
+// *outgoing* frames with a seeded, deterministic fault schedule -- drop,
+// truncate, duplicate, reorder, and bit-flip -- so the retry protocol
+// (ipc::ReliableChannel) can be driven through every failure class it
+// claims to survive, reproducibly. Each endpoint's fault decisions depend
+// only on its seed and its own send sequence (one trainer thread per
+// endpoint), never on cross-thread timing, so a failing test replays.
+//
+// Retransmitted frames pass through the same fault schedule as originals:
+// a retry can itself be dropped or corrupted, which is exactly the case a
+// bounded-attempts protocol has to get right.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ipc/transport.h"
+#include "util/rng.h"
+
+namespace booster::ipc {
+
+/// Per-frame fault probabilities in [0, 1]. At most one fault is applied
+/// per frame (drawn in the order below), keeping injected behavior easy to
+/// reason about while still composing across frames.
+struct FaultConfig {
+  double drop = 0.0;       // frame vanishes
+  double truncate = 0.0;   // only a strict prefix is delivered
+  double duplicate = 0.0;  // frame delivered twice
+  double reorder = 0.0;    // frame held back until after the next send
+  double bitflip = 0.0;    // one random bit flipped
+};
+
+struct FaultStats {
+  std::uint64_t dropped = 0;
+  std::uint64_t truncated = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t reordered = 0;
+  std::uint64_t bitflipped = 0;
+
+  std::uint64_t total() const {
+    return dropped + truncated + duplicated + reordered + bitflipped;
+  }
+};
+
+class FaultyTransport final : public Transport {
+ public:
+  /// Borrows `inner` (not owned); the caller keeps it alive.
+  FaultyTransport(Transport* inner, FaultConfig faults, std::uint64_t seed);
+
+  std::uint32_t world_size() const override { return inner_->world_size(); }
+  std::uint32_t rank() const override { return inner_->rank(); }
+  const char* kind() const override { return "faulty"; }
+
+  bool send(std::uint32_t dst, std::span<const std::uint8_t> frame) override;
+  RecvStatus recv(std::uint32_t src, std::vector<std::uint8_t>* frame,
+                  std::chrono::milliseconds timeout) override;
+
+  const FaultStats& fault_stats() const { return fault_stats_; }
+
+ private:
+  bool deliver(std::uint32_t dst, std::span<const std::uint8_t> frame);
+
+  Transport* inner_;
+  FaultConfig faults_;
+  util::Rng rng_;
+  FaultStats fault_stats_;
+  /// Held-back frame per destination (reorder fault): flushed after the
+  /// next frame to the same destination goes out.
+  std::vector<std::vector<std::uint8_t>> held_;
+  std::vector<bool> holding_;
+};
+
+}  // namespace booster::ipc

@@ -1,0 +1,143 @@
+#include "ipc/file_transport.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <thread>
+
+#include "util/check.h"
+
+namespace booster::ipc {
+
+namespace {
+
+/// Polling interval while waiting for the writer's next frame. Polling is
+/// the price of a transport with no kernel rendezvous at all; the sleep
+/// yields the core, which matters on single-core CI runners where the
+/// writer thread otherwise never gets scheduled.
+constexpr std::chrono::microseconds kPollInterval{500};
+
+bool write_fully(int fd, const std::uint8_t* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool pread_fully(int fd, std::uint8_t* data, std::size_t size,
+                 std::uint64_t offset) {
+  while (size > 0) {
+    const ssize_t n = ::pread(fd, data, size, static_cast<off_t>(offset));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;  // short file: frame not fully spooled yet
+    data += n;
+    size -= static_cast<std::size_t>(n);
+    offset += static_cast<std::uint64_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+FileTransport::FileTransport(std::string dir, std::uint32_t world_size,
+                             std::uint32_t rank)
+    : dir_(std::move(dir)),
+      world_size_(world_size),
+      rank_(rank),
+      write_fds_(world_size, -1),
+      read_fds_(world_size, -1),
+      read_offsets_(world_size, 0) {
+  BOOSTER_CHECK_MSG(rank < world_size, "file-transport rank out of range");
+  // Best effort: the first rank to arrive creates the spool directory.
+  ::mkdir(dir_.c_str(), 0777);
+}
+
+FileTransport::~FileTransport() {
+  for (const int fd : write_fds_) {
+    if (fd >= 0) ::close(fd);
+  }
+  for (const int fd : read_fds_) {
+    if (fd >= 0) ::close(fd);
+  }
+}
+
+std::string FileTransport::spool_path(std::uint32_t src,
+                                      std::uint32_t dst) const {
+  return dir_ + "/msg-" + std::to_string(src) + "-to-" + std::to_string(dst) +
+         ".spool";
+}
+
+bool FileTransport::send(std::uint32_t dst,
+                         std::span<const std::uint8_t> frame) {
+  if (dst >= world_size_ || dst == rank_) return false;
+  int& fd = write_fds_[dst];
+  if (fd < 0) {
+    fd = ::open(spool_path(rank_, dst).c_str(),
+                O_CREAT | O_WRONLY | O_APPEND | O_CLOEXEC, 0666);
+    if (fd < 0) return false;
+  }
+  // One buffered write per frame: the reader tolerates partially spooled
+  // frames (it waits for the length prefix to be satisfied), but a single
+  // write keeps the window tiny.
+  std::vector<std::uint8_t> buf;
+  buf.reserve(4 + frame.size());
+  const std::uint32_t len = static_cast<std::uint32_t>(frame.size());
+  for (int i = 0; i < 4; ++i) {
+    buf.push_back(static_cast<std::uint8_t>(len >> (8 * i)));
+  }
+  buf.insert(buf.end(), frame.begin(), frame.end());
+  if (!write_fully(fd, buf.data(), buf.size())) return false;
+  ++stats_.frames_sent;
+  stats_.bytes_sent += frame.size();
+  return true;
+}
+
+RecvStatus FileTransport::recv(std::uint32_t src,
+                               std::vector<std::uint8_t>* frame,
+                               std::chrono::milliseconds timeout) {
+  if (src >= world_size_ || src == rank_) return RecvStatus::kClosed;
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  int& fd = read_fds_[src];
+  std::uint64_t& offset = read_offsets_[src];
+  for (;;) {
+    if (fd < 0) {
+      fd = ::open(spool_path(src, rank_).c_str(), O_RDONLY | O_CLOEXEC);
+    }
+    if (fd >= 0) {
+      std::uint8_t len_bytes[4];
+      if (pread_fully(fd, len_bytes, 4, offset)) {
+        std::uint32_t len = 0;
+        for (int i = 0; i < 4; ++i) {
+          len |= static_cast<std::uint32_t>(len_bytes[i]) << (8 * i);
+        }
+        // A corrupted spool (the prefix is outside the codec's CRC) must
+        // not turn into a huge allocation; the channel is unusable.
+        if (len > kMaxFrameBytes) return RecvStatus::kClosed;
+        frame->resize(len);
+        if (len == 0 || pread_fully(fd, frame->data(), len, offset + 4)) {
+          offset += 4 + len;
+          ++stats_.frames_received;
+          stats_.bytes_received += len;
+          return RecvStatus::kOk;
+        }
+      }
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      return RecvStatus::kTimeout;
+    }
+    std::this_thread::sleep_for(kPollInterval);
+  }
+}
+
+}  // namespace booster::ipc

@@ -1,0 +1,46 @@
+// File/pipe transport: one append-only spool file per directed rank pair
+// inside a shared directory ("msg-<src>-to-<dst>.spool"), each frame
+// length-prefixed. Exactly one writer per file (the sending rank) and one
+// reader (the receiving rank, polling at its own offset), so no file
+// locking is needed -- the one-writer-per-shard discipline the ROADMAP's
+// cross-process follow-on prescribes. Works across processes (the
+// multi_process example forks real workers over it) and doubles as a
+// post-mortem artifact: the full message history of a run stays on disk.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ipc/transport.h"
+
+namespace booster::ipc {
+
+class FileTransport final : public Transport {
+ public:
+  /// Joins the world rooted at directory `dir` (created if missing) as
+  /// `rank`. No rendezvous: every rank can construct its endpoint
+  /// independently, before or after its peers exist.
+  FileTransport(std::string dir, std::uint32_t world_size, std::uint32_t rank);
+  ~FileTransport() override;
+
+  std::uint32_t world_size() const override { return world_size_; }
+  std::uint32_t rank() const override { return rank_; }
+  const char* kind() const override { return "file"; }
+
+  bool send(std::uint32_t dst, std::span<const std::uint8_t> frame) override;
+  RecvStatus recv(std::uint32_t src, std::vector<std::uint8_t>* frame,
+                  std::chrono::milliseconds timeout) override;
+
+ private:
+  std::string spool_path(std::uint32_t src, std::uint32_t dst) const;
+
+  std::string dir_;
+  std::uint32_t world_size_;
+  std::uint32_t rank_;
+  std::vector<int> write_fds_;      // per dst; -1 until first send
+  std::vector<int> read_fds_;       // per src; -1 until the file exists
+  std::vector<std::uint64_t> read_offsets_;  // per src
+};
+
+}  // namespace booster::ipc

@@ -1,0 +1,64 @@
+#include "ipc/loopback.h"
+
+#include "util/check.h"
+
+namespace booster::ipc {
+
+namespace {
+
+class LoopbackTransportImpl final : public Transport {
+ public:
+  LoopbackTransportImpl(LoopbackHub* hub, std::uint32_t rank)
+      : hub_(hub), rank_(rank) {}
+
+  std::uint32_t world_size() const override { return hub_->world_size(); }
+  std::uint32_t rank() const override { return rank_; }
+  const char* kind() const override { return "loopback"; }
+
+  bool send(std::uint32_t dst, std::span<const std::uint8_t> frame) override {
+    if (dst >= hub_->world_size() || dst == rank_) return false;
+    auto& ch = hub_->channel(rank_, dst);
+    {
+      std::lock_guard<std::mutex> lock(ch.mutex);
+      ch.frames.emplace_back(frame.begin(), frame.end());
+    }
+    ch.cv.notify_all();
+    ++stats_.frames_sent;
+    stats_.bytes_sent += frame.size();
+    return true;
+  }
+
+  RecvStatus recv(std::uint32_t src, std::vector<std::uint8_t>* frame,
+                  std::chrono::milliseconds timeout) override {
+    if (src >= hub_->world_size() || src == rank_) return RecvStatus::kClosed;
+    auto& ch = hub_->channel(src, rank_);
+    std::unique_lock<std::mutex> lock(ch.mutex);
+    if (!ch.cv.wait_for(lock, timeout, [&] { return !ch.frames.empty(); })) {
+      return RecvStatus::kTimeout;
+    }
+    *frame = std::move(ch.frames.front());
+    ch.frames.pop_front();
+    ++stats_.frames_received;
+    stats_.bytes_received += frame->size();
+    return RecvStatus::kOk;
+  }
+
+ private:
+  LoopbackHub* hub_;
+  std::uint32_t rank_;
+};
+
+}  // namespace
+
+LoopbackHub::LoopbackHub(std::uint32_t world_size) : world_size_(world_size) {
+  BOOSTER_CHECK_MSG(world_size >= 1, "loopback world needs at least one rank");
+  channels_.resize(static_cast<std::size_t>(world_size) * world_size);
+  for (auto& ch : channels_) ch = std::make_unique<Channel>();
+}
+
+std::unique_ptr<Transport> LoopbackHub::endpoint(std::uint32_t rank) {
+  BOOSTER_CHECK_MSG(rank < world_size_, "loopback rank out of range");
+  return std::make_unique<LoopbackTransportImpl>(this, rank);
+}
+
+}  // namespace booster::ipc

@@ -1,0 +1,143 @@
+#include "ipc/reliable.h"
+
+#include "util/check.h"
+
+namespace booster::ipc {
+
+ReliableChannel::ReliableChannel(Transport* transport, ReliableConfig cfg)
+    : transport_(transport),
+      cfg_(cfg),
+      tx_(transport->world_size()),
+      rx_(transport->world_size()) {}
+
+void ReliableChannel::send(std::uint32_t dst, MessageType type,
+                           std::span<const std::uint8_t> payload) {
+  BOOSTER_CHECK_MSG(dst < tx_.size(), "reliable send to unknown rank");
+  PeerTx& tx = tx_[dst];
+  const std::uint64_t seq = tx.next_seq++;
+  std::vector<std::uint8_t> frame =
+      HistogramCodec::encode_frame(type, seq, payload);
+  transport_->send(dst, frame);
+  tx.window_bytes += frame.size();
+  tx.window.emplace_back(seq, std::move(frame));
+  // Prune by count and by bytes, but never below one frame -- the most
+  // recent message must always be re-requestable.
+  while (tx.window.size() > 1 &&
+         (tx.window.size() > cfg_.resend_window ||
+          tx.window_bytes > cfg_.resend_window_bytes)) {
+    tx.window_bytes -= tx.window.front().second.size();
+    tx.window.pop_front();
+  }
+  ++stats_.messages_sent;
+}
+
+void ReliableChannel::send_nack(std::uint32_t dst, std::uint64_t from_seq) {
+  std::vector<std::uint8_t> payload;
+  ByteWriter w(&payload);
+  w.u64(from_seq);
+  transport_->send(
+      dst, HistogramCodec::encode_frame(MessageType::kNack, 0, payload));
+  ++stats_.nacks_sent;
+}
+
+void ReliableChannel::handle_nack(std::uint32_t src, const Frame& frame) {
+  ++stats_.nacks_received;
+  ByteReader r(frame.payload);
+  const std::uint64_t from_seq = r.u64();
+  if (!r.exhausted()) {
+    ++stats_.corrupt_frames;  // a corrupt nack; the peer will re-nack
+    return;
+  }
+  PeerTx& tx = tx_[src];
+  // from_seq == next_seq means the peer timed out waiting for a message
+  // we have not produced yet (it is pacing a slow computation, not a
+  // loss); there is nothing to retransmit. Anything further ahead is a
+  // desynced peer; anything behind the pruned window is an overrun. Both
+  // of those are protocol failures, not line faults.
+  if (from_seq == tx.next_seq) return;
+  BOOSTER_CHECK_MSG(from_seq < tx.next_seq,
+                    "ipc nack re-requests a frame that was never sent "
+                    "(protocol desync)");
+  BOOSTER_CHECK_MSG(tx.window.empty() || tx.window.front().first <= from_seq,
+                    "ipc nack re-requests a frame beyond the resend window; "
+                    "enlarge ReliableConfig.resend_window");
+  for (const auto& [seq, bytes] : tx.window) {
+    if (seq < from_seq) continue;
+    transport_->send(src, bytes);
+    ++stats_.retransmits;
+  }
+}
+
+RecvStatus ReliableChannel::pump(std::uint32_t src, Frame* out,
+                                 std::chrono::milliseconds timeout) {
+  PeerRx& rx = rx_[src];
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    // Deliver from the parked buffer first: the gap may have just filled.
+    auto parked = rx.parked.find(rx.expected_seq);
+    if (parked != rx.parked.end()) {
+      *out = std::move(parked->second);
+      rx.parked.erase(parked);
+      ++rx.expected_seq;
+      ++stats_.messages_received;
+      return RecvStatus::kOk;
+    }
+
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return RecvStatus::kTimeout;
+    std::vector<std::uint8_t> bytes;
+    const RecvStatus st = transport_->recv(
+        src, &bytes,
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now));
+    if (st != RecvStatus::kOk) return st;
+
+    Frame frame;
+    const DecodeStatus ds = HistogramCodec::decode_frame(bytes, &frame);
+    if (ds != DecodeStatus::kOk) {
+      // Truncated / bit-flipped / garbled frame: we cannot even trust its
+      // sequence number, so re-request from the first one we are missing.
+      ++stats_.corrupt_frames;
+      send_nack(src, rx.expected_seq);
+      continue;
+    }
+    if (frame.type == MessageType::kNack) {
+      handle_nack(src, frame);
+      continue;
+    }
+    if (frame.seq < rx.expected_seq) {
+      ++stats_.duplicates_dropped;
+      continue;
+    }
+    if (frame.seq > rx.expected_seq) {
+      // Out of order (reorder fault or a loss ahead of it): park it and
+      // re-request the gap. Bounded: parked frames only ever span the
+      // sender's resend window.
+      ++stats_.parked_frames;
+      rx.parked.emplace(frame.seq, std::move(frame));
+      send_nack(src, rx.expected_seq);
+      continue;
+    }
+    ++rx.expected_seq;
+    ++stats_.messages_received;
+    *out = std::move(frame);
+    return RecvStatus::kOk;
+  }
+}
+
+bool ReliableChannel::recv(std::uint32_t src, Frame* out,
+                           std::uint32_t attempts_override) {
+  BOOSTER_CHECK_MSG(src < rx_.size(), "reliable recv from unknown rank");
+  const std::uint32_t attempts =
+      attempts_override != 0 ? attempts_override : cfg_.max_attempts;
+  for (std::uint32_t attempt = 0; attempt < attempts; ++attempt) {
+    const RecvStatus st = pump(src, out, cfg_.recv_timeout);
+    if (st == RecvStatus::kOk) return true;
+    if (st == RecvStatus::kClosed) return false;
+    // Timeout: the frame (or our nack, or the retransmission) was lost.
+    // Re-request and try again, up to the attempt budget.
+    send_nack(src, rx_[src].expected_seq);
+  }
+  return false;
+}
+
+}  // namespace booster::ipc

@@ -1,0 +1,118 @@
+// Reliable, ordered, typed messaging over an unreliable frame Transport --
+// the retry protocol of the distributed trainer. Per directed peer pair:
+//
+//   * every data message carries a sequence number (1, 2, ...) and the
+//     frame CRC from ipc::HistogramCodec;
+//   * the receiver delivers strictly in sequence order: duplicates are
+//     dropped, out-of-order frames are parked until the gap fills, and a
+//     gap, timeout, or corrupt frame triggers a kNack control frame
+//     re-requesting everything from the first missing sequence number;
+//   * the sender keeps a bounded window of sent frames and retransmits on
+//     nack (re-requests beyond the window mean the protocol lost sync and
+//     abort loudly);
+//   * recv() makes at most `max_attempts` timed attempts before giving up,
+//     at which point the caller declares the peer dead (the distributed
+//     trainer then re-executes the dead worker's shards on rank 0).
+//
+// Nack frames are themselves unacknowledged (seq 0): a lost nack is
+// re-sent on the next timeout, and a duplicate nack at worst causes a
+// duplicate retransmission, which the sequence numbers absorb.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "ipc/codec.h"
+#include "ipc/transport.h"
+
+namespace booster::ipc {
+
+struct ReliableConfig {
+  /// One blocking receive attempt per nack round.
+  std::chrono::milliseconds recv_timeout{250};
+  /// Attempts per recv() before the peer is declared unresponsive.
+  /// NOTE: recv_timeout x max_attempts is also the *liveness* budget --
+  /// there is no heartbeat side-channel (a rank busy building histograms
+  /// does not service its channel), so the budget must cover the peer's
+  /// longest compute phase between messages. Size it for the workload:
+  /// a slow-but-alive worker that overruns it is declared dead and its
+  /// shards re-executed (correct but wasteful); a worker whose
+  /// coordinator overruns it aborts loudly.
+  std::uint32_t max_attempts = 40;
+  /// Sent frames kept per peer for retransmission, bounded by count and
+  /// by bytes (shard histograms are the big frames; the protocol is
+  /// lock-stepped a few messages deep, so the byte cap trims dead weight
+  /// without ever dropping a frame a live peer could still re-request --
+  /// a re-request beyond the window aborts loudly, never silently).
+  std::uint32_t resend_window = 512;
+  std::uint64_t resend_window_bytes = 32ull << 20;
+  /// Attempt budget for shutdown-barrier receives (the goodbye handshake):
+  /// long enough to heal a live peer's lost tail frames -- each heal
+  /// round costs one attempt -- but bounded, because a peer that already
+  /// exited leaves nothing to wait for.
+  std::uint32_t shutdown_attempts = 16;
+};
+
+struct ReliableStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_received = 0;
+  std::uint64_t retransmits = 0;      // frames re-sent on nack
+  std::uint64_t nacks_sent = 0;
+  std::uint64_t nacks_received = 0;
+  std::uint64_t duplicates_dropped = 0;
+  std::uint64_t corrupt_frames = 0;   // frames failing HistogramCodec checks
+  std::uint64_t parked_frames = 0;    // out-of-order frames buffered
+};
+
+class ReliableChannel {
+ public:
+  /// Borrows `transport` (not owned). One ReliableChannel per rank,
+  /// multiplexing all of that rank's peers; drive it from one thread.
+  explicit ReliableChannel(Transport* transport, ReliableConfig cfg = {});
+
+  Transport* transport() { return transport_; }
+  const ReliableConfig& config() const { return cfg_; }
+
+  /// Sends one typed message to `dst` (assigns the next sequence number
+  /// and records the frame for retransmission).
+  void send(std::uint32_t dst, MessageType type,
+            std::span<const std::uint8_t> payload);
+
+  /// Receives the next in-order message from `src`. Returns false when
+  /// the peer stayed unresponsive through the attempt budget
+  /// (cfg.max_attempts, or `attempts_override` when non-zero) -- the
+  /// caller's cue to declare it dead. Control frames (nacks) from `src`
+  /// are handled internally and never surface.
+  bool recv(std::uint32_t src, Frame* out, std::uint32_t attempts_override = 0);
+
+  const ReliableStats& stats() const { return stats_; }
+
+ private:
+  struct PeerTx {
+    std::uint64_t next_seq = 1;
+    std::deque<std::pair<std::uint64_t, std::vector<std::uint8_t>>> window;
+    std::uint64_t window_bytes = 0;
+  };
+  struct PeerRx {
+    std::uint64_t expected_seq = 1;
+    std::map<std::uint64_t, Frame> parked;  // out-of-order, keyed by seq
+  };
+
+  void send_nack(std::uint32_t dst, std::uint64_t from_seq);
+  void handle_nack(std::uint32_t src, const Frame& frame);
+  /// Pulls transport frames from src until one data frame is deliverable
+  /// or the timeout lapses.
+  RecvStatus pump(std::uint32_t src, Frame* out,
+                  std::chrono::milliseconds timeout);
+
+  Transport* transport_;
+  ReliableConfig cfg_;
+  std::vector<PeerTx> tx_;
+  std::vector<PeerRx> rx_;
+  ReliableStats stats_;
+};
+
+}  // namespace booster::ipc

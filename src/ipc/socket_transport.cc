@@ -1,0 +1,253 @@
+#include "ipc/socket_transport.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <thread>
+
+#include "util/check.h"
+
+namespace booster::ipc {
+
+namespace {
+
+constexpr std::chrono::milliseconds kConnectRetry{2};
+
+/// Total stall budget for one frame write. Transport sends are
+/// best-effort by contract, so a peer that stops draining its socket
+/// (e.g. an adopted worker rank 0 no longer reads from, wedged in its
+/// own full send buffer) must bound the sender's stall instead of
+/// deadlocking the world; the reliable layer heals a dropped frame the
+/// next time both sides talk.
+constexpr std::chrono::milliseconds kSendStallBudget{2000};
+
+bool write_fully(int fd, const std::uint8_t* data, std::size_t size) {
+  const auto deadline = std::chrono::steady_clock::now() + kSendStallBudget;
+  while (size > 0) {
+    // MSG_NOSIGNAL: a peer that died mid-run must surface as a failed
+    // send (the retry/adoption path), not as a SIGPIPE process kill.
+    // MSG_DONTWAIT + poll: bounded, so a non-draining peer cannot wedge
+    // the sender forever.
+    const ssize_t n = ::send(fd, data, size, MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (n > 0) {
+      data += n;
+      size -= static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno != EINTR && errno != EAGAIN && errno != EWOULDBLOCK) {
+      return false;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return false;
+    struct pollfd pfd {};
+    pfd.fd = fd;
+    pfd.events = POLLOUT;
+    const auto remaining =
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
+    ::poll(&pfd, 1, static_cast<int>(remaining.count()));
+  }
+  return true;
+}
+
+/// Reads whatever is available on fd (blocking up to the poll deadline)
+/// and appends it to rx. Returns kOk when bytes arrived, kTimeout or
+/// kClosed otherwise.
+RecvStatus read_some(int fd, std::vector<std::uint8_t>* rx,
+                     std::chrono::steady_clock::time_point deadline) {
+  const auto now = std::chrono::steady_clock::now();
+  const auto remaining =
+      std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
+  struct pollfd pfd {};
+  pfd.fd = fd;
+  pfd.events = POLLIN;
+  const int pr = ::poll(&pfd, 1, remaining.count() > 0
+                                    ? static_cast<int>(remaining.count())
+                                    : 0);
+  if (pr == 0) return RecvStatus::kTimeout;
+  if (pr < 0) return errno == EINTR ? RecvStatus::kTimeout : RecvStatus::kClosed;
+  std::uint8_t buf[4096];
+  const ssize_t n = ::read(fd, buf, sizeof(buf));
+  if (n < 0) return errno == EINTR ? RecvStatus::kTimeout : RecvStatus::kClosed;
+  if (n == 0) return RecvStatus::kClosed;
+  rx->insert(rx->end(), buf, buf + n);
+  return RecvStatus::kOk;
+}
+
+bool fill_addr(const std::string& path, sockaddr_un* addr) {
+  if (path.size() + 1 > sizeof(addr->sun_path)) return false;
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sun_family = AF_UNIX;
+  std::memcpy(addr->sun_path, path.c_str(), path.size() + 1);
+  return true;
+}
+
+}  // namespace
+
+SocketTransport::SocketTransport(std::uint32_t world_size, std::uint32_t rank)
+    : world_size_(world_size),
+      rank_(rank),
+      fds_(world_size, -1),
+      rx_(world_size) {}
+
+SocketTransport::~SocketTransport() {
+  for (const int fd : fds_) {
+    if (fd >= 0) ::close(fd);
+  }
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+std::unique_ptr<SocketTransport> SocketTransport::serve(
+    const std::string& path, std::uint32_t world_size,
+    std::chrono::milliseconds timeout) {
+  BOOSTER_CHECK_MSG(world_size >= 1, "socket world needs at least one rank");
+  auto t = std::unique_ptr<SocketTransport>(
+      new SocketTransport(world_size, /*rank=*/0));
+  if (world_size == 1) return t;  // nothing to accept
+  sockaddr_un addr;
+  if (!fill_addr(path, &addr)) return nullptr;
+  t->listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (t->listen_fd_ < 0) return nullptr;
+  ::unlink(path.c_str());
+  if (::bind(t->listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) < 0 ||
+      ::listen(t->listen_fd_, static_cast<int>(world_size)) < 0) {
+    return nullptr;
+  }
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (std::uint32_t accepted = 0; accepted + 1 < world_size; ++accepted) {
+    struct pollfd pfd {};
+    pfd.fd = t->listen_fd_;
+    pfd.events = POLLIN;
+    const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    if (remaining.count() <= 0 ||
+        ::poll(&pfd, 1, static_cast<int>(remaining.count())) <= 0) {
+      return nullptr;
+    }
+    const int fd = ::accept(t->listen_fd_, nullptr, nullptr);
+    if (fd < 0) return nullptr;
+    // 4-byte little-endian hello: the connecting rank's id.
+    std::uint8_t hello[4];
+    std::size_t got = 0;
+    while (got < 4) {
+      const ssize_t n = ::read(fd, hello + got, 4 - got);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        ::close(fd);
+        return nullptr;
+      }
+      got += static_cast<std::size_t>(n);
+    }
+    std::uint32_t peer = 0;
+    for (int i = 0; i < 4; ++i) {
+      peer |= static_cast<std::uint32_t>(hello[i]) << (8 * i);
+    }
+    BOOSTER_CHECK_MSG(peer >= 1 && peer < world_size && t->fds_[peer] < 0,
+                      "socket transport: malformed or duplicate hello");
+    t->fds_[peer] = fd;
+  }
+  return t;
+}
+
+std::unique_ptr<SocketTransport> SocketTransport::connect(
+    const std::string& path, std::uint32_t world_size, std::uint32_t rank,
+    std::chrono::milliseconds timeout) {
+  BOOSTER_CHECK_MSG(rank >= 1 && rank < world_size,
+                    "socket transport: worker rank out of range");
+  sockaddr_un addr;
+  if (!fill_addr(path, &addr)) return nullptr;
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  int fd = -1;
+  for (;;) {
+    fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) return nullptr;
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+      break;
+    }
+    ::close(fd);
+    fd = -1;
+    if (std::chrono::steady_clock::now() >= deadline) return nullptr;
+    std::this_thread::sleep_for(kConnectRetry);
+  }
+  std::uint8_t hello[4];
+  for (int i = 0; i < 4; ++i) {
+    hello[i] = static_cast<std::uint8_t>(rank >> (8 * i));
+  }
+  if (!write_fully(fd, hello, 4)) {
+    ::close(fd);
+    return nullptr;
+  }
+  auto t = std::unique_ptr<SocketTransport>(
+      new SocketTransport(world_size, rank));
+  t->fds_[0] = fd;
+  return t;
+}
+
+int SocketTransport::peer_fd(std::uint32_t peer) const {
+  if (peer >= world_size_ || peer == rank_) return -1;
+  if (rank_ != 0 && peer != 0) return -1;  // star topology: via rank 0 only
+  return fds_[peer];
+}
+
+bool SocketTransport::send(std::uint32_t dst,
+                           std::span<const std::uint8_t> frame) {
+  const int fd = peer_fd(dst);
+  if (fd < 0) return false;
+  std::vector<std::uint8_t> buf;
+  buf.reserve(4 + frame.size());
+  const std::uint32_t len = static_cast<std::uint32_t>(frame.size());
+  for (int i = 0; i < 4; ++i) {
+    buf.push_back(static_cast<std::uint8_t>(len >> (8 * i)));
+  }
+  buf.insert(buf.end(), frame.begin(), frame.end());
+  if (!write_fully(fd, buf.data(), buf.size())) {
+    // The write may have stalled out mid-frame, which would desync the
+    // length-prefixed stream; poison the connection so both sides see a
+    // cleanly closed channel instead of garbled frames.
+    ::close(fds_[dst]);
+    fds_[dst] = -1;
+    return false;
+  }
+  ++stats_.frames_sent;
+  stats_.bytes_sent += frame.size();
+  return true;
+}
+
+RecvStatus SocketTransport::recv(std::uint32_t src,
+                                 std::vector<std::uint8_t>* frame,
+                                 std::chrono::milliseconds timeout) {
+  const int fd = peer_fd(src);
+  if (fd < 0) return RecvStatus::kClosed;
+  std::vector<std::uint8_t>& rx = rx_[src];
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    if (rx.size() >= 4) {
+      std::uint32_t len = 0;
+      for (int i = 0; i < 4; ++i) {
+        len |= static_cast<std::uint32_t>(rx[i]) << (8 * i);
+      }
+      // A desynced stream prefix (outside the codec's CRC) must not turn
+      // into a huge buffered read; the stream cannot resynchronize.
+      if (len > kMaxFrameBytes) return RecvStatus::kClosed;
+      if (rx.size() >= 4 + static_cast<std::size_t>(len)) {
+        frame->assign(rx.begin() + 4, rx.begin() + 4 + len);
+        rx.erase(rx.begin(), rx.begin() + 4 + len);
+        ++stats_.frames_received;
+        stats_.bytes_received += len;
+        return RecvStatus::kOk;
+      }
+    }
+    const RecvStatus st = read_some(fd, &rx, deadline);
+    if (st == RecvStatus::kClosed) return st;
+    if (st == RecvStatus::kTimeout &&
+        std::chrono::steady_clock::now() >= deadline) {
+      return RecvStatus::kTimeout;
+    }
+  }
+}
+
+}  // namespace booster::ipc

@@ -1,0 +1,62 @@
+// Local-socket transport: AF_UNIX stream sockets in a star around rank 0
+// (the merge rank). Rank 0 binds and accepts world_size - 1 connections;
+// every worker rank connects and identifies itself with a 4-byte hello.
+// The star matches the protocol's traffic exactly -- shard histograms and
+// summaries flow worker -> rank 0, decisions and trees flow rank 0 ->
+// worker -- so worker<->worker channels are deliberately unsupported
+// (send() to one returns false). Frames are length-prefixed on the stream.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ipc/transport.h"
+
+namespace booster::ipc {
+
+class SocketTransport final : public Transport {
+ public:
+  /// Rank 0: binds `path` (unlinking any stale socket), listens, and
+  /// accepts world_size - 1 identified connections. Blocks up to `timeout`
+  /// for the full world to assemble; aborts loudly on a malformed hello.
+  /// Returns nullptr when the world cannot assemble in time.
+  static std::unique_ptr<SocketTransport> serve(
+      const std::string& path, std::uint32_t world_size,
+      std::chrono::milliseconds timeout = std::chrono::milliseconds(10000));
+
+  /// Ranks 1..world_size-1: connects to rank 0 at `path`, retrying until
+  /// the socket exists or `timeout` elapses. Returns nullptr on timeout.
+  static std::unique_ptr<SocketTransport> connect(
+      const std::string& path, std::uint32_t world_size, std::uint32_t rank,
+      std::chrono::milliseconds timeout = std::chrono::milliseconds(10000));
+
+  ~SocketTransport() override;
+
+  std::uint32_t world_size() const override { return world_size_; }
+  std::uint32_t rank() const override { return rank_; }
+  const char* kind() const override { return "socket"; }
+
+  bool send(std::uint32_t dst, std::span<const std::uint8_t> frame) override;
+  RecvStatus recv(std::uint32_t src, std::vector<std::uint8_t>* frame,
+                  std::chrono::milliseconds timeout) override;
+
+ private:
+  SocketTransport(std::uint32_t world_size, std::uint32_t rank);
+
+  int peer_fd(std::uint32_t peer) const;
+
+  std::uint32_t world_size_;
+  std::uint32_t rank_;
+  int listen_fd_ = -1;
+  /// Rank 0: fds_[r] is the stream to rank r (fds_[0] unused). Workers:
+  /// fds_[0] is the stream to rank 0.
+  std::vector<int> fds_;
+  /// Per-peer receive buffer: bytes read off the stream but not yet
+  /// assembled into a full frame.
+  std::vector<std::vector<std::uint8_t>> rx_;
+};
+
+}  // namespace booster::ipc

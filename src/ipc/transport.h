@@ -1,0 +1,71 @@
+// Pluggable byte-frame transports for the distributed trainer. A Transport
+// connects `world_size` ranks with point-to-point frame channels: send()
+// moves one opaque frame (produced by ipc::HistogramCodec) toward a peer,
+// recv() takes the next frame a peer sent to this rank, in the order the
+// peer's frames arrive. Transports deliver *frames*, not reliability:
+// loss, duplication, reordering, and corruption are tolerated one layer up
+// (ipc::ReliableChannel), which is what lets ipc::FaultyTransport inject
+// exactly those faults underneath an unchanged protocol.
+//
+// Implementations (one writer per directed channel, as the ROADMAP's
+// cross-process follow-on prescribes):
+//   * LoopbackTransport (loopback.h) -- in-memory queues, threads-as-ranks;
+//   * FileTransport (file_transport.h) -- one append-only spool file per
+//     directed pair, readable across processes;
+//   * SocketTransport (socket_transport.h) -- AF_UNIX stream sockets in a
+//     star around rank 0.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace booster::ipc {
+
+/// Upper bound on one transport frame: the codec's maximum payload plus
+/// header slack. Length-prefixed transports (file, socket) reject a
+/// larger prefix *before* allocating -- a corrupted spool or desynced
+/// stream must surface as a closed channel, not a multi-gigabyte resize.
+inline constexpr std::size_t kMaxFrameBytes = (1u << 28) + 256;
+
+enum class RecvStatus : std::uint8_t {
+  kOk = 0,
+  kTimeout,  // no complete frame from the peer within the timeout
+  kClosed,   // the peer's channel is gone (socket EOF, hub shut down)
+};
+
+struct TransportStats {
+  std::uint64_t frames_sent = 0;
+  std::uint64_t frames_received = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  virtual std::uint32_t world_size() const = 0;
+  virtual std::uint32_t rank() const = 0;
+  /// Transport kind for logs/benches ("loopback", "file", "socket", ...).
+  virtual const char* kind() const = 0;
+
+  /// Sends one frame to rank `dst`. Returns false when the transport
+  /// cannot carry it (unknown peer, closed channel); best-effort delivery
+  /// otherwise -- the frame may still be lost in transit.
+  virtual bool send(std::uint32_t dst, std::span<const std::uint8_t> frame) = 0;
+
+  /// Receives the next frame rank `src` sent to this rank, blocking up to
+  /// `timeout`. Frames from one peer arrive in send order on fault-free
+  /// transports; the reliable layer never assumes more than that.
+  virtual RecvStatus recv(std::uint32_t src, std::vector<std::uint8_t>* frame,
+                          std::chrono::milliseconds timeout) = 0;
+
+  const TransportStats& stats() const { return stats_; }
+
+ protected:
+  TransportStats stats_;
+};
+
+}  // namespace booster::ipc

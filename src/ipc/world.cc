@@ -1,0 +1,111 @@
+#include "ipc/world.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+
+#include "ipc/file_transport.h"
+#include "ipc/socket_transport.h"
+#include "util/check.h"
+
+namespace booster::ipc {
+
+const char* transport_kind_name(TransportKind kind) {
+  switch (kind) {
+    case TransportKind::kLoopback: return "loopback";
+    case TransportKind::kFile: return "file";
+    case TransportKind::kSocket: return "socket";
+  }
+  return "unknown";
+}
+
+std::optional<TransportKind> transport_kind_from_name(std::string_view name) {
+  if (name == "loopback") return TransportKind::kLoopback;
+  if (name == "file") return TransportKind::kFile;
+  if (name == "socket") return TransportKind::kSocket;
+  return std::nullopt;
+}
+
+std::string unique_ipc_path(const std::string& tag) {
+  static std::atomic<std::uint64_t> counter{0};
+  const char* tmp = std::getenv("TMPDIR");
+  std::string base = (tmp != nullptr && *tmp != '\0') ? tmp : "/tmp";
+  // Short on purpose: sockaddr_un.sun_path caps AF_UNIX paths at ~100
+  // bytes, and spool paths inherit this prefix too.
+  return base + "/booster-" + tag + "-" + std::to_string(::getpid()) + "-" +
+         std::to_string(counter.fetch_add(1));
+}
+
+InProcessWorld::InProcessWorld(TransportKind kind, std::uint32_t world_size,
+                               std::optional<FaultConfig> faults,
+                               std::uint64_t fault_seed)
+    : kind_(kind),
+      world_size_(world_size),
+      faults_(faults),
+      fault_seed_(fault_seed),
+      inner_(world_size),
+      wrapped_(world_size) {
+  BOOSTER_CHECK_MSG(world_size >= 1, "world needs at least one rank");
+  switch (kind_) {
+    case TransportKind::kLoopback:
+      hub_ = std::make_unique<LoopbackHub>(world_size);
+      break;
+    case TransportKind::kFile:
+      path_ = unique_ipc_path("spool");
+      break;
+    case TransportKind::kSocket:
+      path_ = unique_ipc_path("sock");
+      break;
+  }
+}
+
+InProcessWorld::~InProcessWorld() {
+  // Close every endpoint (open spool fds / sockets) before removing the
+  // scratch path.
+  wrapped_.clear();
+  inner_.clear();
+  if (!path_.empty()) {
+    std::error_code ec;  // best effort; never throw from a destructor
+    std::filesystem::remove_all(path_, ec);
+  }
+}
+
+Transport* InProcessWorld::endpoint(std::uint32_t rank) {
+  BOOSTER_CHECK_MSG(rank < world_size_, "world rank out of range");
+  // Socket endpoints rendezvous (rank 0 accepts while workers connect),
+  // so they must be constructed outside the lock.
+  std::unique_ptr<Transport> t;
+  switch (kind_) {
+    case TransportKind::kLoopback: {
+      std::lock_guard<std::mutex> lock(mutex_);
+      t = hub_->endpoint(rank);
+      break;
+    }
+    case TransportKind::kFile:
+      t = std::make_unique<FileTransport>(path_, world_size_, rank);
+      break;
+    case TransportKind::kSocket:
+      t = rank == 0 ? SocketTransport::serve(path_, world_size_)
+                    : SocketTransport::connect(path_, world_size_, rank);
+      break;
+  }
+  BOOSTER_CHECK_MSG(t != nullptr, "transport endpoint failed to assemble");
+  std::lock_guard<std::mutex> lock(mutex_);
+  inner_[rank] = std::move(t);
+  if (faults_.has_value()) {
+    wrapped_[rank] = std::make_unique<FaultyTransport>(
+        inner_[rank].get(), *faults_, fault_seed_ + rank);
+    return wrapped_[rank].get();
+  }
+  return inner_[rank].get();
+}
+
+const FaultStats* InProcessWorld::fault_stats(std::uint32_t rank) const {
+  if (rank >= world_size_ || wrapped_[rank] == nullptr) return nullptr;
+  return &static_cast<const FaultyTransport*>(wrapped_[rank].get())
+              ->fault_stats();
+}
+
+}  // namespace booster::ipc

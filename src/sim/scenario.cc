@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "ipc/world.h"
+
 namespace booster::sim {
 
 void apply_quick(workloads::RunnerConfig* cfg) {
@@ -358,6 +360,8 @@ workloads::RunnerConfig ScenarioSpec::runner_config(bool quick) const {
   cfg.max_depth = max_depth;
   cfg.seed = seed;
   cfg.num_shards = shards;
+  cfg.procs = procs;
+  cfg.transport = transport;
   if (quick) apply_quick(&cfg);
   return cfg;
 }
@@ -426,6 +430,8 @@ Json ScenarioSpec::to_json() const {
   if (max_depth != defaults.max_depth) runner.set("max_depth", max_depth);
   if (seed != defaults.seed) runner.set("seed", seed);
   if (shards != defaults.shards) runner.set("shards", shards);
+  if (procs != defaults.procs) runner.set("procs", procs);
+  if (transport != defaults.transport) runner.set("transport", transport);
   if (runner.size() > 0) j.set("runner", std::move(runner));
 
   if (include_inference) j.set("include_inference", true);
@@ -525,6 +531,8 @@ std::optional<ScenarioSpec> ScenarioSpec::from_json(const Json& json,
     rr.u32("max_depth", &spec.max_depth);
     rr.u64("seed", &spec.seed);
     rr.u32("shards", &spec.shards);
+    rr.u32("procs", &spec.procs);
+    rr.string("transport", &spec.transport);
     if (!rr.finish()) return std::nullopt;
   }
 
@@ -538,6 +546,16 @@ std::optional<ScenarioSpec> ScenarioSpec::from_json(const Json& json,
   if (spec.sim_records == 0 || spec.sim_trees == 0) {
     set_error(error,
               "scenario.runner.sim_records and sim_trees must be positive");
+    return std::nullopt;
+  }
+  if (spec.procs == 0) {
+    set_error(error, "scenario.runner.procs must be positive");
+    return std::nullopt;
+  }
+  if (!ipc::transport_kind_from_name(spec.transport).has_value()) {
+    set_error(error, "scenario.runner.transport: unknown transport \"" +
+                         spec.transport +
+                         "\" (expected loopback, file, or socket)");
     return std::nullopt;
   }
   return spec;

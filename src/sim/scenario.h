@@ -102,6 +102,12 @@ struct ScenarioSpec {
   /// without perturbing any downstream number. Distinct from the "shards"
   /// sweep axis, which varies the perf model's scale-out projection.
   std::uint32_t shards = 1;
+  /// Ranks for the functional training runs: > 1 trains through
+  /// gbdt::DistributedTrainer over `transport` (an in-process world of
+  /// `procs` rank threads). Also bit-identical, by the same contract.
+  std::uint32_t procs = 1;
+  /// Histogram transport for procs > 1: "loopback", "file", or "socket".
+  std::string transport = "loopback";
 
   /// Also compute each model's batch-inference cost per cell (Fig 13).
   bool include_inference = false;

@@ -1,5 +1,7 @@
 #include "workloads/runner.h"
 
+#include "gbdt/distributed.h"
+#include "ipc/world.h"
 #include "util/check.h"
 #include "workloads/synth.h"
 
@@ -17,11 +19,26 @@ WorkloadResult run_workload(const DatasetSpec& spec, RunnerConfig cfg) {
   tcfg.max_depth = cfg.max_depth;
   tcfg.loss = spec.loss;
   tcfg.num_shards = cfg.num_shards;
-  gbdt::Trainer trainer(tcfg);
 
   trace::StepTrace trace;
   trace::WorkloadInfo info;
-  gbdt::TrainResult train = trainer.train(binned, &trace, &info);
+  gbdt::TrainResult train = [&] {
+    if (cfg.procs <= 1) {
+      return gbdt::Trainer(tcfg).train(binned, &trace, &info);
+    }
+    // Cross-process leg: an in-process world of cfg.procs rank threads
+    // over the configured histogram transport. Bit-identical to the
+    // in-process trainer, so nothing downstream changes -- the pipeline
+    // just exercises the ipc stack.
+    const auto kind = ipc::transport_kind_from_name(cfg.transport);
+    BOOSTER_CHECK_MSG(kind.has_value(),
+                      "RunnerConfig.transport must be loopback, file, or "
+                      "socket");
+    gbdt::DistributedConfig dcfg;
+    dcfg.trainer = tcfg;
+    ipc::InProcessWorld world(*kind, cfg.procs);
+    return gbdt::train_in_process(dcfg, world, binned, &trace, &info);
+  }();
 
   trace.set_scale(static_cast<double>(spec.nominal_records) /
                   static_cast<double>(cfg.sim_records));

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "gbdt/binning.h"
 #include "gbdt/trainer.h"
@@ -28,6 +29,16 @@ struct RunnerConfig {
   /// TrainerConfig::num_shards). Sharded output is bit-identical to the
   /// single-shard hot path, so raising this never changes results.
   std::uint32_t num_shards = 1;
+  /// Ranks for *cross-process* functional training: > 1 runs an
+  /// in-process world of `procs` rank threads through
+  /// gbdt::DistributedTrainer over `transport`, using rank 0's result and
+  /// trace. Distributed output is bit-identical to the in-process
+  /// trainer, so raising this never changes results either -- it
+  /// exercises the transport/merge stack inside the pipeline.
+  std::uint32_t procs = 1;
+  /// Histogram transport for procs > 1: "loopback", "file", or "socket"
+  /// (ipc::transport_kind_from_name).
+  std::string transport = "loopback";
 };
 
 struct WorkloadResult {

@@ -387,6 +387,78 @@ TEST(ShardSweep, AxisAndRunnerShardsRoundTripThroughJson) {
   EXPECT_EQ(reparsed->sweep_values, spec->sweep_values);
 }
 
+TEST(DistributedRunner, ProcsAndTransportRoundTripThroughJson) {
+  auto spec = *builtin_scenario("dse_shard_sweep");
+  spec.procs = 2;
+  spec.transport = "socket";
+  const Json j = spec.to_json();
+  const Json* runner = j.find("runner");
+  ASSERT_NE(runner, nullptr);
+  EXPECT_DOUBLE_EQ(runner->find("procs")->as_double(), 2.0);
+  EXPECT_EQ(runner->find("transport")->as_string(), "socket");
+
+  std::string error;
+  const auto reparsed = ScenarioSpec::from_json(j, &error);
+  ASSERT_TRUE(reparsed.has_value()) << error;
+  EXPECT_TRUE(*reparsed == spec);
+  EXPECT_EQ(reparsed->procs, 2u);
+  EXPECT_EQ(reparsed->transport, "socket");
+
+  // Defaults stay out of the serialized form (lossless minimal JSON).
+  const auto defaults = *builtin_scenario("dse_shard_sweep");
+  const Json dj = defaults.to_json();
+  const Json* drunner = dj.find("runner");
+  ASSERT_NE(drunner, nullptr);
+  EXPECT_EQ(drunner->find("procs"), nullptr);
+  EXPECT_EQ(drunner->find("transport"), nullptr);
+
+  // The knobs reach the workload runner config.
+  const auto rcfg = reparsed->runner_config(/*quick=*/false);
+  EXPECT_EQ(rcfg.procs, 2u);
+  EXPECT_EQ(rcfg.transport, "socket");
+}
+
+TEST(DistributedRunner, BadTransportAndZeroProcsAreParseErrors) {
+  auto spec = *builtin_scenario("dse_shard_sweep");
+  spec.transport = "carrier-pigeon";
+  std::string error;
+  EXPECT_FALSE(ScenarioSpec::from_json(spec.to_json(), &error).has_value());
+  EXPECT_NE(error.find("transport"), std::string::npos) << error;
+
+  spec = *builtin_scenario("dse_shard_sweep");
+  spec.procs = 0;
+  error.clear();
+  EXPECT_FALSE(ScenarioSpec::from_json(spec.to_json(), &error).has_value());
+  EXPECT_NE(error.find("procs"), std::string::npos) << error;
+}
+
+TEST(DistributedRunner, ProcsLegTrainsBitIdenticallyToInProcess) {
+  // runner.procs routes the functional sample through the distributed
+  // trainer; by the bit-identity contract nothing downstream may change.
+  workloads::RunnerConfig base;
+  base.sim_records = 2000;
+  base.sim_trees = 3;
+  base.num_shards = 3;
+  workloads::RunnerConfig dist = base;
+  dist.procs = 2;
+  dist.transport = "loopback";
+
+  const auto spec = workloads::fraud_spec();
+  const auto a = workloads::run_workload(spec, base);
+  const auto b = workloads::run_workload(spec, dist);
+  ASSERT_EQ(a.train.model.num_trees(), b.train.model.num_trees());
+  ASSERT_EQ(a.trace.events().size(), b.trace.events().size());
+  for (std::size_t t = 0; t < a.train.tree_stats.size(); ++t) {
+    EXPECT_EQ(a.train.tree_stats[t].train_loss,
+              b.train.tree_stats[t].train_loss);
+  }
+  for (std::uint64_t r = 0; r < a.binned.num_records(); r += 127) {
+    EXPECT_EQ(a.train.model.predict_raw(a.binned, r),
+              b.train.model.predict_raw(b.binned, r));
+  }
+  EXPECT_EQ(a.info.avg_leaf_depth, b.info.avg_leaf_depth);
+}
+
 TEST(ShardSweep, NonIntegerShardValuesAreErrors) {
   auto spec = *builtin_scenario("dse_shard_sweep");
   spec.sweep_values = {1.5};

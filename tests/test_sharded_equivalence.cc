@@ -250,6 +250,62 @@ TEST(ShardedEquivalence, SteadyStateIsAllocationFreePerShard) {
   }
 }
 
+TEST(ShardedEquivalence, SubChunkingKeepsSurplusThreadsBusyBitIdentically) {
+  // threads > shards used to idle the surplus (each shard's work was one
+  // serial task); per-shard sub-chunking splits every shard task into
+  // ceil(threads / shards) contiguous row chunks. Exactness is grouping-
+  // independent, so the model must not move by a bit -- and the stats
+  // must show the surplus actually engaged.
+  const auto data = random_binned(6001, 61);
+  const auto ref = Trainer(base_config()).train(data);
+
+  TrainerConfig cfg = base_config();
+  cfg.num_shards = 2;
+  cfg.num_threads = 8;
+  const auto got = ShardedTrainer(cfg).train(data);
+  expect_results_bit_identical(got, ref, data, "K=2 T=8 sub-chunked");
+  ASSERT_EQ(got.hot_path.per_shard.size(), 2u);
+  for (const auto& ss : got.hot_path.per_shard) {
+    // ceil(8 / 2) = 4 sub-chunks per shard task.
+    EXPECT_EQ(ss.sub_chunks, 4u);
+  }
+  // No idle-thread regression: shard tasks x sub-chunks covers the pool.
+  EXPECT_GE(got.hot_path.shards * got.hot_path.per_shard[0].sub_chunks,
+            got.hot_path.threads);
+
+  // threads <= shards keeps whole-shard tasks (sub_chunks == 1).
+  TrainerConfig flat = base_config();
+  flat.num_shards = 8;
+  flat.num_threads = 8;
+  const auto even = ShardedTrainer(flat).train(data);
+  expect_results_bit_identical(even, ref, data, "K=8 T=8 whole-shard");
+  for (const auto& ss : even.hot_path.per_shard) {
+    EXPECT_EQ(ss.sub_chunks, 1u);
+  }
+}
+
+TEST(ShardedEquivalence, SubChunkedRunsStayAllocationFreePerShard) {
+  // The allocation-free property must survive sub-chunking: each shard's
+  // pool warms up to its sub-chunk partials and then stops allocating.
+  const auto data = random_binned(4000, 67);
+  TrainerConfig cfg = base_config(/*trees=*/3);
+  cfg.num_shards = 2;
+  cfg.num_threads = 8;
+  const auto short_run = ShardedTrainer(cfg).train(data);
+  cfg.num_trees = 12;
+  const auto long_run = ShardedTrainer(cfg).train(data);
+  EXPECT_GT(long_run.hot_path.histogram_acquires,
+            short_run.hot_path.histogram_acquires);
+  EXPECT_EQ(long_run.hot_path.histogram_allocations,
+            short_run.hot_path.histogram_allocations);
+  ASSERT_EQ(long_run.hot_path.per_shard.size(), 2u);
+  for (std::uint32_t s = 0; s < 2; ++s) {
+    EXPECT_EQ(long_run.hot_path.per_shard[s].histogram_allocations,
+              short_run.hot_path.per_shard[s].histogram_allocations)
+        << "shard " << s;
+  }
+}
+
 TEST(ShardedEquivalence, MoreShardsThanRecordsClamps) {
   const auto data = random_binned(11, 59);
   TrainerConfig cfg = base_config(2);
