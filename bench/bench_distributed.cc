@@ -1,14 +1,17 @@
 // Distributed-training bench (ISSUE 5): times gbdt::DistributedTrainer
-// across the transport matrix (loopback / file / socket x world sizes)
-// against the in-process gbdt::Trainer on a fraud-shaped workload, and
-// cross-checks the subsystem's core contract on every leg -- *bit-
+// across the transport matrix (loopback / file / socket / tcp x world
+// sizes) against the in-process gbdt::Trainer on a fraud-shaped workload,
+// and cross-checks the subsystem's core contract on every leg -- *bit-
 // identical* models, losses, and predictions, whatever the transport. The
 // wire traffic (messages, bytes, retransmits) and a codec microbench
 // (serialize/deserialize cost per shard histogram) quantify what
 // cross-process sharding pays over the in-process merge that
-// bench_sharded measures. Emits one machine-readable JSON object for the
-// BENCH trajectory (see bench/README.md). Exits non-zero on any bit
-// divergence.
+// bench_sharded measures. The elastic legs (ISSUE 6) run churn schedules
+// -- kill / hang / late join -- over real localhost TCP and report what
+// robustness costs: repartitions, adoptions, heartbeat traffic, and the
+// measured time-to-detect a dead peer, still gated on bit-identity.
+// Emits one machine-readable JSON object for the BENCH trajectory (see
+// bench/README.md). Exits non-zero on any bit divergence.
 //
 //   ./bench_distributed [--quick] [--threads N] [--records N] [--trees N]
 //                       [--shards K]
@@ -141,7 +144,8 @@ int main(int argc, char** argv) {
 
   const ipc::TransportKind kinds[] = {ipc::TransportKind::kLoopback,
                                       ipc::TransportKind::kFile,
-                                      ipc::TransportKind::kSocket};
+                                      ipc::TransportKind::kSocket,
+                                      ipc::TransportKind::kTcp};
   const std::uint32_t procs_list[] = {1, 2, 4};
   bool first = true;
   for (const auto kind : kinds) {
@@ -184,6 +188,73 @@ int main(int argc, char** argv) {
     }
   }
   std::printf("\n  ],\n");
+
+  // Elastic legs: real localhost-TCP worlds driven by seeded churn
+  // schedules. Probes what robustness costs and proves it costs no
+  // correctness: repartitions/joins/adoptions, heartbeat traffic, the
+  // measured time-to-detect a dead peer, and the same bit-identity gate.
+  {
+    struct ElasticLeg {
+      std::uint32_t procs;
+      const char* churn;
+    };
+    const ElasticLeg legs[] = {
+        {2, ""},
+        {2, "kill:1@1"},
+        {4, "hang:2@1"},
+        {4, "kill:1@1,join:5@2"},
+    };
+    std::printf("  \"elastic_tcp_legs\": [\n");
+    bool first_leg = true;
+    for (const auto& leg : legs) {
+      gbdt::ElasticWorldConfig ecfg;
+      ecfg.dist = cfg;
+      ecfg.dist.elastic = true;
+      ecfg.dist.channel.recv_timeout = std::chrono::milliseconds(25);
+      ecfg.dist.channel.liveness_timeout = std::chrono::milliseconds(500);
+      ecfg.dist.channel.heartbeat_interval = std::chrono::milliseconds(50);
+      ecfg.initial_workers = leg.procs - 1;
+      ecfg.tcp.reconnect_window = std::chrono::milliseconds(2000);
+      ecfg.tcp.backoff.base = std::chrono::milliseconds(5);
+      ecfg.tcp.backoff.cap = std::chrono::milliseconds(50);
+      const auto churn = ipc::ChurnSchedule::parse(leg.churn);
+      if (!churn) return 1;
+      ecfg.churn = *churn;
+
+      t0 = std::chrono::steady_clock::now();
+      const auto out = gbdt::train_elastic_tcp(ecfg, data);
+      const double wall_s = seconds_since(t0);
+      bool identical =
+          out.rank0.has_value() &&
+          results_bit_identical(*out.rank0, reference, data);
+      for (const auto& worker : out.completed) {
+        identical = identical && results_bit_identical(worker, reference, data);
+      }
+      const auto& st = out.rank0_stats;
+      std::printf(
+          "%s    {\"procs\": %u, \"churn\": \"%s\", \"wall_s\": %.4f,\n"
+          "     \"bit_identical_to_in_process\": %s, \"repartitions\": %u,"
+          " \"joins\": %u, \"dead_workers\": %u, \"shards_adopted\": %u,\n"
+          "     \"reconnects\": %llu, \"heartbeats_rx\": %llu,"
+          " \"time_to_detect_ms\": %.1f}",
+          first_leg ? "" : ",\n", leg.procs, leg.churn, wall_s,
+          identical ? "true" : "false", st.repartitions, st.joins,
+          st.dead_workers, st.shards_adopted,
+          static_cast<unsigned long long>(st.transport.reconnects),
+          static_cast<unsigned long long>(st.channel.heartbeats_received),
+          st.channel.max_detect_ms);
+      first_leg = false;
+      if (!identical) {
+        std::printf("\n  ]\n}\n");
+        std::fprintf(stderr,
+                     "FATAL: elastic output diverged from the in-process"
+                     " trainer (procs=%u, churn=\"%s\")\n",
+                     leg.procs, leg.churn);
+        return 1;
+      }
+    }
+    std::printf("\n  ],\n");
+  }
 
   // Codec microbench: serialize/deserialize cost of one root-node shard
   // histogram -- the unit of merge traffic every transport carries.

@@ -1,14 +1,16 @@
 #!/usr/bin/env bash
 # CI entry point: configure + build with warnings-as-errors, run the tier-1
 # test suite, run an ASan+UBSan build-and-ctest leg (the co-sim's retry
-# loops and engine shims are exactly where UB hides), then run the training
-# hot-path and closed-loop benches in Release.
+# loops and engine shims are exactly where UB hides), run a TSan leg over
+# the concurrent subset (threaded rank worlds, TCP pump loops, thread
+# pool), then run the training hot-path and closed-loop benches in
+# Release.
 #
 #   scripts/check.sh [build-dir]
 #
 # Environment:
 #   BOOSTER_THREADS   thread count for the bench's threaded leg (default 8)
-#   BOOSTER_SKIP_SANITIZE=1   skip the sanitizer leg (local quick runs)
+#   BOOSTER_SKIP_SANITIZE=1   skip the sanitizer legs (local quick runs)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -40,6 +42,18 @@ if [[ "${BOOSTER_SKIP_SANITIZE:-0}" != "1" ]]; then
   ctest --test-dir "$ASAN_DIR" --output-on-failure -j "$(nproc)"
   "$ASAN_DIR/multi_process" --transport loopback --procs 3 --shards 8 \
     --records 6000 --trees 3
+
+  # TSan leg: the concurrent subset only -- threaded rank worlds, the
+  # reliable channel's heartbeat/liveness machinery, the elastic TCP
+  # worlds (worker incarnations on threads), and the thread pool. TSan
+  # and ASan cannot share a build, hence the third tree.
+  TSAN_DIR="${BUILD_DIR}-tsan"
+  cmake -B "$TSAN_DIR" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DBOOSTER_SANITIZE=thread
+  cmake --build "$TSAN_DIR" -j "$(nproc)"
+  ctest --test-dir "$TSAN_DIR" --output-on-failure -j "$(nproc)" \
+    -R '(ipc|distributed|elastic|sharded|thread_pool)'
 fi
 
 # Scenario smoke leg: the CLI must list exactly the checked-in scenario
@@ -77,6 +91,18 @@ done
   --records 8000 --trees 4
 "$BUILD_DIR/multi_process" --transport socket --procs 4 --shards 3 \
   --records 8000 --trees 4
+
+# Elastic TCP leg (ISSUE 6 acceptance): real worker processes over
+# localhost TCP -- first a static world, then the churn flow: one worker
+# SIGKILLs itself mid-tree (rank 0 adopts its shards) and a fresh
+# incarnation of the same rank rejoins two boundaries later with a
+# catch-up replay. Both runs exit non-zero unless every surviving rank's
+# model is bit-identical to the in-process trainer.
+"$BUILD_DIR/multi_process" --transport tcp --procs 3 --shards 8 \
+  --records 8000 --trees 4
+"$BUILD_DIR/multi_process" --transport tcp --procs 3 --shards 8 \
+  --records 8000 --trees 6 --kill-rejoin --die-rank 2 --die-tree 1 \
+  --rejoin-tree 3
 
 # Benches (quick mode keeps CI fast; JSON goes to stdout so the trajectory
 # can be archived by the caller). bench_sharded and bench_distributed exit

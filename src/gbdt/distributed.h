@@ -27,25 +27,66 @@
 // count), including under every recoverable injected fault. That contract
 // is EXPECT_EQ-asserted by tests/test_distributed.cc and
 // tests/test_distributed_faults.cc.
+// Elastic membership (DistributedConfig.elastic, TCP worlds): instead of
+// a fixed world, rank 0 recomputes the shard->rank assignment at every
+// tree boundary from the transport's live membership view. Late joiners
+// are admitted with a catch-up message (every finished tree + loss) and
+// enter at the next boundary; workers that die mid-tree are adopted as
+// before and evicted at the boundary; a worker that dies and rejoins (a
+// new session nonce on the same rank) is re-admitted through the same
+// catch-up path. Because every regrouping is a pure recomputation over
+// the quantized-exact shard partition, the final model stays bit-identical
+// to gbdt::Trainer through any such churn -- tests/test_elastic.cc
+// EXPECT_EQ-asserts this across kill / hang / rejoin schedules.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
+#include <functional>
+#include <optional>
 
 #include "gbdt/trainer.h"
+#include "ipc/membership.h"
 #include "ipc/reliable.h"
+#include "ipc/tcp_transport.h"
 #include "ipc/transport.h"
 #include "ipc/world.h"
 
 namespace booster::gbdt {
 
+/// Where in a worker's per-tree loop a churn hook fires.
+enum class ElasticChurnPoint : std::uint8_t {
+  kTreeStart = 0,       // assignment received, before any build
+  kAfterFirstBuild,     // root histograms already shipped to rank 0
+};
+
+/// What an injected churn hook tells the worker to do.
+enum class ElasticChurnAction : std::uint8_t {
+  kContinue = 0,
+  kCrash,  // shutdown_hard() the transport and return (SIGKILL stand-in)
+  kHang,   // return without closing: the connection stays half-open
+};
+
 struct DistributedConfig {
   TrainerConfig trainer;
-  /// Retry protocol knobs (per-attempt timeout, attempt budget, resend
+  /// Retry protocol knobs (per-attempt timeout, liveness deadline, resend
   /// window).
   ipc::ReliableConfig channel;
   /// Re-execute a dead worker's shards on rank 0 (catch-up replay). When
   /// off, a dead worker aborts training loudly.
   bool adopt_dead_workers = true;
+  /// Elastic membership (see the header comment). Requires a
+  /// membership-capable transport on rank 0 (TcpTransport); workers
+  /// follow the assignment stream instead of deriving ranges from
+  /// (world_size, rank).
+  bool elastic = false;
+  /// Worker-side fault-injection hook for churn tests: consulted at the
+  /// ElasticChurnPoints of every tree. Null means kContinue.
+  std::function<ElasticChurnAction(std::uint32_t tree, ElasticChurnPoint)>
+      churn_hook;
+  /// Rank-0 hook fired at every elastic tree boundary *before* membership
+  /// is re-evaluated -- the churn harness uses it to launch late joiners.
+  std::function<void(std::uint32_t tree)> on_tree_boundary;
 };
 
 /// Post-train diagnostics of one rank's view of the run.
@@ -56,6 +97,14 @@ struct DistributedStats {
   std::uint32_t shards_local = 0;    // owned at start (rank's own range)
   std::uint32_t shards_adopted = 0;  // re-executed for dead workers (rank 0)
   std::uint32_t dead_workers = 0;
+  /// Elastic runs (rank 0): tree boundaries at which the live-member set
+  /// -- and with it the shard assignment -- changed after the initial one.
+  std::uint32_t repartitions = 0;
+  /// Elastic runs (rank 0): workers admitted after training started.
+  std::uint32_t joins = 0;
+  /// Elastic runs (worker): 1 when this worker lost its coordinator and
+  /// returned gracefully with whatever model prefix it had.
+  std::uint32_t orphaned = 0;
   ipc::ReliableStats channel;
   ipc::TransportStats transport;
 };
@@ -91,6 +140,11 @@ class DistributedTrainer {
                           trace::WorkloadInfo* info);
   TrainResult train_worker(const BinnedDataset& data,
                            trace::WorkloadInfo* info);
+  TrainResult train_rank0_elastic(const BinnedDataset& data,
+                                  trace::StepTrace* trace,
+                                  trace::WorkloadInfo* info);
+  TrainResult train_worker_elastic(const BinnedDataset& data,
+                                   trace::WorkloadInfo* info);
 
   DistributedConfig cfg_;
   ipc::Transport* transport_;
@@ -112,5 +166,54 @@ TrainResult train_in_process(const DistributedConfig& cfg,
                              trace::WorkloadInfo* info = nullptr,
                              std::vector<TrainResult>* all_results = nullptr,
                              std::vector<DistributedStats>* all_stats = nullptr);
+
+/// Configuration of one elastic localhost-TCP training world driven by a
+/// seeded churn schedule (tests, bench, and the scenario runner's
+/// runner.transport=tcp + runner.churn knobs).
+struct ElasticWorldConfig {
+  DistributedConfig dist;
+  /// Workers connected before training starts (ranks 1..initial_workers).
+  std::uint32_t initial_workers = 1;
+  /// Rank-address space of the TCP world; 0 derives it from
+  /// initial_workers and the highest rank in the churn schedule.
+  std::uint32_t max_world = 0;
+  /// Kill / hang / join events, keyed by (rank, tree). Kills fire after
+  /// the victim shipped its root histograms (mid-tree adoption); hangs
+  /// fire at tree start (half-open liveness detection); joins launch a
+  /// fresh incarnation at rank 0's tree boundary (admitted one boundary
+  /// later).
+  ipc::ChurnSchedule churn;
+  /// TCP knobs shared by every endpoint (backoff, reconnect window,
+  /// heartbeats come from dist.channel).
+  ipc::TcpOptions tcp;
+  std::chrono::milliseconds assemble_timeout{15000};
+};
+
+/// Outcome of one elastic run: rank 0's result plus every worker
+/// incarnation's, partitioned by how the incarnation ended.
+struct ElasticRunResult {
+  /// Always engaged on return (optional only because TrainResult has no
+  /// empty state to default-construct).
+  std::optional<TrainResult> rank0;
+  DistributedStats rank0_stats;
+  /// Results of worker incarnations that ran to the final assignment
+  /// (model bit-identical to rank0's), in completion order.
+  std::vector<TrainResult> completed;
+  std::vector<DistributedStats> completed_stats;
+  std::uint32_t crashed = 0;   // churn-injected kCrash incarnations
+  std::uint32_t hung = 0;      // churn-injected kHang incarnations
+  std::uint32_t orphaned = 0;  // lost the coordinator, returned early
+};
+
+/// Runs one elastic world over real localhost TCP: rank 0 listens on an
+/// ephemeral port and trains on the calling thread; worker incarnations
+/// run on their own threads (one per initial worker plus one per join
+/// event). Returns after every incarnation thread has been joined.
+/// `trace`/`info` are filled from rank 0's driver loop, as in
+/// DistributedTrainer::train.
+ElasticRunResult train_elastic_tcp(const ElasticWorldConfig& cfg,
+                                   const BinnedDataset& data,
+                                   trace::StepTrace* trace = nullptr,
+                                   trace::WorkloadInfo* info = nullptr);
 
 }  // namespace booster::gbdt

@@ -60,7 +60,10 @@ const char* message_type_name(MessageType type) {
     case MessageType::kShardSummary: return "shard-summary";
     case MessageType::kTreeVerdict: return "tree-verdict";
     case MessageType::kGoodbye: return "goodbye";
+    case MessageType::kShardAssign: return "shard-assign";
+    case MessageType::kCatchUp: return "catch-up";
     case MessageType::kNack: return "nack";
+    case MessageType::kHeartbeat: return "heartbeat";
   }
   return "unknown";
 }
@@ -344,37 +347,34 @@ bool HistogramCodec::decode_split_decision(
   return r.exhausted();
 }
 
-std::vector<std::uint8_t> HistogramCodec::encode_tree_complete(
-    const TreeCompleteMsg& msg) {
-  std::vector<std::uint8_t> out;
-  ByteWriter w(&out);
-  w.u32(msg.tree);
-  w.u32(static_cast<std::uint32_t>(msg.nodes.size()));
-  for (const gbdt::TreeNode& n : msg.nodes) {
-    w.u8(n.is_leaf ? 1 : 0);
-    w.u8(static_cast<std::uint8_t>(n.kind));
-    w.u16(n.threshold_bin);
-    w.u32(n.field);
-    w.u8(n.default_left ? 1 : 0);
-    w.i32(n.left);
-    w.i32(n.right);
-    w.i32(n.depth);
-    w.f64(n.weight);
-    w.f64(n.gain);
+namespace {
+
+/// One tree's node list: count-prefixed, 37 bytes per node. Shared by
+/// kTreeComplete and kCatchUp so the golden node layout exists once.
+void write_tree_nodes(const std::vector<gbdt::TreeNode>& nodes,
+                      ByteWriter* w) {
+  w->u32(static_cast<std::uint32_t>(nodes.size()));
+  for (const gbdt::TreeNode& n : nodes) {
+    w->u8(n.is_leaf ? 1 : 0);
+    w->u8(static_cast<std::uint8_t>(n.kind));
+    w->u16(n.threshold_bin);
+    w->u32(n.field);
+    w->u8(n.default_left ? 1 : 0);
+    w->i32(n.left);
+    w->i32(n.right);
+    w->i32(n.depth);
+    w->f64(n.weight);
+    w->f64(n.gain);
   }
-  return out;
 }
 
-bool HistogramCodec::decode_tree_complete(std::span<const std::uint8_t> payload,
-                                          TreeCompleteMsg* out) {
-  ByteReader r(payload);
-  out->tree = r.u32();
+bool read_tree_nodes(ByteReader& r, std::vector<gbdt::TreeNode>* nodes) {
   const std::uint32_t count = r.u32();
   // Each node encodes to 37 bytes, so a count the payload cannot hold is
   // rejected before the allocation, not after a huge assign.
-  if (!r.ok() || count > payload.size() / 37) return false;
-  out->nodes.assign(count, gbdt::TreeNode{});
-  for (gbdt::TreeNode& n : out->nodes) {
+  if (!r.ok() || count > r.remaining() / 37) return false;
+  nodes->assign(count, gbdt::TreeNode{});
+  for (gbdt::TreeNode& n : *nodes) {
     n.is_leaf = r.u8() != 0;
     const std::uint8_t kind = r.u8();
     if (kind > static_cast<std::uint8_t>(gbdt::PredicateKind::kCategoryEqual)) {
@@ -390,6 +390,25 @@ bool HistogramCodec::decode_tree_complete(std::span<const std::uint8_t> payload,
     n.weight = r.f64();
     n.gain = r.f64();
   }
+  return r.ok();
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> HistogramCodec::encode_tree_complete(
+    const TreeCompleteMsg& msg) {
+  std::vector<std::uint8_t> out;
+  ByteWriter w(&out);
+  w.u32(msg.tree);
+  write_tree_nodes(msg.nodes, &w);
+  return out;
+}
+
+bool HistogramCodec::decode_tree_complete(std::span<const std::uint8_t> payload,
+                                          TreeCompleteMsg* out) {
+  ByteReader r(payload);
+  out->tree = r.u32();
+  if (!read_tree_nodes(r, &out->nodes)) return false;
   return r.exhausted();
 }
 
@@ -434,6 +453,60 @@ bool HistogramCodec::decode_tree_verdict(std::span<const std::uint8_t> payload,
   out->train_loss = r.f64();
   out->stop_training = r.u8() != 0;
   out->early_stopped = r.u8() != 0;
+  return r.exhausted();
+}
+
+std::vector<std::uint8_t> HistogramCodec::encode_shard_assign(
+    const ShardAssignMsg& msg) {
+  std::vector<std::uint8_t> out;
+  ByteWriter w(&out);
+  w.u32(msg.tree);
+  w.u32(msg.view_epoch);
+  w.u32(msg.num_shards);
+  w.u32(msg.shard_begin);
+  w.u32(msg.shard_end);
+  w.u8(msg.final_assign ? 1 : 0);
+  w.u8(msg.early_stopped ? 1 : 0);
+  return out;
+}
+
+bool HistogramCodec::decode_shard_assign(std::span<const std::uint8_t> payload,
+                                         ShardAssignMsg* out) {
+  ByteReader r(payload);
+  out->tree = r.u32();
+  out->view_epoch = r.u32();
+  out->num_shards = r.u32();
+  out->shard_begin = r.u32();
+  out->shard_end = r.u32();
+  out->final_assign = r.u8() != 0;
+  out->early_stopped = r.u8() != 0;
+  return r.exhausted() && out->shard_begin <= out->shard_end &&
+         out->shard_end <= out->num_shards;
+}
+
+std::vector<std::uint8_t> HistogramCodec::encode_catch_up(
+    const CatchUpMsg& msg) {
+  std::vector<std::uint8_t> out;
+  ByteWriter w(&out);
+  w.u32(static_cast<std::uint32_t>(msg.trees.size()));
+  for (const CatchUpMsg::TreeEntry& entry : msg.trees) {
+    write_tree_nodes(entry.nodes, &w);
+    w.f64(entry.train_loss);
+  }
+  return out;
+}
+
+bool HistogramCodec::decode_catch_up(std::span<const std::uint8_t> payload,
+                                     CatchUpMsg* out) {
+  ByteReader r(payload);
+  const std::uint32_t count = r.u32();
+  // Every tree entry needs at least its node count and loss (12 bytes).
+  if (!r.ok() || count > r.remaining() / 12) return false;
+  out->trees.assign(count, CatchUpMsg::TreeEntry{});
+  for (CatchUpMsg::TreeEntry& entry : out->trees) {
+    if (!read_tree_nodes(r, &entry.nodes)) return false;
+    entry.train_loss = r.f64();
+  }
   return r.exhausted();
 }
 

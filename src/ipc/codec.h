@@ -63,9 +63,21 @@ enum class MessageType : std::uint8_t {
   /// live worker confirms, so a lost *tail* frame (the one message with
   /// no successor) still heals instead of stranding the worker.
   kGoodbye = 6,
+  /// Rank 0 -> worker (elastic): the worker's shard range for one tree
+  /// under the current membership view -- or, with final_assign set, the
+  /// end-of-training signal.
+  kShardAssign = 7,
+  /// Rank 0 -> joining worker (elastic): every finished tree plus its
+  /// per-tree loss, so a late joiner replays the model and enters the
+  /// protocol at the current boundary.
+  kCatchUp = 8,
   /// Control (ReliableChannel): re-request of frames from a sequence
   /// number on. Never carries a data sequence number itself.
   kNack = 0xf0,
+  /// Control (ReliableChannel): sign of life while blocked in recv.
+  /// Carries no payload and no sequence number; receiving one refreshes
+  /// the peer's liveness deadline and nothing else.
+  kHeartbeat = 0xf1,
 };
 
 const char* message_type_name(MessageType type);
@@ -129,6 +141,9 @@ class ByteReader {
   bool ok() const { return ok_; }
   /// True when every payload byte was consumed (and no read overran).
   bool exhausted() const { return ok_ && pos_ == bytes_.size(); }
+  /// Unconsumed bytes -- lets decoders sanity-check an element count
+  /// against the space it would need before allocating.
+  std::size_t remaining() const { return ok_ ? bytes_.size() - pos_ : 0; }
 
  private:
   std::span<const std::uint8_t> bytes_;
@@ -175,6 +190,30 @@ struct TreeVerdictMsg {
   double train_loss = 0.0;
   bool stop_training = false;
   bool early_stopped = false;
+};
+
+/// Rank 0 -> worker shard assignment for one tree boundary (elastic
+/// membership). With final_assign set, tree is one past the last trained
+/// tree, the range is empty, and early_stopped carries the run verdict --
+/// the worker's cue to send its goodbye and return.
+struct ShardAssignMsg {
+  std::uint32_t tree = 0;
+  std::uint32_t view_epoch = 0;
+  std::uint32_t num_shards = 0;
+  std::uint32_t shard_begin = 0;
+  std::uint32_t shard_end = 0;
+  bool final_assign = false;
+  bool early_stopped = false;
+};
+
+/// Rank 0 -> joining worker: the finished prefix of the model. One entry
+/// per tree, in training order.
+struct CatchUpMsg {
+  struct TreeEntry {
+    std::vector<gbdt::TreeNode> nodes;
+    double train_loss = 0.0;
+  };
+  std::vector<TreeEntry> trees;
 };
 
 /// Encoder/decoder of the distributed-training wire format. Frame-level
@@ -242,6 +281,15 @@ class HistogramCodec {
       const TreeVerdictMsg& msg);
   static bool decode_tree_verdict(std::span<const std::uint8_t> payload,
                                   TreeVerdictMsg* out);
+
+  static std::vector<std::uint8_t> encode_shard_assign(
+      const ShardAssignMsg& msg);
+  static bool decode_shard_assign(std::span<const std::uint8_t> payload,
+                                  ShardAssignMsg* out);
+
+  static std::vector<std::uint8_t> encode_catch_up(const CatchUpMsg& msg);
+  static bool decode_catch_up(std::span<const std::uint8_t> payload,
+                              CatchUpMsg* out);
 
   /// Encoded size of one histogram payload of `h`'s shape -- what one
   /// shard merge moves over the wire (bench_sharded's merge-bytes column).

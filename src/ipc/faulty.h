@@ -55,6 +55,23 @@ class FaultyTransport final : public Transport {
   RecvStatus recv(std::uint32_t src, std::vector<std::uint8_t>* frame,
                   std::chrono::milliseconds timeout) override;
 
+  // Membership is a property of the wrapped transport; faults only touch
+  // the frame stream, never the connection machinery.
+  bool membership_capable() const override {
+    return inner_->membership_capable();
+  }
+  void pump(std::chrono::milliseconds timeout) override {
+    inner_->pump(timeout);
+  }
+  std::vector<PeerEvent> take_peer_events() override {
+    return inner_->take_peer_events();
+  }
+  bool peer_connected(std::uint32_t rank) const override {
+    return inner_->peer_connected(rank);
+  }
+  void drop_peer(std::uint32_t rank) override { inner_->drop_peer(rank); }
+  void shutdown_hard() override { inner_->shutdown_hard(); }
+
   const FaultStats& fault_stats() const { return fault_stats_; }
 
  private:

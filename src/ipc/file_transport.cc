@@ -5,6 +5,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstring>
 #include <thread>
 
 #include "util/check.h"
@@ -18,6 +19,21 @@ namespace {
 /// yields the core, which matters on single-core CI runners where the
 /// writer thread otherwise never gets scheduled.
 constexpr std::chrono::microseconds kPollInterval{500};
+
+constexpr std::uint8_t kSpoolMagic[4] = {'B', 'S', 'P', 'L'};
+constexpr std::uint32_t kSpoolVersion = 1;
+constexpr std::size_t kSpoolHeaderBytes = 16;
+
+void encode_spool_header(std::uint64_t epoch,
+                         std::uint8_t out[kSpoolHeaderBytes]) {
+  std::memcpy(out, kSpoolMagic, 4);
+  for (int i = 0; i < 4; ++i) {
+    out[4 + i] = static_cast<std::uint8_t>(kSpoolVersion >> (8 * i));
+  }
+  for (int i = 0; i < 8; ++i) {
+    out[8 + i] = static_cast<std::uint8_t>(epoch >> (8 * i));
+  }
+}
 
 bool write_fully(int fd, const std::uint8_t* data, std::size_t size) {
   while (size > 0) {
@@ -51,13 +67,15 @@ bool pread_fully(int fd, std::uint8_t* data, std::size_t size,
 }  // namespace
 
 FileTransport::FileTransport(std::string dir, std::uint32_t world_size,
-                             std::uint32_t rank)
+                             std::uint32_t rank, FileTransportOptions opts)
     : dir_(std::move(dir)),
       world_size_(world_size),
       rank_(rank),
+      opts_(opts),
       write_fds_(world_size, -1),
       read_fds_(world_size, -1),
-      read_offsets_(world_size, 0) {
+      read_offsets_(world_size, kSpoolHeaderBytes),
+      header_seen_(world_size, 0) {
   BOOSTER_CHECK_MSG(rank < world_size, "file-transport rank out of range");
   // Best effort: the first rank to arrive creates the spool directory.
   ::mkdir(dir_.c_str(), 0777);
@@ -70,6 +88,14 @@ FileTransport::~FileTransport() {
   for (const int fd : read_fds_) {
     if (fd >= 0) ::close(fd);
   }
+  if (opts_.cleanup_own_files) {
+    // Each rank removes only the spools it wrote; the last rank out takes
+    // the (now empty) directory with it. Best effort throughout.
+    for (std::uint32_t dst = 0; dst < world_size_; ++dst) {
+      if (dst != rank_) ::unlink(spool_path(rank_, dst).c_str());
+    }
+    ::rmdir(dir_.c_str());
+  }
 }
 
 std::string FileTransport::spool_path(std::uint32_t src,
@@ -78,14 +104,58 @@ std::string FileTransport::spool_path(std::uint32_t src,
          ".spool";
 }
 
+bool FileTransport::ensure_write_header(int fd) {
+  std::uint8_t hdr[kSpoolHeaderBytes];
+  const ssize_t n = ::pread(fd, hdr, kSpoolHeaderBytes, 0);
+  if (n < 0) return false;
+  if (n == static_cast<ssize_t>(kSpoolHeaderBytes)) {
+    std::uint8_t want[kSpoolHeaderBytes];
+    encode_spool_header(opts_.run_epoch, want);
+    if (std::memcmp(hdr, want, kSpoolHeaderBytes) == 0) {
+      return true;  // our own run's spool (endpoint re-opened): append
+    }
+  }
+  // Empty, short, or stale-epoch spool: recycle it for this run.
+  if (n != 0 && ::ftruncate(fd, 0) != 0) return false;
+  std::uint8_t fresh[kSpoolHeaderBytes];
+  encode_spool_header(opts_.run_epoch, fresh);
+  return write_fully(fd, fresh, kSpoolHeaderBytes);  // O_APPEND: lands at 0
+}
+
+RecvStatus FileTransport::check_read_header(std::uint32_t src) {
+  if (header_seen_[src]) return RecvStatus::kOk;
+  std::uint8_t hdr[kSpoolHeaderBytes];
+  if (!pread_fully(read_fds_[src], hdr, kSpoolHeaderBytes, 0)) {
+    return RecvStatus::kTimeout;  // header still being spooled
+  }
+  if (std::memcmp(hdr, kSpoolMagic, 4) != 0) {
+    return RecvStatus::kClosed;  // not a spool file at all
+  }
+  std::uint8_t want[kSpoolHeaderBytes];
+  encode_spool_header(opts_.run_epoch, want);
+  if (std::memcmp(hdr, want, kSpoolHeaderBytes) != 0) {
+    // Version or epoch mismatch: a stale spool from an earlier run. Its
+    // frames must never surface in this run; wait for the writer to
+    // truncate and restamp it (or time out, if it never shows up).
+    return RecvStatus::kTimeout;
+  }
+  header_seen_[src] = 1;
+  return RecvStatus::kOk;
+}
+
 bool FileTransport::send(std::uint32_t dst,
                          std::span<const std::uint8_t> frame) {
   if (dst >= world_size_ || dst == rank_) return false;
   int& fd = write_fds_[dst];
   if (fd < 0) {
     fd = ::open(spool_path(rank_, dst).c_str(),
-                O_CREAT | O_WRONLY | O_APPEND | O_CLOEXEC, 0666);
+                O_CREAT | O_RDWR | O_APPEND | O_CLOEXEC, 0666);
     if (fd < 0) return false;
+    if (!ensure_write_header(fd)) {
+      ::close(fd);
+      fd = -1;
+      return false;
+    }
   }
   // One buffered write per frame: the reader tolerates partially spooled
   // frames (it waits for the length prefix to be satisfied), but a single
@@ -115,21 +185,25 @@ RecvStatus FileTransport::recv(std::uint32_t src,
       fd = ::open(spool_path(src, rank_).c_str(), O_RDONLY | O_CLOEXEC);
     }
     if (fd >= 0) {
-      std::uint8_t len_bytes[4];
-      if (pread_fully(fd, len_bytes, 4, offset)) {
-        std::uint32_t len = 0;
-        for (int i = 0; i < 4; ++i) {
-          len |= static_cast<std::uint32_t>(len_bytes[i]) << (8 * i);
-        }
-        // A corrupted spool (the prefix is outside the codec's CRC) must
-        // not turn into a huge allocation; the channel is unusable.
-        if (len > kMaxFrameBytes) return RecvStatus::kClosed;
-        frame->resize(len);
-        if (len == 0 || pread_fully(fd, frame->data(), len, offset + 4)) {
-          offset += 4 + len;
-          ++stats_.frames_received;
-          stats_.bytes_received += len;
-          return RecvStatus::kOk;
+      const RecvStatus header = check_read_header(src);
+      if (header == RecvStatus::kClosed) return header;
+      if (header == RecvStatus::kOk) {
+        std::uint8_t len_bytes[4];
+        if (pread_fully(fd, len_bytes, 4, offset)) {
+          std::uint32_t len = 0;
+          for (int i = 0; i < 4; ++i) {
+            len |= static_cast<std::uint32_t>(len_bytes[i]) << (8 * i);
+          }
+          // A corrupted spool (the prefix is outside the codec's CRC) must
+          // not turn into a huge allocation; the channel is unusable.
+          if (len > kMaxFrameBytes) return RecvStatus::kClosed;
+          frame->resize(len);
+          if (len == 0 || pread_fully(fd, frame->data(), len, offset + 4)) {
+            offset += 4 + len;
+            ++stats_.frames_received;
+            stats_.bytes_received += len;
+            return RecvStatus::kOk;
+          }
         }
       }
     }

@@ -6,6 +6,15 @@
 // cross-process follow-on prescribes. Works across processes (the
 // multi_process example forks real workers over it) and doubles as a
 // post-mortem artifact: the full message history of a run stays on disk.
+//
+// Every spool starts with a 16-byte epoch header (magic 'B' 'S' 'P' 'L',
+// u32 version, u64 run epoch). A writer that opens a spool whose header
+// carries a *different* epoch truncates it first -- a stale file from a
+// crashed earlier run is recycled, never appended to -- and a reader
+// refuses to consume frames under a foreign epoch, so a rank restarted
+// into an old spool directory cannot replay last run's messages as fresh
+// ones. With cleanup_own_files set, the destructor removes this rank's
+// outgoing spools (and the directory, once the last rank leaves).
 #pragma once
 
 #include <cstdint>
@@ -16,12 +25,23 @@
 
 namespace booster::ipc {
 
+struct FileTransportOptions {
+  /// Identifies one run of the world; see the header comment. All ranks
+  /// of a run must agree on it. The default (0) keeps single-run worlds
+  /// -- fresh scratch directory per world -- working unchanged.
+  std::uint64_t run_epoch = 0;
+  /// Unlink this rank's outgoing spool files on destruction, and remove
+  /// the spool directory once it is empty (best effort).
+  bool cleanup_own_files = false;
+};
+
 class FileTransport final : public Transport {
  public:
   /// Joins the world rooted at directory `dir` (created if missing) as
   /// `rank`. No rendezvous: every rank can construct its endpoint
   /// independently, before or after its peers exist.
-  FileTransport(std::string dir, std::uint32_t world_size, std::uint32_t rank);
+  FileTransport(std::string dir, std::uint32_t world_size, std::uint32_t rank,
+                FileTransportOptions opts = {});
   ~FileTransport() override;
 
   std::uint32_t world_size() const override { return world_size_; }
@@ -34,13 +54,22 @@ class FileTransport final : public Transport {
 
  private:
   std::string spool_path(std::uint32_t src, std::uint32_t dst) const;
+  /// Validates/installs the epoch header on a freshly opened write fd
+  /// (truncating a stale spool). False on I/O failure.
+  bool ensure_write_header(int fd);
+  /// Reader-side header check: kOk once this run's header is in place,
+  /// kTimeout while the file is short or carries a foreign epoch (the
+  /// writer will truncate it), kClosed on a non-spool file.
+  RecvStatus check_read_header(std::uint32_t src);
 
   std::string dir_;
   std::uint32_t world_size_;
   std::uint32_t rank_;
+  FileTransportOptions opts_;
   std::vector<int> write_fds_;      // per dst; -1 until first send
   std::vector<int> read_fds_;       // per src; -1 until the file exists
   std::vector<std::uint64_t> read_offsets_;  // per src
+  std::vector<std::uint8_t> header_seen_;    // per src: epoch validated
 };
 
 }  // namespace booster::ipc

@@ -1,0 +1,157 @@
+#include "ipc/membership.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+
+#include "gbdt/shard_ops.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace booster::ipc {
+
+std::chrono::milliseconds BackoffPolicy::delay(std::uint32_t attempt,
+                                               std::uint64_t seed) const {
+  // base * 2^attempt, saturating at cap (attempt is clamped so the shift
+  // cannot overflow).
+  const std::uint32_t shift = std::min<std::uint32_t>(attempt, 20);
+  std::int64_t ms = base.count() << shift;
+  if (ms > cap.count() || ms < base.count()) ms = cap.count();
+  // Deterministic jitter in [1 - jitter, 1 + jitter] from (seed, attempt).
+  util::SplitMix64 sm(seed ^ (0x9e3779b97f4a7c15ULL * (attempt + 1)));
+  const double u = static_cast<double>(sm.next() >> 11) * 0x1.0p-53;
+  const double factor = 1.0 + jitter * (2.0 * u - 1.0);
+  ms = static_cast<std::int64_t>(static_cast<double>(ms) * factor);
+  if (ms < 1) ms = 1;
+  return std::chrono::milliseconds(ms);
+}
+
+std::uint64_t generate_session_nonce() {
+  static std::atomic<std::uint64_t> counter{0};
+  const std::uint64_t mix =
+      (static_cast<std::uint64_t>(::getpid()) << 32) ^
+      static_cast<std::uint64_t>(
+          std::chrono::steady_clock::now().time_since_epoch().count()) ^
+      (counter.fetch_add(1) << 1);
+  util::SplitMix64 sm(mix);
+  std::uint64_t nonce = sm.next();
+  if (nonce == 0) nonce = 1;  // 0 is the "no session" sentinel
+  return nonce;
+}
+
+MembershipTracker::MembershipTracker(std::uint32_t world_size)
+    : world_size_(world_size), live_(world_size, 0) {
+  BOOSTER_CHECK_MSG(world_size >= 1, "membership needs at least rank 0");
+  rebuild_participants();
+}
+
+bool MembershipTracker::admit(std::uint32_t rank) {
+  BOOSTER_CHECK_MSG(rank >= 1 && rank < world_size_,
+                    "membership admit of an out-of-world rank");
+  if (live_[rank] != 0) return false;
+  live_[rank] = 1;
+  ++view_epoch_;
+  rebuild_participants();
+  return true;
+}
+
+bool MembershipTracker::remove(std::uint32_t rank) {
+  BOOSTER_CHECK_MSG(rank >= 1 && rank < world_size_,
+                    "membership remove of an out-of-world rank");
+  if (live_[rank] == 0) return false;
+  live_[rank] = 0;
+  ++view_epoch_;
+  rebuild_participants();
+  return true;
+}
+
+bool MembershipTracker::is_live(std::uint32_t rank) const {
+  return rank < world_size_ && live_[rank] != 0;
+}
+
+void MembershipTracker::rebuild_participants() {
+  participants_.clear();
+  participants_.push_back(0);
+  for (std::uint32_t r = 1; r < world_size_; ++r) {
+    if (live_[r] != 0) participants_.push_back(r);
+  }
+}
+
+std::pair<std::uint32_t, std::uint32_t> MembershipTracker::assignment(
+    std::uint32_t num_shards, std::uint32_t participant_index) const {
+  const auto L = static_cast<std::uint32_t>(participants_.size());
+  BOOSTER_CHECK_MSG(participant_index < L,
+                    "membership assignment index out of range");
+  const auto [b, e] =
+      gbdt::shard_row_range(num_shards, L, participant_index);
+  return {static_cast<std::uint32_t>(b), static_cast<std::uint32_t>(e)};
+}
+
+std::optional<ChurnSchedule> ChurnSchedule::parse(std::string_view text) {
+  ChurnSchedule out;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t comma = text.find(',', pos);
+    std::string_view item = text.substr(
+        pos, comma == std::string_view::npos ? std::string_view::npos
+                                             : comma - pos);
+    pos = comma == std::string_view::npos ? text.size() : comma + 1;
+    if (item.empty()) continue;
+
+    const std::size_t colon = item.find(':');
+    const std::size_t at = item.find('@');
+    if (colon == std::string_view::npos || at == std::string_view::npos ||
+        at < colon + 2 || at + 1 >= item.size()) {
+      return std::nullopt;
+    }
+    const std::string_view verb = item.substr(0, colon);
+    ChurnEvent ev;
+    if (verb == "kill") {
+      ev.kind = ChurnEvent::Kind::kKill;
+    } else if (verb == "hang") {
+      ev.kind = ChurnEvent::Kind::kHang;
+    } else if (verb == "join") {
+      ev.kind = ChurnEvent::Kind::kJoin;
+    } else {
+      return std::nullopt;
+    }
+    const auto parse_u32 = [](std::string_view s,
+                              std::uint32_t* v) -> bool {
+      if (s.empty() || s.size() > 9) return false;
+      std::uint32_t acc = 0;
+      for (const char c : s) {
+        if (c < '0' || c > '9') return false;
+        acc = acc * 10 + static_cast<std::uint32_t>(c - '0');
+      }
+      *v = acc;
+      return true;
+    };
+    if (!parse_u32(item.substr(colon + 1, at - colon - 1), &ev.rank) ||
+        !parse_u32(item.substr(at + 1), &ev.tree)) {
+      return std::nullopt;
+    }
+    out.events.push_back(ev);
+  }
+  return out;
+}
+
+std::string ChurnSchedule::to_string() const {
+  std::string out;
+  for (const ChurnEvent& ev : events) {
+    if (!out.empty()) out += ',';
+    switch (ev.kind) {
+      case ChurnEvent::Kind::kKill: out += "kill"; break;
+      case ChurnEvent::Kind::kHang: out += "hang"; break;
+      case ChurnEvent::Kind::kJoin: out += "join"; break;
+    }
+    out += ':';
+    out += std::to_string(ev.rank);
+    out += '@';
+    out += std::to_string(ev.tree);
+  }
+  return out;
+}
+
+}  // namespace booster::ipc

@@ -1,0 +1,77 @@
+#include "ipc/poller.h"
+
+#include <sys/epoll.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+#include "util/check.h"
+
+namespace booster::ipc {
+
+namespace {
+
+std::uint32_t interest_mask(bool want_read, bool want_write) {
+  std::uint32_t events = EPOLLRDHUP;  // half-closed peers surface as events
+  if (want_read) events |= EPOLLIN;
+  if (want_write) events |= EPOLLOUT;
+  return events;
+}
+
+}  // namespace
+
+Poller::Poller() {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  BOOSTER_CHECK_MSG(epoll_fd_ >= 0, "epoll_create1 failed");
+}
+
+Poller::~Poller() {
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+bool Poller::add(int fd, std::uint64_t tag, bool want_read, bool want_write) {
+  struct epoll_event ev {};
+  ev.events = interest_mask(want_read, want_write);
+  ev.data.u64 = tag;
+  return ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) == 0;
+}
+
+bool Poller::modify(int fd, std::uint64_t tag, bool want_read,
+                    bool want_write) {
+  struct epoll_event ev {};
+  ev.events = interest_mask(want_read, want_write);
+  ev.data.u64 = tag;
+  return ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) == 0;
+}
+
+void Poller::remove(int fd) {
+  struct epoll_event ev {};  // ignored for DEL; non-null for old kernels
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, &ev);
+}
+
+int Poller::wait(std::chrono::milliseconds timeout, std::vector<Event>* out) {
+  out->clear();
+  struct epoll_event raw[64];
+  const int timeout_ms =
+      timeout.count() < 0 ? 0 : static_cast<int>(timeout.count());
+  const int n = ::epoll_wait(epoll_fd_, raw, 64, timeout_ms);
+  if (n < 0) {
+    // EINTR is a non-event: the caller's deadline loop decides whether to
+    // retry. Anything else is a programming error worth failing loudly.
+    BOOSTER_CHECK_MSG(errno == EINTR, "epoll_wait failed");
+    return 0;
+  }
+  out->reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    Event e;
+    e.tag = raw[i].data.u64;
+    e.readable = (raw[i].events & (EPOLLIN | EPOLLRDHUP | EPOLLHUP)) != 0;
+    e.writable = (raw[i].events & EPOLLOUT) != 0;
+    e.hangup = (raw[i].events & (EPOLLRDHUP | EPOLLHUP)) != 0;
+    e.error = (raw[i].events & EPOLLERR) != 0;
+    out->push_back(e);
+  }
+  return n;
+}
+
+}  // namespace booster::ipc

@@ -1,0 +1,60 @@
+// Dependency-free epoll wrapper: the event loop underneath TcpTransport
+// and, by design, the ROADMAP's serving layer -- one readiness
+// multiplexer instead of per-connection poll() calls, so a rank (or a
+// future model server) can watch a listening socket and every peer
+// connection at once and still honor a caller-supplied timeout.
+//
+// Deliberately thin: no callbacks, no ownership of file descriptors, no
+// threads. The caller registers fds with a 64-bit tag, wait() fills a
+// caller-owned event vector, and the caller dispatches on tags. That
+// keeps the poller reusable (transport today, server tomorrow) and
+// trivially testable with a pipe.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+namespace booster::ipc {
+
+class Poller {
+ public:
+  struct Event {
+    std::uint64_t tag = 0;
+    bool readable = false;
+    bool writable = false;
+    /// Peer hangup or error on the fd: the owner should read until EOF
+    /// (hangup may still have buffered bytes) and then tear down.
+    bool hangup = false;
+    bool error = false;
+  };
+
+  Poller();
+  ~Poller();
+  Poller(const Poller&) = delete;
+  Poller& operator=(const Poller&) = delete;
+
+  /// Registers `fd` with interest in readability and/or writability.
+  /// `tag` comes back verbatim in events (typically the peer rank or the
+  /// fd itself). Returns false when the kernel rejects the registration.
+  bool add(int fd, std::uint64_t tag, bool want_read, bool want_write);
+
+  /// Updates the interest set / tag of an already-registered fd.
+  bool modify(int fd, std::uint64_t tag, bool want_read, bool want_write);
+
+  /// Deregisters `fd` (must happen before the fd is closed, or epoll
+  /// keeps stale interest on a recycled descriptor).
+  void remove(int fd);
+
+  /// Blocks up to `timeout` for readiness. Appends to *out (cleared
+  /// first) and returns the number of events; 0 on timeout, and on EINTR
+  /// (the caller's deadline loop retries).
+  int wait(std::chrono::milliseconds timeout, std::vector<Event>* out);
+
+  int fd() const { return epoll_fd_; }
+
+ private:
+  int epoll_fd_ = -1;
+};
+
+}  // namespace booster::ipc

@@ -4,15 +4,27 @@
 
 namespace booster::ipc {
 
+namespace {
+
+double elapsed_ms(std::chrono::steady_clock::time_point from,
+                  std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+}  // namespace
+
 ReliableChannel::ReliableChannel(Transport* transport, ReliableConfig cfg)
     : transport_(transport),
       cfg_(cfg),
       tx_(transport->world_size()),
-      rx_(transport->world_size()) {}
+      rx_(transport->world_size()),
+      peer_active_(transport->world_size(), 0),
+      heartbeat_sent_(transport->world_size()) {}
 
 void ReliableChannel::send(std::uint32_t dst, MessageType type,
                            std::span<const std::uint8_t> payload) {
   BOOSTER_CHECK_MSG(dst < tx_.size(), "reliable send to unknown rank");
+  peer_active_[dst] = 1;
   PeerTx& tx = tx_[dst];
   const std::uint64_t seq = tx.next_seq++;
   std::vector<std::uint8_t> frame =
@@ -68,11 +80,37 @@ void ReliableChannel::handle_nack(std::uint32_t src, const Frame& frame) {
   }
 }
 
-RecvStatus ReliableChannel::pump(std::uint32_t src, Frame* out,
-                                 std::chrono::milliseconds timeout) {
+void ReliableChannel::maybe_heartbeat() {
+  if (cfg_.heartbeat_interval.count() <= 0) return;
+  const auto now = std::chrono::steady_clock::now();
+  for (std::uint32_t p = 0; p < peer_active_.size(); ++p) {
+    if (peer_active_[p] == 0) continue;
+    if (heartbeat_sent_[p].time_since_epoch().count() != 0 &&
+        now - heartbeat_sent_[p] < cfg_.heartbeat_interval) {
+      continue;
+    }
+    // Best effort, seq 0, empty payload: a lost heartbeat just means the
+    // peer's deadline refreshes one interval later.
+    transport_->send(
+        p, HistogramCodec::encode_frame(MessageType::kHeartbeat, 0, {}));
+    heartbeat_sent_[p] = now;
+    ++stats_.heartbeats_sent;
+  }
+}
+
+void ReliableChannel::reset_peer(std::uint32_t rank) {
+  BOOSTER_CHECK_MSG(rank < tx_.size(), "reliable reset of unknown rank");
+  tx_[rank] = PeerTx{};
+  rx_[rank] = PeerRx{};
+}
+
+RecvStatus ReliableChannel::pump(
+    std::uint32_t src, Frame* out, std::chrono::milliseconds timeout,
+    std::chrono::steady_clock::time_point* last_life) {
   PeerRx& rx = rx_[src];
   const auto deadline = std::chrono::steady_clock::now() + timeout;
   for (;;) {
+    maybe_heartbeat();
     // Deliver from the parked buffer first: the gap may have just filled.
     auto parked = rx.parked.find(rx.expected_seq);
     if (parked != rx.parked.end()) {
@@ -85,23 +123,36 @@ RecvStatus ReliableChannel::pump(std::uint32_t src, Frame* out,
 
     const auto now = std::chrono::steady_clock::now();
     if (now >= deadline) return RecvStatus::kTimeout;
+    // Cap each blocking wait at the heartbeat cadence, so this rank keeps
+    // emitting signs of life even while its own peer stays quiet.
+    auto wait = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - now);
+    if (cfg_.heartbeat_interval.count() > 0 &&
+        wait > cfg_.heartbeat_interval) {
+      wait = cfg_.heartbeat_interval;
+    }
     std::vector<std::uint8_t> bytes;
-    const RecvStatus st = transport_->recv(
-        src, &bytes,
-        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now));
-    if (st != RecvStatus::kOk) return st;
+    const RecvStatus st = transport_->recv(src, &bytes, wait);
+    if (st == RecvStatus::kClosed) return st;
+    if (st == RecvStatus::kTimeout) continue;  // heartbeat + deadline re-check
+    *last_life = std::chrono::steady_clock::now();
 
     Frame frame;
     const DecodeStatus ds = HistogramCodec::decode_frame(bytes, &frame);
     if (ds != DecodeStatus::kOk) {
       // Truncated / bit-flipped / garbled frame: we cannot even trust its
       // sequence number, so re-request from the first one we are missing.
+      // (It still counts as a sign of life: the link delivered bytes.)
       ++stats_.corrupt_frames;
       send_nack(src, rx.expected_seq);
       continue;
     }
     if (frame.type == MessageType::kNack) {
       handle_nack(src, frame);
+      continue;
+    }
+    if (frame.type == MessageType::kHeartbeat) {
+      ++stats_.heartbeats_received;
       continue;
     }
     if (frame.seq < rx.expected_seq) {
@@ -127,17 +178,43 @@ RecvStatus ReliableChannel::pump(std::uint32_t src, Frame* out,
 bool ReliableChannel::recv(std::uint32_t src, Frame* out,
                            std::uint32_t attempts_override) {
   BOOSTER_CHECK_MSG(src < rx_.size(), "reliable recv from unknown rank");
-  const std::uint32_t attempts =
-      attempts_override != 0 ? attempts_override : cfg_.max_attempts;
-  for (std::uint32_t attempt = 0; attempt < attempts; ++attempt) {
-    const RecvStatus st = pump(src, out, cfg_.recv_timeout);
+  peer_active_[src] = 1;
+  const auto start = std::chrono::steady_clock::now();
+  auto last_life = start;
+
+  if (attempts_override != 0) {
+    // Attempt-counted wait (the shutdown barrier): bounded by rounds, not
+    // by the liveness deadline, and never recorded as a detected death --
+    // a peer that already exited leaves nothing to detect.
+    for (std::uint32_t attempt = 0; attempt < attempts_override; ++attempt) {
+      const RecvStatus st = pump(src, out, cfg_.recv_timeout, &last_life);
+      if (st == RecvStatus::kOk) return true;
+      if (st == RecvStatus::kClosed) return false;
+      send_nack(src, rx_[src].expected_seq);
+    }
+    return false;
+  }
+
+  std::uint32_t attempts = 0;
+  for (;;) {
+    const RecvStatus st = pump(src, out, cfg_.recv_timeout, &last_life);
     if (st == RecvStatus::kOk) return true;
-    if (st == RecvStatus::kClosed) return false;
+    const auto now = std::chrono::steady_clock::now();
+    const bool lifeless = now - last_life >= cfg_.liveness_timeout;
+    const bool exhausted =
+        cfg_.max_attempts != 0 && ++attempts >= cfg_.max_attempts;
+    if (st == RecvStatus::kClosed || lifeless || exhausted) {
+      ++stats_.peers_declared_dead;
+      stats_.last_detect_ms = elapsed_ms(start, now);
+      if (stats_.last_detect_ms > stats_.max_detect_ms) {
+        stats_.max_detect_ms = stats_.last_detect_ms;
+      }
+      return false;
+    }
     // Timeout: the frame (or our nack, or the retransmission) was lost.
-    // Re-request and try again, up to the attempt budget.
+    // Re-request and try again until the peer goes lifeless.
     send_nack(src, rx_[src].expected_seq);
   }
-  return false;
 }
 
 }  // namespace booster::ipc

@@ -10,13 +10,25 @@
 //   * the sender keeps a bounded window of sent frames and retransmits on
 //     nack (re-requests beyond the window mean the protocol lost sync and
 //     abort loudly);
-//   * recv() makes at most `max_attempts` timed attempts before giving up,
-//     at which point the caller declares the peer dead (the distributed
-//     trainer then re-executes the dead worker's shards on rank 0).
+//   * liveness is *deadline-based* on the monotonic clock: recv() gives
+//     up only when the peer has shown no sign of life -- no frame of any
+//     kind, heartbeats included -- for `liveness_timeout`, at which point
+//     the caller declares the peer dead (the distributed trainer then
+//     re-executes the dead worker's shards). An attempt-count cap remains
+//     as a backstop, but the deadline is the contract: a slow link that
+//     keeps delivering *something* is never confused with a dead peer,
+//     and a dead peer is detected within one liveness window regardless
+//     of how many attempts fit into it;
+//   * with `heartbeat_interval` > 0, a rank blocked in recv() (and only
+//     then -- a rank busy building histograms does not service its
+//     channel) periodically sends kHeartbeat control frames to every peer
+//     it has talked to, so two ranks blocked on *different* conversations
+//     keep each other's liveness deadlines fresh.
 //
-// Nack frames are themselves unacknowledged (seq 0): a lost nack is
-// re-sent on the next timeout, and a duplicate nack at worst causes a
-// duplicate retransmission, which the sequence numbers absorb.
+// Nack and heartbeat frames are themselves unacknowledged (seq 0): a
+// lost nack is re-sent on the next timeout, a duplicate nack at worst
+// causes a duplicate retransmission (absorbed by the sequence numbers),
+// and heartbeats carry no state at all.
 #pragma once
 
 #include <chrono>
@@ -33,15 +45,26 @@ namespace booster::ipc {
 struct ReliableConfig {
   /// One blocking receive attempt per nack round.
   std::chrono::milliseconds recv_timeout{250};
-  /// Attempts per recv() before the peer is declared unresponsive.
-  /// NOTE: recv_timeout x max_attempts is also the *liveness* budget --
-  /// there is no heartbeat side-channel (a rank busy building histograms
-  /// does not service its channel), so the budget must cover the peer's
-  /// longest compute phase between messages. Size it for the workload:
-  /// a slow-but-alive worker that overruns it is declared dead and its
-  /// shards re-executed (correct but wasteful); a worker whose
-  /// coordinator overruns it aborts loudly.
-  std::uint32_t max_attempts = 40;
+  /// The liveness deadline: recv() declares the peer dead once it has
+  /// seen no frame from it -- data, nack, duplicate, or heartbeat -- for
+  /// this long (measured on the monotonic clock from recv() entry,
+  /// refreshed by every sign of life). Without heartbeats the deadline
+  /// must cover the peer's longest compute phase between messages; with
+  /// heartbeat_interval > 0 a blocked-but-alive peer stays fresh and the
+  /// deadline can be tightened to a few heartbeat intervals. Time to
+  /// detect a dead peer is bounded by liveness_timeout + recv_timeout
+  /// (one in-flight attempt finishes before the deadline is checked).
+  std::chrono::milliseconds liveness_timeout{10000};
+  /// Backstop cap on recv() attempts (one nack round each). 0 disables
+  /// the cap (deadline-only). The default is sized so the deadline, not
+  /// the count, governs at the default recv_timeout; tests that want an
+  /// attempt-counted death (legacy behavior) set it low explicitly.
+  std::uint32_t max_attempts = 400;
+  /// Heartbeat cadence while blocked in recv(); 0 disables heartbeats
+  /// (the default -- fault-injection schedules stay deterministic).
+  /// Enable for elastic TCP worlds, where a tight liveness_timeout needs
+  /// a sign of life that flows even mid-computation of third ranks.
+  std::chrono::milliseconds heartbeat_interval{0};
   /// Sent frames kept per peer for retransmission, bounded by count and
   /// by bytes (shard histograms are the big frames; the protocol is
   /// lock-stepped a few messages deep, so the byte cap trims dead weight
@@ -65,6 +88,16 @@ struct ReliableStats {
   std::uint64_t duplicates_dropped = 0;
   std::uint64_t corrupt_frames = 0;   // frames failing HistogramCodec checks
   std::uint64_t parked_frames = 0;    // out-of-order frames buffered
+  std::uint64_t heartbeats_sent = 0;
+  std::uint64_t heartbeats_received = 0;
+  /// recv() give-ups under the liveness deadline / attempt backstop
+  /// (shutdown-barrier receives excluded -- those time out by design).
+  std::uint64_t peers_declared_dead = 0;
+  /// Milliseconds from recv() entry to the give-up that declared the
+  /// last/slowest dead peer: the measured time-to-detect-failure, which
+  /// the tests assert against the configured liveness deadline.
+  double last_detect_ms = 0.0;
+  double max_detect_ms = 0.0;
 };
 
 class ReliableChannel {
@@ -82,11 +115,18 @@ class ReliableChannel {
             std::span<const std::uint8_t> payload);
 
   /// Receives the next in-order message from `src`. Returns false when
-  /// the peer stayed unresponsive through the attempt budget
-  /// (cfg.max_attempts, or `attempts_override` when non-zero) -- the
-  /// caller's cue to declare it dead. Control frames (nacks) from `src`
-  /// are handled internally and never surface.
+  /// the peer showed no sign of life through cfg.liveness_timeout (or
+  /// exhausted the cfg.max_attempts backstop) -- the caller's cue to
+  /// declare it dead. With `attempts_override` non-zero the call is
+  /// attempt-counted instead (legacy semantics; the shutdown barrier's
+  /// bounded wait). Control frames (nacks, heartbeats) from `src` are
+  /// handled internally and never surface.
   bool recv(std::uint32_t src, Frame* out, std::uint32_t attempts_override = 0);
+
+  /// Forgets all per-peer protocol state for `rank` (tx window, sequence
+  /// numbers, parked frames): the elastic trainer's reset when a new
+  /// worker incarnation takes over the rank slot.
+  void reset_peer(std::uint32_t rank);
 
   const ReliableStats& stats() const { return stats_; }
 
@@ -103,15 +143,23 @@ class ReliableChannel {
 
   void send_nack(std::uint32_t dst, std::uint64_t from_seq);
   void handle_nack(std::uint32_t src, const Frame& frame);
+  /// Sends kHeartbeat to every active peer whose cadence is due.
+  void maybe_heartbeat();
   /// Pulls transport frames from src until one data frame is deliverable
-  /// or the timeout lapses.
+  /// or the timeout lapses. Any frame from src -- deliverable or not --
+  /// refreshes *last_life.
   RecvStatus pump(std::uint32_t src, Frame* out,
-                  std::chrono::milliseconds timeout);
+                  std::chrono::milliseconds timeout,
+                  std::chrono::steady_clock::time_point* last_life);
 
   Transport* transport_;
   ReliableConfig cfg_;
   std::vector<PeerTx> tx_;
   std::vector<PeerRx> rx_;
+  /// Peers this channel has sent to or received from: the heartbeat
+  /// recipients (a rank never talked to gets no sign of life).
+  std::vector<std::uint8_t> peer_active_;
+  std::vector<std::chrono::steady_clock::time_point> heartbeat_sent_;
   ReliableStats stats_;
 };
 

@@ -1,0 +1,702 @@
+#include "ipc/tcp_transport.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/check.h"
+
+namespace booster::ipc {
+
+namespace {
+
+constexpr std::uint8_t kHelloMagic[4] = {'B', 'T', 'C', 'P'};
+constexpr std::size_t kHelloBytes = 16;
+constexpr std::uint8_t kAckFresh = 1;
+constexpr std::uint8_t kAckResumed = 2;
+constexpr std::size_t kReadChunk = 64 * 1024;
+/// Poller tag for the listening socket (fds are non-negative, so any
+/// value above INT_MAX is free).
+constexpr std::uint64_t kListenTag = ~0ull;
+
+void put_u32(std::vector<std::uint8_t>* out, std::uint32_t v) {
+  out->push_back(static_cast<std::uint8_t>(v));
+  out->push_back(static_cast<std::uint8_t>(v >> 8));
+  out->push_back(static_cast<std::uint8_t>(v >> 16));
+  out->push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+int make_socket() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                          0);
+  if (fd >= 0) {
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+  return fd;
+}
+
+bool resolve(const std::string& host, std::uint16_t port, sockaddr_in* addr) {
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sin_family = AF_INET;
+  addr->sin_port = htons(port);
+  const char* h = host.empty() ? "127.0.0.1" : host.c_str();
+  return ::inet_pton(AF_INET, h, &addr->sin_addr) == 1;
+}
+
+}  // namespace
+
+TcpTransport::TcpTransport(std::uint32_t world_size, std::uint32_t rank,
+                           TcpOptions opts)
+    : world_size_(world_size), rank_(rank), opts_(opts) {
+  BOOSTER_CHECK_MSG(world_size >= 1, "tcp transport needs world_size >= 1");
+  BOOSTER_CHECK_MSG(rank < world_size, "tcp transport rank out of range");
+  if (opts_.session_nonce == 0) opts_.session_nonce = generate_session_nonce();
+  conns_.resize(world_size);
+  frames_.resize(world_size);
+  if (rank == 0) {
+    sessions_.assign(world_size, 0);
+    down_since_.resize(world_size);
+  }
+}
+
+TcpTransport::~TcpTransport() { shutdown_hard(); }
+
+std::unique_ptr<TcpTransport> TcpTransport::listen(const std::string& host,
+                                                   std::uint16_t port,
+                                                   std::uint32_t world_size,
+                                                   TcpOptions opts) {
+  auto t = std::unique_ptr<TcpTransport>(
+      new TcpTransport(world_size, /*rank=*/0, opts));
+  const int fd = make_socket();
+  if (fd < 0) return nullptr;
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr;
+  if (!resolve(host, port, &addr) ||
+      ::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 64) != 0) {
+    ::close(fd);
+    return nullptr;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    ::close(fd);
+    return nullptr;
+  }
+  t->listen_fd_ = fd;
+  t->port_ = ntohs(addr.sin_port);
+  t->poller_.add(fd, kListenTag, /*want_read=*/true, /*want_write=*/false);
+  return t;
+}
+
+std::unique_ptr<TcpTransport> TcpTransport::connect(const std::string& host,
+                                                    std::uint16_t port,
+                                                    std::uint32_t world_size,
+                                                    std::uint32_t rank,
+                                                    TcpOptions opts) {
+  BOOSTER_CHECK_MSG(rank >= 1, "rank 0 listens; workers connect");
+  auto t = std::unique_ptr<TcpTransport>(
+      new TcpTransport(world_size, rank, opts));
+  t->host_ = host.empty() ? "127.0.0.1" : host;
+  t->port_ = port;
+  t->next_attempt_ = std::chrono::steady_clock::now();
+  const auto deadline =
+      std::chrono::steady_clock::now() + t->opts_.connect_timeout;
+  while (t->wstate_ != WorkerState::kConnected) {
+    if (t->wstate_ == WorkerState::kFailed ||
+        std::chrono::steady_clock::now() >= deadline) {
+      return nullptr;
+    }
+    t->pump_once(std::chrono::milliseconds(20));
+  }
+  return t;
+}
+
+bool TcpTransport::wait_for_world(std::uint32_t ranks,
+                                  std::chrono::milliseconds timeout) {
+  BOOSTER_CHECK_MSG(rank_ == 0, "wait_for_world is a rank-0 call");
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    std::uint32_t connected = 1;  // self
+    for (std::uint32_t r = 1; r < world_size_; ++r) {
+      if (conns_[r].fd >= 0) ++connected;
+    }
+    if (connected >= ranks) return true;
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return false;
+    auto wait = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - now);
+    pump_once(std::min(wait, std::chrono::milliseconds(50)));
+  }
+}
+
+// ------------------------------------------------------------------- send
+
+bool TcpTransport::send(std::uint32_t dst, std::span<const std::uint8_t> frame) {
+  BOOSTER_CHECK_MSG(dst < world_size_ && dst != rank_,
+                    "tcp send to invalid rank");
+  BOOSTER_CHECK_MSG(rank_ == 0 || dst == 0,
+                    "tcp transport is a star: workers only talk to rank 0");
+  BOOSTER_CHECK_MSG(frame.size() <= kMaxFrameBytes, "tcp frame too large");
+  Conn& c = conns_[dst];
+  if (rank_ == 0) {
+    // No live connection, no delivery: the reliable layer retransmits once
+    // the worker resumes (its nacks survive in its own queue, not ours).
+    if (c.fd < 0) return false;
+  } else {
+    if (wstate_ == WorkerState::kFailed) return false;
+    // Disconnected-but-reconnecting: queue, bounded by the cap below. The
+    // resumed stream replays the queue in order.
+    if (!opts_.auto_reconnect && wstate_ != WorkerState::kConnected &&
+        wstate_ != WorkerState::kHelloSent) {
+      return false;
+    }
+  }
+  std::vector<std::uint8_t> buf;
+  buf.reserve(4 + frame.size());
+  put_u32(&buf, static_cast<std::uint32_t>(frame.size()));
+  buf.insert(buf.end(), frame.begin(), frame.end());
+  if (c.tx_bytes + buf.size() > opts_.send_buffer_cap) {
+    ++frames_dropped_;  // backpressure: drop whole frames, never bytes
+    return false;
+  }
+  c.tx_bytes += buf.size();
+  c.tx.push_back(std::move(buf));
+  ++stats_.frames_sent;
+  stats_.bytes_sent += frame.size();
+  if (c.fd >= 0 &&
+      (rank_ != 0 ? wstate_ == WorkerState::kConnected : true)) {
+    flush_conn(dst);
+  }
+  return true;
+}
+
+void TcpTransport::flush_conn(std::uint32_t peer) {
+  Conn& c = conns_[peer];
+  if (c.fd < 0) return;
+  while (!c.tx.empty()) {
+    const std::vector<std::uint8_t>& front = c.tx.front();
+    const ssize_t n = ::send(c.fd, front.data() + c.tx_off,
+                             front.size() - c.tx_off,
+                             MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) break;
+      disconnect(peer, /*emit_event=*/true);
+      return;
+    }
+    c.tx_off += static_cast<std::size_t>(n);
+    if (c.tx_off < front.size()) break;  // kernel buffer full mid-frame
+    c.tx_bytes -= front.size();
+    c.tx.pop_front();
+    c.tx_off = 0;
+  }
+  update_interest(peer);
+}
+
+void TcpTransport::update_interest(std::uint32_t peer) {
+  Conn& c = conns_[peer];
+  if (c.fd < 0) return;
+  const bool want_write = !c.tx.empty() || !hello_out_.empty();
+  if (want_write == c.want_write) return;
+  c.want_write = want_write;
+  poller_.modify(c.fd, static_cast<std::uint64_t>(c.fd), /*want_read=*/true,
+                 want_write);
+}
+
+// ------------------------------------------------------------------- recv
+
+RecvStatus TcpTransport::recv(std::uint32_t src,
+                              std::vector<std::uint8_t>* frame,
+                              std::chrono::milliseconds timeout) {
+  BOOSTER_CHECK_MSG(src < world_size_ && src != rank_,
+                    "tcp recv from invalid rank");
+  if (rank_ != 0 && src != 0) return RecvStatus::kClosed;  // star topology
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    if (!frames_[src].empty()) {
+      *frame = std::move(frames_[src].front());
+      frames_[src].pop_front();
+      ++stats_.frames_received;
+      stats_.bytes_received += frame->size();
+      return RecvStatus::kOk;
+    }
+    if (closed_for_good(src)) return RecvStatus::kClosed;
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return RecvStatus::kTimeout;
+    auto wait = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - now);
+    pump_once(std::min(wait, std::chrono::milliseconds(50)));
+  }
+}
+
+bool TcpTransport::closed_for_good(std::uint32_t src) const {
+  const auto now = std::chrono::steady_clock::now();
+  if (rank_ != 0) {
+    if (wstate_ == WorkerState::kFailed) return true;
+    if (wstate_ == WorkerState::kConnected) return false;
+    if (!opts_.auto_reconnect) return true;
+    return now - worker_down_since_ > opts_.reconnect_window;
+  }
+  // Rank 0: a rank that was connected once and has been gone past the
+  // reconnect window is closed; one that never connected is merely slow
+  // (timeout), so startup races resolve at the caller's deadline.
+  const Conn& c = conns_[src];
+  if (c.fd >= 0) return false;
+  if (sessions_[src] == 0) return false;
+  return now - down_since_[src] > opts_.reconnect_window;
+}
+
+// ------------------------------------------------------------------- pump
+
+void TcpTransport::pump(std::chrono::milliseconds timeout) {
+  pump_once(timeout);
+}
+
+void TcpTransport::pump_once(std::chrono::milliseconds timeout) {
+  auto now = std::chrono::steady_clock::now();
+  if (rank_ != 0) {
+    progress_connect(now);
+    // Never sleep past the next reconnect attempt.
+    if (wstate_ == WorkerState::kDisconnected) {
+      const auto until = std::chrono::duration_cast<std::chrono::milliseconds>(
+          next_attempt_ - now);
+      if (until < timeout) timeout = std::max(until, std::chrono::milliseconds(1));
+    }
+  }
+  std::vector<Poller::Event> events;
+  poller_.wait(timeout, &events);
+  for (const Poller::Event& ev : events) {
+    if (ev.tag == kListenTag) {
+      handle_listen_ready();
+      continue;
+    }
+    const int fd = static_cast<int>(ev.tag);
+    // Pending (pre-hello) connections.
+    bool was_pending = false;
+    for (std::size_t i = 0; i < pending_.size(); ++i) {
+      if (pending_[i].fd == fd) {
+        was_pending = true;
+        if (ev.error || (ev.hangup && !ev.readable)) {
+          ::close(fd);
+          poller_.remove(fd);
+          pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
+        } else if (ev.readable) {
+          handle_pending_ready(i);
+        }
+        break;
+      }
+    }
+    if (was_pending) continue;
+    // Established connections (worker slot 0 or rank-0 slots 1..world).
+    for (std::uint32_t r = 0; r < world_size_; ++r) {
+      if (conns_[r].fd != fd) continue;
+      if (rank_ != 0 && wstate_ == WorkerState::kConnecting) {
+        if (ev.writable || ev.error || ev.hangup) on_connect_ready();
+        break;
+      }
+      if (ev.error) {
+        disconnect(r, /*emit_event=*/true);
+        break;
+      }
+      if (ev.writable) {
+        if (rank_ != 0 && !hello_out_.empty()) {
+          // Finish writing the hello before anything else.
+          const ssize_t n = ::send(conns_[r].fd, hello_out_.data(),
+                                   hello_out_.size(),
+                                   MSG_NOSIGNAL | MSG_DONTWAIT);
+          if (n > 0) {
+            hello_out_.erase(hello_out_.begin(), hello_out_.begin() + n);
+          } else if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+                     errno != EINTR) {
+            fail_connection();
+            break;
+          }
+          update_interest(r);
+        } else {
+          flush_conn(r);
+        }
+      }
+      if (conns_[r].fd >= 0 && ev.readable) read_conn(r);
+      break;
+    }
+  }
+}
+
+// ------------------------------------------------------------- rank 0 side
+
+void TcpTransport::handle_listen_ready() {
+  for (;;) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;  // EAGAIN or transient error: next pump retries
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    pending_.push_back(PendingConn{fd, {}});
+    poller_.add(fd, static_cast<std::uint64_t>(fd), /*want_read=*/true,
+                /*want_write=*/false);
+  }
+}
+
+void TcpTransport::handle_pending_ready(std::size_t index) {
+  PendingConn& p = pending_[index];
+  std::uint8_t buf[kHelloBytes];
+  while (p.rx.size() < kHelloBytes) {
+    const ssize_t n = ::recv(p.fd, buf, kHelloBytes - p.rx.size(),
+                             MSG_DONTWAIT);
+    if (n > 0) {
+      p.rx.insert(p.rx.end(), buf, buf + n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)) {
+      return;  // hello still in flight
+    }
+    // EOF or hard error before the hello completed: drop the stranger.
+    poller_.remove(p.fd);
+    ::close(p.fd);
+    pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(index));
+    return;
+  }
+  const int fd = p.fd;
+  const bool magic_ok = std::memcmp(p.rx.data(), kHelloMagic, 4) == 0;
+  const std::uint32_t peer = get_u32(p.rx.data() + 4);
+  const std::uint64_t nonce = get_u64(p.rx.data() + 8);
+  pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(index));
+  if (!magic_ok || peer == 0 || peer >= world_size_ || nonce == 0) {
+    poller_.remove(fd);
+    ::close(fd);
+    return;
+  }
+  install_hello(fd, peer, nonce);
+}
+
+void TcpTransport::install_hello(int fd, std::uint32_t peer,
+                                 std::uint64_t nonce) {
+  Conn& c = conns_[peer];
+  const bool resumed = sessions_[peer] == nonce;
+  PeerEventKind kind;
+  if (sessions_[peer] == 0) {
+    kind = PeerEventKind::kJoined;
+  } else if (resumed) {
+    kind = PeerEventKind::kResumed;
+  } else {
+    kind = PeerEventKind::kNewSession;
+  }
+  if (c.fd >= 0) {
+    // The worker reconnected before we noticed the old stream die.
+    poller_.remove(c.fd);
+    ::close(c.fd);
+    c.fd = -1;
+  }
+  if (!resumed) {
+    // New incarnation: its stream starts from scratch on both sides.
+    c.tx.clear();
+    c.tx_bytes = 0;
+    frames_[peer].clear();
+  }
+  c.rx.clear();
+  c.tx_off = 0;  // resend the partially-written frame from its first byte
+  c.want_write = false;
+  sessions_[peer] = nonce;
+  const std::uint8_t ack = resumed ? kAckResumed : kAckFresh;
+  if (::send(fd, &ack, 1, MSG_NOSIGNAL | MSG_DONTWAIT) != 1) {
+    // A fresh socket whose 1-byte write fails is broken; the worker
+    // retries the whole handshake.
+    poller_.remove(fd);
+    ::close(fd);
+    return;
+  }
+  c.fd = fd;
+  poller_.modify(fd, static_cast<std::uint64_t>(fd), /*want_read=*/true,
+                 /*want_write=*/!c.tx.empty());
+  c.want_write = !c.tx.empty();
+  if (resumed) ++stats_.reconnects;
+  events_.push_back(PeerEvent{peer, kind, nonce});
+  flush_conn(peer);
+}
+
+// ------------------------------------------------------------- worker side
+
+void TcpTransport::progress_connect(std::chrono::steady_clock::time_point now) {
+  if (wstate_ != WorkerState::kDisconnected) return;
+  // The *initial* connect retries regardless of auto_reconnect (bounded
+  // by connect_timeout in connect()); reconnects after a lost session are
+  // governed by auto_reconnect + reconnect_window.
+  if (ever_connected_) {
+    if (!opts_.auto_reconnect ||
+        now - worker_down_since_ > opts_.reconnect_window) {
+      wstate_ = WorkerState::kFailed;
+      return;
+    }
+  }
+  if (now < next_attempt_) return;
+  start_connect();
+}
+
+void TcpTransport::start_connect() {
+  sockaddr_in addr;
+  if (!resolve(host_, port_, &addr)) {
+    wstate_ = WorkerState::kFailed;
+    return;
+  }
+  const int fd = make_socket();
+  if (fd < 0) {
+    fail_connection();
+    return;
+  }
+  const int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                           sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS) {
+    ::close(fd);
+    fail_connection();
+    return;
+  }
+  conns_[0].fd = fd;
+  conns_[0].rx.clear();
+  conns_[0].tx_off = 0;
+  conns_[0].want_write = true;
+  poller_.add(fd, static_cast<std::uint64_t>(fd), /*want_read=*/true,
+              /*want_write=*/true);
+  wstate_ = WorkerState::kConnecting;
+}
+
+void TcpTransport::on_connect_ready() {
+  int err = 0;
+  socklen_t len = sizeof(err);
+  if (::getsockopt(conns_[0].fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 ||
+      err != 0) {
+    poller_.remove(conns_[0].fd);
+    ::close(conns_[0].fd);
+    conns_[0].fd = -1;
+    fail_connection();
+    return;
+  }
+  // Connected: present the hello, then await the one-byte ack. Written
+  // in place into a fixed-size buffer (GCC 12's -Warray-bounds false-
+  // fires on growing a small vector from a pointer range).
+  hello_out_.assign(kHelloBytes, 0);
+  std::memcpy(hello_out_.data(), kHelloMagic, 4);
+  for (int i = 0; i < 4; ++i) {
+    hello_out_[4 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(rank_ >> (8 * i));
+  }
+  for (int i = 0; i < 8; ++i) {
+    hello_out_[8 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(opts_.session_nonce >> (8 * i));
+  }
+  wstate_ = WorkerState::kHelloSent;
+  const ssize_t n = ::send(conns_[0].fd, hello_out_.data(), hello_out_.size(),
+                           MSG_NOSIGNAL | MSG_DONTWAIT);
+  if (n > 0) hello_out_.erase(hello_out_.begin(), hello_out_.begin() + n);
+  conns_[0].want_write = !hello_out_.empty();
+  poller_.modify(conns_[0].fd, static_cast<std::uint64_t>(conns_[0].fd),
+                 /*want_read=*/true, conns_[0].want_write);
+}
+
+void TcpTransport::handle_ack() {
+  std::uint8_t ack = 0;
+  const ssize_t n = ::recv(conns_[0].fd, &ack, 1, MSG_DONTWAIT);
+  if (n == 0 || (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+                 errno != EINTR)) {
+    poller_.remove(conns_[0].fd);
+    ::close(conns_[0].fd);
+    conns_[0].fd = -1;
+    fail_connection();
+    return;
+  }
+  if (n < 0) return;  // ack still in flight
+  if (ever_connected_ && ack != kAckResumed) {
+    // The coordinator no longer holds our session (it evicted us, or it
+    // restarted): resuming the stream would desync, so this incarnation
+    // is done. A *new* transport with a fresh nonce can rejoin.
+    poller_.remove(conns_[0].fd);
+    ::close(conns_[0].fd);
+    conns_[0].fd = -1;
+    wstate_ = WorkerState::kFailed;
+    return;
+  }
+  if (ever_connected_) ++stats_.reconnects;
+  ever_connected_ = true;
+  attempt_ = 0;
+  wstate_ = WorkerState::kConnected;
+  flush_conn(0);
+}
+
+void TcpTransport::fail_connection() {
+  // One attempt burned: back off before the next.
+  if (conns_[0].fd >= 0) {
+    poller_.remove(conns_[0].fd);
+    ::close(conns_[0].fd);
+    conns_[0].fd = -1;
+  }
+  if (!ever_connected_) worker_down_since_ = std::chrono::steady_clock::now();
+  wstate_ = WorkerState::kDisconnected;
+  next_attempt_ = std::chrono::steady_clock::now() +
+                  opts_.backoff.delay(attempt_, opts_.session_nonce);
+  if (attempt_ < 0xffffffffu) ++attempt_;
+}
+
+// -------------------------------------------------------------- stream IO
+
+void TcpTransport::read_conn(std::uint32_t peer) {
+  if (rank_ != 0 && wstate_ == WorkerState::kHelloSent) {
+    handle_ack();
+    if (wstate_ != WorkerState::kConnected) return;
+  }
+  Conn& c = conns_[peer];
+  std::uint8_t buf[kReadChunk];
+  for (;;) {
+    const ssize_t n = ::recv(c.fd, buf, sizeof(buf), MSG_DONTWAIT);
+    if (n > 0) {
+      c.rx.insert(c.rx.end(), buf, buf + n);
+      if (!parse_frames(peer)) return;  // poisoned stream: disconnected
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)) {
+      return;
+    }
+    disconnect(peer, /*emit_event=*/true);  // EOF or hard error
+    return;
+  }
+}
+
+bool TcpTransport::parse_frames(std::uint32_t peer) {
+  Conn& c = conns_[peer];
+  std::size_t pos = 0;
+  while (c.rx.size() - pos >= 4) {
+    const std::uint32_t len = get_u32(c.rx.data() + pos);
+    if (len > kMaxFrameBytes) {
+      // Desynced or hostile stream: poison the connection before touching
+      // the length. A resuming worker restarts the stream cleanly.
+      c.rx.clear();
+      disconnect(peer, /*emit_event=*/true);
+      return false;
+    }
+    if (c.rx.size() - pos - 4 < len) break;
+    frames_[peer].emplace_back(c.rx.begin() + static_cast<std::ptrdiff_t>(pos) + 4,
+                               c.rx.begin() + static_cast<std::ptrdiff_t>(pos) +
+                                   4 + len);
+    pos += 4 + len;
+  }
+  if (pos > 0) c.rx.erase(c.rx.begin(), c.rx.begin() + static_cast<std::ptrdiff_t>(pos));
+  return true;
+}
+
+void TcpTransport::disconnect(std::uint32_t peer, bool emit_event) {
+  Conn& c = conns_[peer];
+  if (c.fd < 0) return;
+  poller_.remove(c.fd);
+  ::close(c.fd);
+  c.fd = -1;
+  c.rx.clear();
+  c.tx_off = 0;  // the reconnected stream resends the frame whole
+  c.want_write = false;
+  if (rank_ == 0) {
+    down_since_[peer] = std::chrono::steady_clock::now();
+    if (emit_event) {
+      events_.push_back(PeerEvent{peer, PeerEventKind::kDisconnected,
+                                  sessions_[peer]});
+    }
+  } else {
+    hello_out_.clear();
+    worker_down_since_ = std::chrono::steady_clock::now();
+    attempt_ = 0;
+    next_attempt_ = std::chrono::steady_clock::now() +
+                    opts_.backoff.delay(attempt_, opts_.session_nonce);
+    ++attempt_;
+    wstate_ = opts_.auto_reconnect ? WorkerState::kDisconnected
+                                   : WorkerState::kFailed;
+  }
+}
+
+// ------------------------------------------------------------- membership
+
+std::vector<PeerEvent> TcpTransport::take_peer_events() {
+  std::vector<PeerEvent> out;
+  out.swap(events_);
+  return out;
+}
+
+bool TcpTransport::peer_connected(std::uint32_t rank) const {
+  if (rank == rank_) return true;
+  if (rank >= world_size_) return false;
+  if (rank_ != 0) return wstate_ == WorkerState::kConnected;
+  return conns_[rank].fd >= 0;
+}
+
+void TcpTransport::drop_peer(std::uint32_t rank) {
+  if (rank_ != 0 || rank == 0 || rank >= world_size_) return;
+  disconnect(rank, /*emit_event=*/false);
+  sessions_[rank] = 0;  // only a fresh session can come back
+  conns_[rank].tx.clear();
+  conns_[rank].tx_bytes = 0;
+  frames_[rank].clear();
+}
+
+void TcpTransport::shutdown_hard() {
+  for (std::uint32_t r = 0; r < world_size_; ++r) {
+    Conn& c = conns_[r];
+    if (c.fd >= 0) {
+      poller_.remove(c.fd);
+      ::close(c.fd);
+      c.fd = -1;
+    }
+    c.tx.clear();
+    c.tx_bytes = 0;
+    c.tx_off = 0;
+  }
+  for (PendingConn& p : pending_) {
+    poller_.remove(p.fd);
+    ::close(p.fd);
+  }
+  pending_.clear();
+  if (listen_fd_ >= 0) {
+    poller_.remove(listen_fd_);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  opts_.auto_reconnect = false;
+  if (rank_ != 0) wstate_ = WorkerState::kFailed;
+}
+
+void TcpTransport::debug_break_connection() {
+  if (rank_ != 0) {
+    if (conns_[0].fd >= 0) {
+      poller_.remove(conns_[0].fd);
+      ::close(conns_[0].fd);
+      conns_[0].fd = -1;
+      hello_out_.clear();
+      worker_down_since_ = std::chrono::steady_clock::now();
+      attempt_ = 0;
+      next_attempt_ = std::chrono::steady_clock::now();  // retry immediately
+      wstate_ = opts_.auto_reconnect ? WorkerState::kDisconnected
+                                     : WorkerState::kFailed;
+    }
+    return;
+  }
+  for (std::uint32_t r = 1; r < world_size_; ++r) {
+    if (conns_[r].fd >= 0) disconnect(r, /*emit_event=*/true);
+  }
+}
+
+}  // namespace booster::ipc

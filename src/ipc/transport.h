@@ -13,7 +13,10 @@
 //   * FileTransport (file_transport.h) -- one append-only spool file per
 //     directed pair, readable across processes;
 //   * SocketTransport (socket_transport.h) -- AF_UNIX stream sockets in a
-//     star around rank 0.
+//     star around rank 0;
+//   * TcpTransport (tcp_transport.h) -- TCP star multiplexed on an epoll
+//     Poller, with reconnect/backoff, session nonces, and the membership
+//     surface (peer events) the elastic trainer consumes.
 #pragma once
 
 #include <chrono>
@@ -40,6 +43,24 @@ struct TransportStats {
   std::uint64_t frames_received = 0;
   std::uint64_t bytes_sent = 0;
   std::uint64_t bytes_received = 0;
+  /// Successful re-establishments of a lost connection (TCP transports;
+  /// 0 elsewhere).
+  std::uint64_t reconnects = 0;
+};
+
+/// Membership change observed by a connection-oriented transport.
+/// Consumed by the elastic trainer on rank 0 via take_peer_events().
+enum class PeerEventKind : std::uint8_t {
+  kJoined = 0,   // first connection of this rank
+  kResumed,      // reconnect presenting the same session nonce
+  kNewSession,   // reconnect with a fresh nonce (a new worker incarnation)
+  kDisconnected  // connection lost (EOF / error); may yet reconnect
+};
+
+struct PeerEvent {
+  std::uint32_t rank = 0;
+  PeerEventKind kind = PeerEventKind::kJoined;
+  std::uint64_t session_nonce = 0;
 };
 
 class Transport {
@@ -61,6 +82,27 @@ class Transport {
   /// transports; the reliable layer never assumes more than that.
   virtual RecvStatus recv(std::uint32_t src, std::vector<std::uint8_t>* frame,
                           std::chrono::milliseconds timeout) = 0;
+
+  // --- membership surface (connection-oriented transports only) ---
+  // The elastic trainer drives these on rank 0; queue-backed transports
+  // keep the defaults (no membership: every rank is permanently
+  // "connected" and no events ever fire).
+
+  /// True when this endpoint observes peer connect/disconnect events.
+  virtual bool membership_capable() const { return false; }
+  /// Progresses the event loop (accepting, reading, flushing) without
+  /// consuming data frames -- lets rank 0 notice joins between recvs.
+  virtual void pump(std::chrono::milliseconds /*timeout*/) {}
+  /// Drains the queued membership events (oldest first).
+  virtual std::vector<PeerEvent> take_peer_events() { return {}; }
+  /// True when a live connection to `rank` exists right now.
+  virtual bool peer_connected(std::uint32_t /*rank*/) const { return true; }
+  /// Forgets `rank`'s connection *and* session, so only a fresh session
+  /// can re-join (rank 0 evicting a stale member).
+  virtual void drop_peer(std::uint32_t /*rank*/) {}
+  /// Abruptly closes this endpoint's channels without any goodbye --
+  /// simulated crash for churn tests; no reconnect attempts follow.
+  virtual void shutdown_hard() {}
 
   const TransportStats& stats() const { return stats_; }
 

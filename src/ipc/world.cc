@@ -8,6 +8,7 @@
 
 #include "ipc/file_transport.h"
 #include "ipc/socket_transport.h"
+#include "ipc/tcp_transport.h"
 #include "util/check.h"
 
 namespace booster::ipc {
@@ -17,6 +18,7 @@ const char* transport_kind_name(TransportKind kind) {
     case TransportKind::kLoopback: return "loopback";
     case TransportKind::kFile: return "file";
     case TransportKind::kSocket: return "socket";
+    case TransportKind::kTcp: return "tcp";
   }
   return "unknown";
 }
@@ -25,6 +27,7 @@ std::optional<TransportKind> transport_kind_from_name(std::string_view name) {
   if (name == "loopback") return TransportKind::kLoopback;
   if (name == "file") return TransportKind::kFile;
   if (name == "socket") return TransportKind::kSocket;
+  if (name == "tcp") return TransportKind::kTcp;
   return std::nullopt;
 }
 
@@ -58,6 +61,8 @@ InProcessWorld::InProcessWorld(TransportKind kind, std::uint32_t world_size,
     case TransportKind::kSocket:
       path_ = unique_ipc_path("sock");
       break;
+    case TransportKind::kTcp:
+      break;  // rank 0 publishes its ephemeral port from endpoint()
   }
 }
 
@@ -90,6 +95,29 @@ Transport* InProcessWorld::endpoint(std::uint32_t rank) {
       t = rank == 0 ? SocketTransport::serve(path_, world_size_)
                     : SocketTransport::connect(path_, world_size_, rank);
       break;
+    case TransportKind::kTcp: {
+      if (rank == 0) {
+        auto t0 = TcpTransport::listen("127.0.0.1", 0, world_size_);
+        BOOSTER_CHECK_MSG(t0 != nullptr, "tcp world: listen failed");
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          tcp_port_ = t0->port();
+        }
+        tcp_port_cv_.notify_all();
+        t = std::move(t0);
+      } else {
+        std::uint16_t port = 0;
+        {
+          std::unique_lock<std::mutex> lock(mutex_);
+          const bool ok = tcp_port_cv_.wait_for(
+              lock, std::chrono::seconds(30), [&] { return tcp_port_ != 0; });
+          BOOSTER_CHECK_MSG(ok, "tcp world: rank 0 never published its port");
+          port = tcp_port_;
+        }
+        t = TcpTransport::connect("127.0.0.1", port, world_size_, rank);
+      }
+      break;
+    }
   }
   BOOSTER_CHECK_MSG(t != nullptr, "transport endpoint failed to assemble");
   std::lock_guard<std::mutex> lock(mutex_);

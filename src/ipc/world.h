@@ -8,6 +8,7 @@
 // construct FileTransport / SocketTransport endpoints directly instead.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -21,7 +22,7 @@
 
 namespace booster::ipc {
 
-enum class TransportKind : std::uint8_t { kLoopback = 0, kFile, kSocket };
+enum class TransportKind : std::uint8_t { kLoopback = 0, kFile, kSocket, kTcp };
 
 const char* transport_kind_name(TransportKind kind);
 std::optional<TransportKind> transport_kind_from_name(std::string_view name);
@@ -65,6 +66,9 @@ class InProcessWorld {
   std::uint64_t fault_seed_;
   std::unique_ptr<LoopbackHub> hub_;
   std::mutex mutex_;
+  /// TCP worlds: rank 0 publishes its ephemeral port here; workers wait.
+  std::uint16_t tcp_port_ = 0;
+  std::condition_variable tcp_port_cv_;
   std::vector<std::unique_ptr<Transport>> inner_;
   std::vector<std::unique_ptr<Transport>> wrapped_;
 };

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "ipc/membership.h"
 #include "ipc/world.h"
 
 namespace booster::sim {
@@ -362,6 +363,7 @@ workloads::RunnerConfig ScenarioSpec::runner_config(bool quick) const {
   cfg.num_shards = shards;
   cfg.procs = procs;
   cfg.transport = transport;
+  cfg.churn = churn;
   if (quick) apply_quick(&cfg);
   return cfg;
 }
@@ -432,6 +434,7 @@ Json ScenarioSpec::to_json() const {
   if (shards != defaults.shards) runner.set("shards", shards);
   if (procs != defaults.procs) runner.set("procs", procs);
   if (transport != defaults.transport) runner.set("transport", transport);
+  if (churn != defaults.churn) runner.set("churn", churn);
   if (runner.size() > 0) j.set("runner", std::move(runner));
 
   if (include_inference) j.set("include_inference", true);
@@ -533,6 +536,7 @@ std::optional<ScenarioSpec> ScenarioSpec::from_json(const Json& json,
     rr.u32("shards", &spec.shards);
     rr.u32("procs", &spec.procs);
     rr.string("transport", &spec.transport);
+    rr.string("churn", &spec.churn);
     if (!rr.finish()) return std::nullopt;
   }
 
@@ -555,8 +559,21 @@ std::optional<ScenarioSpec> ScenarioSpec::from_json(const Json& json,
   if (!ipc::transport_kind_from_name(spec.transport).has_value()) {
     set_error(error, "scenario.runner.transport: unknown transport \"" +
                          spec.transport +
-                         "\" (expected loopback, file, or socket)");
+                         "\" (expected loopback, file, socket, or tcp)");
     return std::nullopt;
+  }
+  if (!spec.churn.empty()) {
+    if (spec.transport != "tcp") {
+      set_error(error,
+                "scenario.runner.churn requires transport \"tcp\"");
+      return std::nullopt;
+    }
+    if (!ipc::ChurnSchedule::parse(spec.churn).has_value()) {
+      set_error(error, "scenario.runner.churn: unparseable schedule \"" +
+                           spec.churn +
+                           "\" (expected kill|hang|join:<rank>@<tree>,...)");
+      return std::nullopt;
+    }
   }
   return spec;
 }

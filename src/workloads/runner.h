@@ -36,9 +36,16 @@ struct RunnerConfig {
   /// trainer, so raising this never changes results either -- it
   /// exercises the transport/merge stack inside the pipeline.
   std::uint32_t procs = 1;
-  /// Histogram transport for procs > 1: "loopback", "file", or "socket"
-  /// (ipc::transport_kind_from_name).
+  /// Histogram transport for procs > 1: "loopback", "file", "socket", or
+  /// "tcp" (ipc::transport_kind_from_name).
   std::string transport = "loopback";
+  /// tcp-only: a kill/hang/join schedule in ipc::ChurnSchedule grammar
+  /// ("kill:<rank>@<tree>,hang:<rank>@<tree>,join:<rank>@<tree>").
+  /// Non-empty switches the procs > 1 leg to the elastic localhost-TCP
+  /// world (gbdt::train_elastic_tcp): workers churn per the schedule and
+  /// rank 0 repartitions at tree boundaries, still bit-identical to the
+  /// single-process trainer.
+  std::string churn;
 };
 
 struct WorkloadResult {

@@ -101,7 +101,8 @@ TEST(DistributedEquivalence, BitIdenticalAcrossTransportsProcsShardsThreads) {
 
   const ipc::TransportKind kinds[] = {ipc::TransportKind::kLoopback,
                                       ipc::TransportKind::kFile,
-                                      ipc::TransportKind::kSocket};
+                                      ipc::TransportKind::kSocket,
+                                      ipc::TransportKind::kTcp};
   for (const auto kind : kinds) {
     for (const std::uint32_t procs : {1u, 2u, 4u}) {
       for (const std::uint32_t shards : {1u, 2u, 3u, 8u}) {

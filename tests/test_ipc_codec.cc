@@ -331,5 +331,83 @@ TEST(IpcCodec, TreeSummaryAndVerdictRoundTripBitExactly) {
   EXPECT_FALSE(verdict_out.early_stopped);
 }
 
+TEST(IpcCodec, ShardAssignRoundTripsBitExactly) {
+  ShardAssignMsg msg;
+  msg.tree = 13;
+  msg.view_epoch = 5;
+  msg.num_shards = 8;
+  msg.shard_begin = 3;
+  msg.shard_end = 6;
+  msg.final_assign = false;
+  msg.early_stopped = false;
+  const auto payload = HistogramCodec::encode_shard_assign(msg);
+  ShardAssignMsg out;
+  ASSERT_TRUE(HistogramCodec::decode_shard_assign(payload, &out));
+  EXPECT_EQ(out.tree, 13u);
+  EXPECT_EQ(out.view_epoch, 5u);
+  EXPECT_EQ(out.num_shards, 8u);
+  EXPECT_EQ(out.shard_begin, 3u);
+  EXPECT_EQ(out.shard_end, 6u);
+  EXPECT_FALSE(out.final_assign);
+  EXPECT_FALSE(out.early_stopped);
+
+  // The final assignment (the elastic exit signal) keeps its flags.
+  msg.final_assign = true;
+  msg.early_stopped = true;
+  msg.shard_begin = msg.shard_end = 0;
+  const auto fin = HistogramCodec::encode_shard_assign(msg);
+  ASSERT_TRUE(HistogramCodec::decode_shard_assign(fin, &out));
+  EXPECT_TRUE(out.final_assign);
+  EXPECT_TRUE(out.early_stopped);
+
+  std::vector<std::uint8_t> short_payload(payload.begin(), payload.end() - 1);
+  EXPECT_FALSE(HistogramCodec::decode_shard_assign(short_payload, &out));
+}
+
+TEST(IpcCodec, CatchUpRoundTripsBitExactly) {
+  CatchUpMsg msg;
+  gbdt::TreeNode interior;
+  interior.is_leaf = false;
+  interior.field = 2;
+  interior.kind = gbdt::PredicateKind::kNumericLE;
+  interior.threshold_bin = 41;
+  interior.default_left = false;
+  interior.left = 1;
+  interior.right = 2;
+  interior.depth = 0;
+  interior.gain = 3.0517578125e-05;
+  gbdt::TreeNode leaf;
+  leaf.is_leaf = true;
+  leaf.depth = 1;
+  leaf.weight = 0.30000000000000004;  // not representable exactly: bit test
+  CatchUpMsg::TreeEntry entry;
+  entry.nodes = {interior, leaf, leaf};
+  entry.train_loss = 0.6931471805599453;
+  msg.trees.push_back(entry);
+  entry.train_loss = 0.5772156649015329;
+  msg.trees.push_back(entry);
+
+  const auto payload = HistogramCodec::encode_catch_up(msg);
+  CatchUpMsg out;
+  ASSERT_TRUE(HistogramCodec::decode_catch_up(payload, &out));
+  ASSERT_EQ(out.trees.size(), 2u);
+  ASSERT_EQ(out.trees[0].nodes.size(), 3u);
+  EXPECT_EQ(out.trees[0].nodes[0].field, 2u);
+  EXPECT_EQ(out.trees[0].nodes[0].threshold_bin, 41);
+  EXPECT_EQ(bits(out.trees[0].nodes[0].gain), bits(interior.gain));
+  EXPECT_EQ(bits(out.trees[0].nodes[1].weight), bits(leaf.weight));
+  EXPECT_EQ(bits(out.trees[0].train_loss), bits(0.6931471805599453));
+  EXPECT_EQ(bits(out.trees[1].train_loss), bits(0.5772156649015329));
+
+  // The empty catch-up (joining a world with no finished trees yet) is
+  // valid and distinct from a decode failure.
+  const auto empty_payload = HistogramCodec::encode_catch_up(CatchUpMsg{});
+  ASSERT_TRUE(HistogramCodec::decode_catch_up(empty_payload, &out));
+  EXPECT_TRUE(out.trees.empty());
+
+  std::vector<std::uint8_t> short_payload(payload.begin(), payload.end() - 2);
+  EXPECT_FALSE(HistogramCodec::decode_catch_up(short_payload, &out));
+}
+
 }  // namespace
 }  // namespace booster::ipc

@@ -246,7 +246,8 @@ TEST(IpcTransport, ReliableChannelPacesASlowSenderWithoutDesync) {
 
 TEST(IpcTransport, TransportKindNamesRoundTrip) {
   for (const auto kind :
-       {TransportKind::kLoopback, TransportKind::kFile, TransportKind::kSocket}) {
+       {TransportKind::kLoopback, TransportKind::kFile, TransportKind::kSocket,
+        TransportKind::kTcp}) {
     const auto parsed = transport_kind_from_name(transport_kind_name(kind));
     ASSERT_TRUE(parsed.has_value());
     EXPECT_EQ(*parsed, kind);

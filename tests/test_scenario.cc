@@ -418,6 +418,39 @@ TEST(DistributedRunner, ProcsAndTransportRoundTripThroughJson) {
   EXPECT_EQ(rcfg.transport, "socket");
 }
 
+TEST(DistributedRunner, ChurnRoundTripsAndIsValidated) {
+  auto spec = *builtin_scenario("dse_shard_sweep");
+  spec.procs = 3;
+  spec.transport = "tcp";
+  spec.churn = "kill:1@2,join:3@4";
+  const Json j = spec.to_json();
+  const Json* runner = j.find("runner");
+  ASSERT_NE(runner, nullptr);
+  EXPECT_EQ(runner->find("churn")->as_string(), "kill:1@2,join:3@4");
+
+  std::string error;
+  const auto reparsed = ScenarioSpec::from_json(j, &error);
+  ASSERT_TRUE(reparsed.has_value()) << error;
+  EXPECT_TRUE(*reparsed == spec);
+  EXPECT_EQ(reparsed->churn, "kill:1@2,join:3@4");
+  const auto rcfg = reparsed->runner_config(/*quick=*/false);
+  EXPECT_EQ(rcfg.transport, "tcp");
+  EXPECT_EQ(rcfg.churn, "kill:1@2,join:3@4");
+
+  // churn without tcp is rejected.
+  spec.transport = "loopback";
+  error.clear();
+  EXPECT_FALSE(ScenarioSpec::from_json(spec.to_json(), &error).has_value());
+  EXPECT_NE(error.find("churn"), std::string::npos) << error;
+
+  // An unparseable schedule is rejected.
+  spec.transport = "tcp";
+  spec.churn = "explode:1@2";
+  error.clear();
+  EXPECT_FALSE(ScenarioSpec::from_json(spec.to_json(), &error).has_value());
+  EXPECT_NE(error.find("churn"), std::string::npos) << error;
+}
+
 TEST(DistributedRunner, BadTransportAndZeroProcsAreParseErrors) {
   auto spec = *builtin_scenario("dse_shard_sweep");
   spec.transport = "carrier-pigeon";
@@ -446,6 +479,35 @@ TEST(DistributedRunner, ProcsLegTrainsBitIdenticallyToInProcess) {
   const auto spec = workloads::fraud_spec();
   const auto a = workloads::run_workload(spec, base);
   const auto b = workloads::run_workload(spec, dist);
+  ASSERT_EQ(a.train.model.num_trees(), b.train.model.num_trees());
+  ASSERT_EQ(a.trace.events().size(), b.trace.events().size());
+  for (std::size_t t = 0; t < a.train.tree_stats.size(); ++t) {
+    EXPECT_EQ(a.train.tree_stats[t].train_loss,
+              b.train.tree_stats[t].train_loss);
+  }
+  for (std::uint64_t r = 0; r < a.binned.num_records(); r += 127) {
+    EXPECT_EQ(a.train.model.predict_raw(a.binned, r),
+              b.train.model.predict_raw(b.binned, r));
+  }
+  EXPECT_EQ(a.info.avg_leaf_depth, b.info.avg_leaf_depth);
+}
+
+TEST(DistributedRunner, ChurnLegTrainsBitIdenticallyOverElasticTcp) {
+  // runner.transport=tcp + runner.churn routes the functional sample
+  // through the elastic localhost-TCP world with a scheduled mid-run
+  // kill; the final model and trace must still match the plain trainer.
+  workloads::RunnerConfig base;
+  base.sim_records = 2000;
+  base.sim_trees = 4;
+  base.num_shards = 3;
+  workloads::RunnerConfig churned = base;
+  churned.procs = 3;
+  churned.transport = "tcp";
+  churned.churn = "kill:2@1";
+
+  const auto spec = workloads::fraud_spec();
+  const auto a = workloads::run_workload(spec, base);
+  const auto b = workloads::run_workload(spec, churned);
   ASSERT_EQ(a.train.model.num_trees(), b.train.model.num_trees());
   ASSERT_EQ(a.trace.events().size(), b.trace.events().size());
   for (std::size_t t = 0; t < a.train.tree_stats.size(); ++t) {
