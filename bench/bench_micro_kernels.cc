@@ -6,14 +6,17 @@
 #include <benchmark/benchmark.h>
 
 #include <numeric>
+#include <span>
 #include <vector>
 
 #include "core/engines.h"
 #include "gbdt/binning.h"
+#include "gbdt/flat_ensemble.h"
 #include "gbdt/histogram.h"
 #include "gbdt/split.h"
 #include "gbdt/trainer.h"
 #include "memsim/memory_system.h"
+#include "util/simd.h"
 #include "workloads/runner.h"
 #include "workloads/synth.h"
 
@@ -108,6 +111,176 @@ void BM_TreeTraversal(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * w.binned.num_records());
 }
 BENCHMARK(BM_TreeTraversal);
+
+// ---------------------------------------------------------- SIMD legs
+// Each benchmark below takes a dispatch level as its argument (0=scalar,
+// 1=avx2, 2=avx512) and repins the process-wide kernel table for its
+// duration, so one run reports scalar-vs-wide side by side. Levels this
+// host (or toolchain) lacks are skipped, not failed. Outputs are
+// bit-identical across legs -- only the wall clock differs.
+
+/// Resolves the level a SIMD leg requests into *out; returns false (after
+/// flagging the skip) when this binary/host cannot execute it.
+bool simd_leg_level(benchmark::State& state, util::simd::Level* out) {
+  const auto lv = static_cast<util::simd::Level>(state.range(0));
+  if (util::simd::kernels(lv).level != lv) {
+    state.SkipWithError("dispatch level not supported on this host");
+    return false;
+  }
+  *out = lv;
+  return true;
+}
+
+void BM_SimdHistogramAdd(benchmark::State& state) {
+  util::simd::Level lv;
+  if (!simd_leg_level(state, &lv)) return;
+  const util::simd::ScopedLevelForTesting scoped(lv);
+  const auto& w = higgs_sample();
+  const auto grads = unit_gradients(w.binned.num_records());
+  std::vector<std::uint32_t> rows(w.binned.num_records());
+  std::iota(rows.begin(), rows.end(), 0);
+  gbdt::Histogram dst(w.binned);
+  gbdt::Histogram src(w.binned);
+  src.build(w.binned, rows, grads);
+  for (auto _ : state) {
+    dst.add(src);
+    benchmark::DoNotOptimize(dst);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          dst.total_bins() * sizeof(gbdt::BinStats) * 2);
+}
+BENCHMARK(BM_SimdHistogramAdd)->ArgName("level")->Arg(0)->Arg(1)->Arg(2);
+
+void BM_SimdHistogramSubtract(benchmark::State& state) {
+  util::simd::Level lv;
+  if (!simd_leg_level(state, &lv)) return;
+  const util::simd::ScopedLevelForTesting scoped(lv);
+  const auto& w = higgs_sample();
+  const auto grads = unit_gradients(w.binned.num_records());
+  std::vector<std::uint32_t> rows(w.binned.num_records());
+  std::iota(rows.begin(), rows.end(), 0);
+  gbdt::Histogram parent(w.binned);
+  parent.build(w.binned, rows, grads);
+  gbdt::Histogram sibling(w.binned);
+  sibling.build(w.binned,
+                std::span<const std::uint32_t>(rows).subspan(0, rows.size() / 2),
+                grads);
+  gbdt::Histogram scratch(w.binned);
+  for (auto _ : state) {
+    // The smaller-child trick's kernel: scratch = parent - sibling.
+    scratch.subtract_from(parent, sibling);
+    benchmark::DoNotOptimize(scratch);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          scratch.total_bins() * sizeof(gbdt::BinStats) * 3);
+}
+BENCHMARK(BM_SimdHistogramSubtract)->ArgName("level")->Arg(0)->Arg(1)->Arg(2);
+
+void BM_SimdHistogramClear(benchmark::State& state) {
+  util::simd::Level lv;
+  if (!simd_leg_level(state, &lv)) return;
+  const util::simd::ScopedLevelForTesting scoped(lv);
+  const auto& w = higgs_sample();
+  gbdt::Histogram hist(w.binned);
+  for (auto _ : state) {
+    hist.clear();
+    benchmark::DoNotOptimize(hist);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          hist.total_bins() * sizeof(gbdt::BinStats));
+}
+BENCHMARK(BM_SimdHistogramClear)->ArgName("level")->Arg(0)->Arg(1)->Arg(2);
+
+void BM_SimdQuantizeGather(benchmark::State& state) {
+  util::simd::Level lv;
+  if (!simd_leg_level(state, &lv)) return;
+  const util::simd::ScopedLevelForTesting scoped(lv);
+  constexpr std::size_t kRows = 16384;
+  std::vector<gbdt::GradientPair> grads(kRows);
+  for (std::size_t i = 0; i < kRows; ++i) {
+    grads[i] = {static_cast<float>(i) * 1e-3f - 8.0f,
+                static_cast<float>(i % 97) * 1e-2f};
+  }
+  std::vector<std::uint32_t> rows(kRows);
+  std::iota(rows.begin(), rows.end(), 0);
+  std::vector<double> qg(kRows), qh(kRows);
+  const auto& ker = util::simd::kernels();
+  for (auto _ : state) {
+    ker.quantize_gather(reinterpret_cast<const float*>(grads.data()),
+                        rows.data(), kRows, gbdt::kStatInvQuantum,
+                        gbdt::kStatQuantum, qg.data(), qh.data());
+    benchmark::DoNotOptimize(qg.data());
+    benchmark::DoNotOptimize(qh.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kRows);
+}
+BENCHMARK(BM_SimdQuantizeGather)->ArgName("level")->Arg(0)->Arg(1)->Arg(2);
+
+void BM_SimdHistogramBuild(benchmark::State& state) {
+  util::simd::Level lv;
+  if (!simd_leg_level(state, &lv)) return;
+  const util::simd::ScopedLevelForTesting scoped(lv);
+  const auto& w = higgs_sample();
+  const auto grads = unit_gradients(w.binned.num_records());
+  std::vector<std::uint32_t> rows(w.binned.num_records());
+  std::iota(rows.begin(), rows.end(), 0);
+  gbdt::Histogram hist(w.binned);
+  for (auto _ : state) {
+    hist.clear();
+    hist.build(w.binned, rows, grads);
+    benchmark::DoNotOptimize(hist.totals());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          rows.size() * w.binned.num_fields());
+}
+BENCHMARK(BM_SimdHistogramBuild)->ArgName("level")->Arg(0)->Arg(1)->Arg(2);
+
+/// Serving-shaped sample for the prediction legs: a full-depth 48-tree
+/// ensemble (higgs_sample's 4 trees fit in L1, where blocking is pure
+/// overhead; the blocked path earns its keep once the ensemble's node
+/// tables and the records' bin columns start missing in cache).
+const workloads::WorkloadResult& predict_sample() {
+  static const workloads::WorkloadResult result = [] {
+    workloads::RunnerConfig cfg;
+    cfg.sim_records = 16000;
+    cfg.sim_trees = 48;
+    return workloads::run_workload(workloads::spec_by_name("Higgs"), cfg);
+  }();
+  return result;
+}
+
+void BM_SimdPredictMany(benchmark::State& state) {
+  util::simd::Level lv;
+  if (!simd_leg_level(state, &lv)) return;
+  const util::simd::ScopedLevelForTesting scoped(lv);
+  const auto& w = predict_sample();
+  const gbdt::FlatEnsemble flat(w.train.model);
+  const std::uint64_t n = w.binned.num_records();
+  std::vector<double> out(n);
+  for (auto _ : state) {
+    flat.predict_many(w.binned, 0, n, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_SimdPredictMany)->ArgName("level")->Arg(0)->Arg(1)->Arg(2);
+
+void BM_PredictPerRecord(benchmark::State& state) {
+  // Per-record Model::predict baseline for the BM_SimdPredictMany legs
+  // (same records, same trees, one record at a time, no tiling).
+  const auto& w = predict_sample();
+  const std::uint64_t n = w.binned.num_records();
+  std::vector<double> out(n);
+  for (auto _ : state) {
+    for (std::uint64_t r = 0; r < n; ++r) {
+      out[r] = w.train.model.predict(w.binned, r);
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_PredictPerRecord);
 
 void BM_DramStreaming(benchmark::State& state) {
   for (auto _ : state) {

@@ -29,6 +29,7 @@
 #include "gbdt/hotpath.h"
 #include "gbdt/split.h"
 #include "gbdt/trainer.h"
+#include "util/simd.h"
 #include "util/thread_pool.h"
 #include "workloads/spec.h"
 #include "workloads/synth.h"
@@ -244,9 +245,11 @@ int main(int argc, char** argv) {
       workloads::fraud_spec(), workloads::spec_by_name("Flight")};
 
   std::printf("{\n  \"bench\": \"train_hotpath\",\n  \"threads\": %u,\n"
+              "  \"simd\": \"%s\",\n"
               "  \"records\": %llu,\n  \"trees\": %u,\n  \"workloads\": [\n",
-              args.threads, static_cast<unsigned long long>(args.records),
-              args.trees);
+              args.threads,
+              booster::util::simd::level_name(booster::util::simd::active()),
+              static_cast<unsigned long long>(args.records), args.trees);
 
   for (std::size_t w = 0; w < specs.size(); ++w) {
     const auto& spec = specs[w];

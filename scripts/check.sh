@@ -21,11 +21,22 @@ cmake -B "$BUILD_DIR" -S . \
   -DBOOSTER_WERROR=ON
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 
+# Tier-1 suite twice: once at the host's native SIMD dispatch level (the
+# widest of scalar/avx2/avx512 the CPU supports) and once forced scalar,
+# proving the dispatch override works end to end and that every
+# bit-identity assertion holds on both the wide and the portable kernels.
+# (The in-process cross-level EXPECT_EQ sweeps live in test_simd and
+# test_hotpath_equivalence; this leg additionally covers the env-var path.)
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+BOOSTER_SIMD=scalar ctest --test-dir "$BUILD_DIR" --output-on-failure \
+  -j "$(nproc)"
 
 # ASan+UBSan leg: RelWithDebInfo keeps it fast enough for CI while the
 # sanitizers still see every retry loop and shim. -fno-sanitize-recover
-# turns any UB finding into a test failure. ctest globs every tests/*.cc
+# turns any UB finding into a test failure. The SIMD kernels run here at
+# the native dispatch level too, so the wide loads/stores and gathers are
+# sanitizer-checked, not just the scalar reference. ctest globs every
+# tests/*.cc
 # binary, so the sharded-equivalence layer (test_sharded_equivalence and
 # the histogram merge property tests) AND the distributed layer
 # (test_distributed, test_distributed_faults, test_ipc_*) run under the

@@ -15,6 +15,7 @@
 #include "gbdt/shard_ops.h"
 #include "ipc/codec.h"
 #include "util/check.h"
+#include "util/simd.h"
 #include "util/thread_pool.h"
 
 namespace booster::gbdt {
@@ -590,6 +591,7 @@ TrainResult DistributedTrainer::train_rank0(const BinnedDataset& data,
       leaf_count == 0 ? 0.0 : leaf_depth_sum / static_cast<double>(leaf_count);
 
   result.hot_path.threads = pool.num_threads();
+  result.hot_path.simd = util::simd::level_name(util::simd::active());
   result.hot_path.shards = num_shards;
   result.hot_path.histogram_merges = driver_merges;
   result.hot_path.histogram_allocations =
@@ -1197,6 +1199,7 @@ TrainResult DistributedTrainer::train_rank0_elastic(const BinnedDataset& data,
   result.avg_leaf_depth =
       leaf_count == 0 ? 0.0 : leaf_depth_sum / static_cast<double>(leaf_count);
   result.hot_path.threads = pool.num_threads();
+  result.hot_path.simd = util::simd::level_name(util::simd::active());
   result.hot_path.shards = num_shards;
   result.hot_path.histogram_merges = driver_merges;
   result.hot_path.histogram_allocations =
@@ -1249,6 +1252,7 @@ TrainResult DistributedTrainer::train_worker_elastic(
         leaf_count == 0 ? 0.0
                         : leaf_depth_sum / static_cast<double>(leaf_count);
     result.hot_path.threads = pool.num_threads();
+    result.hot_path.simd = util::simd::level_name(util::simd::active());
     result.hot_path.shards = num_shards;
     if (group != nullptr) {
       result.hot_path.chunk_merges = group->internal_merges();
@@ -1565,6 +1569,7 @@ TrainResult DistributedTrainer::train_worker(const BinnedDataset& data,
   result.avg_leaf_depth =
       leaf_count == 0 ? 0.0 : leaf_depth_sum / static_cast<double>(leaf_count);
   result.hot_path.threads = pool.num_threads();
+  result.hot_path.simd = util::simd::level_name(util::simd::active());
   result.hot_path.shards = num_shards;
   result.hot_path.chunk_merges = group.internal_merges();
   for (const ShardHotPathStats& ss : group.shard_stats()) {

@@ -1,0 +1,86 @@
+#include "gbdt/flat_ensemble.h"
+
+#include <algorithm>
+#include <type_traits>
+
+#include "gbdt/loss.h"
+#include "gbdt/split.h"
+#include "util/check.h"
+
+namespace booster::gbdt {
+
+// The traversal kernel reads bins as raw uint16 columns.
+static_assert(std::is_same_v<BinIndex, std::uint16_t>,
+              "traverse_block assumes 16-bit bin indices");
+
+void FlatTree::assign(const Tree& tree) {
+  const std::uint32_t n = tree.num_nodes();
+  left_.resize(n);
+  right_.resize(n);
+  field_.resize(n);
+  threshold_.resize(n);
+  flags_.resize(n);
+  weight_.resize(n);
+  for (std::uint32_t id = 0; id < n; ++id) {
+    const TreeNode& nd = tree.node(static_cast<std::int32_t>(id));
+    left_[id] = nd.left;
+    right_[id] = nd.right;
+    field_[id] = static_cast<std::int32_t>(nd.field);
+    threshold_[id] = nd.threshold_bin;
+    flags_[id] = static_cast<std::uint8_t>(
+        (nd.is_leaf ? util::simd::kNodeLeaf : 0) |
+        (nd.kind == PredicateKind::kCategoryEqual ? util::simd::kNodeCategorical
+                                                  : 0) |
+        (nd.default_left ? util::simd::kNodeDefaultLeft : 0));
+    weight_[id] = nd.weight;
+  }
+}
+
+FlatEnsemble::FlatEnsemble(const Model& model)
+    : base_score_(model.base_score()), loss_(&model.loss()) {
+  trees_.reserve(model.num_trees());
+  for (const Tree& t : model.trees()) trees_.emplace_back(t);
+}
+
+std::vector<const BinIndex*> column_pointers(const BinnedDataset& data) {
+  std::vector<const BinIndex*> cols(data.num_fields());
+  for (std::uint32_t f = 0; f < data.num_fields(); ++f) {
+    cols[f] = data.column(f).data();
+  }
+  return cols;
+}
+
+void FlatEnsemble::predict_raw_many(const BinnedDataset& data,
+                                    std::uint64_t begin, std::uint64_t end,
+                                    std::span<double> out) const {
+  BOOSTER_CHECK(begin <= end && end <= data.num_records());
+  BOOSTER_CHECK(out.size() >= end - begin);
+  const auto cols = column_pointers(data);
+  const auto& ker = util::simd::kernels();
+  const std::uint64_t tile = ker.predict_tile;
+  double wts[util::simd::kMaxPredictTile];
+  for (std::uint64_t r0 = begin; r0 < end; r0 += tile) {
+    const std::size_t m = static_cast<std::size_t>(std::min(tile, end - r0));
+    double* acc = out.data() + (r0 - begin);
+    for (std::size_t i = 0; i < m; ++i) acc[i] = base_score_;
+    // Tree-major over the tile: each tree's nodes are touched once per
+    // tile instead of once per record, and each record still accumulates
+    // base + w0 + w1 + ... in ensemble order -- the same additions in the
+    // same order as Model::predict_raw, hence bit-identical.
+    for (const FlatTree& t : trees_) {
+      ker.traverse_block(t.view(), cols.data(), r0, m, wts, nullptr);
+      for (std::size_t i = 0; i < m; ++i) acc[i] += wts[i];
+    }
+  }
+}
+
+void FlatEnsemble::predict_many(const BinnedDataset& data, std::uint64_t begin,
+                                std::uint64_t end,
+                                std::span<double> out) const {
+  predict_raw_many(data, begin, end, out);
+  for (std::uint64_t i = 0; i < end - begin; ++i) {
+    out[i] = loss_->transform(out[i]);
+  }
+}
+
+}  // namespace booster::gbdt

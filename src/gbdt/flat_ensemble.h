@@ -1,0 +1,88 @@
+// Flattened node-array ensemble layout for bulk prediction -- the serving
+// mirror of the row-major training kernel. FlatTree re-encodes one Tree's
+// node table as SoA arrays (children / field / threshold / flags / weight
+// in separate contiguous vectors), which is the layout the blocked
+// traversal kernel (util::simd::Kernels::traverse_block) consumes: a tile
+// of records advances through the tree level-synchronously, so the tile's
+// bin loads overlap and the tree's upper nodes stay hot across records and
+// trees -- the approach LightGBM's prediction path takes.
+//
+// predict_many is bit-identical to per-record Model::predict at every
+// SIMD dispatch level and tile width: traversal is pure routing, and each
+// record's score is accumulated in the same order (base score, then trees
+// in ensemble order) as Model::predict_raw.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gbdt/binning.h"
+#include "gbdt/tree.h"
+#include "util/simd.h"
+
+namespace booster::gbdt {
+
+/// SoA node table of one tree. Reusable: assign() re-encodes into the same
+/// buffers, so per-tree re-flattening (the trainer's step-5 use) is
+/// allocation-free once capacity is warm.
+class FlatTree {
+ public:
+  FlatTree() = default;
+  explicit FlatTree(const Tree& tree) { assign(tree); }
+
+  /// Re-encodes `tree` into this FlatTree, reusing buffer capacity.
+  void assign(const Tree& tree);
+
+  std::uint32_t num_nodes() const {
+    return static_cast<std::uint32_t>(flags_.size());
+  }
+
+  util::simd::FlatTreeView view() const {
+    return {left_.data(),      right_.data(), field_.data(),
+            threshold_.data(), flags_.data(), weight_.data()};
+  }
+
+ private:
+  std::vector<std::int32_t> left_;
+  std::vector<std::int32_t> right_;
+  std::vector<std::int32_t> field_;
+  std::vector<std::uint16_t> threshold_;
+  std::vector<std::uint8_t> flags_;  // util::simd::kNode* bits
+  std::vector<double> weight_;
+};
+
+/// A whole trained ensemble in flat SoA form, plus the blocked bulk
+/// prediction entry point. Borrows the Model's loss for the task-space
+/// transform: the Model must outlive the FlatEnsemble.
+class FlatEnsemble {
+ public:
+  explicit FlatEnsemble(const Model& model);
+
+  std::uint32_t num_trees() const {
+    return static_cast<std::uint32_t>(trees_.size());
+  }
+  double base_score() const { return base_score_; }
+  const std::vector<FlatTree>& trees() const { return trees_; }
+
+  /// Raw (untransformed) scores for records [begin, end); out receives
+  /// end - begin values. Bit-identical to Model::predict_raw per record.
+  void predict_raw_many(const BinnedDataset& data, std::uint64_t begin,
+                        std::uint64_t end, std::span<double> out) const;
+
+  /// Task-space predictions (loss transform applied), same contract.
+  /// Bit-identical to Model::predict per record.
+  void predict_many(const BinnedDataset& data, std::uint64_t begin,
+                    std::uint64_t end, std::span<double> out) const;
+
+ private:
+  std::vector<FlatTree> trees_;
+  double base_score_ = 0.0;
+  const Loss* loss_ = nullptr;  // borrowed from the source Model
+};
+
+/// Per-field column base pointers of `data` -- the bin-lookup table the
+/// blocked traversal kernel consumes. Rebuild after the dataset moves.
+std::vector<const BinIndex*> column_pointers(const BinnedDataset& data);
+
+}  // namespace booster::gbdt

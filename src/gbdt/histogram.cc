@@ -1,10 +1,39 @@
 #include "gbdt/histogram.h"
 
+#include <algorithm>
+#include <type_traits>
 #include <utility>
 
 #include "util/check.h"
+#include "util/simd.h"
 
 namespace booster::gbdt {
+
+namespace {
+
+// The SIMD kernels stream BinStats buffers as raw double arrays: exactly
+// the three members, no padding. Every kernel op is elementwise, so
+// count/g/h are all handled uniformly and exactly.
+static_assert(std::is_standard_layout_v<BinStats> &&
+                  sizeof(BinStats) == 3 * sizeof(double),
+              "BinStats must be three packed doubles for the SIMD kernels");
+static_assert(sizeof(GradientPair) == 2 * sizeof(float),
+              "quantize_gather assumes packed {g, h} float pairs");
+
+double* flat(Histogram::Buffer& bins) {
+  return reinterpret_cast<double*>(bins.data());
+}
+const double* flat(const Histogram::Buffer& bins) {
+  return reinterpret_cast<const double*>(bins.data());
+}
+
+/// Rows whose quantized {g, h} are staged per block before the scatter
+/// pass; sized so the staging buffers live comfortably in L1.
+constexpr std::size_t kBuildBlock = 256;
+/// Records of row-major prefetch lead in the scatter pass.
+constexpr std::size_t kBuildPrefetch = 8;
+
+}  // namespace
 
 Histogram::Histogram(const BinnedDataset& data) {
   const std::uint32_t num_fields = data.num_fields();
@@ -38,16 +67,56 @@ void Histogram::build(const BinnedDataset& data,
   const std::size_t num_fields = data.num_fields();
   BinStats* bins = bins_.data();
   const std::uint32_t* offsets = offsets_.data();
-  for (const std::uint32_t r : rows) {
-    const BinIndex* record = row_major + static_cast<std::size_t>(r) * num_fields;
-    // Quantize once per record (idempotent, so callers holding already
-    // quantized pairs pay nothing); the F bin updates below are then exact
-    // additions in any order -- see quantize_stat in the header.
-    const double qg = quantize_stat(gradients[r].g);
-    const double qh = quantize_stat(gradients[r].h);
-    for (std::size_t f = 0; f < num_fields; ++f) {
-      BOOSTER_DCHECK(offsets[f] + record[f] < offsets[f + 1]);
-      bins[offsets[f] + record[f]].add_quantized(qg, qh);
+  const auto& ker = util::simd::kernels();
+  const float* pairs = reinterpret_cast<const float*>(gradients.data());
+  const std::uint32_t* row_ptr = rows.data();
+  const std::size_t total = rows.size();
+  alignas(64) double qg[kBuildBlock];
+  alignas(64) double qh[kBuildBlock];
+  for (std::size_t base = 0; base < total; base += kBuildBlock) {
+    const std::size_t m = std::min(kBuildBlock, total - base);
+    // Stage 1 (vector): gather the block's {g, h} pairs and snap them to
+    // the quantum grid in SIMD lanes. Quantization is idempotent, so
+    // callers holding already-quantized pairs pay nothing; the bin updates
+    // below are then exact additions in any order -- see quantize_stat in
+    // the header.
+    ker.quantize_gather(pairs, row_ptr + base, m, kStatInvQuantum,
+                        kStatQuantum, qg, qh);
+    // Stage 2 (scalar scatter): two records in flight with row-major
+    // prefetch ahead. Bin conflicts forbid a vector scatter, but quantized
+    // accumulation is order-insensitive, so interleaving two records'
+    // updates -- even into the same bin -- merges to the same bits.
+    std::size_t j = 0;
+    for (; j + 2 <= m; j += 2) {
+      if (base + j + kBuildPrefetch < total) {
+        __builtin_prefetch(
+            row_major +
+            static_cast<std::size_t>(row_ptr[base + j + kBuildPrefetch]) *
+                num_fields);
+      }
+      const BinIndex* rec0 =
+          row_major +
+          static_cast<std::size_t>(row_ptr[base + j]) * num_fields;
+      const BinIndex* rec1 =
+          row_major +
+          static_cast<std::size_t>(row_ptr[base + j + 1]) * num_fields;
+      const double qg0 = qg[j], qh0 = qh[j];
+      const double qg1 = qg[j + 1], qh1 = qh[j + 1];
+      for (std::size_t f = 0; f < num_fields; ++f) {
+        BOOSTER_DCHECK(offsets[f] + rec0[f] < offsets[f + 1]);
+        BOOSTER_DCHECK(offsets[f] + rec1[f] < offsets[f + 1]);
+        bins[offsets[f] + rec0[f]].add_quantized(qg0, qh0);
+        bins[offsets[f] + rec1[f]].add_quantized(qg1, qh1);
+      }
+    }
+    for (; j < m; ++j) {
+      const BinIndex* record =
+          row_major +
+          static_cast<std::size_t>(row_ptr[base + j]) * num_fields;
+      for (std::size_t f = 0; f < num_fields; ++f) {
+        BOOSTER_DCHECK(offsets[f] + record[f] < offsets[f + 1]);
+        bins[offsets[f] + record[f]].add_quantized(qg[j], qh[j]);
+      }
     }
   }
 }
@@ -71,24 +140,24 @@ void Histogram::subtract_from(const Histogram& parent,
   BOOSTER_CHECK(parent.same_shape(sibling));
   offsets_ = parent.offsets_;
   bins_.resize(parent.bins_.size());
-  for (std::size_t b = 0; b < bins_.size(); ++b) {
-    bins_[b] = parent.bins_[b];
-    bins_[b] -= sibling.bins_[b];
-  }
+  util::simd::kernels().diff(flat(bins_), flat(parent.bins_),
+                             flat(sibling.bins_), 3 * bins_.size());
 }
 
 void Histogram::subtract(const Histogram& sibling) {
   BOOSTER_CHECK(same_shape(sibling));
-  for (std::size_t b = 0; b < bins_.size(); ++b) bins_[b] -= sibling.bins_[b];
+  util::simd::kernels().sub(flat(bins_), flat(sibling.bins_),
+                            3 * bins_.size());
 }
 
 void Histogram::add(const Histogram& other) {
   BOOSTER_CHECK(same_shape(other));
-  for (std::size_t b = 0; b < bins_.size(); ++b) bins_[b] += other.bins_[b];
+  util::simd::kernels().add(flat(bins_), flat(other.bins_),
+                            3 * bins_.size());
 }
 
 void Histogram::clear() {
-  for (auto& b : bins_) b = BinStats{};
+  util::simd::kernels().zero(flat(bins_), 3 * bins_.size());
 }
 
 BinStats Histogram::totals() const {
@@ -117,13 +186,17 @@ void HistogramPool::configure(const BinnedDataset& data) {
 
 Histogram HistogramPool::acquire() {
   ++acquires_;
+  Histogram h;
   if (free_.empty()) {
     ++allocations_;
-    return proto_;  // copy: the one place a fresh buffer is constructed
+    h = proto_;  // copy: the one place a fresh buffer is constructed
+  } else {
+    h = std::move(free_.back());
+    free_.pop_back();
+    h.clear();
   }
-  Histogram h = std::move(free_.back());
-  free_.pop_back();
-  h.clear();
+  BOOSTER_CHECK_MSG(h.aligned_to(64),
+                    "histogram buffer lost its 64-byte alignment");
   return h;
 }
 

@@ -30,6 +30,7 @@
 
 #include "gbdt/binning.h"
 #include "gbdt/loss.h"
+#include "util/aligned.h"
 #include "util/check.h"
 
 namespace booster::gbdt {
@@ -172,9 +173,22 @@ class Histogram {
 
   std::uint64_t total_bins() const { return bins_.size(); }
 
+  /// True when the flat buffer starts on an `alignment`-byte boundary.
+  /// The 64-byte-aligned allocator below guarantees this for every
+  /// histogram; HistogramPool::acquire asserts it so the SIMD kernels'
+  /// aligned-start assumption can never silently rot.
+  bool aligned_to(std::size_t alignment) const {
+    return reinterpret_cast<std::uintptr_t>(bins_.data()) % alignment == 0;
+  }
+
+  /// 64-byte-aligned flat buffer: the SIMD add/subtract/clear kernels
+  /// stream bins_ as one contiguous double array, and a cacheline-aligned
+  /// start keeps the widest (AVX-512) accesses from straddling lines.
+  using Buffer = std::vector<BinStats, util::AlignedAllocator<BinStats, 64>>;
+
  private:
   /// Flat per-bin stats; field f occupies [offsets_[f], offsets_[f+1]).
-  std::vector<BinStats> bins_;
+  Buffer bins_;
   /// Field start offsets into bins_, plus a final total-bins sentinel
   /// (size num_fields + 1; empty for a default-constructed histogram).
   std::vector<std::uint32_t> offsets_;

@@ -5,6 +5,7 @@
 
 #include "gbdt/hotpath.h"
 #include "util/check.h"
+#include "util/simd.h"
 #include "util/thread_pool.h"
 
 namespace booster::gbdt {
@@ -39,6 +40,7 @@ ShardGroup::ShardGroup(const BinnedDataset& data, const TrainerConfig& cfg,
   }
   preds_.resize(n);
   gradients_.resize(n);
+  col_ptrs_ = column_pointers(data_);
   chunk_lefts_.resize(static_cast<std::size_t>(local) * sub_);
   shard_lefts_.resize(local);
   chunk_hops_.resize(static_cast<std::size_t>(local) * sub_);
@@ -284,24 +286,31 @@ void ShardGroup::finish_tree(const Tree& tree, const Loss& loss, double* hops,
     if (quantized_loss != nullptr) *quantized_loss = 0.0;
     return;
   }
+  flat_.assign(tree);
+  const auto& ker = util::simd::kernels();
   pool_->run_tasks(local * sub_, [&](unsigned task) {
     const Shard& sh = shards_[task / sub_];
     const auto [b, e] =
         chunk_range(sh.row_begin, sh.row_end, task % sub_, sub_);
     double chunk_hops = 0.0;
     double chunk_loss = 0.0;
-    for (std::uint64_t r = b; r < e; ++r) {
-      std::int32_t id = tree.root();
-      std::uint32_t path = 0;
-      while (!tree.node(id).is_leaf) {
-        const TreeNode& nd = tree.node(id);
-        id = tree.goes_left(id, data_.bin(nd.field, r)) ? nd.left : nd.right;
-        ++path;
+    double wts[util::simd::kMaxPredictTile];
+    std::uint32_t tile_hops[util::simd::kMaxPredictTile];
+    const util::simd::FlatTreeView view = flat_.view();
+    // Blocked SIMD traversal (see trainer.cc step 5): pure routing plus
+    // per-record updates in ascending order, bit-identical to the
+    // per-record loop at every dispatch level.
+    for (std::uint64_t r0 = b; r0 < e; r0 += ker.predict_tile) {
+      const std::size_t m = static_cast<std::size_t>(
+          std::min<std::uint64_t>(ker.predict_tile, e - r0));
+      ker.traverse_block(view, col_ptrs_.data(), r0, m, wts, tile_hops);
+      for (std::size_t i = 0; i < m; ++i) {
+        const std::uint64_t r = r0 + i;
+        preds_[r] += static_cast<float>(wts[i]);
+        gradients_[r] = loss.gradients(preds_[r], data_.labels()[r]);
+        chunk_hops += tile_hops[i];
+        chunk_loss += quantize_stat(loss.value(preds_[r], data_.labels()[r]));
       }
-      preds_[r] += static_cast<float>(tree.node(id).weight);
-      gradients_[r] = loss.gradients(preds_[r], data_.labels()[r]);
-      chunk_hops += path;
-      chunk_loss += quantize_stat(loss.value(preds_[r], data_.labels()[r]));
     }
     chunk_hops_[task] = chunk_hops;
     chunk_losses_[task] = chunk_loss;

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "gbdt/binning.h"
+#include "gbdt/flat_ensemble.h"
 #include "gbdt/histogram.h"
 #include "gbdt/loss.h"
 #include "gbdt/split.h"
@@ -160,6 +161,12 @@ class ShardGroup {
   std::vector<Shard> shards_;
   std::vector<float> preds_;
   std::vector<GradientPair> gradients_;
+
+  /// Per-field column base pointers for the blocked step-5 traversal
+  /// kernel (fixed for the dataset's lifetime) and the FlatTree scratch it
+  /// consumes, re-encoded once per finished tree (allocation-free warm).
+  std::vector<const BinIndex*> col_ptrs_;
+  FlatTree flat_;
 
   std::deque<Node> frontier_;
   /// Recycled per-(node, local shard) span bounds: slot i holds

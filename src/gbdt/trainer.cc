@@ -6,9 +6,11 @@
 #include <limits>
 #include <utility>
 
+#include "gbdt/flat_ensemble.h"
 #include "gbdt/hotpath.h"
 #include "gbdt/sharded.h"
 #include "util/check.h"
+#include "util/simd.h"
 #include "util/thread_pool.h"
 
 namespace booster::gbdt {
@@ -90,6 +92,13 @@ TrainResult Trainer::train(const BinnedDataset& data, StepTrace* trace,
 
   const SplitFinder finder(cfg_.split);
   TrainResult result{.model = Model(base_score, make_loss(cfg_.loss))};
+
+  // Step-5 traversal runs the completed tree in flat SoA form through the
+  // blocked SIMD traversal kernel; one scratch FlatTree is re-encoded per
+  // tree (allocation-free once capacity is warm), and the per-field column
+  // pointers never change.
+  const std::vector<const BinIndex*> col_ptrs = column_pointers(data);
+  FlatTree flat_scratch;
 
   double leaf_depth_sum = 0.0;
   std::uint64_t leaf_count = 0;
@@ -282,24 +291,31 @@ TrainResult Trainer::train(const BinnedDataset& data, StepTrace* trace,
     // Records are independent; per-chunk hop sums are integers, so the
     // reduction is exact at any thread count.
     std::fill(chunk_sums.begin(), chunk_sums.end(), 0.0);
+    flat_scratch.assign(tree);
+    const auto& ker = util::simd::kernels();
     pool.for_chunks(
         0, n, kRecordGrain, [&](std::uint64_t b, std::uint64_t e, unsigned c) {
           double chunk_hops = 0.0;
-          for (std::uint64_t r = b; r < e; ++r) {
-            // Column-major access: records are visited in ascending order,
-            // so the tree's few relevant columns stream from cache; the
-            // row-major view would stream the whole matrix.
-            std::int32_t id = tree.root();
-            std::uint32_t path = 0;
-            while (!tree.node(id).is_leaf) {
-              const TreeNode& nd = tree.node(id);
-              id = tree.goes_left(id, data.bin(nd.field, r)) ? nd.left
-                                                             : nd.right;
-              ++path;
+          double wts[util::simd::kMaxPredictTile];
+          std::uint32_t tile_hops[util::simd::kMaxPredictTile];
+          const util::simd::FlatTreeView view = flat_scratch.view();
+          // Column-major access: records are visited in ascending order, so
+          // the tree's few relevant columns stream from cache; the blocked
+          // kernel advances a whole tile level-synchronously, overlapping
+          // the tile's bin loads. Traversal is pure routing and the
+          // per-record updates below run in ascending record order, so the
+          // output matches the per-record loop bit for bit at every
+          // dispatch level.
+          for (std::uint64_t r0 = b; r0 < e; r0 += ker.predict_tile) {
+            const std::size_t m = static_cast<std::size_t>(
+                std::min<std::uint64_t>(ker.predict_tile, e - r0));
+            ker.traverse_block(view, col_ptrs.data(), r0, m, wts, tile_hops);
+            for (std::size_t i = 0; i < m; ++i) {
+              const std::uint64_t r = r0 + i;
+              preds[r] += static_cast<float>(wts[i]);
+              gradients[r] = loss->gradients(preds[r], data.labels()[r]);
+              chunk_hops += tile_hops[i];
             }
-            preds[r] += static_cast<float>(tree.node(id).weight);
-            gradients[r] = loss->gradients(preds[r], data.labels()[r]);
-            chunk_hops += path;
           }
           chunk_sums[c] += chunk_hops;
         });
@@ -363,6 +379,7 @@ TrainResult Trainer::train(const BinnedDataset& data, StepTrace* trace,
       leaf_count == 0 ? 0.0 : leaf_depth_sum / static_cast<double>(leaf_count);
 
   result.hot_path.threads = pool.num_threads();
+  result.hot_path.simd = util::simd::level_name(util::simd::active());
   result.hot_path.histogram_allocations = hist_pool.allocations();
   result.hot_path.histogram_acquires = hist_pool.acquires();
   result.hot_path.arena_bytes =

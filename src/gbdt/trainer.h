@@ -89,6 +89,10 @@ struct ShardHotPathStats {
 /// vectors.
 struct HotPathStats {
   std::uint32_t threads = 1;
+  /// Resolved SIMD dispatch level the run executed with ("scalar" / "avx2"
+  /// / "avx512" -- util::simd::level_name of the active level). Provenance
+  /// only: outputs are bit-identical across levels.
+  const char* simd = "scalar";
   /// Row shards the run was partitioned into (1 = classic hot path).
   std::uint32_t shards = 1;
   /// Fresh histogram buffer constructions (pool misses) over the whole run,

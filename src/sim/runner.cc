@@ -7,6 +7,7 @@
 #include <deque>
 #include <mutex>
 
+#include "util/simd.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
 
@@ -39,6 +40,10 @@ void print_header(const std::string& title, const std::string& paper_ref) {
   std::printf("==============================================================\n");
   std::printf("%s\n", title.c_str());
   std::printf("Reproduces: %s\n", paper_ref.c_str());
+  // Provenance: which kernel dispatch level this process trains with.
+  // Outputs are bit-identical across levels; only the wall clock moves.
+  std::printf("SIMD dispatch: %s\n",
+              util::simd::level_name(util::simd::active()));
   std::printf("==============================================================\n");
 }
 

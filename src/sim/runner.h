@@ -41,7 +41,8 @@ struct RunOptions {
 /// flags parse those themselves).
 RunOptions parse_run_options(int argc, char** argv);
 
-/// The standard experiment provenance header every driver prints.
+/// The standard experiment provenance header every driver prints (title,
+/// paper reference, and the resolved SIMD dispatch level).
 void print_header(const std::string& title, const std::string& paper_ref);
 
 /// Calibrated sustained-bandwidth profile (with measured stride anchors)

@@ -1,0 +1,47 @@
+// Minimal over-aligned allocator for std::vector buffers the SIMD kernels
+// stream (util/simd.h): a 64-byte-aligned start lets the widest (AVX-512)
+// loads be cacheline-aligned and guarantees no kernel block straddles more
+// cachelines than it must. C++17 aligned operator new does the work; no
+// platform-specific allocation calls.
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+namespace booster::util {
+
+template <class T, std::size_t Alignment>
+struct AlignedAllocator {
+  static_assert((Alignment & (Alignment - 1)) == 0,
+                "alignment must be a power of two");
+  static_assert(Alignment >= alignof(T),
+                "alignment must not weaken the type's natural alignment");
+
+  using value_type = T;
+
+  AlignedAllocator() = default;
+  template <class U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  template <class U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(Alignment)));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t(Alignment));
+  }
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
+  }
+  friend bool operator!=(const AlignedAllocator&, const AlignedAllocator&) {
+    return false;
+  }
+};
+
+}  // namespace booster::util

@@ -1,0 +1,153 @@
+// Dependency-free SIMD layer with runtime CPU dispatch for the training and
+// inference hot kernels. Three dispatch levels -- scalar, AVX2, AVX-512 --
+// selected once per process from cpuid detection, clamped by the
+// BOOSTER_SIMD environment variable (scalar|avx2|avx512), and overridable
+// in-process for tests and benches.
+//
+// Every kernel is *elementwise-identical* to its scalar reference: the
+// vector paths perform exactly the same IEEE operations on exactly the same
+// operands, only more of them per instruction -- no reassociation, no FMA
+// contraction, no reduced-precision shortcuts. Combined with the quantized
+// gradient grid (gbdt::quantize_stat), this makes training and prediction
+// outputs bit-identical at every dispatch level, which is what lets the
+// whole equivalence-test edifice (threads, shards, processes, machines)
+// assert EXPECT_EQ across ISAs instead of tolerances.
+//
+// Build scheme: the AVX2/AVX-512 kernel tables live in their own
+// translation units (simd_avx2.cc / simd_avx512.cc) compiled with per-file
+// -mavx2 / -mavx512f flags, so the rest of the binary carries no wide
+// instructions and runs on any x86-64 (or non-x86) host; each wide TU keeps
+// all of its helpers at internal linkage so the linker can never fold a
+// wide-compiled body into the portable code path.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace booster::util::simd {
+
+/// Dispatch levels, in strictly increasing capability order.
+enum class Level : std::uint8_t { kScalar = 0, kAvx2 = 1, kAvx512 = 2 };
+
+/// Stable lowercase name ("scalar" / "avx2" / "avx512") -- the spelling the
+/// BOOSTER_SIMD override, TrainResult.hot_path.simd, and every bench's
+/// provenance header use.
+const char* level_name(Level level);
+
+/// Parses a level name (the BOOSTER_SIMD spellings). Returns false on
+/// anything unrecognized.
+bool parse_level(const char* text, Level* out);
+
+/// Highest level whose kernel table was compiled into this binary (depends
+/// on the toolchain understanding -mavx2/-mavx512f, not on the host CPU).
+Level compiled_max();
+
+/// Highest level this host can execute (cpuid) *and* this binary carries.
+Level detected();
+
+/// The level resolution rule: `detected` clamped by the BOOSTER_SIMD
+/// override (an override can force a lower level, never raise one above
+/// what the host supports; unrecognized values fall back to `detected`).
+/// Pure -- exposed so tests can exercise the rule without env mutation.
+Level resolve(Level detected, const char* override_text);
+
+/// The process-wide active level: resolve(detected(), getenv("BOOSTER_SIMD")),
+/// computed once on first use.
+Level active();
+
+/// Repoints active() (clamped to detected()) -- for tests and benches that
+/// compare levels in one process. Not thread-safe against concurrent
+/// kernel users; call between training runs only.
+void set_active_for_testing(Level level);
+
+/// RAII form of set_active_for_testing.
+class ScopedLevelForTesting {
+ public:
+  explicit ScopedLevelForTesting(Level level) : prev_(active()) {
+    set_active_for_testing(level);
+  }
+  ~ScopedLevelForTesting() { set_active_for_testing(prev_); }
+  ScopedLevelForTesting(const ScopedLevelForTesting&) = delete;
+  ScopedLevelForTesting& operator=(const ScopedLevelForTesting&) = delete;
+
+ private:
+  Level prev_;
+};
+
+/// Upper bound on Kernels::predict_tile -- callers size their per-tile
+/// stack buffers with this.
+inline constexpr std::size_t kMaxPredictTile = 16;
+
+/// SoA view of one decision tree's node table (gbdt::FlatTree owns the
+/// arrays). Raw pointers keep the util layer free of gbdt types.
+struct FlatTreeView {
+  const std::int32_t* left = nullptr;
+  const std::int32_t* right = nullptr;
+  const std::int32_t* field = nullptr;
+  const std::uint16_t* threshold = nullptr;
+  const std::uint8_t* flags = nullptr;  // kNode* bits below
+  const double* weight = nullptr;
+};
+
+inline constexpr std::uint8_t kNodeLeaf = 1;         // node is a leaf
+inline constexpr std::uint8_t kNodeCategorical = 2;  // predicate: bin == thr
+inline constexpr std::uint8_t kNodeDefaultLeft = 4;  // missing goes left
+
+/// One dispatch level's kernel table. All array kernels are elementwise and
+/// alignment-agnostic (the histogram buffers they usually run on are
+/// 64-byte aligned, see util/aligned.h, which the wide paths exploit).
+struct Kernels {
+  Level level = Level::kScalar;
+
+  /// dst[i] += src[i].
+  void (*add)(double* dst, const double* src, std::size_t n);
+  /// dst[i] -= src[i].
+  void (*sub)(double* dst, const double* src, std::size_t n);
+  /// dst[i] = a[i] - b[i].
+  void (*diff)(double* dst, const double* a, const double* b, std::size_t n);
+  /// dst[i] = 0.
+  void (*zero)(double* dst, std::size_t n);
+
+  /// Batch gather-quantize of interleaved {g, h} float pairs onto the
+  /// quantum grid: for i in [0, n),
+  ///   qg[i] = nearbyint(pairs[2 * rows[i]]     * inv_quantum) * quantum
+  ///   qh[i] = nearbyint(pairs[2 * rows[i] + 1] * inv_quantum) * quantum
+  /// computed with the same operations as gbdt::quantize_stat (round uses
+  /// the current rounding mode on every path), so results are bit-identical
+  /// to the scalar loop at every level.
+  void (*quantize_gather)(const float* pairs, const std::uint32_t* rows,
+                          std::size_t n, double inv_quantum, double quantum,
+                          double* qg, double* qh);
+
+  /// Level-synchronous blocked traversal: records [first_record,
+  /// first_record + count) advance one tree level per sweep across the
+  /// whole tile (count <= kMaxPredictTile), so each lane's pending bin load
+  /// overlaps the others'. columns[f] is field f's bin column. Writes each
+  /// record's leaf weight and, when `hops` is non-null, its path length.
+  /// Pure routing (integer compares + a weight copy): identical output at
+  /// every level by construction.
+  void (*traverse_block)(const FlatTreeView& tree,
+                         const std::uint16_t* const* columns,
+                         std::uint64_t first_record, std::size_t count,
+                         double* weights, std::uint32_t* hops);
+
+  /// Preferred record-tile width for blocked prediction at this level.
+  unsigned predict_tile = 4;
+};
+
+/// Kernel table of the active level.
+const Kernels& kernels();
+
+/// Kernel table of a specific level; falls back to scalar when the level is
+/// not compiled in or not supported by this host.
+const Kernels& kernels(Level level);
+
+namespace detail {
+/// Defined in simd_avx2.cc / simd_avx512.cc: the level's table, or nullptr
+/// when the toolchain could not compile that ISA (the TU then contains only
+/// this stub, keeping the dispatch logic flag-free).
+const Kernels* avx2_kernel_table();
+const Kernels* avx512_kernel_table();
+}  // namespace detail
+
+}  // namespace booster::util::simd

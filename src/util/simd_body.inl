@@ -1,0 +1,88 @@
+// Generic (ISA-independent) kernel bodies shared by the scalar, AVX2, and
+// AVX-512 translation units. Included inside each TU's anonymous namespace
+// so every copy has internal linkage: a body compiled with -mavx2 can then
+// never be folded by the linker into the portable dispatch path (the
+// illegal-instruction hazard per-TU ISA flags otherwise create).
+//
+// The scalar loops here are the bit-identity reference: each wide TU either
+// reuses them verbatim (traversal -- pure integer routing) or replaces them
+// with intrinsics performing the same IEEE operations elementwise.
+
+inline void generic_add(double* dst, const double* src, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] += src[i];
+}
+
+inline void generic_sub(double* dst, const double* src, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] -= src[i];
+}
+
+inline void generic_diff(double* dst, const double* a, const double* b,
+                         std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = a[i] - b[i];
+}
+
+inline void generic_zero(double* dst, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = 0.0;
+}
+
+inline void generic_quantize_gather(const float* pairs,
+                                    const std::uint32_t* rows, std::size_t n,
+                                    double inv_quantum, double quantum,
+                                    double* qg, double* qh) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t p = static_cast<std::size_t>(rows[i]) * 2;
+    qg[i] = std::nearbyint(static_cast<double>(pairs[p]) * inv_quantum) *
+            quantum;
+    qh[i] = std::nearbyint(static_cast<double>(pairs[p + 1]) * inv_quantum) *
+            quantum;
+  }
+}
+
+inline void generic_traverse_block(
+    const booster::util::simd::FlatTreeView& tree,
+    const std::uint16_t* const* columns, std::uint64_t first_record,
+    std::size_t count, double* weights, std::uint32_t* hops) {
+  namespace simd = booster::util::simd;
+  std::int32_t id[simd::kMaxPredictTile];
+  std::uint32_t hop[simd::kMaxPredictTile];
+  std::size_t lane[simd::kMaxPredictTile];
+  // Level-synchronous sweeps over a compacted active-lane list: every
+  // still-interior lane advances one edge per pass, so up to `count`
+  // independent bin loads are in flight at once and the tree's upper nodes
+  // stay hot across the whole tile; lanes that reach a leaf drop out of
+  // the sweep instead of being re-scanned. Per-lane routing is
+  // independent, so compaction order cannot change any lane's path.
+  std::size_t active = 0;
+  const bool root_leaf = (tree.flags[0] & simd::kNodeLeaf) != 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    id[i] = 0;
+    hop[i] = 0;
+    if (!root_leaf) lane[active++] = i;
+  }
+  while (active > 0) {
+    std::size_t kept = 0;
+    for (std::size_t a = 0; a < active; ++a) {
+      const std::size_t i = lane[a];
+      const std::int32_t node = id[i];
+      const std::uint8_t f = tree.flags[node];
+      const std::uint16_t bin =
+          columns[tree.field[node]][first_record + i];
+      // The routes_left rule (gbdt/split.h): missing (bin 0) follows the
+      // learned default; categorical matches, numeric thresholds.
+      const bool left =
+          bin == 0 ? (f & simd::kNodeDefaultLeft) != 0
+                   : ((f & simd::kNodeCategorical) != 0
+                          ? bin == tree.threshold[node]
+                          : bin <= tree.threshold[node]);
+      const std::int32_t next = left ? tree.left[node] : tree.right[node];
+      id[i] = next;
+      ++hop[i];
+      if ((tree.flags[next] & simd::kNodeLeaf) == 0) lane[kept++] = i;
+    }
+    active = kept;
+  }
+  for (std::size_t i = 0; i < count; ++i) weights[i] = tree.weight[id[i]];
+  if (hops != nullptr) {
+    for (std::size_t i = 0; i < count; ++i) hops[i] = hop[i];
+  }
+}

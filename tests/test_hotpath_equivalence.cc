@@ -17,6 +17,7 @@
 #include "gbdt/split.h"
 #include "gbdt/trainer.h"
 #include "util/rng.h"
+#include "util/simd.h"
 #include "workloads/synth.h"
 
 namespace booster::gbdt {
@@ -232,6 +233,69 @@ TEST(HotPathEquivalence, SteadyStateIsAllocationFree) {
     // row indices), not per-node row vectors.
     EXPECT_EQ(long_run.hot_path.arena_bytes,
               2 * data.num_records() * sizeof(std::uint32_t));
+  }
+}
+
+TrainResult train_at_level(const BinnedDataset& data, unsigned threads,
+                           std::uint32_t shards, util::simd::Level level) {
+  const util::simd::ScopedLevelForTesting scoped(level);
+  TrainerConfig cfg;
+  cfg.num_trees = 5;
+  cfg.max_depth = 5;
+  cfg.loss = "logistic";
+  cfg.num_threads = threads;
+  cfg.num_shards = shards;
+  return Trainer(cfg).train(data);
+}
+
+// The SIMD kernels perform the same IEEE operations elementwise as the
+// scalar loops (util/simd.h), so trained models must match the scalar
+// reference *bit for bit* -- EXPECT_EQ on weights and gains, not
+// tolerances -- at every dispatch level, thread count, and shard count.
+// Levels this host cannot execute are skipped, not failed.
+TEST(HotPathEquivalence, TrainedModelsBitIdenticalAcrossSimdLevels) {
+  const auto data = random_binned(4000, 41);
+  for (const unsigned threads : {1u, 8u}) {
+    for (const std::uint32_t shards : {1u, 3u}) {
+      const auto ref =
+          train_at_level(data, threads, shards, util::simd::Level::kScalar);
+      EXPECT_STREQ(ref.hot_path.simd, "scalar");
+      for (const auto level :
+           {util::simd::Level::kAvx2, util::simd::Level::kAvx512}) {
+        if (util::simd::kernels(level).level != level) continue;  // skip
+        const auto got = train_at_level(data, threads, shards, level);
+        EXPECT_STREQ(got.hot_path.simd, util::simd::level_name(level));
+        ASSERT_EQ(got.model.num_trees(), ref.model.num_trees())
+            << "threads=" << threads << " shards=" << shards
+            << " level=" << util::simd::level_name(level);
+        for (std::uint32_t t = 0; t < ref.model.num_trees(); ++t) {
+          const Tree& a = got.model.trees()[t];
+          const Tree& b = ref.model.trees()[t];
+          ASSERT_EQ(a.num_nodes(), b.num_nodes()) << "tree " << t;
+          for (std::uint32_t id = 0; id < a.num_nodes(); ++id) {
+            const TreeNode& x = a.node(static_cast<std::int32_t>(id));
+            const TreeNode& y = b.node(static_cast<std::int32_t>(id));
+            ASSERT_EQ(x.is_leaf, y.is_leaf);
+            ASSERT_EQ(x.field, y.field);
+            ASSERT_EQ(x.kind, y.kind);
+            ASSERT_EQ(x.threshold_bin, y.threshold_bin);
+            ASSERT_EQ(x.default_left, y.default_left);
+            ASSERT_EQ(x.left, y.left);
+            ASSERT_EQ(x.right, y.right);
+            EXPECT_EQ(x.weight, y.weight) << "tree " << t << " node " << id;
+            EXPECT_EQ(x.gain, y.gain) << "tree " << t << " node " << id;
+          }
+        }
+        ASSERT_EQ(got.tree_stats.size(), ref.tree_stats.size());
+        for (std::size_t t = 0; t < ref.tree_stats.size(); ++t) {
+          EXPECT_EQ(got.tree_stats[t].train_loss, ref.tree_stats[t].train_loss);
+        }
+        for (std::uint64_t r = 0; r < data.num_records(); r += 41) {
+          EXPECT_EQ(got.model.predict_raw(data, r),
+                    ref.model.predict_raw(data, r));
+        }
+      }
+    }
   }
 }
 

@@ -1,0 +1,329 @@
+// The SIMD dispatch layer (util/simd.h): level naming/parsing, the
+// BOOSTER_SIMD resolution rule, and -- the property everything else leans
+// on -- bit-equality of every kernel against its scalar reference at every
+// dispatch level this host can execute. Levels the host (or toolchain)
+// lacks are skipped, never failed, so the suite is green on any machine.
+// Also covers the FlatEnsemble bulk-prediction path: predict_many must
+// match per-record Model::predict EXPECT_EQ-exactly, including uneven tile
+// tails, categorical splits, missing values, and single-leaf trees.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "gbdt/binning.h"
+#include "gbdt/flat_ensemble.h"
+#include "gbdt/histogram.h"
+#include "gbdt/trainer.h"
+#include "gbdt/tree.h"
+#include "util/rng.h"
+#include "util/simd.h"
+#include "workloads/synth.h"
+
+namespace booster::util::simd {
+namespace {
+
+/// True when this binary carries `level`'s kernel table *and* the host can
+/// execute it (kernels(level) falls back to scalar otherwise).
+bool level_available(Level level) { return kernels(level).level == level; }
+
+const Level kWideLevels[] = {Level::kAvx2, Level::kAvx512};
+
+TEST(SimdDispatch, LevelNamesRoundTrip) {
+  for (const Level level :
+       {Level::kScalar, Level::kAvx2, Level::kAvx512}) {
+    Level parsed;
+    ASSERT_TRUE(parse_level(level_name(level), &parsed));
+    EXPECT_EQ(parsed, level);
+  }
+  Level parsed;
+  EXPECT_FALSE(parse_level("sse9", &parsed));
+  EXPECT_FALSE(parse_level("", &parsed));
+  EXPECT_FALSE(parse_level("AVX2", &parsed));  // names are lowercase
+}
+
+TEST(SimdDispatch, ResolveClampsOverrideToDetected) {
+  // An override can lower the level...
+  EXPECT_EQ(resolve(Level::kAvx512, "scalar"), Level::kScalar);
+  EXPECT_EQ(resolve(Level::kAvx512, "avx2"), Level::kAvx2);
+  EXPECT_EQ(resolve(Level::kAvx2, "scalar"), Level::kScalar);
+  // ...but never raise it above what the host supports.
+  EXPECT_EQ(resolve(Level::kScalar, "avx512"), Level::kScalar);
+  EXPECT_EQ(resolve(Level::kAvx2, "avx512"), Level::kAvx2);
+  // No/garbage override: detected wins.
+  EXPECT_EQ(resolve(Level::kAvx512, nullptr), Level::kAvx512);
+  EXPECT_EQ(resolve(Level::kAvx2, "bogus"), Level::kAvx2);
+  EXPECT_EQ(resolve(Level::kScalar, nullptr), Level::kScalar);
+}
+
+TEST(SimdDispatch, DetectedWithinCompiledAndActiveWithinDetected) {
+  EXPECT_LE(static_cast<int>(detected()), static_cast<int>(compiled_max()));
+  EXPECT_LE(static_cast<int>(active()), static_cast<int>(detected()));
+  // Every level at or below detected() must actually hand out its table.
+  for (const Level level : kWideLevels) {
+    if (static_cast<int>(level) <= static_cast<int>(detected())) {
+      EXPECT_TRUE(level_available(level)) << level_name(level);
+    }
+  }
+  EXPECT_TRUE(level_available(Level::kScalar));
+}
+
+TEST(SimdDispatch, ScopedLevelRepointsActiveAndRestores) {
+  const Level before = active();
+  {
+    const ScopedLevelForTesting scoped(Level::kScalar);
+    EXPECT_EQ(active(), Level::kScalar);
+    EXPECT_EQ(kernels().level, Level::kScalar);
+  }
+  EXPECT_EQ(active(), before);
+}
+
+TEST(SimdDispatch, UnsupportedLevelFallsBackToScalarTable) {
+  // On hosts lacking a level, kernels(level) must degrade, not crash.
+  for (const Level level : kWideLevels) {
+    const Kernels& k = kernels(level);
+    if (!level_available(level)) {
+      EXPECT_EQ(k.level, Level::kScalar) << level_name(level);
+    }
+    ASSERT_NE(k.add, nullptr);
+    ASSERT_NE(k.traverse_block, nullptr);
+  }
+}
+
+// ------------------------------------------------------- kernel bit-equality
+
+/// Array lengths exercising full vectors, masked/scalar tails, and the
+/// empty case for every lane width in the table.
+const std::size_t kLengths[] = {0, 1, 3, 4, 7, 8, 9, 15, 16, 17, 31, 100};
+
+std::vector<double> random_doubles(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.normal() * 3.0;
+  return v;
+}
+
+TEST(SimdKernels, ArrayOpsBitIdenticalToScalar) {
+  const Kernels& scalar = kernels(Level::kScalar);
+  for (const Level level : kWideLevels) {
+    if (!level_available(level)) continue;  // skip, never fail
+    const Kernels& wide = kernels(level);
+    for (const std::size_t n : kLengths) {
+      const auto a = random_doubles(n, 7 * n + 1);
+      const auto b = random_doubles(n, 7 * n + 2);
+
+      auto dst_s = a, dst_w = a;
+      scalar.add(dst_s.data(), b.data(), n);
+      wide.add(dst_w.data(), b.data(), n);
+      EXPECT_EQ(dst_s, dst_w) << level_name(level) << " add n=" << n;
+
+      dst_s = a, dst_w = a;
+      scalar.sub(dst_s.data(), b.data(), n);
+      wide.sub(dst_w.data(), b.data(), n);
+      EXPECT_EQ(dst_s, dst_w) << level_name(level) << " sub n=" << n;
+
+      std::vector<double> out_s(n, -1.0), out_w(n, -2.0);
+      scalar.diff(out_s.data(), a.data(), b.data(), n);
+      wide.diff(out_w.data(), a.data(), b.data(), n);
+      EXPECT_EQ(out_s, out_w) << level_name(level) << " diff n=" << n;
+
+      dst_w = a;
+      wide.zero(dst_w.data(), n);
+      EXPECT_EQ(dst_w, std::vector<double>(n, 0.0))
+          << level_name(level) << " zero n=" << n;
+    }
+  }
+}
+
+TEST(SimdKernels, QuantizeGatherBitIdenticalToScalar) {
+  const Kernels& scalar = kernels(Level::kScalar);
+  // Random pairs plus adversarial rounding ties: (2k+1) * quantum/2 is
+  // exactly representable and sits exactly between two grid points, where
+  // round-to-nearest-even decides -- the vector round must agree with
+  // std::nearbyint on every one.
+  constexpr std::size_t kPairs = 300;
+  std::vector<gbdt::GradientPair> pairs(kPairs);
+  Rng rng(99);
+  for (std::size_t i = 0; i < kPairs; ++i) {
+    if (i % 3 == 0) {
+      const float half = static_cast<float>(gbdt::kStatQuantum) * 0.5f;
+      pairs[i].g = static_cast<float>(2 * i + 1) * half;
+      pairs[i].h = -static_cast<float>(2 * i + 9) * half;
+    } else {
+      pairs[i].g = static_cast<float>(rng.normal());
+      pairs[i].h = static_cast<float>(rng.uniform(0.0, 2.0));
+    }
+  }
+  // Rows in scrambled order with repeats (as mid-tree nodes produce).
+  std::vector<std::uint32_t> rows;
+  for (std::uint32_t r = 0; r < kPairs; ++r) {
+    rows.push_back((r * 7 + 3) % kPairs);
+    if (r % 5 == 0) rows.push_back(r);
+  }
+  const float* flat = reinterpret_cast<const float*>(pairs.data());
+
+  for (const Level level : kWideLevels) {
+    if (!level_available(level)) continue;
+    const Kernels& wide = kernels(level);
+    for (const std::size_t n : kLengths) {
+      ASSERT_LE(n, rows.size());
+      std::vector<double> qg_s(n, -1), qh_s(n, -1), qg_w(n, -2), qh_w(n, -2);
+      scalar.quantize_gather(flat, rows.data(), n, gbdt::kStatInvQuantum,
+                             gbdt::kStatQuantum, qg_s.data(), qh_s.data());
+      wide.quantize_gather(flat, rows.data(), n, gbdt::kStatInvQuantum,
+                           gbdt::kStatQuantum, qg_w.data(), qh_w.data());
+      EXPECT_EQ(qg_s, qg_w) << level_name(level) << " qg n=" << n;
+      EXPECT_EQ(qh_s, qh_w) << level_name(level) << " qh n=" << n;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace booster::util::simd
+
+namespace booster::gbdt {
+namespace {
+
+namespace simd = util::simd;
+
+BinnedDataset synth_binned(std::uint64_t n, std::uint64_t seed) {
+  workloads::DatasetSpec spec;
+  spec.name = "simd";
+  spec.nominal_records = n;
+  spec.numeric_fields = 5;
+  spec.categorical_cardinalities = {6, 3};  // categorical splits in play
+  spec.missing_rate = 0.2;                  // bin-0 default routing in play
+  spec.loss = "logistic";
+  return Binner().bin(workloads::synthesize(spec, n, seed));
+}
+
+Model train_model(const BinnedDataset& data, std::uint32_t trees,
+                  std::uint32_t max_depth) {
+  TrainerConfig cfg;
+  cfg.num_trees = trees;
+  cfg.max_depth = max_depth;
+  cfg.loss = "logistic";
+  cfg.num_threads = 1;
+  return Trainer(cfg).train(data).model;
+}
+
+// Histogram ops ride the dispatched kernels (histogram.cc): whole-object
+// equality against a scalar-pinned run, at awkward shapes.
+TEST(SimdKernels, HistogramOpsBitIdenticalAcrossLevels) {
+  const auto data = synth_binned(1003, 5);
+  std::vector<GradientPair> grads(data.num_records());
+  util::Rng rng(17);
+  for (auto& gp : grads) {
+    gp.g = static_cast<float>(rng.normal());
+    gp.h = static_cast<float>(rng.uniform(0.1, 1.0));
+  }
+  std::vector<std::uint32_t> all(data.num_records());
+  for (std::uint32_t r = 0; r < all.size(); ++r) all[r] = r;
+  const std::span<const std::uint32_t> subset =
+      std::span<const std::uint32_t>(all).subspan(101, 517);
+
+  const auto run = [&](simd::Level level) {
+    const simd::ScopedLevelForTesting scoped(level);
+    Histogram parent(data), sibling(data), diff(data);
+    parent.build(data, all, grads);
+    sibling.build(data, subset, grads);
+    diff.subtract_from(parent, sibling);
+    Histogram sum(data);
+    sum.add(diff);
+    sum.add(sibling);
+    return std::tuple(std::move(parent), std::move(diff), std::move(sum));
+  };
+
+  const auto [parent_s, diff_s, sum_s] = run(simd::Level::kScalar);
+  for (std::uint32_t f = 0; f < parent_s.num_fields(); ++f) {
+    // add(diff) + add(sibling) reassembles the parent exactly: quantized
+    // accumulation is order-insensitive.
+    const auto p = parent_s.field(f);
+    const auto s = sum_s.field(f);
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      EXPECT_EQ(p[i].g, s[i].g);
+      EXPECT_EQ(p[i].h, s[i].h);
+      EXPECT_EQ(p[i].count, s[i].count);
+    }
+  }
+  for (const simd::Level level : {simd::Level::kAvx2, simd::Level::kAvx512}) {
+    if (simd::kernels(level).level != level) continue;  // skip, never fail
+    const auto [parent_w, diff_w, sum_w] = run(level);
+    for (std::uint32_t f = 0; f < parent_s.num_fields(); ++f) {
+      const auto a = parent_s.field(f);
+      const auto b = parent_w.field(f);
+      const auto da = diff_s.field(f);
+      const auto db = diff_w.field(f);
+      ASSERT_EQ(a.size(), b.size());
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].g, b[i].g) << simd::level_name(level);
+        EXPECT_EQ(a[i].h, b[i].h);
+        EXPECT_EQ(a[i].count, b[i].count);
+        EXPECT_EQ(da[i].g, db[i].g);
+        EXPECT_EQ(da[i].h, db[i].h);
+        EXPECT_EQ(da[i].count, db[i].count);
+      }
+    }
+  }
+}
+
+TEST(SimdPredict, HistogramBuffersAre64ByteAligned) {
+  const auto data = synth_binned(200, 3);
+  const Histogram h(data);
+  EXPECT_TRUE(h.aligned_to(64));
+  HistogramPool pool(data);
+  Histogram a = pool.acquire();
+  EXPECT_TRUE(a.aligned_to(64));
+  pool.release(std::move(a));
+  Histogram b = pool.acquire();  // recycled buffer keeps its alignment
+  EXPECT_TRUE(b.aligned_to(64));
+}
+
+/// predict_many vs per-record Model::predict, EXPECT_EQ, at every
+/// available level; n = 1003 leaves an uneven tail at every tile width.
+void expect_predict_many_matches(const Model& model,
+                                 const BinnedDataset& data) {
+  const FlatEnsemble flat(model);
+  ASSERT_EQ(flat.num_trees(), model.num_trees());
+  const std::uint64_t n = data.num_records();
+  std::vector<double> raw(n), out(n);
+  for (const simd::Level level :
+       {simd::Level::kScalar, simd::Level::kAvx2, simd::Level::kAvx512}) {
+    if (simd::kernels(level).level != level) continue;  // skip, never fail
+    const simd::ScopedLevelForTesting scoped(level);
+    flat.predict_raw_many(data, 0, n, raw);
+    flat.predict_many(data, 0, n, out);
+    for (std::uint64_t r = 0; r < n; ++r) {
+      EXPECT_EQ(raw[r], model.predict_raw(data, r))
+          << simd::level_name(level) << " record " << r;
+      EXPECT_EQ(out[r], model.predict(data, r))
+          << simd::level_name(level) << " record " << r;
+    }
+    // A misaligned sub-range: tiles start mid-dataset and end on a
+    // fractional tile.
+    const std::uint64_t begin = 13, end = n - 7;
+    std::vector<double> sub(end - begin);
+    flat.predict_raw_many(data, begin, end, sub);
+    for (std::uint64_t r = begin; r < end; ++r) {
+      EXPECT_EQ(sub[r - begin], model.predict_raw(data, r));
+    }
+  }
+}
+
+TEST(SimdPredict, PredictManyMatchesPerRecordExactly) {
+  const auto data = synth_binned(1003, 11);
+  expect_predict_many_matches(train_model(data, 7, 5), data);
+}
+
+TEST(SimdPredict, PredictManyHandlesSingleLeafTrees) {
+  const auto data = synth_binned(523, 13);
+  // max_depth = 0: every tree is a bare root leaf; traversal must write
+  // the root weight without a single routing step.
+  expect_predict_many_matches(train_model(data, 3, 0), data);
+}
+
+}  // namespace
+}  // namespace booster::gbdt
