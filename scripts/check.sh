@@ -54,6 +54,15 @@ if [[ "${BOOSTER_SKIP_SANITIZE:-0}" != "1" ]]; then
   "$ASAN_DIR/multi_process" --transport loopback --procs 3 --shards 8 \
     --records 6000 --trees 3
 
+  # Serve smoke under the sanitizers: the demo covers the whole
+  # train -> save (checked container) -> serve -> /reload -> query flow
+  # over a real socket and exits non-zero on any bitwise divergence;
+  # bench_serve --quick additionally drives the concurrency x batch-window
+  # sweep (pipelined connections, batching windows, buffer-pool recycling)
+  # through ASan/UBSan-instrumented server code.
+  "$ASAN_DIR/serve_demo" > /dev/null
+  "$ASAN_DIR/bench_serve" --quick > /dev/null
+
   # TSan leg: the concurrent subset only -- threaded rank worlds, the
   # reliable channel's heartbeat/liveness machinery, the elastic TCP
   # worlds (worker incarnations on threads), and the thread pool. TSan
@@ -123,3 +132,12 @@ done
 "$BUILD_DIR/bench_closed_loop" --quick
 "$BUILD_DIR/bench_sharded" --quick
 "$BUILD_DIR/bench_distributed" --quick
+
+# Serve leg (ISSUE 8 acceptance): the demo proves the train -> save ->
+# serve -> query pipeline end to end; bench_serve runs the closed-loop
+# load harness over real localhost TCP and exits non-zero if any served
+# prediction differs bitwise from local Model::predict or any request
+# fails. (The "serving" scenario above already ran the measured
+# serving leg through the Scenario API under --quick.)
+"$BUILD_DIR/serve_demo" > /dev/null
+"$BUILD_DIR/bench_serve" --quick

@@ -80,6 +80,18 @@ BinIndex numeric_bin(float v, const std::vector<float>& bounds) {
 
 }  // namespace
 
+BinIndex numeric_value_bin(float v, const FieldBins& fb) {
+  if (std::isnan(v) || fb.upper_bounds.empty()) return BinIndex{0};
+  return numeric_bin(v, fb.upper_bounds);
+}
+
+BinIndex categorical_value_bin(std::int32_t v, const FieldBins& fb) {
+  if (v < 0 || v + 1 >= static_cast<std::int32_t>(fb.num_bins)) {
+    return BinIndex{0};  // missing or unseen category: the "absent" bin
+  }
+  return static_cast<BinIndex>(v + 1);
+}
+
 BinnedDataset Binner::bin(const Dataset& data) const {
   BinnedDataset out;
   const std::uint64_t n = data.num_records();
@@ -121,10 +133,7 @@ BinnedDataset Binner::bin(const Dataset& data) const {
           std::max<std::uint32_t>(1, static_cast<std::uint32_t>(fb.upper_bounds.size()));
       fb.num_bins = value_bins + 1;  // + missing bin
       for (std::uint64_t r = 0; r < n; ++r) {
-        const float v = data.numeric_value(f, r);
-        col[r] = (std::isnan(v) || fb.upper_bounds.empty())
-                     ? BinIndex{0}
-                     : numeric_bin(v, fb.upper_bounds);
+        col[r] = numeric_value_bin(data.numeric_value(f, r), fb);
       }
       features_per_field[f] = fb.num_bins;
     } else {
@@ -133,8 +142,7 @@ BinnedDataset Binner::bin(const Dataset& data) const {
         const std::int32_t v = data.categorical_value(f, r);
         BOOSTER_DCHECK(v == kMissingCategory ||
                        v < static_cast<std::int32_t>(schema.cardinality));
-        col[r] = (v == kMissingCategory) ? BinIndex{0}
-                                         : static_cast<BinIndex>(v + 1);
+        col[r] = categorical_value_bin(v, fb);
       }
       features_per_field[f] = fb.num_bins;
     }

@@ -46,6 +46,21 @@ struct FieldBins {
   std::vector<float> upper_bounds;
 };
 
+/// Bins one raw numeric value against frozen field metadata: NaN (or a
+/// field with no value bins) goes to missing bin 0; otherwise the first
+/// value bin whose upper boundary is >= v, clamped to the last bin. This
+/// is the *one* numeric binning rule -- the Binner uses it at training
+/// time and serve::RowBinner uses it per request, so a served row can
+/// never bin differently than training did.
+BinIndex numeric_value_bin(float v, const FieldBins& fb);
+
+/// Same for a categorical value: kMissingCategory maps to bin 0, category
+/// c to bin c + 1. Out-of-range categories (negative or beyond the frozen
+/// cardinality) also map to the missing bin -- a serving request may carry
+/// categories the training schema never saw, and "unknown" already has
+/// learned routing (the missing default).
+BinIndex categorical_value_bin(std::int32_t v, const FieldBins& fb);
+
 /// The binned dataset: column-major bin indices per field plus a packed
 /// row-major bin matrix and the layout descriptor for byte accounting.
 /// Keeping both views materialized is the "redundant format" of the paper's

@@ -50,28 +50,46 @@ std::vector<const BinIndex*> column_pointers(const BinnedDataset& data) {
   return cols;
 }
 
-void FlatEnsemble::predict_raw_many(const BinnedDataset& data,
-                                    std::uint64_t begin, std::uint64_t end,
+void FlatEnsemble::predict_raw_many(const BinIndex* const* columns,
+                                    std::uint64_t count,
                                     std::span<double> out) const {
-  BOOSTER_CHECK(begin <= end && end <= data.num_records());
-  BOOSTER_CHECK(out.size() >= end - begin);
-  const auto cols = column_pointers(data);
+  BOOSTER_CHECK(out.size() >= count);
   const auto& ker = util::simd::kernels();
   const std::uint64_t tile = ker.predict_tile;
   double wts[util::simd::kMaxPredictTile];
-  for (std::uint64_t r0 = begin; r0 < end; r0 += tile) {
-    const std::size_t m = static_cast<std::size_t>(std::min(tile, end - r0));
-    double* acc = out.data() + (r0 - begin);
+  for (std::uint64_t r0 = 0; r0 < count; r0 += tile) {
+    const std::size_t m = static_cast<std::size_t>(std::min(tile, count - r0));
+    double* acc = out.data() + r0;
     for (std::size_t i = 0; i < m; ++i) acc[i] = base_score_;
     // Tree-major over the tile: each tree's nodes are touched once per
     // tile instead of once per record, and each record still accumulates
     // base + w0 + w1 + ... in ensemble order -- the same additions in the
     // same order as Model::predict_raw, hence bit-identical.
     for (const FlatTree& t : trees_) {
-      ker.traverse_block(t.view(), cols.data(), r0, m, wts, nullptr);
+      ker.traverse_block(t.view(), columns, r0, m, wts, nullptr);
       for (std::size_t i = 0; i < m; ++i) acc[i] += wts[i];
     }
   }
+}
+
+void FlatEnsemble::predict_many(const BinIndex* const* columns,
+                                std::uint64_t count,
+                                std::span<double> out) const {
+  predict_raw_many(columns, count, out);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    out[i] = loss_->transform(out[i]);
+  }
+}
+
+void FlatEnsemble::predict_raw_many(const BinnedDataset& data,
+                                    std::uint64_t begin, std::uint64_t end,
+                                    std::span<double> out) const {
+  BOOSTER_CHECK(begin <= end && end <= data.num_records());
+  // Offset the column bases so the pointer entry's record 0 is `begin`:
+  // the kernel then performs the same loads as before, bit for bit.
+  auto cols = column_pointers(data);
+  for (auto& c : cols) c += begin;
+  predict_raw_many(cols.data(), end - begin, out);
 }
 
 void FlatEnsemble::predict_many(const BinnedDataset& data, std::uint64_t begin,

@@ -75,6 +75,20 @@ class FlatEnsemble {
   void predict_many(const BinnedDataset& data, std::uint64_t begin,
                     std::uint64_t end, std::span<double> out) const;
 
+  /// Column-pointer entry: raw scores for records [0, count) addressed
+  /// through caller-supplied per-field column base pointers
+  /// (columns[f][r], one pointer per model field). This is the serving
+  /// batch path -- the server stages rows from many connections into
+  /// reusable column buffers and runs one blocked pass over them without
+  /// materializing a BinnedDataset. Bit-identical to the dataset overload
+  /// (which forwards here).
+  void predict_raw_many(const BinIndex* const* columns, std::uint64_t count,
+                        std::span<double> out) const;
+
+  /// Task-space form of the column-pointer entry.
+  void predict_many(const BinIndex* const* columns, std::uint64_t count,
+                    std::span<double> out) const;
+
  private:
   std::vector<FlatTree> trees_;
   double base_score_ = 0.0;

@@ -12,9 +12,21 @@
 //   tree <index> nodes <count>
 //   node <id> leaf <weight>
 //   node <id> split <field> <kind> <threshold_bin> <default_left> <left> <right>
+// For artifacts that cross an unreliable boundary (files handed to a
+// serving process, shipped between machines) the *checked container*
+// wraps the v1 text in a one-line header carrying the payload length and
+// a CRC-32 over the payload bytes -- the same end-to-end discipline as
+// the ipc::HistogramCodec wire format:
+//   booster-model-container v1 bytes <N> crc32 <8 hex digits>
+//   <N payload bytes: exactly the v1 text above>
+// Checked loads validate magic, version, length, and checksum *before*
+// parsing, and report a distinct ModelFileStatus per failure mode instead
+// of aborting -- serve::ModelSlot keeps serving the old model on anything
+// but kOk.
 #pragma once
 
 #include <iosfwd>
+#include <optional>
 #include <string>
 
 #include "gbdt/tree.h"
@@ -33,5 +45,40 @@ Model load_model(std::istream& in);
 
 /// Loads from a file; aborts if the file cannot be opened or parsed.
 Model load_model_file(const std::string& path);
+
+/// Why a checked container load was refused. Every mode is distinct so
+/// operators (and tests) can tell a wrong file from a torn write from
+/// bit rot.
+enum class ModelFileStatus : std::uint8_t {
+  kOk = 0,
+  kIoError,      // cannot open / read the file at all
+  kBadMagic,     // not a booster-model-container header
+  kBadVersion,   // container version this build does not speak
+  kTruncated,    // payload shorter than the header's byte count
+  kBadChecksum,  // CRC-32 mismatch over the payload bytes
+};
+
+/// Stable lowercase name for logs and error responses
+/// ("ok" / "io-error" / "bad-magic" / ...).
+const char* model_file_status_name(ModelFileStatus status);
+
+/// Writes the checked container (header + v1 payload + CRC).
+void save_model_checked(const Model& model, std::ostream& out);
+
+/// Saves the checked container to a file; returns false on I/O failure.
+bool save_model_checked_file(const Model& model, const std::string& path);
+
+/// Validates the container header and checksum, then parses the payload.
+/// On kOk, `*out` holds the model; on any failure `*out` is untouched and
+/// the status says which integrity check failed. Never aborts on a bad
+/// container (the payload parse still aborts on a corrupt *payload that
+/// passes its CRC*, which cannot happen by accident).
+ModelFileStatus load_model_checked(std::istream& in,
+                                   std::optional<Model>* out);
+
+/// File form of load_model_checked; kIoError when the file cannot be
+/// opened.
+ModelFileStatus load_model_checked_file(const std::string& path,
+                                        std::optional<Model>* out);
 
 }  // namespace booster::gbdt

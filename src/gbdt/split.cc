@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "util/check.h"
+#include "util/simd.h"
 #include "util/thread_pool.h"
 
 namespace booster::gbdt {
@@ -57,12 +58,26 @@ void SplitFinder::scan_numeric(std::uint32_t field,
   // left of all bins and moves right one bin at a time, accumulating the
   // left bucket (paper Fig 3). The last boundary (everything left) is not a
   // split, so we stop one bin early.
+  // The left-bucket accumulation runs through the SIMD prefix-sum kernel
+  // over the value bins' {count, g, h} triples (a BinStats is exactly three
+  // contiguous doubles), into a per-thread scratch that warms up once and
+  // then recycles. Wide kernel levels may reassociate the additions, but
+  // every operand is exact on the quantized grid, so the prefixes -- and
+  // therefore every candidate gain -- are bit-identical to this loop's
+  // serial replay in scan_bin_range at every dispatch level.
+  static_assert(sizeof(BinStats) == 3 * sizeof(double),
+                "prefix_sum3 streams BinStats as raw double triples");
   const BinStats& missing = bins[0];
-  BinStats left;
+  if (bins.size() < 3) return;  // no candidate boundary
+  const std::size_t candidates = bins.size() - 2;
+  static thread_local std::vector<BinStats> prefix;
+  if (prefix.size() < candidates) prefix.resize(candidates);
+  util::simd::kernels().prefix_sum3(
+      reinterpret_cast<const double*>(bins.data() + 1), candidates,
+      reinterpret_cast<double*>(prefix.data()));
   for (std::size_t b = 1; b + 1 < bins.size(); ++b) {
-    left += bins[b];
     consider(field, PredicateKind::kNumericLE, static_cast<std::uint16_t>(b),
-             left, missing, totals, best);
+             prefix[b - 1], missing, totals, best);
   }
 }
 

@@ -1,9 +1,14 @@
 #include "ipc/poller.h"
 
+#include <netinet/in.h>
 #include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <sys/timerfd.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstring>
 
 #include "util/check.h"
 
@@ -72,6 +77,100 @@ int Poller::wait(std::chrono::milliseconds timeout, std::vector<Event>* out) {
     out->push_back(e);
   }
   return n;
+}
+
+int listen_tcp_loopback(std::uint16_t port, std::uint16_t* bound_port) {
+  const int fd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 128) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  if (bound_port != nullptr) {
+    sockaddr_in actual{};
+    socklen_t len = sizeof(actual);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&actual), &len) != 0) {
+      ::close(fd);
+      return -1;
+    }
+    *bound_port = ntohs(actual.sin_port);
+  }
+  return fd;
+}
+
+int accept_nonblocking(int listen_fd) {
+  for (;;) {
+    const int fd =
+        ::accept4(listen_fd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd >= 0) return fd;
+    // A connection that died in the accept queue is not "queue drained":
+    // keep going so a burst of arrivals behind it is not stranded until
+    // the next readiness event.
+    if (errno == ECONNABORTED || errno == EINTR) continue;
+    return -1;
+  }
+}
+
+TimerFd::TimerFd() {
+  fd_ = ::timerfd_create(CLOCK_MONOTONIC, TFD_NONBLOCK | TFD_CLOEXEC);
+  BOOSTER_CHECK_MSG(fd_ >= 0, "timerfd_create failed");
+}
+
+TimerFd::~TimerFd() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void TimerFd::arm_once(std::chrono::microseconds delay) {
+  const auto ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(delay).count();
+  itimerspec spec{};
+  // An all-zero it_value means "disarm" to timerfd; a caller arming with
+  // zero (or negative) delay means "fire now", so clamp to 1ns.
+  const long long clamped = ns > 0 ? ns : 1;
+  spec.it_value.tv_sec = static_cast<time_t>(clamped / 1000000000LL);
+  spec.it_value.tv_nsec = static_cast<long>(clamped % 1000000000LL);
+  BOOSTER_CHECK(::timerfd_settime(fd_, 0, &spec, nullptr) == 0);
+}
+
+void TimerFd::disarm() {
+  itimerspec spec{};
+  BOOSTER_CHECK(::timerfd_settime(fd_, 0, &spec, nullptr) == 0);
+}
+
+std::uint64_t TimerFd::consume() {
+  std::uint64_t expirations = 0;
+  const ssize_t n = ::read(fd_, &expirations, sizeof(expirations));
+  return n == sizeof(expirations) ? expirations : 0;
+}
+
+WakeFd::WakeFd() {
+  fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  BOOSTER_CHECK_MSG(fd_ >= 0, "eventfd failed");
+}
+
+WakeFd::~WakeFd() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void WakeFd::notify() {
+  const std::uint64_t one = 1;
+  // The counter saturating (EAGAIN) still leaves the fd readable, which
+  // is all a wake-up needs; nothing to handle.
+  [[maybe_unused]] const ssize_t n = ::write(fd_, &one, sizeof(one));
+}
+
+std::uint64_t WakeFd::drain() {
+  std::uint64_t count = 0;
+  const ssize_t n = ::read(fd_, &count, sizeof(count));
+  return n == sizeof(count) ? count : 0;
 }
 
 }  // namespace booster::ipc

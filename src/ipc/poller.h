@@ -57,4 +57,71 @@ class Poller {
   int epoll_fd_ = -1;
 };
 
+// -- Event-loop building blocks for servers on top of the poller. --------
+// Same philosophy as the Poller itself: thin, no callbacks; the fds these
+// helpers produce are registered with Poller::add and dispatched by tag.
+
+/// Creates a non-blocking close-on-exec TCP listener bound to
+/// 127.0.0.1:`port` (port 0 asks the kernel for a free one;
+/// `*bound_port`, optional, receives the actual port). Loopback-only by
+/// design: the serving and bench processes this repo runs are
+/// same-machine, and not binding a routable address keeps tests and CI
+/// hermetic. Returns the listening fd, or -1 on failure.
+int listen_tcp_loopback(std::uint16_t port, std::uint16_t* bound_port);
+
+/// Accepts one pending connection from `listen_fd` as non-blocking
+/// close-on-exec. Transient per-connection failures (ECONNABORTED,
+/// EINTR) are skipped internally; returns -1 once the accept queue is
+/// drained, so a level-triggered readable event is handled by looping
+/// until -1.
+int accept_nonblocking(int listen_fd);
+
+/// RAII one-shot monotonic timerfd -- the batching-window clock: arm a
+/// deadline, poll its fd for readability, consume() when it fires.
+/// Re-arming replaces any pending deadline; consume() drains, so a
+/// handled expiration can never be observed twice.
+class TimerFd {
+ public:
+  TimerFd();  // aborts if the kernel refuses a timerfd
+  ~TimerFd();
+  TimerFd(const TimerFd&) = delete;
+  TimerFd& operator=(const TimerFd&) = delete;
+
+  /// Fires once, `delay` from now (clamped to >= 1ns: timerfd treats an
+  /// all-zero deadline as disarm, but callers mean "immediately").
+  void arm_once(std::chrono::microseconds delay);
+
+  void disarm();
+
+  /// Number of expirations since the last consume (0 or 1 for one-shot
+  /// use; 0 when the timer has not fired).
+  std::uint64_t consume();
+
+  int fd() const { return fd_; }
+
+ private:
+  int fd_ = -1;
+};
+
+/// RAII eventfd for waking the event loop from another thread (stop
+/// requests, hot model-swap notifications): notify() from any thread,
+/// drain() on the loop thread after the poller reports the fd readable.
+class WakeFd {
+ public:
+  WakeFd();  // aborts if the kernel refuses an eventfd
+  ~WakeFd();
+  WakeFd(const WakeFd&) = delete;
+  WakeFd& operator=(const WakeFd&) = delete;
+
+  void notify();
+
+  /// Returns and clears the pending notification count (0 if none).
+  std::uint64_t drain();
+
+  int fd() const { return fd_; }
+
+ private:
+  int fd_ = -1;
+};
+
 }  // namespace booster::ipc

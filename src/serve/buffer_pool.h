@@ -1,0 +1,51 @@
+// Recycling byte-buffer pool for the serving event loop: per-connection
+// input/output buffers are acquired on accept and released on close, so a
+// long-running server reaches a steady state where no connection churn
+// allocates -- the serving mirror of the trainer's HistogramPool. The
+// counters make that property testable instead of aspirational:
+// allocations() must plateau while acquires() keeps climbing.
+//
+// Single-threaded by design (the server's event loop owns it); no locks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace booster::serve {
+
+class BufferPool {
+ public:
+  /// Returns an empty buffer, reusing a released one's capacity when
+  /// available; allocates a fresh buffer (counted) otherwise.
+  std::string acquire() {
+    ++acquires_;
+    if (!free_.empty()) {
+      std::string buf = std::move(free_.back());
+      free_.pop_back();
+      buf.clear();  // keeps capacity
+      return buf;
+    }
+    ++allocations_;
+    return std::string();
+  }
+
+  /// Returns a buffer to the pool; its capacity is what makes the next
+  /// acquire() allocation-free.
+  void release(std::string buf) { free_.push_back(std::move(buf)); }
+
+  /// Buffers created fresh (not recycled) -- the steady-state invariant
+  /// is that this stops growing once the connection high-water mark is
+  /// reached.
+  std::uint64_t allocations() const { return allocations_; }
+  std::uint64_t acquires() const { return acquires_; }
+  std::size_t idle() const { return free_.size(); }
+
+ private:
+  std::vector<std::string> free_;
+  std::uint64_t allocations_ = 0;
+  std::uint64_t acquires_ = 0;
+};
+
+}  // namespace booster::serve

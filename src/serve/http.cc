@@ -1,0 +1,196 @@
+#include "serve/http.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+
+namespace booster::serve {
+
+namespace {
+
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+}  // namespace
+
+void RequestParser::reset() {
+  state_ = State::kHeaders;
+  buffer_.clear();
+  scanned_ = 0;
+  building_ = Request{};
+  body_expected_ = 0;
+}
+
+ParseStatus RequestParser::parse_head() {
+  // buffer_ holds the request line + headers, CRLFCRLF included.
+  const std::string_view head(buffer_);
+
+  // Request line: METHOD SP target SP HTTP/1.x
+  const std::size_t line_end = head.find("\r\n");
+  const std::string_view line = head.substr(0, line_end);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 = line.rfind(' ');
+  if (sp1 == std::string_view::npos || sp2 == sp1) return ParseStatus::kBadRequest;
+  const std::string_view method = line.substr(0, sp1);
+  const std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::string_view version = line.substr(sp2 + 1);
+  if (method.empty() || target.empty()) return ParseStatus::kBadRequest;
+  bool keep_alive;
+  if (version == "HTTP/1.1") {
+    keep_alive = true;
+  } else if (version == "HTTP/1.0") {
+    keep_alive = false;
+  } else {
+    return ParseStatus::kBadRequest;
+  }
+
+  bool have_length = false;
+  std::size_t content_length = 0;
+  std::size_t pos = line_end + 2;
+  while (pos < head.size()) {
+    const std::size_t eol = head.find("\r\n", pos);
+    const std::string_view header = head.substr(pos, eol - pos);
+    pos = eol + 2;
+    if (header.empty()) break;  // blank line: end of headers
+    const std::size_t colon = header.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      return ParseStatus::kBadRequest;
+    }
+    const std::string_view name = header.substr(0, colon);
+    const std::string_view value = trim(header.substr(colon + 1));
+    if (iequals(name, "content-length")) {
+      // Strict digits-only parse; duplicate or disagreeing lengths are a
+      // request-smuggling vector, so a second header is rejected outright.
+      if (have_length || value.empty()) return ParseStatus::kBadRequest;
+      const auto [end, ec] = std::from_chars(
+          value.data(), value.data() + value.size(), content_length);
+      if (ec != std::errc() || end != value.data() + value.size()) {
+        return ParseStatus::kBadRequest;
+      }
+      have_length = true;
+    } else if (iequals(name, "transfer-encoding")) {
+      return ParseStatus::kUnsupported;  // chunked framing: not spoken here
+    } else if (iequals(name, "connection")) {
+      if (iequals(value, "close")) {
+        keep_alive = false;
+      } else if (iequals(value, "keep-alive")) {
+        keep_alive = true;
+      }
+    }
+    // Unknown headers are allowed and ignored.
+  }
+
+  if (content_length > limits_.max_body_bytes) {
+    return ParseStatus::kBodyTooLarge;
+  }
+  building_.method.assign(method);
+  building_.target.assign(target);
+  building_.keep_alive = keep_alive;
+  building_.body.clear();
+  body_expected_ = content_length;
+  return ParseStatus::kNeedMore;  // head ok; body (possibly empty) next
+}
+
+ParseStatus RequestParser::consume(std::string_view input,
+                                   std::size_t* consumed, Request* out) {
+  *consumed = 0;
+  if (state_ == State::kPoisoned) return ParseStatus::kBadRequest;
+
+  if (state_ == State::kHeaders) {
+    // Append up to the limit, then scan for the head terminator starting
+    // a little before the old tail so a CRLFCRLF split across segments is
+    // still found and each byte is scanned O(1) times.
+    const std::size_t take = std::min(
+        input.size(), limits_.max_header_bytes + 1 - buffer_.size());
+    buffer_.append(input.substr(0, take));
+    *consumed += take;
+    const std::size_t from = scanned_ > 3 ? scanned_ - 3 : 0;
+    const std::size_t end = buffer_.find("\r\n\r\n", from);
+    if (end == std::string::npos) {
+      if (buffer_.size() > limits_.max_header_bytes) {
+        return fail(ParseStatus::kHeadersTooLarge);
+      }
+      scanned_ = buffer_.size();
+      return ParseStatus::kNeedMore;
+    }
+    // Bytes past the terminator belong to the body / the next request:
+    // hand them back.
+    const std::size_t head_size = end + 4;
+    *consumed -= buffer_.size() - head_size;
+    input.remove_prefix(take - (buffer_.size() - head_size));
+    buffer_.resize(head_size);
+    const ParseStatus head_status = parse_head();
+    if (head_status != ParseStatus::kNeedMore) return fail(head_status);
+    buffer_.clear();
+    scanned_ = 0;
+    state_ = State::kBody;
+  }
+
+  // Body: take bytes until the declared length is reached.
+  const std::size_t missing = body_expected_ - building_.body.size();
+  const std::size_t take = std::min(input.size(), missing);
+  building_.body.append(input.substr(0, take));
+  *consumed += take;
+  if (building_.body.size() < body_expected_) return ParseStatus::kNeedMore;
+
+  *out = std::move(building_);
+  building_ = Request{};
+  state_ = State::kHeaders;
+  return ParseStatus::kRequest;
+}
+
+std::string_view reason_phrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 409: return "Conflict";
+    case 413: return "Content Too Large";
+    case 431: return "Request Header Fields Too Large";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+void append_response(std::string* out, int status,
+                     std::string_view content_type, std::string_view body,
+                     bool keep_alive, std::string_view extra_headers) {
+  out->append("HTTP/1.1 ");
+  char code[4] = {static_cast<char>('0' + status / 100),
+                  static_cast<char>('0' + status / 10 % 10),
+                  static_cast<char>('0' + status % 10), ' '};
+  out->append(code, 4);
+  out->append(reason_phrase(status));
+  out->append("\r\nContent-Type: ");
+  out->append(content_type);
+  out->append("\r\nContent-Length: ");
+  out->append(std::to_string(body.size()));
+  out->append("\r\nConnection: ");
+  out->append(keep_alive ? "keep-alive" : "close");
+  out->append("\r\n");
+  out->append(extra_headers);
+  out->append("\r\n");
+  out->append(body);
+}
+
+}  // namespace booster::serve

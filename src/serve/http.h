@@ -1,0 +1,90 @@
+// Incremental HTTP/1.1 request parser and response serializer for the
+// prediction server. Deliberately small: the server speaks exactly the
+// subset a prediction service needs -- Content-Length framed bodies,
+// keep-alive and pipelining, loud rejection of anything oversized or
+// malformed -- and nothing it does not (no chunked encoding, no trailers,
+// no multipart).
+//
+// The parser is a per-connection state machine that tolerates any arrival
+// granularity (byte-at-a-time TCP segments included) and consumes exactly
+// one request per kRequest result, leaving pipelined followers in the
+// caller's buffer untouched.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace booster::serve {
+
+/// One parsed request. `keep_alive` already folds in the HTTP-version
+/// default (1.1 persistent, 1.0 not) and any Connection header.
+struct Request {
+  std::string method;
+  std::string target;
+  bool keep_alive = true;
+  std::string body;
+};
+
+enum class ParseStatus {
+  kNeedMore,         // incomplete; feed more bytes
+  kRequest,          // one full request delivered
+  kBadRequest,       // malformed request line / header / framing -> 400
+  kHeadersTooLarge,  // request line + headers exceed the limit -> 431
+  kBodyTooLarge,     // declared Content-Length exceeds the limit -> 413
+  kUnsupported,      // well-formed but unsupported framing (chunked) -> 501
+};
+
+struct ParserLimits {
+  /// Upper bound on the request line + headers (CRLFCRLF included).
+  std::size_t max_header_bytes = 8192;
+  /// Upper bound on the declared Content-Length.
+  std::size_t max_body_bytes = 1 << 20;
+};
+
+class RequestParser {
+ public:
+  explicit RequestParser(ParserLimits limits = {}) : limits_(limits) {}
+
+  /// Consumes bytes from `input`. Returns kRequest with `*out` filled when
+  /// a complete request has been assembled (`*consumed` bytes were used;
+  /// pipelined followers remain un-consumed), kNeedMore when the input ran
+  /// dry mid-request, or a rejection status -- after which the parser is
+  /// poisoned until reset() (the connection answers with an error and
+  /// closes, so there is nothing sensible to resynchronize to).
+  ParseStatus consume(std::string_view input, std::size_t* consumed,
+                      Request* out);
+
+  /// Ready for a fresh request (nothing partially consumed)?
+  bool idle() const { return state_ == State::kHeaders && buffer_.empty(); }
+
+  void reset();
+
+ private:
+  enum class State { kHeaders, kBody, kPoisoned };
+
+  ParseStatus fail(ParseStatus status) {
+    state_ = State::kPoisoned;
+    return status;
+  }
+  ParseStatus parse_head();
+
+  ParserLimits limits_;
+  State state_ = State::kHeaders;
+  std::string buffer_;       // accumulated head bytes (until CRLFCRLF)
+  std::size_t scanned_ = 0;  // head bytes already scanned for CRLFCRLF
+  Request building_;
+  std::size_t body_expected_ = 0;
+};
+
+/// Minimal response head + body serializer, appended to `out` (the
+/// connection's pooled output buffer). `extra_headers` lines must each end
+/// with CRLF.
+void append_response(std::string* out, int status,
+                     std::string_view content_type, std::string_view body,
+                     bool keep_alive, std::string_view extra_headers = {});
+
+/// Standard reason phrase for the handful of statuses the server emits.
+std::string_view reason_phrase(int status);
+
+}  // namespace booster::serve

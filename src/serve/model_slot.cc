@@ -1,0 +1,38 @@
+#include "serve/model_slot.h"
+
+#include <optional>
+#include <utility>
+
+namespace booster::serve {
+
+std::uint64_t ModelSlot::install(gbdt::Model model) {
+  std::uint64_t version;
+  {
+    const std::scoped_lock lock(mu_);
+    version = next_version_++;
+  }
+  // Flattening (FlatEnsemble construction) happens outside the lock on
+  // the installer's thread; the serving loop only ever blocks for a
+  // pointer swap.
+  auto fresh = std::make_shared<const ServedModel>(version, std::move(model));
+  const std::scoped_lock lock(mu_);
+  // Concurrent installers can finish flattening out of order; the highest
+  // version wins and the slot never regresses.
+  if (current_ == nullptr || current_->version < version) {
+    current_ = std::move(fresh);
+  }
+  return version;
+}
+
+gbdt::ModelFileStatus ModelSlot::install_from_file(const std::string& path,
+                                                  std::uint64_t* version) {
+  std::optional<gbdt::Model> loaded;
+  const gbdt::ModelFileStatus status =
+      gbdt::load_model_checked_file(path, &loaded);
+  if (status != gbdt::ModelFileStatus::kOk) return status;
+  const std::uint64_t v = install(std::move(*loaded));
+  if (version != nullptr) *version = v;
+  return gbdt::ModelFileStatus::kOk;
+}
+
+}  // namespace booster::serve

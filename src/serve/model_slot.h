@@ -1,0 +1,65 @@
+// Versioned atomic model hand-off for the serving loop. The slot holds
+// the current ServedModel behind a shared_ptr swapped under a mutex:
+// readers (the server, once per batch) copy the pointer and keep the
+// whole model+ensemble alive for as long as their batch runs, so a hot
+// swap never tears an in-flight traversal -- the old version finishes its
+// batch, the next batch picks up the new pointer. This is the serving end
+// of the ROADMAP's train -> save -> atomically-swap pipeline.
+//
+// Files are loaded through the checked model container (model_io CRC-32
+// header): a truncated or bit-rotten artifact is refused with a distinct
+// status and the slot keeps serving the previous version.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "gbdt/flat_ensemble.h"
+#include "gbdt/model_io.h"
+#include "gbdt/tree.h"
+
+namespace booster::serve {
+
+/// An immutable, versioned, traversal-ready model. `flat` borrows
+/// `model`'s loss, which is why both live in one immovable allocation.
+struct ServedModel {
+  ServedModel(std::uint64_t v, gbdt::Model m)
+      : version(v), model(std::move(m)), flat(model) {}
+  ServedModel(const ServedModel&) = delete;
+  ServedModel& operator=(const ServedModel&) = delete;
+
+  const std::uint64_t version;
+  const gbdt::Model model;
+  const gbdt::FlatEnsemble flat;
+};
+
+class ModelSlot {
+ public:
+  /// The model to run the *next* batch on; nullptr before any install.
+  /// The returned pointer pins that version for the caller's lifetime use.
+  std::shared_ptr<const ServedModel> current() const {
+    const std::scoped_lock lock(mu_);
+    return current_;
+  }
+
+  bool has_model() const { return current() != nullptr; }
+
+  /// Installs a model as the new current version; returns its version
+  /// number (monotonic from 1).
+  std::uint64_t install(gbdt::Model model);
+
+  /// Loads a checked container file and installs it. On any non-kOk
+  /// status the slot is untouched (the old version keeps serving);
+  /// `*version` (optional) receives the new version on success.
+  gbdt::ModelFileStatus install_from_file(const std::string& path,
+                                          std::uint64_t* version = nullptr);
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<const ServedModel> current_;
+  std::uint64_t next_version_ = 1;
+};
+
+}  // namespace booster::serve

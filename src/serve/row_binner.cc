@@ -1,0 +1,132 @@
+#include "serve/row_binner.h"
+
+#include <charconv>
+#include <cmath>
+
+#include "sim/json.h"
+
+namespace booster::serve {
+
+namespace {
+
+/// One raw cell, in the field's native type. Parse failures are distinct
+/// from missing: a missing value has learned routing, garbage does not.
+struct Cell {
+  bool ok = false;
+  bool missing = false;
+  float numeric = 0.0f;
+  std::int32_t categorical = 0;
+};
+
+Cell parse_cell(std::string_view text, gbdt::FieldKind kind) {
+  Cell cell;
+  if (text.empty() || text == "nan" || text == "NaN") {
+    cell.ok = cell.missing = true;
+    return cell;
+  }
+  if (kind == gbdt::FieldKind::kNumeric) {
+    // Direct text->float32 parse (correctly rounded): a value formatted
+    // with >= 9 significant digits round-trips to the identical float the
+    // client started from -- the first link in the bit-identity chain.
+    const auto [end, ec] = std::from_chars(
+        text.data(), text.data() + text.size(), cell.numeric);
+    cell.ok = ec == std::errc() && end == text.data() + text.size();
+  } else {
+    const auto [end, ec] = std::from_chars(
+        text.data(), text.data() + text.size(), cell.categorical);
+    cell.ok = ec == std::errc() && end == text.data() + text.size();
+  }
+  return cell;
+}
+
+gbdt::BinIndex bin_cell(const Cell& cell, const gbdt::FieldBins& fb) {
+  if (cell.missing) return gbdt::BinIndex{0};
+  return fb.kind == gbdt::FieldKind::kNumeric
+             ? gbdt::numeric_value_bin(cell.numeric, fb)
+             : gbdt::categorical_value_bin(cell.categorical, fb);
+}
+
+}  // namespace
+
+RowBinner::RowBinner(const gbdt::BinnedDataset& data) {
+  fields_.reserve(data.num_fields());
+  for (std::uint32_t f = 0; f < data.num_fields(); ++f) {
+    fields_.push_back(data.field_bins(f));
+  }
+}
+
+void RowBinner::reset_columns(
+    std::vector<std::vector<gbdt::BinIndex>>* columns) const {
+  columns->resize(fields_.size());
+  for (auto& col : *columns) col.clear();
+}
+
+bool RowBinner::append_csv(
+    std::string_view line,
+    std::vector<std::vector<gbdt::BinIndex>>* columns) const {
+  std::vector<gbdt::BinIndex> row_bins;  // tiny; see note below
+  std::size_t pos = 0;
+  std::uint32_t f = 0;
+  // Parse and validate the whole row before touching `columns`, so a
+  // malformed row leaves the staged batch untouched. The per-row scratch
+  // stays function-local (not thread_local) because rows are short and
+  // the server parses on one thread anyway; measure before complicating.
+  row_bins.reserve(fields_.size());
+  while (true) {
+    if (f >= fields_.size()) return false;  // too many cells
+    const std::size_t comma = line.find(',', pos);
+    const std::string_view cell_text =
+        comma == std::string_view::npos ? line.substr(pos)
+                                        : line.substr(pos, comma - pos);
+    const Cell cell = parse_cell(cell_text, fields_[f].kind);
+    if (!cell.ok) return false;
+    row_bins.push_back(bin_cell(cell, fields_[f]));
+    ++f;
+    if (comma == std::string_view::npos) break;
+    pos = comma + 1;
+  }
+  if (f != fields_.size()) return false;  // too few cells
+  for (std::uint32_t i = 0; i < fields_.size(); ++i) {
+    (*columns)[i].push_back(row_bins[i]);
+  }
+  return true;
+}
+
+bool RowBinner::append_json(
+    const sim::Json& row,
+    std::vector<std::vector<gbdt::BinIndex>>* columns) const {
+  if (!row.is_array() || row.size() != fields_.size()) return false;
+  std::vector<gbdt::BinIndex> row_bins;
+  row_bins.reserve(fields_.size());
+  for (std::uint32_t f = 0; f < fields_.size(); ++f) {
+    const sim::Json& v = row.items()[f];
+    Cell cell;
+    if (v.is_null()) {
+      cell.ok = cell.missing = true;
+    } else if (v.is_number()) {
+      cell.ok = true;
+      const double d = v.as_double();
+      if (fields_[f].kind == gbdt::FieldKind::kNumeric) {
+        // JSON numbers are doubles; a client serializing a float32 sends
+        // a double exactly equal to it, so this narrowing is exact for
+        // round-tripped values (and NaN text is not valid JSON -- missing
+        // is spelled null).
+        cell.numeric = static_cast<float>(d);
+        if (std::isnan(cell.numeric)) cell.missing = true;
+      } else {
+        const auto i = static_cast<std::int32_t>(d);
+        if (static_cast<double>(i) != d) return false;  // non-integer category
+        cell.categorical = i;
+      }
+    } else {
+      return false;
+    }
+    row_bins.push_back(bin_cell(cell, fields_[f]));
+  }
+  for (std::uint32_t i = 0; i < fields_.size(); ++i) {
+    (*columns)[i].push_back(row_bins[i]);
+  }
+  return true;
+}
+
+}  // namespace booster::serve

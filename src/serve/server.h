@@ -1,0 +1,199 @@
+// The prediction server: a single-threaded HTTP/1.1 event loop on the
+// shared epoll ipc::Poller (the same readiness idiom the TCP training
+// transport uses) that turns concurrent request streams into *batched*
+// ensemble traversals.
+//
+// The core serving idea mirrors the trainer's blocked step-5 kernel: rows
+// arriving on different connections inside one batching window are staged
+// column-major and pushed through FlatEnsemble's column-pointer
+// predict_many in one blocked pass, so the flat node tables are walked
+// once per tile of rows instead of once per request -- tree-node cache
+// misses amortize across connections exactly as they amortize across
+// records in training. Batching changes *nothing* numerically: each row's
+// prediction is bit-identical to local Model::predict, whatever batch it
+// lands in (asserted end-to-end by tests/test_serve.cc and bench_serve).
+//
+// Endpoints:
+//   POST /predict  body = feature rows, CSV lines or a JSON array of
+//                  arrays; responds text/plain, one %.17g prediction per
+//                  row, plus X-Model-Version
+//   GET  /healthz  liveness probe
+//   GET  /stats    serving counters as JSON
+//   POST /reload   body = path of a checked model container; swaps the
+//                  served model atomically (in-flight batches finish on
+//                  the old version), 409 + distinct status text on a
+//                  corrupt/truncated file
+//
+// Per-connection state machines ride on a recycling BufferPool, so the
+// steady state (connection churn included) allocates nothing.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "gbdt/binning.h"
+#include "ipc/poller.h"
+#include "serve/buffer_pool.h"
+#include "serve/http.h"
+#include "serve/model_slot.h"
+#include "serve/row_binner.h"
+
+namespace booster::serve {
+
+struct ServerConfig {
+  /// Loopback port; 0 asks the kernel (read the result from port()).
+  std::uint16_t port = 0;
+  /// How long the first staged row may wait for connection-mates before
+  /// the batch flushes. Zero = flush at the end of every poll round: rows
+  /// that arrived in one readiness sweep still batch, nothing ever waits
+  /// for a timer.
+  std::chrono::microseconds batch_window{0};
+  /// Rows that force an immediate flush regardless of the window.
+  std::uint32_t max_batch_rows = 1024;
+  std::uint32_t max_connections = 1024;
+  ParserLimits limits;
+};
+
+/// Serving counters. Owned and mutated by the event-loop thread;
+/// externally read either via GET /stats (on-loop, always consistent) or
+/// via Server::stats() after run() returns.
+struct ServerStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_rejected = 0;  // over max_connections
+  std::uint64_t requests = 0;              // all parsed requests
+  std::uint64_t predict_rows = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  std::uint64_t responses_2xx = 0;
+  std::uint64_t responses_4xx = 0;
+  std::uint64_t responses_5xx = 0;
+  std::uint64_t reloads = 0;
+  /// batch_size_hist[b] counts flushed batches with row count in
+  /// [2^b, 2^(b+1)) -- the distribution that shows whether concurrent
+  /// connections actually coalesce.
+  std::vector<std::uint64_t> batch_size_hist = std::vector<std::uint64_t>(16);
+  std::uint64_t buffer_allocations = 0;
+  std::uint64_t buffer_acquires = 0;
+};
+
+class Server {
+ public:
+  /// Binds and listens immediately (so port() is valid before run());
+  /// aborts if the port cannot be bound. `slot` must outlive the server;
+  /// `binning_reference` provides the frozen bin metadata and is not
+  /// retained.
+  Server(ServerConfig cfg, ModelSlot* slot,
+         const gbdt::BinnedDataset& binning_reference);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  std::uint16_t port() const { return port_; }
+
+  /// Runs the event loop on the calling thread until stop().
+  void run();
+
+  /// Thread-safe; run() returns promptly (current batch flushes first).
+  void stop();
+
+  /// Counter snapshot; see ServerStats for the threading contract.
+  const ServerStats& stats() const { return stats_; }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::string in;   // pooled
+    std::string out;  // pooled
+    std::size_t out_offset = 0;
+    RequestParser parser;
+    /// Staged /predict requests awaiting the batch flush. While > 0,
+    /// parsing of non-predict requests pauses so responses stay in
+    /// request order.
+    std::uint32_t pending = 0;
+    bool read_closed = false;       // peer EOF / error: never read again
+    bool close_after_flush = false; // close once `out` fully drains
+    bool want_read = true;          // EPOLLIN currently requested
+    bool want_write = false;        // EPOLLOUT currently requested
+  };
+
+  /// One response slot in batch order. A /predict slot (`rows` > 0) owns
+  /// `rows` predictions starting at `first_row` of the batch; a slot with
+  /// rows == 0 carries a prebuilt `immediate` response that was parsed
+  /// *behind* a staged predict on the same connection and must keep its
+  /// place in line -- this is what keeps pipelined responses in request
+  /// order across the batch boundary.
+  struct StagedRequest {
+    std::uint64_t conn_id = 0;
+    std::uint64_t first_row = 0;
+    std::uint32_t rows = 0;
+    bool keep_alive = true;
+    std::string immediate;
+  };
+
+  void accept_new_connections();
+  void close_connection(std::uint64_t id);
+  void handle_readable(std::uint64_t id);
+  /// Parses every complete request out of conn.in.
+  void process_input(std::uint64_t id);
+  void handle_request(std::uint64_t id, Request&& req);
+  void handle_predict(std::uint64_t id, const Request& req);
+  /// Serializes a response (counting its status class) into `out` -- a
+  /// connection buffer or a staged slot's `immediate`.
+  void build_response(std::string* out, int status,
+                      std::string_view content_type, std::string_view body,
+                      bool keep_alive, std::string_view extra_headers = {});
+  /// Routes a response to the connection: straight into conn.out when
+  /// nothing is pending, into an ordered staged slot otherwise.
+  void enqueue_response(std::uint64_t id, int status,
+                        std::string_view content_type, std::string_view body,
+                        bool keep_alive, std::string_view extra_headers = {});
+  void flush_batch();
+  /// Sends what it can of conn.out now; arms EPOLLOUT on short writes,
+  /// closes when drained and the connection is finished.
+  void pump_output(std::uint64_t id);
+  void update_interest(std::uint64_t id);
+  std::string stats_json() const;
+
+  ServerConfig cfg_;
+  ModelSlot* slot_;
+  RowBinner binner_;
+
+  ipc::Poller poller_;
+  ipc::TimerFd batch_timer_;
+  ipc::WakeFd wake_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+
+  std::unordered_map<std::uint64_t, Connection> conns_;
+  std::uint64_t next_conn_id_ = 0;
+  BufferPool pool_;
+
+  // Batch staging: per-field columns + per-request slices, reused across
+  // batches (capacity-warm, allocation-free in steady state).
+  std::vector<std::vector<gbdt::BinIndex>> staged_columns_;
+  std::vector<StagedRequest> staged_requests_;
+  /// Connections whose `out` grew during a flush; pumped at the next safe
+  /// point of the event loop (a flush must never close a connection out
+  /// from under a caller holding a reference into conns_).
+  std::vector<std::uint64_t> dirty_;
+  std::uint64_t staged_rows_ = 0;
+  bool timer_armed_ = false;
+  /// The model pinned when the current batch's first row was staged: the
+  /// whole batch runs on it even if a reload lands mid-window.
+  std::shared_ptr<const ServedModel> batch_model_;
+  std::vector<const gbdt::BinIndex*> column_ptrs_;
+  std::vector<double> batch_out_;
+  std::string body_scratch_;
+  std::string header_scratch_;
+
+  ServerStats stats_;
+};
+
+}  // namespace booster::serve

@@ -1,15 +1,23 @@
 #include "sim/runner.h"
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <deque>
 #include <mutex>
+#include <sstream>
+#include <thread>
 
+#include "gbdt/model_io.h"
+#include "serve/client.h"
+#include "serve/model_slot.h"
+#include "serve/server.h"
 #include "util/simd.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
+#include "workloads/synth.h"
 
 namespace booster::sim {
 
@@ -112,10 +120,32 @@ Json ScenarioResult::to_json() const {
     cj.set("total_s", c.total_seconds);
     cj.set("sram_accesses", c.activity.sram_accesses);
     cj.set("dram_bytes", c.activity.dram_bytes);
-    if (spec.include_inference) cj.set("inference_s", c.inference_seconds);
+    if (spec.include_inference) {
+      cj.set("inference_s", c.inference_seconds);
+      cj.set("analytic_qps", c.analytic_qps);
+    }
     cell_array.push_back(std::move(cj));
   }
   j.set("cells", std::move(cell_array));
+
+  if (!serving.empty()) {
+    Json serving_array = Json::array();
+    for (const auto& s : serving) {
+      Json sj = Json::object();
+      sj.set("workload", workloads[s.workload_index].spec.name);
+      sj.set("qps", s.qps);
+      sj.set("rows_per_sec", s.rows_per_sec);
+      sj.set("mean_us", s.mean_us);
+      sj.set("p50_us", s.p50_us);
+      sj.set("p99_us", s.p99_us);
+      sj.set("p999_us", s.p999_us);
+      sj.set("requests", s.requests);
+      sj.set("rows", s.rows);
+      sj.set("bytes_per_request", s.bytes_per_request);
+      serving_array.push_back(std::move(sj));
+    }
+    j.set("serving", std::move(serving_array));
+  }
   return j;
 }
 
@@ -125,7 +155,10 @@ void ScenarioResult::print_table() const {
   if (swept) header.push_back(sweep_axis_name(spec.sweep_axis));
   header.insert(header.end(), {"Workload", "Model", "step1", "step2", "step3",
                                "step5", "total"});
-  if (spec.include_inference) header.push_back("inference");
+  if (spec.include_inference) {
+    header.push_back("inference");
+    header.push_back("analytic-qps");
+  }
 
   util::Table table(header);
   for (const auto& c : cells) {
@@ -147,10 +180,30 @@ void ScenarioResult::print_table() const {
                 util::fmt_time(c.total_seconds)});
     if (spec.include_inference) {
       row.push_back(util::fmt_time(c.inference_seconds));
+      row.push_back(util::fmt(c.analytic_qps, 0));
     }
     table.add_row(std::move(row));
   }
   table.print();
+
+  // The measured leg, when present: real sockets, closed loop, every
+  // prediction already proven bit-identical (a mismatch would have failed
+  // the run). Printed after the analytic table so the two QPS columns sit
+  // together on the terminal.
+  if (!serving.empty()) {
+    util::Table measured({"Workload", "measured-qps", "rows/s", "p50-us",
+                          "p99-us", "p999-us", "requests"});
+    for (const auto& s : serving) {
+      measured.add_row({workloads[s.workload_index].spec.name,
+                        util::fmt(s.qps, 0), util::fmt(s.rows_per_sec, 0),
+                        util::fmt(s.p50_us, 0), util::fmt(s.p99_us, 0),
+                        util::fmt(s.p999_us, 0),
+                        std::to_string(s.requests)});
+    }
+    std::printf("\nMeasured serving (closed-loop, localhost TCP,"
+                " bit-identity gated):\n");
+    measured.print();
+  }
 }
 
 ScenarioRunner::ScenarioRunner()
@@ -220,9 +273,11 @@ std::optional<ScenarioResult> ScenarioRunner::run(const ScenarioSpec& spec,
                                           : spec.sweep_values;
   std::vector<core::BoosterConfig> point_configs;
   std::vector<double> record_scales;
+  std::vector<std::uint32_t> point_replicas;
   for (const double value : result.sweep_values) {
     core::BoosterConfig cfg = *booster;
     double record_scale = 1.0;
+    std::uint32_t replica_count = 1;
     switch (spec.sweep_axis) {
       case SweepAxis::kNone:
         break;
@@ -261,9 +316,18 @@ std::optional<ScenarioResult> ScenarioRunner::run(const ScenarioSpec& spec,
         }
         cfg.training_shards = static_cast<std::uint32_t>(value);
         break;
+      case SweepAxis::kReplicas:
+        if (value < 1.0 || value != std::floor(value)) {
+          set_error(error, "sweep axis replicas requires positive integer"
+                           " values");
+          return std::nullopt;
+        }
+        replica_count = static_cast<std::uint32_t>(value);
+        break;
     }
     point_configs.push_back(cfg);
     record_scales.push_back(record_scale);
+    point_replicas.push_back(replica_count);
   }
 
   // ---- run the functional workloads (the expensive stage). Each run is
@@ -321,6 +385,7 @@ std::optional<ScenarioResult> ScenarioRunner::run(const ScenarioSpec& spec,
     cell.workload_index = w;
     cell.model_index = m;
     cell.booster = point_configs[s];
+    cell.replicas = point_replicas[s];
 
     ModelContext ctx;
     ctx.booster = point_configs[s];
@@ -355,12 +420,87 @@ std::optional<ScenarioResult> ScenarioRunner::run(const ScenarioSpec& spec,
     if (spec.include_inference) {
       perf::InferenceSpec is = inference_specs[w];
       is.records *= record_scale;
+      is.chips = point_replicas[s];
       cell.inference_seconds = model->inference_cost(is);
+      cell.analytic_qps = perf::projected_qps(is.records,
+                                              cell.inference_seconds);
     }
   });
   if (!cell_error.empty()) {
     set_error(error, cell_error);
     return std::nullopt;
+  }
+
+  // ---- the measured serving leg: a real serve::Server per workload on
+  // localhost TCP, driven closed-loop over the exact rows the functional
+  // sample trained on (re-synthesized: synthesize is deterministic in
+  // (spec, records, seed)). Runs serially after the cell matrix so its
+  // wall-clock numbers are not polluted by pool contention. Any bitwise
+  // mismatch between a served prediction and local Model::predict -- or
+  // any transport error -- fails the whole scenario loudly.
+  if (spec.serving.has_value()) {
+    const ServingSpec& sv = *spec.serving;
+    for (std::size_t w = 0; w < result.workloads.size(); ++w) {
+      const auto& wl = result.workloads[w];
+
+      // Model is move-only and the workload keeps its copy; clone through
+      // the text serializer (round-tripping preserves every prediction).
+      std::stringstream clone;
+      gbdt::save_model(wl.train.model, clone);
+      serve::ModelSlot slot;
+      slot.install(gbdt::load_model(clone));
+
+      serve::ServerConfig server_cfg;
+      server_cfg.batch_window = std::chrono::microseconds(sv.batch_window_us);
+      server_cfg.max_batch_rows = sv.max_batch_rows;
+      serve::Server server(server_cfg, &slot, wl.binned);
+      std::thread loop([&server] { server.run(); });
+
+      const gbdt::Dataset queries =
+          workloads::synthesize(wl.spec, runner_cfg.sim_records,
+                                runner_cfg.seed);
+      std::vector<double> expected(wl.binned.num_records());
+      for (std::uint64_t r = 0; r < wl.binned.num_records(); ++r) {
+        expected[r] = wl.train.model.predict(wl.binned, r);
+      }
+
+      serve::LoadConfig load;
+      load.port = server.port();
+      load.connections = sv.connections;
+      load.requests_per_connection = sv.requests_per_connection;
+      load.rows_per_request = sv.rows_per_request;
+      load.json_body = sv.json_body;
+      if (options.quick && load.requests_per_connection > 25) {
+        load.requests_per_connection = 25;
+      }
+      const serve::LoadResult measured =
+          serve::run_closed_loop(load, queries, expected);
+      server.stop();
+      loop.join();
+
+      if (measured.errors != 0 || measured.mismatches != 0) {
+        set_error(error, "serving leg failed for workload \"" +
+                             wl.spec.name + "\": " +
+                             std::to_string(measured.errors) + " errors, " +
+                             std::to_string(measured.mismatches) +
+                             " prediction mismatches vs local"
+                             " Model::predict");
+        return std::nullopt;
+      }
+
+      ServingMeasurement sm;
+      sm.workload_index = w;
+      sm.qps = measured.qps;
+      sm.rows_per_sec = measured.rows_per_sec;
+      sm.mean_us = measured.mean_us;
+      sm.p50_us = measured.p50_us;
+      sm.p99_us = measured.p99_us;
+      sm.p999_us = measured.p999_us;
+      sm.requests = measured.requests;
+      sm.rows = measured.rows;
+      sm.bytes_per_request = measured.bytes_per_request;
+      result.serving.push_back(sm);
+    }
   }
   return result;
 }

@@ -66,9 +66,34 @@ struct ScenarioCell {
   double total_seconds = 0.0;
   perf::Activity activity;
   double inference_seconds = 0.0;  // when spec.include_inference
+  /// Serving replicas of this sweep point (InferenceSpec::chips); 1
+  /// unless the scenario sweeps kReplicas.
+  std::uint32_t replicas = 1;
+  /// perf::projected_qps of this cell's batch-inference cost (rows/s the
+  /// analytic model predicts); 0 unless spec.include_inference.
+  double analytic_qps = 0.0;
   /// The resolved accelerator config of this cell's sweep point (drives
   /// the area/power and bin-mapping shims).
   core::BoosterConfig booster;
+};
+
+/// One measured serving run (spec.serving present): a real serve::Server
+/// on localhost TCP driven by the closed-loop harness, one per workload.
+/// Reported only when every served prediction matched local
+/// Model::predict bitwise -- a mismatch (or transport error) fails the
+/// scenario instead, so these numbers are correctness-gated by
+/// construction.
+struct ServingMeasurement {
+  std::size_t workload_index = 0;
+  double qps = 0.0;
+  double rows_per_sec = 0.0;
+  double mean_us = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double p999_us = 0.0;
+  std::uint64_t requests = 0;
+  std::uint64_t rows = 0;
+  double bytes_per_request = 0.0;
 };
 
 struct ScenarioResult {
@@ -81,6 +106,8 @@ struct ScenarioResult {
   std::vector<double> sweep_values;
   /// Sweep-major, then workload, then model.
   std::vector<ScenarioCell> cells;
+  /// One entry per workload when spec.serving is present; empty otherwise.
+  std::vector<ServingMeasurement> serving;
 
   const ScenarioCell& cell(std::size_t sweep, std::size_t workload,
                            std::size_t model) const;

@@ -42,12 +42,17 @@ void apply_quick(workloads::RunnerConfig* cfg);
 ///   kShards         -- training shards: BoosterConfig::training_shards
 ///                      (scale-out projection: per-shard Booster nodes,
 ///                      histogram-merge traffic after every step-1 event)
+///   kReplicas       -- serving replicas: perf::InferenceSpec::chips (the
+///                      ensemble dealt round-robin over N chips, paper
+///                      SS III-D); requires include_inference, since the
+///                      axis only moves the analytic inference cost
 enum class SweepAxis : std::uint8_t {
   kNone = 0,
   kClusters,
   kBandwidthScale,
   kRecordScale,
   kShards,
+  kReplicas,
 };
 
 const char* sweep_axis_name(SweepAxis axis);
@@ -66,6 +71,27 @@ struct ModelSpec {
     return model == other.model && label == other.label &&
            overrides == other.overrides;
   }
+};
+
+/// Knobs for the measured serving leg of a scenario: the runner stands up
+/// a real serve::Server (epoll loop, localhost TCP) per workload on the
+/// functionally-trained model and drives it with the closed-loop harness
+/// (serve::run_closed_loop). Every served prediction is gated bit-exact
+/// against local Model::predict -- a mismatch fails the whole scenario --
+/// so the measured QPS lands in the same table as the analytic
+/// inference_cost with its correctness already proven.
+struct ServingSpec {
+  std::uint32_t connections = 4;
+  std::uint32_t requests_per_connection = 200;
+  std::uint32_t rows_per_request = 8;
+  /// Server-side batching window in microseconds (0 = flush every poll
+  /// round).
+  std::uint64_t batch_window_us = 200;
+  std::uint32_t max_batch_rows = 1024;
+  /// Send JSON request bodies instead of CSV.
+  bool json_body = false;
+
+  bool operator==(const ServingSpec& other) const = default;
 };
 
 struct ScenarioSpec {
@@ -117,6 +143,9 @@ struct ScenarioSpec {
 
   /// Also compute each model's batch-inference cost per cell (Fig 13).
   bool include_inference = false;
+
+  /// Present = also run the measured serving leg (see ServingSpec).
+  std::optional<ServingSpec> serving;
 
   /// The workload runner config this scenario trains with.
   workloads::RunnerConfig runner_config(bool quick) const;

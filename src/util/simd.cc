@@ -15,7 +15,7 @@ namespace {
 const Kernels kScalarTable = {
     Level::kScalar, generic_add,             generic_sub,
     generic_diff,   generic_zero,            generic_quantize_gather,
-    generic_traverse_block,
+    generic_prefix_sum3,                     generic_traverse_block,
     /*predict_tile=*/4,
 };
 

@@ -119,6 +119,16 @@ struct Kernels {
                           std::size_t n, double inv_quantum, double quantum,
                           double* qg, double* qh);
 
+  /// Inclusive prefix sum over `n` contiguous {count, g, h} triples:
+  /// dst[3i + k] = sum_{j <= i} src[3j + k]. The split scan's left-bucket
+  /// accumulation (gbdt::SplitFinder::scan_numeric) runs through this on a
+  /// histogram field's value bins. Wide paths may reassociate the adds
+  /// across triples; the operands are always exact (integer counts and
+  /// 2^-24-quantum gradient multiples within kStatSumCapacity), so every
+  /// association yields the same bits -- the same argument that makes
+  /// histogram merges order-insensitive.
+  void (*prefix_sum3)(const double* src, std::size_t n, double* dst);
+
   /// Level-synchronous blocked traversal: records [first_record,
   /// first_record + count) advance one tree level per sweep across the
   /// whole tile (count <= kMaxPredictTile), so each lane's pending bin load

@@ -38,6 +38,19 @@ inline void generic_quantize_gather(const float* pairs,
   }
 }
 
+inline void generic_prefix_sum3(const double* src, std::size_t n,
+                                double* dst) {
+  double c = 0.0, g = 0.0, h = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    c += src[3 * i];
+    g += src[3 * i + 1];
+    h += src[3 * i + 2];
+    dst[3 * i] = c;
+    dst[3 * i + 1] = g;
+    dst[3 * i + 2] = h;
+  }
+}
+
 inline void generic_traverse_block(
     const booster::util::simd::FlatTreeView& tree,
     const std::uint16_t* const* columns, std::uint64_t first_record,

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <optional>
 #include <sstream>
 
 #include "gbdt/metrics.h"
@@ -116,6 +118,103 @@ TEST(ModelIo, FormatIsVersioned) {
   std::stringstream buffer;
   save_model(m, buffer);
   EXPECT_EQ(buffer.str().rfind("booster-model v1", 0), 0u);
+}
+
+// --- Checked container: header + CRC-32 over the payload. ---------------
+
+TEST(ModelIoChecked, GoldenBytesForStumpModel) {
+  // Pins the exact container bytes of a deterministic single-stump model:
+  // any accidental format drift (header spelling, payload framing, CRC
+  // polynomial or byte order) breaks this test before it breaks a
+  // cross-version serving fleet.
+  Model m(0.25, make_loss("squared"));
+  Tree stump;
+  stump.set_leaf_weight(stump.root(), 1.5);
+  m.add_tree(std::move(stump));
+  std::ostringstream out;
+  save_model_checked(m, out);
+  const std::string expected_payload =
+      "booster-model v1\n"
+      "base_score 0.25\n"
+      "loss squared\n"
+      "trees 1\n"
+      "tree 0 nodes 1\n"
+      "node 0 leaf 1.5\n";
+  EXPECT_EQ(out.str(),
+            "booster-model-container v1 bytes 85 crc32 cb61c094\n" +
+                expected_payload);
+  ASSERT_EQ(expected_payload.size(), 85u);
+}
+
+TEST(ModelIoChecked, RoundTripPreservesPredictions) {
+  const auto t = train_small("logistic", 3);
+  std::stringstream buffer;
+  save_model_checked(t.model, buffer);
+  std::optional<Model> loaded;
+  ASSERT_EQ(load_model_checked(buffer, &loaded), ModelFileStatus::kOk);
+  ASSERT_TRUE(loaded.has_value());
+  for (std::uint64_t r = 0; r < t.data.num_records(); ++r) {
+    EXPECT_EQ(loaded->predict(t.data, r), t.model.predict(t.data, r));
+  }
+}
+
+TEST(ModelIoChecked, FileRoundTripAndDistinctFailureModes) {
+  const auto t = train_small("squared", 2);
+  const std::string path = "/tmp/booster_test_model_checked.bin";
+  ASSERT_TRUE(save_model_checked_file(t.model, path));
+  std::optional<Model> loaded;
+  ASSERT_EQ(load_model_checked_file(path, &loaded), ModelFileStatus::kOk);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(rmse(*loaded, t.data), rmse(t.model, t.data));
+
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream good;
+  good << in.rdbuf();
+  const std::string bytes = good.str();
+
+  // Missing file: kIoError, *out untouched.
+  std::optional<Model> untouched;
+  EXPECT_EQ(load_model_checked_file("/nonexistent/model.bin", &untouched),
+            ModelFileStatus::kIoError);
+  EXPECT_FALSE(untouched.has_value());
+
+  // A bare v1 file (no container header): kBadMagic.
+  {
+    std::istringstream bad("booster-model v1\nbase_score 0\n");
+    EXPECT_EQ(load_model_checked(bad, &untouched),
+              ModelFileStatus::kBadMagic);
+  }
+
+  // Future container version: kBadVersion.
+  {
+    std::string v2 = bytes;
+    v2.replace(v2.find(" v1 "), 4, " v9 ");
+    std::istringstream bad(v2);
+    EXPECT_EQ(load_model_checked(bad, &untouched),
+              ModelFileStatus::kBadVersion);
+  }
+
+  // Torn write: payload shorter than the header's byte count.
+  {
+    std::istringstream bad(bytes.substr(0, bytes.size() - 7));
+    EXPECT_EQ(load_model_checked(bad, &untouched),
+              ModelFileStatus::kTruncated);
+  }
+
+  // Bit rot inside the payload: right length, wrong CRC.
+  {
+    std::string flipped = bytes;
+    flipped[flipped.size() - 2] ^= 0x01;
+    std::istringstream bad(flipped);
+    EXPECT_EQ(load_model_checked(bad, &untouched),
+              ModelFileStatus::kBadChecksum);
+  }
+  EXPECT_FALSE(untouched.has_value());
+
+  // Status names are stable (they appear in serve /reload error bodies).
+  EXPECT_STREQ(model_file_status_name(ModelFileStatus::kOk), "ok");
+  EXPECT_STREQ(model_file_status_name(ModelFileStatus::kBadChecksum),
+               "bad-checksum");
 }
 
 }  // namespace

@@ -1,0 +1,598 @@
+// Serving subsystem contract suite (ISSUE 8 tentpole): the HTTP parser
+// under torture (byte-at-a-time arrival, split terminators, pipelining,
+// oversized and malformed input), the buffer pool's steady-state
+// allocation-free property, and the server end-to-end over real loopback
+// sockets -- where the headline assertion is *bit-identity*: every
+// prediction served over TCP, in any batch composition, EXPECT_EQ-equals
+// local Model::predict on the same rows, and a hot model swap mid-load
+// never tears a response (each response is wholly one version, stamped by
+// X-Model-Version).
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+
+#include <atomic>
+#include <charconv>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/json.h"
+
+#include "gbdt/binning.h"
+#include "gbdt/model_io.h"
+#include "gbdt/trainer.h"
+#include "serve/buffer_pool.h"
+#include "serve/client.h"
+#include "serve/http.h"
+#include "serve/model_slot.h"
+#include "serve/row_binner.h"
+#include "serve/server.h"
+#include "workloads/synth.h"
+
+namespace booster::serve {
+namespace {
+
+using gbdt::BinnedDataset;
+
+/// Model is move-only (it owns its Loss); tests that keep a local copy
+/// *and* install one into the slot clone through the text format -- which
+/// preserves predictions bit-exactly by the model_io round-trip contract.
+gbdt::Model clone_model(const gbdt::Model& model) {
+  std::stringstream buffer;
+  gbdt::save_model(model, buffer);
+  return gbdt::load_model(buffer);
+}
+
+// ---------------------------------------------------------------- parser
+
+TEST(RequestParser, ByteAtATimeDeliversIdenticalRequest) {
+  const std::string wire =
+      "POST /predict HTTP/1.1\r\n"
+      "Host: x\r\n"
+      "Content-Length: 5\r\n"
+      "\r\n"
+      "a,b,c";
+  RequestParser parser;
+  Request req;
+  std::size_t delivered = 0;
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    std::size_t used = 0;
+    const ParseStatus status =
+        parser.consume(std::string_view(wire).substr(i, 1), &used, &req);
+    if (i + 1 < wire.size()) {
+      ASSERT_EQ(status, ParseStatus::kNeedMore) << "byte " << i;
+    } else {
+      ASSERT_EQ(status, ParseStatus::kRequest);
+      EXPECT_EQ(used, 1u);
+      ++delivered;
+    }
+  }
+  EXPECT_EQ(delivered, 1u);
+  EXPECT_EQ(req.method, "POST");
+  EXPECT_EQ(req.target, "/predict");
+  EXPECT_EQ(req.body, "a,b,c");
+  EXPECT_TRUE(req.keep_alive);
+  EXPECT_TRUE(parser.idle());
+}
+
+TEST(RequestParser, TerminatorSplitAcrossSegmentsParses) {
+  // The CRLFCRLF terminator arrives split at every possible point.
+  const std::string head = "GET /healthz HTTP/1.1\r\nHost: x\r\n";
+  const std::string tail = "\r\n";
+  for (std::size_t split = 0; split <= tail.size(); ++split) {
+    RequestParser parser;
+    Request req;
+    std::size_t used = 0;
+    const std::string first = head + tail.substr(0, split);
+    const ParseStatus s1 = parser.consume(first, &used, &req);
+    if (split == tail.size()) {
+      ASSERT_EQ(s1, ParseStatus::kRequest);
+      continue;
+    }
+    ASSERT_EQ(s1, ParseStatus::kNeedMore);
+    EXPECT_EQ(used, first.size());
+    const ParseStatus s2 = parser.consume(tail.substr(split), &used, &req);
+    ASSERT_EQ(s2, ParseStatus::kRequest) << "split " << split;
+    EXPECT_EQ(req.target, "/healthz");
+  }
+}
+
+TEST(RequestParser, PipelinedFollowerStaysUnconsumed) {
+  const std::string first =
+      "POST /predict HTTP/1.1\r\nContent-Length: 3\r\n\r\nxyz";
+  const std::string second = "GET /stats HTTP/1.1\r\n\r\n";
+  const std::string wire = first + second;
+  RequestParser parser;
+  Request req;
+  std::size_t used = 0;
+  ASSERT_EQ(parser.consume(wire, &used, &req), ParseStatus::kRequest);
+  EXPECT_EQ(used, first.size());  // follower untouched
+  EXPECT_EQ(req.body, "xyz");
+  std::size_t used2 = 0;
+  ASSERT_EQ(parser.consume(std::string_view(wire).substr(used), &used2, &req),
+            ParseStatus::kRequest);
+  EXPECT_EQ(req.method, "GET");
+  EXPECT_EQ(req.target, "/stats");
+}
+
+TEST(RequestParser, KeepAliveFoldsVersionAndConnectionHeader) {
+  const auto parse_one = [](const std::string& wire) {
+    RequestParser parser;
+    Request req;
+    std::size_t used = 0;
+    EXPECT_EQ(parser.consume(wire, &used, &req), ParseStatus::kRequest);
+    return req;
+  };
+  EXPECT_TRUE(parse_one("GET / HTTP/1.1\r\n\r\n").keep_alive);
+  EXPECT_FALSE(parse_one("GET / HTTP/1.0\r\n\r\n").keep_alive);
+  EXPECT_FALSE(
+      parse_one("GET / HTTP/1.1\r\nConnection: close\r\n\r\n").keep_alive);
+  EXPECT_TRUE(
+      parse_one("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+          .keep_alive);
+}
+
+TEST(RequestParser, RejectsLoudlyAndStaysPoisoned) {
+  struct Case {
+    std::string wire;
+    ParseStatus expected;
+  };
+  ParserLimits limits;
+  limits.max_header_bytes = 128;
+  limits.max_body_bytes = 64;
+  const std::vector<Case> cases = {
+      {"garbage\r\n\r\n", ParseStatus::kBadRequest},
+      {"GET / HTTP/2\r\n\r\n", ParseStatus::kBadRequest},
+      {"GET / HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 4\r\n\r\n",
+       ParseStatus::kBadRequest},
+      {"GET / HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+       ParseStatus::kBadRequest},
+      {"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+       ParseStatus::kUnsupported},
+      {"POST / HTTP/1.1\r\nContent-Length: 65\r\n\r\n",
+       ParseStatus::kBodyTooLarge},
+      {"GET / HTTP/1.1\r\nX-Pad: " + std::string(200, 'a') + "\r\n\r\n",
+       ParseStatus::kHeadersTooLarge},
+  };
+  for (const Case& c : cases) {
+    RequestParser parser(limits);
+    Request req;
+    std::size_t used = 0;
+    EXPECT_EQ(parser.consume(c.wire, &used, &req), c.expected) << c.wire;
+    // Poisoned: even a pristine request is refused until reset().
+    EXPECT_EQ(parser.consume("GET / HTTP/1.1\r\n\r\n", &used, &req),
+              ParseStatus::kBadRequest)
+        << "parser must stay poisoned";
+    parser.reset();
+    EXPECT_EQ(parser.consume("GET / HTTP/1.1\r\n\r\n", &used, &req),
+              ParseStatus::kRequest);
+  }
+}
+
+// ----------------------------------------------------------- buffer pool
+
+TEST(BufferPool, SteadyStateIsAllocationFree) {
+  BufferPool pool;
+  // Warm-up: high-water mark of 2 concurrent buffers.
+  std::string a = pool.acquire();
+  std::string b = pool.acquire();
+  a.append(4096, 'x');
+  b.append(4096, 'y');
+  pool.release(std::move(a));
+  pool.release(std::move(b));
+  const std::uint64_t warm_allocations = pool.allocations();
+  EXPECT_EQ(warm_allocations, 2u);
+  for (int round = 0; round < 1000; ++round) {
+    std::string c = pool.acquire();
+    std::string d = pool.acquire();
+    EXPECT_TRUE(c.empty());
+    EXPECT_GE(c.capacity(), 4096u);  // recycled capacity, not a fresh buffer
+    c.append(512, 'z');
+    pool.release(std::move(c));
+    pool.release(std::move(d));
+  }
+  EXPECT_EQ(pool.allocations(), warm_allocations);  // plateau
+  EXPECT_EQ(pool.acquires(), 2u + 2000u);
+}
+
+// ------------------------------------------------------------ end-to-end
+
+struct Fixture {
+  explicit Fixture(std::chrono::microseconds window = {},
+                   std::uint32_t max_batch_rows = 1024) {
+    workloads::DatasetSpec spec;
+    spec.name = "serve";
+    spec.nominal_records = 400;
+    spec.numeric_fields = 5;
+    spec.categorical_cardinalities = {6, 3};
+    spec.missing_rate = 0.1;
+    spec.loss = "logistic";
+    raw = workloads::synthesize(spec, 400, 17);
+    binned = gbdt::Binner().bin(raw);
+
+    gbdt::TrainerConfig tcfg;
+    tcfg.num_trees = 12;
+    tcfg.max_depth = 4;
+    tcfg.loss = "logistic";
+    tcfg.num_threads = 1;
+    model.emplace(gbdt::Trainer(tcfg).train(binned).model);
+    slot.install(clone_model(*model));
+
+    expected.resize(binned.num_records());
+    for (std::uint64_t r = 0; r < binned.num_records(); ++r) {
+      expected[r] = model->predict(binned, r);
+    }
+
+    ServerConfig scfg;
+    scfg.batch_window = window;
+    scfg.max_batch_rows = max_batch_rows;
+    server = std::make_unique<Server>(scfg, &slot, binned);
+    loop = std::thread([this] { server->run(); });
+  }
+
+  ~Fixture() {
+    server->stop();
+    loop.join();
+  }
+
+  gbdt::Dataset raw;
+  BinnedDataset binned;
+  std::optional<gbdt::Model> model;
+  ModelSlot slot;
+  std::vector<double> expected;
+  std::unique_ptr<Server> server;
+  std::thread loop;
+};
+
+TEST(ServeEndToEnd, CsvPredictionsBitIdenticalToLocalModel) {
+  Fixture fx;
+  BlockingClient client;
+  ASSERT_TRUE(client.connect(fx.server->port()));
+  std::vector<double> got;
+  for (const std::uint64_t first : {0ull, 37ull, 395ull}) {
+    const std::string body = csv_rows(fx.raw, first, 11);
+    Response resp;
+    ASSERT_TRUE(client.request("POST", "/predict", body, &resp));
+    ASSERT_EQ(resp.status, 200);
+    EXPECT_EQ(resp.header("X-Model-Version"), "1");
+    ASSERT_TRUE(parse_predictions(resp.body, &got));
+    ASSERT_EQ(got.size(), 11u);
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      const std::uint64_t row = (first + i) % fx.raw.num_records();
+      EXPECT_EQ(got[i], fx.expected[row]) << "row " << row;
+    }
+  }
+}
+
+TEST(ServeEndToEnd, JsonBodyBinsIdenticallyToCsv) {
+  Fixture fx;
+  BlockingClient client;
+  ASSERT_TRUE(client.connect(fx.server->port()));
+  const std::string body = json_rows(fx.raw, 5, 9);
+  Response resp;
+  ASSERT_TRUE(
+      client.request("POST", "/predict", body, &resp, "application/json"));
+  ASSERT_EQ(resp.status, 200) << resp.body;
+  std::vector<double> got;
+  ASSERT_TRUE(parse_predictions(resp.body, &got));
+  ASSERT_EQ(got.size(), 9u);
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i], fx.expected[(5 + i) % fx.raw.num_records()]);
+  }
+}
+
+TEST(ServeEndToEnd, PipelinedMixedRequestsAnswerInOrder) {
+  // Two predicts and a healthz in one write: responses must come back in
+  // request order even though the predicts detour through the batch.
+  Fixture fx(std::chrono::microseconds(2000));
+  BlockingClient client;
+  ASSERT_TRUE(client.connect(fx.server->port()));
+  const std::string body1 = csv_rows(fx.raw, 0, 2);
+  const std::string body2 = csv_rows(fx.raw, 2, 3);
+  std::string wire;
+  wire += "POST /predict HTTP/1.1\r\nContent-Length: " +
+          std::to_string(body1.size()) + "\r\n\r\n" + body1;
+  wire += "GET /healthz HTTP/1.1\r\n\r\n";
+  wire += "POST /predict HTTP/1.1\r\nContent-Length: " +
+          std::to_string(body2.size()) + "\r\n\r\n" + body2;
+  ASSERT_TRUE(client.send_raw(wire));
+
+  Response r1, r2, r3;
+  ASSERT_TRUE(client.read_response(&r1));
+  ASSERT_TRUE(client.read_response(&r2));
+  ASSERT_TRUE(client.read_response(&r3));
+  std::vector<double> got;
+  ASSERT_EQ(r1.status, 200);
+  ASSERT_TRUE(parse_predictions(r1.body, &got));
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0], fx.expected[0]);
+  EXPECT_EQ(got[1], fx.expected[1]);
+  ASSERT_EQ(r2.status, 200);
+  EXPECT_EQ(r2.body, "ok\n");
+  ASSERT_EQ(r3.status, 200);
+  ASSERT_TRUE(parse_predictions(r3.body, &got));
+  ASSERT_EQ(got.size(), 3u);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(got[i], fx.expected[2 + i]);
+}
+
+TEST(ServeEndToEnd, HalfClosedClientStillGetsItsAnswer) {
+  Fixture fx;
+  BlockingClient client;
+  ASSERT_TRUE(client.connect(fx.server->port()));
+  const std::string body = csv_rows(fx.raw, 1, 1);
+  ASSERT_TRUE(client.send_raw("POST /predict HTTP/1.1\r\nContent-Length: " +
+                              std::to_string(body.size()) + "\r\n\r\n" +
+                              body));
+  // Half-close before reading: the server sees EOF with a request still
+  // buffered, must answer it, then close its side.
+  client.shutdown_writes();
+  Response resp;
+  ASSERT_TRUE(client.read_response(&resp));
+  EXPECT_EQ(resp.status, 200);
+  std::vector<double> got;
+  ASSERT_TRUE(parse_predictions(resp.body, &got));
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], fx.expected[1]);
+  // After the answer, the server closes: next read sees EOF.
+  EXPECT_FALSE(client.read_response(&resp));
+}
+
+TEST(ServeEndToEnd, MalformedRowsRejectedWithoutPoisoningBatchOrConnection) {
+  Fixture fx;
+  BlockingClient client;
+  ASSERT_TRUE(client.connect(fx.server->port()));
+  Response resp;
+  // Wrong arity.
+  ASSERT_TRUE(client.request("POST", "/predict", "1.5,2.5\n", &resp));
+  EXPECT_EQ(resp.status, 400);
+  // Garbage cell.
+  ASSERT_TRUE(
+      client.request("POST", "/predict", csv_rows(fx.raw, 0, 1) + "x,y\n",
+                     &resp));
+  EXPECT_EQ(resp.status, 400);
+  // Wrong method / unknown target / empty body.
+  ASSERT_TRUE(client.request("GET", "/predict", "", &resp));
+  EXPECT_EQ(resp.status, 405);
+  ASSERT_TRUE(client.request("GET", "/nope", "", &resp));
+  EXPECT_EQ(resp.status, 404);
+  ASSERT_TRUE(client.request("POST", "/predict", "", &resp));
+  EXPECT_EQ(resp.status, 400);
+  // The connection survived all of it, and the batch was never corrupted:
+  // a good request still answers bit-identically.
+  ASSERT_TRUE(client.request("POST", "/predict", csv_rows(fx.raw, 7, 4),
+                             &resp));
+  ASSERT_EQ(resp.status, 200);
+  std::vector<double> got;
+  ASSERT_TRUE(parse_predictions(resp.body, &got));
+  ASSERT_EQ(got.size(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(got[i], fx.expected[7 + i]);
+}
+
+TEST(ServeEndToEnd, OversizedRequestRejectedAndConnectionClosed) {
+  Fixture fx;
+  BlockingClient client;
+  ASSERT_TRUE(client.connect(fx.server->port()));
+  Response resp;
+  // Declared body over the 1 MiB default limit -> 413 before any body
+  // bytes are read.
+  ASSERT_TRUE(client.send_raw(
+      "POST /predict HTTP/1.1\r\nContent-Length: 10000000\r\n\r\n"));
+  ASSERT_TRUE(client.read_response(&resp));
+  EXPECT_EQ(resp.status, 413);
+  // The server closes after an error response; the next read sees EOF.
+  EXPECT_FALSE(client.read_response(&resp));
+
+  BlockingClient client2;
+  ASSERT_TRUE(client2.connect(fx.server->port()));
+  ASSERT_TRUE(client2.send_raw("GET / HTTP/1.1\r\nX-Pad: " +
+                               std::string(10000, 'a') + "\r\n\r\n"));
+  ASSERT_TRUE(client2.read_response(&resp));
+  EXPECT_EQ(resp.status, 431);
+}
+
+TEST(ServeEndToEnd, ServesNothingBeforeFirstInstall) {
+  workloads::DatasetSpec spec;
+  spec.name = "empty";
+  spec.nominal_records = 50;
+  spec.numeric_fields = 2;
+  gbdt::Dataset raw = workloads::synthesize(spec, 50, 3);
+  BinnedDataset binned = gbdt::Binner().bin(raw);
+  ModelSlot slot;  // nothing installed
+  Server server(ServerConfig{}, &slot, binned);
+  std::thread loop([&] { server.run(); });
+  BlockingClient client;
+  ASSERT_TRUE(client.connect(server.port()));
+  Response resp;
+  ASSERT_TRUE(client.request("POST", "/predict", csv_rows(raw, 0, 1), &resp));
+  EXPECT_EQ(resp.status, 503);
+  server.stop();
+  loop.join();
+}
+
+TEST(ServeEndToEnd, ReloadSwapsModelAndRefusesCorruptFiles) {
+  Fixture fx;
+  // Train a different model (fewer trees) and save it as a checked
+  // container.
+  gbdt::TrainerConfig tcfg;
+  tcfg.num_trees = 4;
+  tcfg.max_depth = 3;
+  tcfg.loss = "logistic";
+  tcfg.num_threads = 1;
+  const gbdt::Model v2 = gbdt::Trainer(tcfg).train(fx.binned).model;
+  const std::string path = "/tmp/booster_serve_reload_test.model";
+  ASSERT_TRUE(gbdt::save_model_checked_file(v2, path));
+
+  BlockingClient client;
+  ASSERT_TRUE(client.connect(fx.server->port()));
+  Response resp;
+  ASSERT_TRUE(client.request("POST", "/reload", path + "\n", &resp));
+  ASSERT_EQ(resp.status, 200) << resp.body;
+  EXPECT_EQ(resp.body, "version 2\n");
+
+  // Predictions now come from v2, still bit-identical to local predict.
+  std::vector<double> got;
+  ASSERT_TRUE(client.request("POST", "/predict", csv_rows(fx.raw, 3, 6),
+                             &resp));
+  ASSERT_EQ(resp.status, 200);
+  EXPECT_EQ(resp.header("X-Model-Version"), "2");
+  ASSERT_TRUE(parse_predictions(resp.body, &got));
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(got[i], v2.predict(fx.binned, 3 + i));
+  }
+
+  // A missing file and a corrupted container are refused with distinct
+  // statuses, and the slot keeps serving v2.
+  ASSERT_TRUE(client.request("POST", "/reload", "/tmp/nope.model", &resp));
+  EXPECT_EQ(resp.status, 409);
+  EXPECT_NE(resp.body.find("io-error"), std::string::npos) << resp.body;
+
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in), {});
+  }
+  bytes[bytes.size() / 2] ^= 0x40;  // flip a payload bit
+  const std::string bad_path = "/tmp/booster_serve_reload_corrupt.model";
+  {
+    std::ofstream out(bad_path, std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  ASSERT_TRUE(client.request("POST", "/reload", bad_path, &resp));
+  EXPECT_EQ(resp.status, 409);
+  EXPECT_NE(resp.body.find("bad-checksum"), std::string::npos) << resp.body;
+  ASSERT_TRUE(client.request("POST", "/predict", csv_rows(fx.raw, 0, 1),
+                             &resp));
+  EXPECT_EQ(resp.header("X-Model-Version"), "2");
+  std::remove(path.c_str());
+  std::remove(bad_path.c_str());
+}
+
+TEST(ServeEndToEnd, ClosedLoopHarnessGatesOnBitIdentity) {
+  Fixture fx(std::chrono::microseconds(200));
+  LoadConfig lcfg;
+  lcfg.port = fx.server->port();
+  lcfg.connections = 4;
+  lcfg.requests_per_connection = 30;
+  lcfg.rows_per_request = 7;
+  const LoadResult result = run_closed_loop(lcfg, fx.raw, fx.expected);
+  EXPECT_EQ(result.errors, 0u);
+  EXPECT_EQ(result.mismatches, 0u);
+  EXPECT_EQ(result.requests, 4u * 30u);
+  EXPECT_EQ(result.rows, 4u * 30u * 7u);
+  EXPECT_GT(result.qps, 0.0);
+  EXPECT_GT(result.p50_us, 0.0);
+  EXPECT_GE(result.p99_us, result.p50_us);
+}
+
+TEST(ServeEndToEnd, ConnectionChurnReachesAllocationFreeSteadyState) {
+  Fixture fx;
+  // Sequential churn: each connection acquires 2 pooled buffers and
+  // releases them on close, so allocations must plateau at the concurrent
+  // high-water mark while acquires keep climbing.
+  for (int round = 0; round < 40; ++round) {
+    BlockingClient client;
+    ASSERT_TRUE(client.connect(fx.server->port()));
+    Response resp;
+    ASSERT_TRUE(client.request("POST", "/predict", csv_rows(fx.raw, round, 2),
+                               &resp));
+    ASSERT_EQ(resp.status, 200);
+  }
+  BlockingClient client;
+  ASSERT_TRUE(client.connect(fx.server->port()));
+  Response resp;
+  ASSERT_TRUE(client.request("GET", "/stats", "", &resp));
+  ASSERT_EQ(resp.status, 200);
+  std::string error;
+  const auto stats = sim::Json::parse(resp.body, &error);
+  ASSERT_TRUE(stats.has_value()) << error;
+  const double allocations = stats->find("buffer_allocations")->as_double();
+  const double acquires = stats->find("buffer_acquires")->as_double();
+  // 40 churned connections + this one = 82 acquires minimum; the pool may
+  // only ever have allocated for the *concurrent* high-water mark (a
+  // handful: churned connections overlap briefly in TIME_WAIT handoff).
+  EXPECT_GE(acquires, 82.0);
+  EXPECT_LE(allocations, 8.0);
+}
+
+TEST(ServeEndToEnd, HotSwapMidLoadNeverTearsAResponse) {
+  Fixture fx(std::chrono::microseconds(300));
+  gbdt::TrainerConfig tcfg;
+  tcfg.num_trees = 3;
+  tcfg.max_depth = 3;
+  tcfg.loss = "logistic";
+  tcfg.num_threads = 1;
+  const gbdt::Model alt = gbdt::Trainer(tcfg).train(fx.binned).model;
+  std::vector<double> alt_expected(fx.binned.num_records());
+  for (std::uint64_t r = 0; r < fx.binned.num_records(); ++r) {
+    alt_expected[r] = alt.predict(fx.binned, r);
+  }
+
+  std::atomic<bool> done{false};
+  std::thread swapper([&] {
+    // Keep installing fresh versions, alternating models, while the
+    // clients hammer /predict. Version 1 is the fixture install; the
+    // swapper's installs get versions 2, 3, 4, ... -- even versions are
+    // `alt`, odd versions are the original model.
+    int i = 0;
+    while (!done.load()) {
+      fx.slot.install(clone_model(i % 2 == 0 ? alt : *fx.model));
+      ++i;
+      std::this_thread::sleep_for(std::chrono::microseconds(500));
+    }
+  });
+
+  // Every response must be *wholly* one model's output: the version header
+  // names which, and all rows must match that version bit-for-bit.
+  std::vector<std::thread> clients;
+  std::atomic<std::uint64_t> torn{0};
+  for (int c = 0; c < 3; ++c) {
+    clients.emplace_back([&, c] {
+      BlockingClient client;
+      if (!client.connect(fx.server->port())) {
+        torn += 1000;
+        return;
+      }
+      std::vector<double> got;
+      Response resp;
+      for (int k = 0; k < 60; ++k) {
+        const std::uint64_t first = (c * 61 + k * 5) % fx.raw.num_records();
+        if (!client.request("POST", "/predict", csv_rows(fx.raw, first, 4),
+                            &resp) ||
+            resp.status != 200 || !parse_predictions(resp.body, &got) ||
+            got.size() != 4) {
+          ++torn;
+          continue;
+        }
+        const std::string_view header = resp.header("X-Model-Version");
+        std::uint64_t version = 0;
+        std::from_chars(header.data(), header.data() + header.size(),
+                        version);
+        if (version == 0) {
+          ++torn;
+          continue;
+        }
+        const std::vector<double>& expect_from =
+            version % 2 == 0 ? alt_expected : fx.expected;
+        bool matches_signed = true;
+        for (int i = 0; i < 4; ++i) {
+          const std::uint64_t row = (first + i) % fx.raw.num_records();
+          if (got[i] != expect_from[row]) matches_signed = false;
+        }
+        if (!matches_signed) ++torn;
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  done.store(true);
+  swapper.join();
+  EXPECT_EQ(torn.load(), 0u);
+}
+
+}  // namespace
+}  // namespace booster::serve

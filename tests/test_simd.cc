@@ -138,6 +138,48 @@ TEST(SimdKernels, ArrayOpsBitIdenticalToScalar) {
   }
 }
 
+TEST(SimdKernels, PrefixSum3BitIdenticalOnQuantizedTriples) {
+  // prefix_sum3's wide paths may reassociate additions across triples, so
+  // its bit-identity contract holds for the operands it is specified for:
+  // integer counts and 2^-24-quantum gradient multiples (exact sums). Feed
+  // it exactly those, as the split scan does.
+  const Kernels& scalar = kernels(Level::kScalar);
+  Rng rng(4242);
+  for (const std::size_t n :
+       {std::size_t{0}, std::size_t{1}, std::size_t{2}, std::size_t{3},
+        std::size_t{7}, std::size_t{64}, std::size_t{255}}) {
+    std::vector<double> src(3 * n);
+    for (std::size_t i = 0; i < n; ++i) {
+      src[3 * i] = static_cast<double>(i % 9);
+      src[3 * i + 1] =
+          gbdt::quantize_stat(static_cast<float>(rng.uniform(-1.0, 1.0)));
+      src[3 * i + 2] =
+          gbdt::quantize_stat(static_cast<float>(rng.uniform(0.0, 1.0)));
+    }
+    // Scalar kernel against a naive running sum.
+    std::vector<double> expect(3 * n);
+    double c = 0.0, g = 0.0, h = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      c += src[3 * i];
+      g += src[3 * i + 1];
+      h += src[3 * i + 2];
+      expect[3 * i] = c;
+      expect[3 * i + 1] = g;
+      expect[3 * i + 2] = h;
+    }
+    std::vector<double> out_s(3 * n, -1.0);
+    scalar.prefix_sum3(src.data(), n, out_s.data());
+    EXPECT_EQ(out_s, expect) << "scalar n=" << n;
+
+    for (const Level level : kWideLevels) {
+      if (!level_available(level)) continue;  // skip, never fail
+      std::vector<double> out_w(3 * n, -2.0);
+      kernels(level).prefix_sum3(src.data(), n, out_w.data());
+      EXPECT_EQ(out_w, out_s) << level_name(level) << " n=" << n;
+    }
+  }
+}
+
 TEST(SimdKernels, QuantizeGatherBitIdenticalToScalar) {
   const Kernels& scalar = kernels(Level::kScalar);
   // Random pairs plus adversarial rounding ties: (2k+1) * quantum/2 is

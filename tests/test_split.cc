@@ -6,6 +6,7 @@
 
 #include "gbdt/binning.h"
 #include "util/rng.h"
+#include "util/simd.h"
 #include "util/thread_pool.h"
 #include "workloads/synth.h"
 
@@ -385,6 +386,74 @@ TEST(SplitFinderThreaded, BinChunkedScanEngagesWithTooFewFieldsToChunk) {
     EXPECT_EQ(parallel->left.count, serial->left.count)
         << threads << " threads";
     EXPECT_EQ(scanned, serial_scanned) << threads << " threads";
+  }
+}
+
+// --- SIMD prefix scan: dispatch-level bit-identity. ---------------------
+
+TEST(SplitFinderSimd, FindBestIdenticalAcrossDispatchLevels) {
+  // The numeric left-bucket accumulation runs through the simd prefix_sum3
+  // kernel. Wide levels may reassociate the prefix additions, but every
+  // operand is exact on the 2^-24 quantized grid, so the chosen split --
+  // gain, child stats, tie-breaking, everything -- must be bit-identical
+  // at every dispatch level this binary carries, on both the serial and
+  // the threaded scan paths.
+  namespace simd = booster::util::simd;
+  for (const std::uint64_t seed : {5ULL, 23ULL}) {
+    workloads::DatasetSpec spec;
+    spec.name = "simd-split";
+    spec.nominal_records = 4000;
+    spec.numeric_fields = 7;
+    spec.categorical_cardinalities = {30, 9};
+    spec.missing_rate = 0.03;
+    spec.loss = "logistic";
+    const auto data = Binner().bin(workloads::synthesize(spec, 4000, seed));
+
+    util::Rng rng(seed * 313);
+    std::vector<GradientPair> grads(data.num_records());
+    for (auto& g : grads) {
+      g = {static_cast<float>(rng.uniform(-1.0, 1.0)),
+           static_cast<float>(rng.uniform(0.1, 1.0))};
+    }
+    const auto hist = build_hist(data, grads);
+
+    const SplitFinder finder;
+    std::optional<SplitInfo> reference;
+    std::uint64_t reference_scanned = 0;
+    {
+      simd::ScopedLevelForTesting scalar(simd::Level::kScalar);
+      reference = finder.find_best(hist, data, &reference_scanned);
+    }
+    ASSERT_TRUE(reference.has_value());
+
+    for (const simd::Level level :
+         {simd::Level::kScalar, simd::Level::kAvx2, simd::Level::kAvx512}) {
+      if (level > simd::detected()) continue;
+      simd::ScopedLevelForTesting scoped(level);
+      util::ThreadPool pool(3);
+      for (util::ThreadPool* p : {static_cast<util::ThreadPool*>(nullptr),
+                                  &pool}) {
+        std::uint64_t scanned = 0;
+        const auto split = finder.find_best(hist, data, p, &scanned);
+        ASSERT_TRUE(split.has_value()) << simd::level_name(level);
+        EXPECT_EQ(split->field, reference->field) << simd::level_name(level);
+        EXPECT_EQ(split->kind, reference->kind) << simd::level_name(level);
+        EXPECT_EQ(split->threshold_bin, reference->threshold_bin)
+            << simd::level_name(level);
+        EXPECT_EQ(split->default_left, reference->default_left)
+            << simd::level_name(level);
+        EXPECT_EQ(split->gain, reference->gain) << simd::level_name(level);
+        EXPECT_EQ(split->left.count, reference->left.count)
+            << simd::level_name(level);
+        EXPECT_EQ(split->left.g, reference->left.g) << simd::level_name(level);
+        EXPECT_EQ(split->left.h, reference->left.h) << simd::level_name(level);
+        EXPECT_EQ(split->right.g, reference->right.g)
+            << simd::level_name(level);
+        EXPECT_EQ(split->right.h, reference->right.h)
+            << simd::level_name(level);
+        EXPECT_EQ(scanned, reference_scanned) << simd::level_name(level);
+      }
+    }
   }
 }
 
