@@ -63,6 +63,13 @@ if [[ "${BOOSTER_SKIP_SANITIZE:-0}" != "1" ]]; then
   "$ASAN_DIR/serve_demo" > /dev/null
   "$ASAN_DIR/bench_serve" --quick > /dev/null
 
+  # Streaming smoke under the sanitizers: bench_stream --quick drives the
+  # frozen-bin-map chunk path, the recycled window arenas, warm-start
+  # replay, and the ModelSlot hand-off through ASan/UBSan-instrumented
+  # code, and exits non-zero if any refreshed generation diverges across
+  # the (threads x shards) verification grid.
+  "$ASAN_DIR/bench_stream" --quick > /dev/null
+
   # TSan leg: the concurrent subset only -- threaded rank worlds, the
   # reliable channel's heartbeat/liveness machinery, the elastic TCP
   # worlds (worker incarnations on threads), and the thread pool. TSan
@@ -141,3 +148,17 @@ done
 # serving leg through the Scenario API under --quick.)
 "$BUILD_DIR/serve_demo" > /dev/null
 "$BUILD_DIR/bench_serve" --quick
+
+# Streaming leg (ISSUE 9 acceptance): bench_stream sweeps refresh cadence
+# and arrival rate through the chunked-ingestion + warm-start-retraining
+# pipeline and exits non-zero unless every refreshed generation is
+# bit-identical across the (threads x shards) verification grid and every
+# hand-off landed. The scalar rerun of the warm-start determinism tests
+# proves the refresh path (including the init-model prediction replay,
+# which runs the blocked SIMD traversal) is also independent of the
+# dispatch level. (The "streaming" scenario above already ran the measured
+# streaming leg through the Scenario API under --quick, and the full
+# scalar ctest pass at the top reran test_stream with scalar kernels.)
+"$BUILD_DIR/bench_stream" --quick
+BOOSTER_SIMD=scalar "$BUILD_DIR/test_stream" \
+  --gtest_filter='Retrainer.WarmStartRefreshesBitIdenticalAcrossThreadsAndShards'

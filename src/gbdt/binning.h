@@ -20,6 +20,10 @@
 #include "gbdt/dataset.h"
 #include "gbdt/layout.h"
 
+namespace booster::stream {
+class FrozenBinMap;
+}
+
 namespace booster::gbdt {
 
 /// Bin index within a field. uint16 functionally; the hardware layout packs
@@ -91,6 +95,12 @@ class BinnedDataset {
         num_records_(o.num_records_),
         layout_(std::move(o.layout_)) {
     row_major_built_.store(o.row_major_built_.load());
+    // Leave the source empty-but-valid: its vectors were pilfered, so the
+    // built flag and record count must not claim otherwise (a stale
+    // row_major_built_ == true would make row_major_bins() hand out a
+    // pointer into emptied storage).
+    o.row_major_built_.store(false);
+    o.num_records_ = 0;
   }
   BinnedDataset& operator=(const BinnedDataset& o) {
     if (this != &o) *this = BinnedDataset(o);
@@ -104,6 +114,8 @@ class BinnedDataset {
     num_records_ = o.num_records_;
     layout_ = std::move(o.layout_);
     row_major_built_.store(o.row_major_built_.load());
+    o.row_major_built_.store(false);
+    o.num_records_ = 0;
     return *this;
   }
 
@@ -147,6 +159,9 @@ class BinnedDataset {
   const RecordLayout& layout() const { return layout_; }
 
   friend class Binner;
+  // The streaming path builds chunk datasets against frozen bin metadata
+  // out-of-core, reusing recycled arenas in place of Binner's fresh ones.
+  friend class booster::stream::FrozenBinMap;
 
  private:
   std::vector<FieldBins> fields_;

@@ -50,6 +50,34 @@ double compute_base_score(const BinnedDataset& data, const Loss& loss) {
   return loss.base_score(label_mean);
 }
 
+/// Warm start takes the base score from the init model instead; every rank
+/// resolves it identically from its own copy of the config.
+double initial_base_score(const BinnedDataset& data, const Loss& loss,
+                          const TrainerConfig& tcfg) {
+  if (tcfg.init_model == nullptr) return compute_base_score(data, loss);
+  BOOSTER_CHECK_MSG(tcfg.init_model->loss().name() == tcfg.loss,
+                    "warm start: init model's loss differs from the "
+                    "config's loss");
+  return tcfg.init_model->base_score();
+}
+
+/// Pre-seeds a rank's result with copies of the warm-start trees plus
+/// placeholder per-tree stats, keeping tree_stats index-aligned with
+/// model.trees() (the catch-up payload pairs trees[i] with
+/// tree_stats[i].train_loss). Every reset/rebuild path replays
+/// result.model.trees() through the shard groups afterwards, so the init
+/// trees flow into preds/gradients exactly like finished trees do.
+void seed_warm_start(TrainResult* result, const TrainerConfig& tcfg) {
+  if (tcfg.init_model == nullptr) return;
+  for (const Tree& t : tcfg.init_model->trees()) {
+    TreeStats stats;
+    stats.leaves = t.num_leaves();
+    stats.depth = t.max_depth();
+    result->tree_stats.push_back(stats);
+    result->model.add_tree(t);
+  }
+}
+
 /// One frontier node of the rank-0 driver: global bookkeeping plus the
 /// merged histogram (the groups hold the arena spans).
 struct DriverNode {
@@ -151,7 +179,7 @@ TrainResult DistributedTrainer::train_rank0(const BinnedDataset& data,
     channel = std::make_unique<ipc::ReliableChannel>(transport_, cfg_.channel);
   }
 
-  const double base_score = compute_base_score(data, *loss);
+  const double base_score = initial_base_score(data, *loss, tcfg);
   for (auto& g : groups) g->reset(*loss, base_score);
 
   HistogramPool merged_pool(data);
@@ -162,6 +190,15 @@ TrainResult DistributedTrainer::train_rank0(const BinnedDataset& data,
 
   const SplitFinder finder(tcfg.split);
   TrainResult result{.model = Model(base_score, make_loss(tcfg.loss))};
+  // Warm start: seed the result with the init trees and replay them into
+  // the freshly-reset groups (the adoption path below replays
+  // result.model.trees() on its own and needs no extra handling).
+  seed_warm_start(&result, tcfg);
+  for (auto& g : groups) {
+    for (const Tree& t : result.model.trees()) {
+      g->finish_tree(t, *loss, nullptr, nullptr);
+    }
+  }
 
   double leaf_depth_sum = 0.0;
   std::uint64_t leaf_count = 0;
@@ -655,7 +692,7 @@ TrainResult DistributedTrainer::train_rank0_elastic(const BinnedDataset& data,
   };
   std::vector<Standing> standing(world, Standing::kNever);
 
-  const double base_score = compute_base_score(data, *loss);
+  const double base_score = initial_base_score(data, *loss, tcfg);
 
   // Rank 0's groups: exactly one covering its current assignment at every
   // tree start; mid-tree adoptions append temporaries that the next
@@ -673,6 +710,10 @@ TrainResult DistributedTrainer::train_rank0_elastic(const BinnedDataset& data,
 
   const SplitFinder finder(tcfg.split);
   TrainResult result{.model = Model(base_score, make_loss(tcfg.loss))};
+  // Warm start: seed the result before the first assign_tree -- the group
+  // (re)build below replays result.model.trees(), and the catch-up payload
+  // ships the init trees to joiners like any finished-tree prefix.
+  seed_warm_start(&result, tcfg);
 
   double leaf_depth_sum = 0.0;
   std::uint64_t leaf_count = 0;
@@ -1240,8 +1281,11 @@ TrainResult DistributedTrainer::train_worker_elastic(
 
   util::ThreadPool pool(tcfg.num_threads);
   ipc::ReliableChannel channel(transport_, cfg_.channel);
-  const double base_score = compute_base_score(data, *loss);
+  const double base_score = initial_base_score(data, *loss, tcfg);
 
+  // NOT seeded with warm-start trees: an elastic worker receives the full
+  // finished-tree prefix (init trees included) in its admission catch-up,
+  // so seeding here would double them.
   TrainResult result{.model = Model(base_score, make_loss(tcfg.loss))};
   double leaf_depth_sum = 0.0;
   std::uint64_t leaf_count = 0;
@@ -1473,10 +1517,17 @@ TrainResult DistributedTrainer::train_worker(const BinnedDataset& data,
                    static_cast<std::uint32_t>(my_end), &pool);
   ipc::ReliableChannel channel(transport_, cfg_.channel);
 
-  const double base_score = compute_base_score(data, *loss);
+  const double base_score = initial_base_score(data, *loss, tcfg);
   group.reset(*loss, base_score);
 
   TrainResult result{.model = Model(base_score, make_loss(tcfg.loss))};
+  // Warm start: every rank carries the same init model in its config, so
+  // the worker seeds and replays locally -- identical to rank 0's seeding,
+  // no wire traffic.
+  seed_warm_start(&result, tcfg);
+  for (const Tree& t : result.model.trees()) {
+    group.finish_tree(t, *loss, nullptr, nullptr);
+  }
   double leaf_depth_sum = 0.0;
   std::uint64_t leaf_count = 0;
 

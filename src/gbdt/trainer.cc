@@ -72,11 +72,21 @@ TrainResult Trainer::train(const BinnedDataset& data, StepTrace* trace,
   std::vector<double> chunk_sums(pool.num_threads(), 0.0);
   std::vector<Histogram> partials_scratch;
 
-  // Base score from the label mean (logit-transformed for logistic loss).
-  double label_mean = 0.0;
-  for (float y : data.labels()) label_mean += y;
-  label_mean /= static_cast<double>(n);
-  const double base_score = loss->base_score(label_mean);
+  // Base score from the label mean (logit-transformed for logistic loss),
+  // or inherited from the warm-start model so its leaf weights keep
+  // meaning the same raw-score deltas.
+  double base_score;
+  if (cfg_.init_model != nullptr) {
+    BOOSTER_CHECK_MSG(cfg_.init_model->loss().name() == cfg_.loss,
+                      "warm start: init model's loss differs from the "
+                      "config's loss");
+    base_score = cfg_.init_model->base_score();
+  } else {
+    double label_mean = 0.0;
+    for (float y : data.labels()) label_mean += y;
+    label_mean /= static_cast<double>(n);
+    base_score = loss->base_score(label_mean);
+  }
 
   std::vector<float> preds(n, static_cast<float>(base_score));
   std::vector<GradientPair> gradients(n);
@@ -99,6 +109,44 @@ TrainResult Trainer::train(const BinnedDataset& data, StepTrace* trace,
   // pointers never change.
   const std::vector<const BinIndex*> col_ptrs = column_pointers(data);
   FlatTree flat_scratch;
+
+  // Warm start: copy the init ensemble into the result and replay each of
+  // its trees through the same blocked step-5 traversal the training loop
+  // uses, updating preds and recomputing gradients in ascending record
+  // order -- the identical arithmetic a cold run would have performed had
+  // it just grown these trees, so everything downstream (histograms,
+  // splits, weights) is bit-identical across threads / shards / SIMD.
+  if (cfg_.init_model != nullptr) {
+    const auto& ker0 = util::simd::kernels();
+    for (const Tree& init_tree : cfg_.init_model->trees()) {
+      flat_scratch.assign(init_tree);
+      pool.for_chunks(
+          0, n, kRecordGrain,
+          [&](std::uint64_t b, std::uint64_t e, unsigned) {
+            double wts[util::simd::kMaxPredictTile];
+            std::uint32_t tile_hops[util::simd::kMaxPredictTile];
+            const util::simd::FlatTreeView view = flat_scratch.view();
+            for (std::uint64_t r0 = b; r0 < e; r0 += ker0.predict_tile) {
+              const std::size_t m = static_cast<std::size_t>(
+                  std::min<std::uint64_t>(ker0.predict_tile, e - r0));
+              ker0.traverse_block(view, col_ptrs.data(), r0, m, wts,
+                                  tile_hops);
+              for (std::size_t i = 0; i < m; ++i) {
+                const std::uint64_t r = r0 + i;
+                preds[r] += static_cast<float>(wts[i]);
+                gradients[r] = loss->gradients(preds[r], data.labels()[r]);
+              }
+            }
+          });
+      // Placeholder stats keep tree_stats index-aligned with model.trees()
+      // (the distributed catch-up payload relies on that alignment).
+      TreeStats init_stats;
+      init_stats.leaves = init_tree.num_leaves();
+      init_stats.depth = init_tree.max_depth();
+      result.tree_stats.push_back(init_stats);
+      result.model.add_tree(init_tree);
+    }
+  }
 
   double leaf_depth_sum = 0.0;
   std::uint64_t leaf_count = 0;

@@ -56,6 +56,16 @@ struct TrainerConfig {
   /// merges them with Histogram::add in fixed shard order. Output is
   /// bit-identical to the single-shard path at every shard count.
   std::uint32_t num_shards = 1;
+  /// Warm start: continue boosting from this ensemble instead of from
+  /// scratch. The base score and loss come from the init model (the
+  /// config's `loss` must name the same loss), its trees are copied into
+  /// the result, and gradients are re-seeded by replaying them through the
+  /// same blocked step-5 traversal the training loop uses -- so a
+  /// warm-started run is bit-identical across threads, shards, and SIMD
+  /// levels exactly like a cold one. `num_trees` counts *additional* trees
+  /// on top of the init model. Non-owning: the caller keeps the model
+  /// alive through train().
+  const Model* init_model = nullptr;
 };
 
 /// Per-tree training diagnostics.

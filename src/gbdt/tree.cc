@@ -102,6 +102,12 @@ std::vector<std::uint32_t> Tree::relevant_fields() const {
   return fields;
 }
 
+Model Model::clone() const {
+  Model copy(base_score_, make_loss(loss_->name()));
+  for (const Tree& t : trees_) copy.add_tree(t);
+  return copy;
+}
+
 double Model::predict_raw(const BinnedDataset& data,
                           std::uint64_t record) const {
   double sum = base_score_;

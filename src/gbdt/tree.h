@@ -91,6 +91,13 @@ class Model {
       : base_score_(base_score), loss_(std::move(loss)) {}
 
   void add_tree(Tree tree) { trees_.push_back(std::move(tree)); }
+
+  /// Deep copy (Model is move-only because of the owned Loss; the loss is
+  /// re-made by name). The streaming retrainer clones the previous
+  /// generation to warm-start the next one while the original stays
+  /// installed in the serving slot.
+  Model clone() const;
+
   const std::vector<Tree>& trees() const { return trees_; }
   std::uint32_t num_trees() const {
     return static_cast<std::uint32_t>(trees_.size());

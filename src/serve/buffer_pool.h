@@ -5,6 +5,12 @@
 // counters make that property testable instead of aspirational:
 // allocations() must plateau while acquires() keeps climbing.
 //
+// Retention is bounded on both axes: a released buffer keeps at most
+// kMaxRetainedCapacity bytes of capacity (one near-limit request body must
+// not pin megabytes in the free list for the server's lifetime), and the
+// idle list holds at most kMaxIdleBuffers entries (a burst of connections
+// must not leave an unbounded free list behind after it drains).
+//
 // Single-threaded by design (the server's event loop owns it); no locks.
 #pragma once
 
@@ -17,6 +23,14 @@ namespace booster::serve {
 
 class BufferPool {
  public:
+  /// Largest per-buffer capacity the pool will retain. Covers typical
+  /// request/response buffers (a few KiB) with headroom; an oversized
+  /// buffer is released with its capacity dropped, not pinned.
+  static constexpr std::size_t kMaxRetainedCapacity = 64 * 1024;
+  /// Upper bound on the idle list -- beyond the connection high-water
+  /// mark this many buffers, releases free their memory instead.
+  static constexpr std::size_t kMaxIdleBuffers = 64;
+
   /// Returns an empty buffer, reusing a released one's capacity when
   /// available; allocates a fresh buffer (counted) otherwise.
   std::string acquire() {
@@ -32,8 +46,22 @@ class BufferPool {
   }
 
   /// Returns a buffer to the pool; its capacity is what makes the next
-  /// acquire() allocation-free.
-  void release(std::string buf) { free_.push_back(std::move(buf)); }
+  /// acquire() allocation-free. Oversized buffers (capacity beyond
+  /// kMaxRetainedCapacity) are shrunk to an empty string before retention,
+  /// and releases past kMaxIdleBuffers are dropped outright.
+  void release(std::string buf) {
+    if (free_.size() >= kMaxIdleBuffers) {
+      ++dropped_;
+      return;
+    }
+    if (buf.capacity() > kMaxRetainedCapacity) {
+      // shrink_to_fit on a cleared string is non-binding; swapping with a
+      // fresh string guarantees the capacity is actually given back.
+      std::string().swap(buf);
+      ++shrunk_;
+    }
+    free_.push_back(std::move(buf));
+  }
 
   /// Buffers created fresh (not recycled) -- the steady-state invariant
   /// is that this stops growing once the connection high-water mark is
@@ -41,11 +69,24 @@ class BufferPool {
   std::uint64_t allocations() const { return allocations_; }
   std::uint64_t acquires() const { return acquires_; }
   std::size_t idle() const { return free_.size(); }
+  /// Oversized buffers whose capacity was released instead of retained.
+  std::uint64_t shrunk() const { return shrunk_; }
+  /// Releases discarded because the idle list was already full.
+  std::uint64_t dropped() const { return dropped_; }
+  /// Total capacity currently pinned by the idle list (bounded by
+  /// kMaxIdleBuffers * kMaxRetainedCapacity by construction).
+  std::size_t idle_capacity() const {
+    std::size_t total = 0;
+    for (const std::string& b : free_) total += b.capacity();
+    return total;
+  }
 
  private:
   std::vector<std::string> free_;
   std::uint64_t allocations_ = 0;
   std::uint64_t acquires_ = 0;
+  std::uint64_t shrunk_ = 0;
+  std::uint64_t dropped_ = 0;
 };
 
 }  // namespace booster::serve

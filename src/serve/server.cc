@@ -5,8 +5,10 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <bit>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <span>
 #include <string_view>
@@ -264,8 +266,17 @@ void Server::handle_request(std::uint64_t id, Request&& req) {
     }
     while (!path.empty() && path.front() == ' ') path.remove_prefix(1);
     std::uint64_t version = 0;
+    const auto stall_begin = std::chrono::steady_clock::now();
     const gbdt::ModelFileStatus status =
         slot_->install_from_file(std::string(path), &version);
+    const auto stall_us =
+        static_cast<std::uint64_t>(std::chrono::duration_cast<
+                                       std::chrono::microseconds>(
+                                       std::chrono::steady_clock::now() -
+                                       stall_begin)
+                                       .count());
+    stats_.reload_stall_us_total += stall_us;
+    stats_.reload_stall_us_max = std::max(stats_.reload_stall_us_max, stall_us);
     if (status == gbdt::ModelFileStatus::kOk) {
       ++stats_.reloads;
       body_scratch_.assign("version ");
@@ -511,6 +522,8 @@ std::string Server::stats_json() const {
   j.set("responses_4xx", stats_.responses_4xx);
   j.set("responses_5xx", stats_.responses_5xx);
   j.set("reloads", stats_.reloads);
+  j.set("reload_stall_us_total", stats_.reload_stall_us_total);
+  j.set("reload_stall_us_max", stats_.reload_stall_us_max);
   sim::Json hist = sim::Json::array();
   for (const std::uint64_t count : stats_.batch_size_hist) {
     hist.push_back(count);

@@ -24,6 +24,18 @@
 //                  the old version), 409 + distinct status text on a
 //                  corrupt/truncated file
 //
+// Reload stall bound: /reload runs the container read, CRC check, and
+// FlatEnsemble flattening inline on the event loop, so every in-flight
+// connection stalls for O(model bytes) -- microseconds for bench-sized
+// ensembles, but linear in tree count x nodes. No request is ever dropped
+// or torn by it (requests queue in the kernel socket buffers and the
+// already-staged batch finishes on its pinned old model); the cost is pure
+// added latency, measured and exported as reload_stall_us_total /
+// reload_stall_us_max in GET /stats. If reloads of very large models ever
+// need to overlap serving, move the load+flatten to a helper thread and
+// hand the finished ServedModel to the loop; the stall stats are the
+// trigger for that change.
+//
 // Per-connection state machines ride on a recycling BufferPool, so the
 // steady state (connection churn included) allocates nothing.
 #pragma once
@@ -74,6 +86,11 @@ struct ServerStats {
   std::uint64_t responses_4xx = 0;
   std::uint64_t responses_5xx = 0;
   std::uint64_t reloads = 0;
+  /// Wall time /reload attempts (successful or not) spent blocking the
+  /// event loop on load + CRC + flatten -- the stall every concurrent
+  /// connection experiences (see the reload stall bound above).
+  std::uint64_t reload_stall_us_total = 0;
+  std::uint64_t reload_stall_us_max = 0;
   /// batch_size_hist[b] counts flushed batches with row count in
   /// [2^b, 2^(b+1)) -- the distribution that shows whether concurrent
   /// connections actually coalesce.

@@ -26,6 +26,10 @@ const char* sweep_axis_name(SweepAxis axis) {
       return "shards";
     case SweepAxis::kReplicas:
       return "replicas";
+    case SweepAxis::kArrivalRate:
+      return "arrival-rate";
+    case SweepAxis::kRefreshCadence:
+      return "refresh-cadence";
   }
   return "none";
 }
@@ -33,7 +37,8 @@ const char* sweep_axis_name(SweepAxis axis) {
 std::optional<SweepAxis> sweep_axis_from_name(std::string_view name) {
   for (const SweepAxis axis :
        {SweepAxis::kNone, SweepAxis::kClusters, SweepAxis::kBandwidthScale,
-        SweepAxis::kRecordScale, SweepAxis::kShards, SweepAxis::kReplicas}) {
+        SweepAxis::kRecordScale, SweepAxis::kShards, SweepAxis::kReplicas,
+        SweepAxis::kArrivalRate, SweepAxis::kRefreshCadence}) {
     if (name == sweep_axis_name(axis)) return axis;
   }
   return std::nullopt;
@@ -463,6 +468,41 @@ Json ScenarioSpec::to_json() const {
     if (serving->json_body) sv.set("json_body", true);
     j.set("serving", std::move(sv));
   }
+
+  if (streaming.has_value()) {
+    const StreamingSpec streaming_defaults;
+    Json st = Json::object();
+    if (streaming->bootstrap_rows != streaming_defaults.bootstrap_rows) {
+      st.set("bootstrap_rows", streaming->bootstrap_rows);
+    }
+    if (streaming->chunk_rows != streaming_defaults.chunk_rows) {
+      st.set("chunk_rows", streaming->chunk_rows);
+    }
+    if (streaming->chunks != streaming_defaults.chunks) {
+      st.set("chunks", streaming->chunks);
+    }
+    if (streaming->window_chunks != streaming_defaults.window_chunks) {
+      st.set("window_chunks", streaming->window_chunks);
+    }
+    if (streaming->refresh_every_chunks !=
+        streaming_defaults.refresh_every_chunks) {
+      st.set("refresh_every_chunks", streaming->refresh_every_chunks);
+    }
+    if (streaming->refresh_trees != streaming_defaults.refresh_trees) {
+      st.set("refresh_trees", streaming->refresh_trees);
+    }
+    if (streaming->warm_start != streaming_defaults.warm_start) {
+      st.set("warm_start", streaming->warm_start);
+    }
+    if (streaming->arrival_rows_per_sec !=
+        streaming_defaults.arrival_rows_per_sec) {
+      st.set("arrival_rows_per_sec", streaming->arrival_rows_per_sec);
+    }
+    if (streaming->drift != streaming_defaults.drift) {
+      st.set("drift", streaming->drift);
+    }
+    j.set("streaming", std::move(st));
+  }
   return j;
 }
 
@@ -540,7 +580,8 @@ std::optional<ScenarioSpec> ScenarioSpec::from_json(const Json& json,
     if (!parsed) {
       set_error(error, "scenario.sweep.axis: unknown axis \"" + axis +
                            "\" (expected none, clusters, bandwidth-scale,"
-                           " record-scale, shards, or replicas)");
+                           " record-scale, shards, replicas, arrival-rate,"
+                           " or refresh-cadence)");
       return std::nullopt;
     }
     spec.sweep_axis = *parsed;
@@ -585,11 +626,53 @@ std::optional<ScenarioSpec> ScenarioSpec::from_json(const Json& json,
     spec.serving = serving;
   }
 
+  if (const Json* st = r.child("streaming")) {
+    StreamingSpec streaming;
+    FieldReader str(*st, "scenario.streaming", error);
+    str.u64("bootstrap_rows", &streaming.bootstrap_rows);
+    str.u64("chunk_rows", &streaming.chunk_rows);
+    str.u32("chunks", &streaming.chunks);
+    str.u32("window_chunks", &streaming.window_chunks);
+    str.u32("refresh_every_chunks", &streaming.refresh_every_chunks);
+    str.u32("refresh_trees", &streaming.refresh_trees);
+    str.boolean("warm_start", &streaming.warm_start);
+    str.number("arrival_rows_per_sec", &streaming.arrival_rows_per_sec);
+    str.string("drift", &streaming.drift);
+    if (!str.finish()) return std::nullopt;
+    if (streaming.bootstrap_rows == 0 || streaming.chunk_rows == 0 ||
+        streaming.chunks == 0 || streaming.window_chunks == 0 ||
+        streaming.refresh_every_chunks == 0 || streaming.refresh_trees == 0) {
+      set_error(error, "scenario.streaming knobs must be positive");
+      return std::nullopt;
+    }
+    if (streaming.arrival_rows_per_sec < 0.0) {
+      set_error(error,
+                "scenario.streaming.arrival_rows_per_sec must be >= 0");
+      return std::nullopt;
+    }
+    if (streaming.drift != "none" && streaming.drift != "noise-ramp") {
+      set_error(error, "scenario.streaming.drift: unknown schedule \"" +
+                           streaming.drift +
+                           "\" (expected none or noise-ramp)");
+      return std::nullopt;
+    }
+    spec.streaming = streaming;
+  }
+
   if (!r.finish()) return std::nullopt;
 
   if (spec.sweep_axis == SweepAxis::kReplicas && !spec.include_inference) {
     set_error(error, "sweep axis replicas requires include_inference (it"
                      " only moves the analytic inference cost)");
+    return std::nullopt;
+  }
+  if ((spec.sweep_axis == SweepAxis::kArrivalRate ||
+       spec.sweep_axis == SweepAxis::kRefreshCadence) &&
+      !spec.streaming.has_value()) {
+    set_error(error, "sweep axis " +
+                         std::string(sweep_axis_name(spec.sweep_axis)) +
+                         " requires the streaming block (it only moves the"
+                         " measured streaming leg)");
     return std::nullopt;
   }
   if (spec.name.empty()) {

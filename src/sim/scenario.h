@@ -46,6 +46,13 @@ void apply_quick(workloads::RunnerConfig* cfg);
 ///                      ensemble dealt round-robin over N chips, paper
 ///                      SS III-D); requires include_inference, since the
 ///                      axis only moves the analytic inference cost
+///   kArrivalRate    -- streaming arrival rate in rows/s fed to the
+///                      measured streaming leg (StreamingSpec
+///                      arrival_rows_per_sec); requires the streaming
+///                      block
+///   kRefreshCadence -- streaming refresh cadence in chunks
+///                      (StreamingSpec refresh_every_chunks); requires
+///                      the streaming block
 enum class SweepAxis : std::uint8_t {
   kNone = 0,
   kClusters,
@@ -53,6 +60,8 @@ enum class SweepAxis : std::uint8_t {
   kRecordScale,
   kShards,
   kReplicas,
+  kArrivalRate,
+  kRefreshCadence,
 };
 
 const char* sweep_axis_name(SweepAxis axis);
@@ -92,6 +101,41 @@ struct ServingSpec {
   bool json_body = false;
 
   bool operator==(const ServingSpec& other) const = default;
+};
+
+/// Knobs for the measured streaming leg: the runner freezes a bin map from
+/// a bootstrap chunk of the workload, streams the remaining records in
+/// chunks through a stream::Retrainer (bounded window, warm-start refresh
+/// on a cadence), and verifies each refreshed generation is bit-identical
+/// across a threads x shards grid before reporting staleness/throughput.
+/// A divergence or failed refresh fails the whole scenario.
+struct StreamingSpec {
+  /// Records binned up front to freeze the bin map (also the first window
+  /// chunk's size).
+  std::uint64_t bootstrap_rows = 4000;
+  /// Rows per streamed chunk.
+  std::uint64_t chunk_rows = 1000;
+  /// Streamed chunks after the bootstrap.
+  std::uint32_t chunks = 8;
+  /// Sliding-window capacity in chunks.
+  std::uint32_t window_chunks = 4;
+  /// Retrain + hand off after every this-many chunks.
+  std::uint32_t refresh_every_chunks = 2;
+  /// Trees added per refresh (warm start) or per generation (cold).
+  std::uint32_t refresh_trees = 8;
+  /// Continue boosting from the previous generation.
+  bool warm_start = true;
+  /// Pace ingestion to this many rows/s (0 = as fast as possible); the
+  /// kArrivalRate sweep axis overrides it per sweep point.
+  double arrival_rows_per_sec = 0.0;
+  /// Drift schedule for the synthesized stream: "none" (stationary --
+  /// chunks are fresh draws from the workload's distribution) or
+  /// "noise-ramp" (label noise ramps up to 2x over the stream, degrading
+  /// the label relation the bootstrap model learned -- the drift a refresh
+  /// counters).
+  std::string drift = "none";
+
+  bool operator==(const StreamingSpec& other) const = default;
 };
 
 struct ScenarioSpec {
@@ -146,6 +190,9 @@ struct ScenarioSpec {
 
   /// Present = also run the measured serving leg (see ServingSpec).
   std::optional<ServingSpec> serving;
+
+  /// Present = also run the measured streaming leg (see StreamingSpec).
+  std::optional<StreamingSpec> streaming;
 
   /// The workload runner config this scenario trains with.
   workloads::RunnerConfig runner_config(bool quick) const;

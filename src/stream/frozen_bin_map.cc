@@ -1,0 +1,94 @@
+#include "stream/frozen_bin_map.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace booster::stream {
+
+using gbdt::BinIndex;
+using gbdt::BinnedDataset;
+using gbdt::Dataset;
+using gbdt::FieldBins;
+using gbdt::FieldKind;
+
+FrozenBinMap::FrozenBinMap(const BinnedDataset& bootstrap) {
+  const std::uint32_t num_fields = bootstrap.num_fields();
+  BOOSTER_CHECK_MSG(num_fields > 0,
+                    "cannot freeze bins from an empty bootstrap");
+  fields_.reserve(num_fields);
+  std::vector<std::uint32_t> features_per_field(num_fields);
+  for (std::uint32_t f = 0; f < num_fields; ++f) {
+    fields_.push_back(bootstrap.field_bins(f));
+    features_per_field[f] = fields_[f].num_bins;
+  }
+  layout_ = gbdt::RecordLayout::from_field_features(features_per_field);
+}
+
+void FrozenBinMap::reset_out(BinnedDataset* out,
+                             std::uint64_t records) const {
+  // Resizing the existing vectors keeps their capacity: a recycled chunk
+  // arena whose previous chunk was at least this large re-bins without
+  // touching the allocator. The stale row-major view (if any) is
+  // invalidated, not freed -- the next ensure_row_major() rebuilds it.
+  out->num_records_ = records;
+  out->fields_ = fields_;
+  out->layout_ = layout_;
+  out->columns_.resize(fields_.size());
+  for (auto& col : out->columns_) col.resize(records);
+  out->labels_.resize(records);
+  out->row_major_built_.store(false, std::memory_order_relaxed);
+}
+
+void FrozenBinMap::bin_chunk(const Dataset& chunk, BinnedDataset* out) const {
+  const std::uint32_t num_fields = this->num_fields();
+  BOOSTER_CHECK_MSG(chunk.num_fields() == num_fields,
+                    "streamed chunk's field count differs from the frozen "
+                    "bin map's");
+  const std::uint64_t n = chunk.num_records();
+  reset_out(out, n);
+  for (std::uint64_t r = 0; r < n; ++r) out->labels_[r] = chunk.label(r);
+  for (std::uint32_t f = 0; f < num_fields; ++f) {
+    const FieldBins& fb = fields_[f];
+    BOOSTER_CHECK_MSG(
+        (chunk.field(f).kind == FieldKind::kNumeric) ==
+            (fb.kind == FieldKind::kNumeric),
+        "streamed chunk's field kind differs from the frozen bin map's");
+    auto& col = out->columns_[f];
+    if (fb.kind == FieldKind::kNumeric) {
+      for (std::uint64_t r = 0; r < n; ++r) {
+        col[r] = gbdt::numeric_value_bin(chunk.numeric_value(f, r), fb);
+      }
+    } else {
+      for (std::uint64_t r = 0; r < n; ++r) {
+        col[r] = gbdt::categorical_value_bin(chunk.categorical_value(f, r), fb);
+      }
+    }
+  }
+}
+
+void FrozenBinMap::concat(const std::vector<const BinnedDataset*>& chunks,
+                          BinnedDataset* out) const {
+  std::uint64_t total = 0;
+  for (const BinnedDataset* c : chunks) {
+    BOOSTER_CHECK_MSG(c->num_fields() == num_fields(),
+                      "window chunk's field count differs from the frozen "
+                      "bin map's");
+    total += c->num_records();
+  }
+  BOOSTER_CHECK_MSG(total > 0, "cannot materialize an empty window");
+  reset_out(out, total);
+  std::uint64_t base = 0;
+  for (const BinnedDataset* c : chunks) {
+    const std::uint64_t n = c->num_records();
+    for (std::uint32_t f = 0; f < num_fields(); ++f) {
+      const auto& src = c->column(f);
+      std::copy(src.begin(), src.end(), out->columns_[f].begin() + base);
+    }
+    std::copy(c->labels().begin(), c->labels().end(),
+              out->labels_.begin() + base);
+    base += n;
+  }
+}
+
+}  // namespace booster::stream

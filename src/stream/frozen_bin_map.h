@@ -1,0 +1,56 @@
+// Out-of-core binning for streamed data (ROADMAP "streaming ingestion"):
+// bin metadata is frozen once from a bootstrap chunk's BinnedDataset and
+// then applied chunk by chunk to later arrivals. Per-value binning goes
+// through the *same* shared rules training and serving use
+// (gbdt::numeric_value_bin / gbdt::categorical_value_bin), so a streamed
+// row can never bin differently than a one-shot Binner::bin pass or a
+// serving request with identical values -- chunked binning is
+// EXPECT_EQ-equivalent to one-shot binning at any chunk grouping
+// (tests/test_stream.cc).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gbdt/binning.h"
+#include "gbdt/dataset.h"
+
+namespace booster::stream {
+
+class FrozenBinMap {
+ public:
+  /// Freezes the per-field bin metadata (kinds, bin counts, numeric upper
+  /// boundaries) of an already-binned bootstrap chunk. The bootstrap is
+  /// typically Binner::bin over the first arrival; the map outlives it.
+  explicit FrozenBinMap(const gbdt::BinnedDataset& bootstrap);
+
+  std::uint32_t num_fields() const {
+    return static_cast<std::uint32_t>(fields_.size());
+  }
+  const gbdt::FieldBins& field_bins(std::uint32_t f) const {
+    return fields_[f];
+  }
+
+  /// Bins one raw chunk against the frozen metadata into `*out`, reusing
+  /// `out`'s column and label arenas (their capacity survives, so a
+  /// recycled chunk arena makes this allocation-free in steady state).
+  /// The chunk's schema must match the frozen one field for field.
+  void bin_chunk(const gbdt::Dataset& chunk, gbdt::BinnedDataset* out) const;
+
+  /// Concatenates binned chunks (each produced by bin_chunk or an
+  /// equivalent one-shot pass) into `*out` in order, reusing `out`'s
+  /// arenas. The result is bit-identical to bin_chunk over the row-wise
+  /// concatenation of the raw chunks -- per-value binning is stateless, so
+  /// chunk boundaries cannot show through.
+  void concat(const std::vector<const gbdt::BinnedDataset*>& chunks,
+              gbdt::BinnedDataset* out) const;
+
+ private:
+  /// Resets `*out` to `records` rows of this map's shape, reusing arenas.
+  void reset_out(gbdt::BinnedDataset* out, std::uint64_t records) const;
+
+  std::vector<gbdt::FieldBins> fields_;
+  gbdt::RecordLayout layout_;
+};
+
+}  // namespace booster::stream

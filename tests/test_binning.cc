@@ -127,6 +127,46 @@ TEST(Binner, DeterministicAcrossCalls) {
   for (std::uint64_t r = 0; r < 500; ++r) EXPECT_EQ(a.bin(0, r), b.bin(0, r));
 }
 
+// Regression: the move constructor and move assignment used to leave the
+// moved-from dataset with row_major_built_ == true and a stale
+// num_records_, so refilling it (the chunk-arena recycling pattern in
+// stream::ChunkWindow) would hand out a row-major view of the *previous*
+// occupant's bins. Moved-from must be empty-but-valid.
+TEST(BinnedDataset, MovedFromIsEmptyAndRefillsCorrectly) {
+  auto a = Binner().bin(make_numeric_dataset(100));
+  a.ensure_row_major();  // set the built flag so the move must clear it
+  ASSERT_NE(a.row_major_bins(), nullptr);
+
+  BinnedDataset b(std::move(a));
+  EXPECT_EQ(a.num_records(), 0u) << "move ctor must empty the source";
+  EXPECT_EQ(b.num_records(), 100u);
+
+  BinnedDataset c;
+  c = std::move(b);
+  EXPECT_EQ(b.num_records(), 0u) << "move assign must empty the source";
+  EXPECT_EQ(c.num_records(), 100u);
+
+  // Refill the moved-from object (arena recycling) with *different* data:
+  // the row-major view must be rebuilt from the new contents, not served
+  // stale from before the move.
+  Dataset d;
+  d.add_numeric_field("x");
+  d.resize(40);
+  for (std::uint64_t r = 0; r < 40; ++r) {
+    d.set_numeric(0, r, static_cast<float>(40 - r));
+  }
+  a = Binner().bin(d);
+  b = Binner().bin(d);
+  for (const BinnedDataset* refilled : {&a, &b}) {
+    ASSERT_EQ(refilled->num_records(), 40u);
+    refilled->ensure_row_major();
+    const BinIndex* rm = refilled->row_major_bins();
+    for (std::uint64_t r = 0; r < 40; ++r) {
+      EXPECT_EQ(rm[r], refilled->bin(0, r)) << "row " << r;
+    }
+  }
+}
+
 // Property: every record falls in exactly one bin per field, never out of
 // range -- the invariant behind the paper's "exactly one access per SRAM".
 class BinRangeSweep : public ::testing::TestWithParam<std::uint32_t> {};

@@ -157,6 +157,85 @@ TEST(ScenarioSpec, UserDefinedDatasetRoundTrips) {
   EXPECT_TRUE(dataset_to_json(*reparsed) == j);
 }
 
+TEST(ScenarioSpec, StreamingBlockRoundTripsWithNonDefaults) {
+  auto spec = *builtin_scenario("streaming");
+  ASSERT_TRUE(spec.streaming.has_value());
+  spec.streaming->bootstrap_rows = 5000;
+  spec.streaming->chunk_rows = 250;
+  spec.streaming->window_chunks = 6;
+  spec.streaming->warm_start = false;
+  spec.streaming->arrival_rows_per_sec = 1500.5;
+
+  const Json j = spec.to_json();
+  const Json* st = j.find("streaming");
+  ASSERT_NE(st, nullptr);
+  EXPECT_DOUBLE_EQ(st->find("bootstrap_rows")->as_double(), 5000.0);
+  EXPECT_DOUBLE_EQ(st->find("arrival_rows_per_sec")->as_double(), 1500.5);
+  // Defaults stay out of the serialized form (lossless minimal JSON).
+  EXPECT_EQ(st->find("refresh_trees"), nullptr);
+  EXPECT_EQ(st->find("chunks"), nullptr);
+
+  std::string error;
+  const auto reparsed = ScenarioSpec::from_json(j, &error);
+  ASSERT_TRUE(reparsed.has_value()) << error;
+  EXPECT_TRUE(*reparsed == spec);
+  ASSERT_TRUE(reparsed->streaming.has_value());
+  EXPECT_EQ(reparsed->streaming->chunk_rows, 250u);
+  EXPECT_FALSE(reparsed->streaming->warm_start);
+}
+
+TEST(ScenarioSpec, StreamingBlockIsValidated) {
+  const auto parse = [](const std::string& text, std::string* error) {
+    const auto doc = Json::parse(text, error);
+    EXPECT_TRUE(doc.has_value()) << *error;
+    return ScenarioSpec::from_json(*doc, error);
+  };
+  std::string error;
+  // Zero chunk_rows, bad drift name, unknown key: all parse errors.
+  EXPECT_FALSE(
+      parse(R"({"name": "x", "streaming": {"chunk_rows": 0}})", &error)
+          .has_value());
+  EXPECT_NE(error.find("must be positive"), std::string::npos) << error;
+  error.clear();
+  EXPECT_FALSE(
+      parse(R"({"name": "x", "streaming": {"drift": "tectonic"}})", &error)
+          .has_value());
+  EXPECT_NE(error.find("tectonic"), std::string::npos) << error;
+  error.clear();
+  EXPECT_FALSE(
+      parse(R"({"name": "x", "streaming": {"bogus": 1}})", &error)
+          .has_value());
+  EXPECT_NE(error.find("bogus"), std::string::npos) << error;
+}
+
+TEST(ScenarioSpec, StreamingSweepAxesRequireTheStreamingBlock) {
+  const auto parse = [](const std::string& text, std::string* error) {
+    const auto doc = Json::parse(text, error);
+    EXPECT_TRUE(doc.has_value()) << *error;
+    return ScenarioSpec::from_json(*doc, error);
+  };
+  std::string error;
+  for (const std::string axis : {"arrival-rate", "refresh-cadence"}) {
+    // Without a streaming block the axis has nothing to act on: error.
+    EXPECT_FALSE(parse(R"({"name": "x", "sweep": {"axis": ")" + axis +
+                           R"(", "values": [1]}})",
+                       &error)
+                     .has_value())
+        << axis;
+    EXPECT_NE(error.find(axis), std::string::npos) << error;
+    error.clear();
+    // With the block it parses, and the axis name round-trips.
+    const auto ok = parse(R"({"name": "x", "streaming": {},
+                              "sweep": {"axis": ")" +
+                              axis + R"(", "values": [1, 2]}})",
+                          &error);
+    ASSERT_TRUE(ok.has_value()) << axis << ": " << error;
+    EXPECT_EQ(sweep_axis_name(ok->sweep_axis), axis);
+    EXPECT_TRUE(ScenarioSpec::from_json(ok->to_json(), &error).has_value())
+        << error;
+  }
+}
+
 // ----------------------------------------------------------- registries
 
 TEST(Registries, UnknownModelNameFailsWithRoster) {

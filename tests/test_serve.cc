@@ -201,6 +201,43 @@ TEST(BufferPool, SteadyStateIsAllocationFree) {
   EXPECT_EQ(pool.acquires(), 2u + 2000u);
 }
 
+TEST(BufferPool, OversizedReleaseDoesNotPinCapacity) {
+  // Regression: release() used to retain arbitrary capacity forever, so a
+  // single near-limit request body pinned megabytes in the free list for
+  // the server's lifetime.
+  BufferPool pool;
+  std::string big = pool.acquire();
+  big.append(4 * BufferPool::kMaxRetainedCapacity, 'x');
+  pool.release(std::move(big));
+  EXPECT_EQ(pool.shrunk(), 1u);
+  EXPECT_LE(pool.idle_capacity(), BufferPool::kMaxRetainedCapacity);
+
+  // A buffer at the cap is retained with its capacity intact.
+  std::string ok = pool.acquire();
+  ok.reserve(BufferPool::kMaxRetainedCapacity / 2);
+  const std::size_t kept = ok.capacity();
+  pool.release(std::move(ok));
+  EXPECT_EQ(pool.shrunk(), 1u);
+  EXPECT_GE(pool.idle_capacity(), kept);
+}
+
+TEST(BufferPool, IdleListIsBounded) {
+  // Regression: free_ grew without bound, so a connection burst left its
+  // high-water mark of buffers idle forever after draining.
+  BufferPool pool;
+  std::vector<std::string> burst;
+  for (std::size_t i = 0; i < BufferPool::kMaxIdleBuffers + 20; ++i) {
+    std::string buf = pool.acquire();
+    buf.append(256, 'b');
+    burst.push_back(std::move(buf));
+  }
+  for (auto& buf : burst) pool.release(std::move(buf));
+  EXPECT_EQ(pool.idle(), BufferPool::kMaxIdleBuffers);
+  EXPECT_EQ(pool.dropped(), 20u);
+  EXPECT_LE(pool.idle_capacity(),
+            BufferPool::kMaxIdleBuffers * BufferPool::kMaxRetainedCapacity);
+}
+
 // ------------------------------------------------------------ end-to-end
 
 struct Fixture {
@@ -471,6 +508,90 @@ TEST(ServeEndToEnd, ReloadSwapsModelAndRefusesCorruptFiles) {
   EXPECT_EQ(resp.header("X-Model-Version"), "2");
   std::remove(path.c_str());
   std::remove(bad_path.c_str());
+}
+
+TEST(ServeEndToEnd, ReloadStallIsMeasuredAndConcurrentRequestsSurviveIt) {
+  // /reload runs file read + CRC + flattening inline on the event loop, so
+  // requests queued behind it stall for the documented O(model bytes)
+  // bound. The server must (a) expose that stall in /stats and (b) answer
+  // every concurrently in-flight request correctly -- stalled, never
+  // dropped or torn.
+  Fixture fx;
+  gbdt::TrainerConfig tcfg;
+  tcfg.num_trees = 4;
+  tcfg.max_depth = 3;
+  tcfg.loss = "logistic";
+  tcfg.num_threads = 1;
+  const gbdt::Model v2 = gbdt::Trainer(tcfg).train(fx.binned).model;
+  std::vector<double> v2_expected(fx.binned.num_records());
+  for (std::uint64_t r = 0; r < fx.binned.num_records(); ++r) {
+    v2_expected[r] = v2.predict(fx.binned, r);
+  }
+  const std::string path = "/tmp/booster_serve_reload_stall_test.model";
+  ASSERT_TRUE(gbdt::save_model_checked_file(v2, path));
+
+  // Clients hammer /predict while the reloader swaps models; every
+  // response must be wholly one version's output.
+  std::atomic<std::uint64_t> bad{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 2; ++c) {
+    clients.emplace_back([&, c] {
+      BlockingClient client;
+      if (!client.connect(fx.server->port())) {
+        bad += 1000;
+        return;
+      }
+      std::vector<double> got;
+      Response resp;
+      for (int k = 0; k < 50; ++k) {
+        const std::uint64_t first = (c * 83 + k * 7) % fx.raw.num_records();
+        if (!client.request("POST", "/predict", csv_rows(fx.raw, first, 3),
+                            &resp) ||
+            resp.status != 200 || !parse_predictions(resp.body, &got) ||
+            got.size() != 3) {
+          ++bad;
+          continue;
+        }
+        const std::string_view header = resp.header("X-Model-Version");
+        std::uint64_t version = 0;
+        std::from_chars(header.data(), header.data() + header.size(),
+                        version);
+        const std::vector<double>& expect_from =
+            version >= 2 ? v2_expected : fx.expected;
+        for (int i = 0; i < 3; ++i) {
+          const std::uint64_t row = (first + i) % fx.raw.num_records();
+          if (got[i] != expect_from[row]) ++bad;
+        }
+      }
+    });
+  }
+
+  BlockingClient reloader;
+  ASSERT_TRUE(reloader.connect(fx.server->port()));
+  Response resp;
+  int reloads = 0;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(reloader.request("POST", "/reload", path, &resp));
+    ASSERT_EQ(resp.status, 200) << resp.body;
+    ++reloads;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(bad.load(), 0u);
+
+  ASSERT_TRUE(reloader.request("GET", "/stats", "", &resp));
+  ASSERT_EQ(resp.status, 200);
+  std::string error;
+  const auto stats = sim::Json::parse(resp.body, &error);
+  ASSERT_TRUE(stats.has_value()) << error;
+  EXPECT_EQ(stats->find("reloads")->as_double(), reloads);
+  const auto* total = stats->find("reload_stall_us_total");
+  const auto* max = stats->find("reload_stall_us_max");
+  ASSERT_NE(total, nullptr);
+  ASSERT_NE(max, nullptr);
+  EXPECT_GT(total->as_double(), 0.0);
+  EXPECT_GE(total->as_double(), max->as_double());
+  std::remove(path.c_str());
 }
 
 TEST(ServeEndToEnd, ClosedLoopHarnessGatesOnBitIdentity) {
