@@ -63,6 +63,13 @@ if [[ "${BOOSTER_SKIP_SANITIZE:-0}" != "1" ]]; then
   "$ASAN_DIR/serve_demo" > /dev/null
   "$ASAN_DIR/bench_serve" --quick > /dev/null
 
+  # Overload-robustness suite under ASan (already in the full ctest pass
+  # above, but run by name so a filter change there cannot silently drop
+  # it): every close route -- graceful, shed, the out_max_bytes hard
+  # close, and the idle reap -- must release its pooled buffers exactly
+  # once, and the reload worker's mailbox hand-off must stay clean.
+  "$ASAN_DIR/test_serve" --gtest_filter='ServeOverload.*' > /dev/null
+
   # Streaming smoke under the sanitizers: bench_stream --quick drives the
   # frozen-bin-map chunk path, the recycled window arenas, warm-start
   # replay, and the ModelSlot hand-off through ASan/UBSan-instrumented
@@ -72,15 +79,17 @@ if [[ "${BOOSTER_SKIP_SANITIZE:-0}" != "1" ]]; then
 
   # TSan leg: the concurrent subset only -- threaded rank worlds, the
   # reliable channel's heartbeat/liveness machinery, the elastic TCP
-  # worlds (worker incarnations on threads), and the thread pool. TSan
-  # and ASan cannot share a build, hence the third tree.
+  # worlds (worker incarnations on threads), the thread pool, and the
+  # serving tests (event loop + off-loop reload worker + client threads
+  # sharing the ModelSlot and the reload mailbox). TSan and ASan cannot
+  # share a build, hence the third tree.
   TSAN_DIR="${BUILD_DIR}-tsan"
   cmake -B "$TSAN_DIR" -S . \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DBOOSTER_SANITIZE=thread
   cmake --build "$TSAN_DIR" -j "$(nproc)"
   ctest --test-dir "$TSAN_DIR" --output-on-failure -j "$(nproc)" \
-    -R '(ipc|distributed|elastic|sharded|thread_pool)'
+    -R '(ipc|distributed|elastic|sharded|thread_pool|serve)'
 fi
 
 # Scenario smoke leg: the CLI must list exactly the checked-in scenario

@@ -12,6 +12,10 @@
 // must not leave an unbounded free list behind after it drains).
 //
 // Single-threaded by design (the server's event loop owns it); no locks.
+// Every server close route -- graceful drain, protocol rejection, the
+// out_max_bytes hard close, and the idle-reap sweep -- releases both of a
+// connection's buffers back here exactly once (close_connection is the
+// single funnel), which the ASan serve leg in scripts/check.sh exercises.
 #pragma once
 
 #include <cstdint>

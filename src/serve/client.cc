@@ -110,6 +110,12 @@ bool BlockingClient::connect(std::uint16_t port) {
   close();
   fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd_ < 0) return false;
+  if (rcvbuf_ > 0) {
+    // Before connect: the handshake advertises the shrunken window, so
+    // the server's sends actually hit TCP flow control instead of being
+    // absorbed by loopback's auto-tuned buffers.
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &rcvbuf_, sizeof(rcvbuf_));
+  }
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);
@@ -274,6 +280,7 @@ LoadResult run_closed_loop(const LoadConfig& cfg, const gbdt::Dataset& queries,
     std::vector<std::string> bodies;  // prebuilt, excluded from timing
     std::vector<std::uint64_t> first_rows;
     std::vector<double> latencies_us;
+    std::uint64_t shed = 0;
     std::uint64_t errors = 0;
     std::uint64_t mismatches = 0;
     std::uint64_t bytes = 0;  // request bytes sent (response counted below)
@@ -308,23 +315,55 @@ LoadResult run_closed_loop(const LoadConfig& cfg, const gbdt::Dataset& queries,
         pc.errors += cfg.requests_per_connection;
         return;
       }
+      const std::uint32_t depth = std::max<std::uint32_t>(1, cfg.pipeline_depth);
+      const std::uint32_t total = cfg.requests_per_connection;
+      std::vector<std::chrono::steady_clock::time_point> sent_at(total);
       std::vector<double> got;
       Response resp;
-      for (std::uint32_t k = 0; k < cfg.requests_per_connection; ++k) {
-        const std::string& body = pc.bodies[k];
-        const auto t0 = std::chrono::steady_clock::now();
-        const bool ok = client.request(
-            "POST", "/predict", body, &resp,
-            cfg.json_body ? "application/json" : "text/plain");
+      std::string wire;
+      std::uint32_t next_send = 0;
+      std::uint32_t next_recv = 0;
+      // Sliding window of `depth` in-flight requests; responses come back
+      // in request order (HTTP/1.1 pipelining), so receive k matches
+      // send k.
+      while (next_recv < total) {
+        while (next_send < total && next_send - next_recv < depth) {
+          const std::string& body = pc.bodies[next_send];
+          wire.clear();
+          wire += "POST /predict HTTP/1.1\r\nHost: 127.0.0.1\r\n";
+          wire += "Content-Type: ";
+          wire += cfg.json_body ? "application/json" : "text/plain";
+          wire += "\r\nContent-Length: ";
+          wire += std::to_string(body.size());
+          wire += "\r\n\r\n";
+          wire += body;
+          sent_at[next_send] = std::chrono::steady_clock::now();
+          if (!client.send_raw(wire)) break;  // recv loop reports the death
+          ++next_send;
+        }
+        if (next_send == next_recv) {
+          // Could not get even one request out: connection dead.
+          pc.errors += total - next_recv;
+          break;
+        }
+        if (!client.read_response(&resp)) {
+          pc.errors += total - next_recv;  // in-flight + unsent all lost
+          break;
+        }
         const auto t1 = std::chrono::steady_clock::now();
-        if (!ok || resp.status != 200) {
+        const std::uint32_t k = next_recv++;
+        if (resp.status == 503 && !resp.header("Retry-After").empty()) {
+          ++pc.shed;  // admission control: the documented overload path
+          continue;
+        }
+        if (resp.status != 200) {
           ++pc.errors;
-          if (!ok) break;  // connection dead; stop this worker
           continue;
         }
         pc.latencies_us.push_back(
-            std::chrono::duration<double, std::micro>(t1 - t0).count());
-        pc.bytes += body.size() + resp.body.size();
+            std::chrono::duration<double, std::micro>(t1 - sent_at[k])
+                .count());
+        pc.bytes += pc.bodies[k].size() + resp.body.size();
         if (!parse_predictions(resp.body, &got) ||
             got.size() != cfg.rows_per_request) {
           ++pc.mismatches;
@@ -350,6 +389,7 @@ LoadResult run_closed_loop(const LoadConfig& cfg, const gbdt::Dataset& queries,
   for (const PerConn& pc : per_conn) {
     latencies.insert(latencies.end(), pc.latencies_us.begin(),
                      pc.latencies_us.end());
+    result.shed += pc.shed;
     result.errors += pc.errors;
     result.mismatches += pc.mismatches;
     bytes += pc.bytes;

@@ -1,11 +1,15 @@
 // Client-side counterpart of the prediction server: a blocking HTTP/1.1
 // client for tests and examples, plus the closed-loop load harness that
 // bench_serve and the serving scenario drive. The harness is closed-loop
-// (each connection keeps exactly one request in flight and sends the next
-// only after the response lands), so measured latency is honest
-// end-to-end time over real localhost TCP -- and every predicted value
-// that comes back is compared bit-for-bit against the caller-supplied
-// expected vector, which gates all throughput numbers on correctness.
+// (each connection keeps at most pipeline_depth requests in flight and
+// sends the next only as responses land; depth 1 is the classic one-at-a-
+// time loop), so measured latency is honest end-to-end time over real
+// localhost TCP -- and every predicted value that comes back is compared
+// bit-for-bit against the caller-supplied expected vector, which gates
+// all throughput numbers on correctness. Depths > 1 multiply the offered
+// load per connection, which is how the bench drives the server past
+// saturation to exercise admission control; shed responses (503 with
+// Retry-After) are counted separately from errors.
 #pragma once
 
 #include <cstdint>
@@ -46,6 +50,13 @@ class BlockingClient {
   bool connected() const { return fd_ >= 0; }
   void close();
 
+  /// Sets SO_RCVBUF for the *next* connect (applied before the TCP
+  /// handshake so the advertised window honors it). Tests use a tiny
+  /// buffer to simulate a peer that stops reading, making the server's
+  /// write-side backpressure observable despite loopback's generous
+  /// default buffering. <= 0 leaves the kernel default.
+  void set_recv_buffer(int bytes) { rcvbuf_ = bytes; }
+
   /// Half-close: shutdown(SHUT_WR). The server must still answer
   /// everything already sent; read_response keeps working.
   void shutdown_writes();
@@ -65,6 +76,7 @@ class BlockingClient {
 
  private:
   int fd_ = -1;
+  int rcvbuf_ = 0;  // SO_RCVBUF override for the next connect; 0 = default
   std::string rx_;  // bytes read past the previous response
 };
 
@@ -87,6 +99,10 @@ struct LoadConfig {
   std::uint32_t connections = 1;
   std::uint32_t requests_per_connection = 100;
   std::uint32_t rows_per_request = 1;
+  /// Requests each connection keeps in flight (>= 1). Depth 1 is the
+  /// classic closed loop; larger depths pipeline, multiplying offered
+  /// load per connection -- the overload generator.
+  std::uint32_t pipeline_depth = 1;
   /// Send JSON bodies instead of CSV.
   bool json_body = false;
 };
@@ -99,9 +115,12 @@ struct LoadResult {
   double p99_us = 0.0;
   double p999_us = 0.0;
   double max_us = 0.0;
-  std::uint64_t requests = 0;
+  std::uint64_t requests = 0;  // admitted (200) requests only
   std::uint64_t rows = 0;
-  std::uint64_t errors = 0;      // transport failures + non-200 responses
+  /// 503 + Retry-After responses: the server's admission control shed the
+  /// request. Not an error -- the documented overload contract.
+  std::uint64_t shed = 0;
+  std::uint64_t errors = 0;      // transport failures + other non-200s
   std::uint64_t mismatches = 0;  // served prediction != expected (bitwise)
   double bytes_per_request = 0.0;
   double wall_seconds = 0.0;
@@ -111,9 +130,11 @@ struct LoadResult {
 /// keep-alive connection, each issuing `requests_per_connection` prebuilt
 /// /predict requests over rows of `queries` (request k of connection c
 /// covers rows [(c*requests_per_connection + k) * rows_per_request, ...)
-/// mod num_records, so coverage is deterministic). Every returned
-/// prediction is compared bitwise (==) against `expected[row]`;
-/// mismatches and errors are counted, latency is measured per request.
+/// mod num_records, so coverage is deterministic), keeping up to
+/// `pipeline_depth` of them in flight. Every admitted prediction is
+/// compared bitwise (==) against `expected[row]`; shed responses (503 +
+/// Retry-After), mismatches, and errors are counted, latency is measured
+/// per admitted request from its send to its response.
 LoadResult run_closed_loop(const LoadConfig& cfg, const gbdt::Dataset& queries,
                            const std::vector<double>& expected);
 

@@ -18,7 +18,9 @@
 namespace booster::serve {
 
 /// One parsed request. `keep_alive` already folds in the HTTP-version
-/// default (1.1 persistent, 1.0 not) and any Connection header.
+/// default (1.1 persistent, 1.0 not) and any Connection header. `target`
+/// is the raw request target, query string included -- routing splits at
+/// '?' itself, keeping the full form here for logging.
 struct Request {
   std::string method;
   std::string target;

@@ -9,6 +9,13 @@
 // Files are loaded through the checked model container (model_io CRC-32
 // header): a truncated or bit-rotten artifact is refused with a distinct
 // status and the slot keeps serving the previous version.
+//
+// All entry points are thread-safe, and install()/install_from_file()
+// deliberately run the expensive FlatEnsemble flatten *outside* the lock
+// on the caller's thread -- which is what lets the server's reload worker
+// do the whole read + CRC + flatten off the event loop and still hand
+// over atomically. Concurrent installers are fine: versions are assigned
+// under the lock and the highest installed version wins.
 #pragma once
 
 #include <cstdint>

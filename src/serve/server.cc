@@ -35,6 +35,13 @@ void format_prediction(std::string* out, double value) {
   out->append(buf, static_cast<std::size_t>(len));
 }
 
+std::uint64_t elapsed_us(std::chrono::steady_clock::time_point begin) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - begin)
+          .count());
+}
+
 }  // namespace
 
 Server::Server(ServerConfig cfg, ModelSlot* slot,
@@ -52,9 +59,18 @@ Server::Server(ServerConfig cfg, ModelSlot* slot,
   BOOSTER_CHECK_MSG(poller_.add(batch_timer_.fd(), kTimerTag, true, false),
                     "epoll rejected the batch timer fd");
   binner_.reset_columns(&staged_columns_);
+  now_ = std::chrono::steady_clock::now();
+  last_reap_ = now_;
+  reload_thread_ = std::thread([this] { reload_worker_main(); });
 }
 
 Server::~Server() {
+  {
+    const std::scoped_lock lock(reload_mu_);
+    reload_shutdown_ = true;
+  }
+  reload_cv_.notify_one();
+  if (reload_thread_.joinable()) reload_thread_.join();
   for (auto& [id, conn] : conns_) {
     poller_.remove(conn.fd);
     ::close(conn.fd);
@@ -73,13 +89,25 @@ void Server::stop() {
 
 void Server::run() {
   std::vector<ipc::Poller::Event> events;
+  now_ = std::chrono::steady_clock::now();
+  last_reap_ = now_;
   while (!stop_.load(std::memory_order_acquire)) {
-    poller_.wait(std::chrono::milliseconds(100), &events);
+    auto timeout = std::chrono::milliseconds(100);
+    if (cfg_.idle_timeout.count() > 0) {
+      // The sweep cadence bounds how late a reap can run; never sleep
+      // past a quarter of the timeout.
+      timeout = std::min(
+          timeout, std::max(cfg_.idle_timeout / 4,
+                            std::chrono::milliseconds(1)));
+    }
+    poller_.wait(timeout, &events);
+    now_ = std::chrono::steady_clock::now();
     for (const auto& ev : events) {
       if (ev.tag == kListenTag) {
         accept_new_connections();
       } else if (ev.tag == kWakeTag) {
         wake_.drain();
+        drain_reload();
       } else if (ev.tag == kTimerTag) {
         if (batch_timer_.consume() > 0) {
           timer_armed_ = false;
@@ -100,20 +128,42 @@ void Server::run() {
         if (ev.writable && conns_.count(ev.tag) != 0) pump_output(ev.tag);
       }
     }
-    // Window 0: anything staged during this readiness sweep flushes now,
-    // so same-round arrivals batch but nothing waits on a timer.
-    if (cfg_.batch_window.count() == 0 && !staged_requests_.empty()) {
-      flush_batch();
-    }
-    for (const std::uint64_t id : dirty_) pump_output(id);
-    dirty_.clear();
+    settle();
+    if (cfg_.idle_timeout.count() > 0) reap_idle();
   }
-  // Orderly shutdown: answer everything already staged before returning.
+  // Orderly shutdown: let an in-flight reload land (its requester is
+  // still owed a response), then answer everything already staged.
+  if (reload_inflight_) {
+    {
+      std::unique_lock<std::mutex> lock(reload_mu_);
+      reload_done_cv_.wait(lock,
+                           [this] { return finished_reload_.has_value(); });
+    }
+    drain_reload();
+  }
   flush_batch();
-  for (const std::uint64_t id : dirty_) pump_output(id);
-  dirty_.clear();
+  settle();
   stats_.buffer_allocations = pool_.allocations();
   stats_.buffer_acquires = pool_.acquires();
+}
+
+void Server::settle() {
+  while (true) {
+    // With window 0 anything staged this round flushes now; with a
+    // window the flush waits for the timer unless the backlog already
+    // fills a traversal tile.
+    const bool flush_due =
+        !staged_requests_.empty() &&
+        (cfg_.batch_window.count() == 0 ||
+         staged_rows_ >= cfg_.max_batch_rows);
+    if (flush_due) flush_batch();
+    if (dirty_.empty()) break;
+    // Pumping can resume paused connections whose parsed requests stage
+    // more rows, so loop until nothing new appears.
+    pump_scratch_.swap(dirty_);
+    for (const std::uint64_t id : pump_scratch_) pump_output(id);
+    pump_scratch_.clear();
+  }
 }
 
 void Server::accept_new_connections() {
@@ -127,12 +177,17 @@ void Server::accept_new_connections() {
     }
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    if (cfg_.so_sndbuf > 0) {
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &cfg_.so_sndbuf,
+                   sizeof(cfg_.so_sndbuf));
+    }
     const std::uint64_t id = next_conn_id_++;
     Connection conn;
     conn.fd = fd;
     conn.in = pool_.acquire();
     conn.out = pool_.acquire();
     conn.parser = RequestParser(cfg_.limits);
+    conn.last_activity = now_;
     if (!poller_.add(fd, id, true, false)) {
       ::close(fd);
       pool_.release(std::move(conn.in));
@@ -153,7 +208,8 @@ void Server::close_connection(std::uint64_t id) {
   pool_.release(std::move(conn.in));
   pool_.release(std::move(conn.out));
   // Staged slots pointing at this connection stay in the batch; the flush
-  // skips them when the lookup fails.
+  // skips them when the lookup fails. A reload in flight for it is
+  // likewise dropped at drain time.
   conns_.erase(it);
 }
 
@@ -161,13 +217,18 @@ void Server::handle_readable(std::uint64_t id) {
   auto it = conns_.find(id);
   if (it == conns_.end()) return;
   Connection& conn = it->second;
-  if (!conn.read_closed) {
+  if (!conn.read_closed && !conn.paused_read) {
     char buf[kRecvChunk];
-    while (true) {
-      const ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
+    std::size_t drained = 0;
+    while (drained < cfg_.max_read_per_round) {
+      const std::size_t want =
+          std::min(sizeof(buf), cfg_.max_read_per_round - drained);
+      const ssize_t n = ::recv(conn.fd, buf, want, 0);
       if (n > 0) {
         conn.in.append(buf, static_cast<std::size_t>(n));
         stats_.bytes_in += static_cast<std::uint64_t>(n);
+        drained += static_cast<std::size_t>(n);
+        conn.last_activity = now_;
         continue;
       }
       if (n == 0) {
@@ -182,6 +243,10 @@ void Server::handle_readable(std::uint64_t id) {
       close_connection(id);
       return;
     }
+    // Fairness cap hit with bytes still buffered: stop here so every
+    // other ready connection gets its turn this round. The poller is
+    // level-triggered, so this socket reports readable again on the very
+    // next epoll round -- no extra bookkeeping needed to re-visit it.
   }
   process_input(id);
   pump_output(id);
@@ -191,6 +256,11 @@ void Server::process_input(std::uint64_t id) {
   auto it = conns_.find(id);
   if (it == conns_.end()) return;
   Connection& conn = it->second;
+  // Backpressure / reload ordering: a paused connection keeps its bytes
+  // buffered (nothing is consumed) until pump_output resumes it; a
+  // connection waiting on an off-loop reload parses nothing more until
+  // the reload response is enqueued, so responses keep request order.
+  if (conn.paused_read || conn.reload_waiting) return;
   std::size_t off = 0;
   while (true) {
     std::size_t used = 0;
@@ -201,11 +271,15 @@ void Server::process_input(std::uint64_t id) {
     if (status == ParseStatus::kRequest) {
       handle_request(id, std::move(req));
       if (conn.read_closed) break;  // a handler decided to stop reading
+      if (conn.paused_read || conn.reload_waiting) break;
       continue;
     }
     if (status == ParseStatus::kNeedMore) break;
     // Protocol-level rejection: answer loudly, then close -- the parser
     // is poisoned and the byte stream has no resynchronization point.
+    // Rejected requests still count as requests: responses_* must never
+    // exceed the request counter.
+    ++stats_.requests;
     const int code = status == ParseStatus::kHeadersTooLarge ? 431
                      : status == ParseStatus::kBodyTooLarge  ? 413
                      : status == ParseStatus::kUnsupported   ? 501
@@ -221,7 +295,11 @@ void Server::process_input(std::uint64_t id) {
 
 void Server::handle_request(std::uint64_t id, Request&& req) {
   ++stats_.requests;
-  if (req.target == "/predict") {
+  // Route on the path only: the raw target keeps its query string (the
+  // parser preserves it for logging), but "/predict?x=y" is /predict.
+  std::string_view path(req.target);
+  path = path.substr(0, path.find('?'));
+  if (path == "/predict") {
     if (req.method != "POST") {
       enqueue_response(id, 405, "text/plain", "use POST /predict\n",
                        req.keep_alive);
@@ -230,7 +308,7 @@ void Server::handle_request(std::uint64_t id, Request&& req) {
     handle_predict(id, req);
     return;
   }
-  if (req.target == "/healthz") {
+  if (path == "/healthz") {
     if (req.method != "GET") {
       enqueue_response(id, 405, "text/plain", "use GET /healthz\n",
                        req.keep_alive);
@@ -239,7 +317,7 @@ void Server::handle_request(std::uint64_t id, Request&& req) {
     enqueue_response(id, 200, "text/plain", "ok\n", req.keep_alive);
     return;
   }
-  if (req.target == "/stats") {
+  if (path == "/stats") {
     if (req.method != "GET") {
       enqueue_response(id, 405, "text/plain", "use GET /stats\n",
                        req.keep_alive);
@@ -249,52 +327,59 @@ void Server::handle_request(std::uint64_t id, Request&& req) {
                      req.keep_alive);
     return;
   }
-  if (req.target == "/reload") {
+  if (path == "/reload") {
     if (req.method != "POST") {
       enqueue_response(id, 405, "text/plain", "use POST /reload\n",
                        req.keep_alive);
       return;
     }
-    // Body = container path, surrounding whitespace tolerated. The load
-    // and flatten run on the loop thread: a reload stalls the loop for
-    // the flatten, never a traversal -- in-flight batches pinned the old
-    // pointer already.
-    std::string_view path(req.body);
-    while (!path.empty() && (path.back() == '\n' || path.back() == '\r' ||
-                             path.back() == ' ')) {
-      path.remove_suffix(1);
+    if (reload_inflight_) {
+      ++stats_.reloads_rejected;
+      enqueue_response(id, 409, "text/plain", "reload already in flight\n",
+                       req.keep_alive);
+      return;
     }
-    while (!path.empty() && path.front() == ' ') path.remove_prefix(1);
-    std::uint64_t version = 0;
-    const auto stall_begin = std::chrono::steady_clock::now();
-    const gbdt::ModelFileStatus status =
-        slot_->install_from_file(std::string(path), &version);
-    const auto stall_us =
-        static_cast<std::uint64_t>(std::chrono::duration_cast<
-                                       std::chrono::microseconds>(
-                                       std::chrono::steady_clock::now() -
-                                       stall_begin)
-                                       .count());
+    // Body = container path, surrounding whitespace tolerated. The load,
+    // CRC check, and flatten all run on the reload worker; the loop only
+    // pays for this hand-off (measured below as the reload "stall").
+    const auto handoff_begin = std::chrono::steady_clock::now();
+    std::string_view path_view(req.body);
+    while (!path_view.empty() &&
+           (path_view.back() == '\n' || path_view.back() == '\r' ||
+            path_view.back() == ' ')) {
+      path_view.remove_suffix(1);
+    }
+    while (!path_view.empty() && path_view.front() == ' ') {
+      path_view.remove_prefix(1);
+    }
+    reload_inflight_ = true;
+    conns_.find(id)->second.reload_waiting = true;
+    {
+      const std::scoped_lock lock(reload_mu_);
+      pending_reload_ = ReloadJob{id, req.keep_alive, std::string(path_view)};
+    }
+    reload_cv_.notify_one();
+    const std::uint64_t stall_us = elapsed_us(handoff_begin);
     stats_.reload_stall_us_total += stall_us;
-    stats_.reload_stall_us_max = std::max(stats_.reload_stall_us_max, stall_us);
-    if (status == gbdt::ModelFileStatus::kOk) {
-      ++stats_.reloads;
-      body_scratch_.assign("version ");
-      body_scratch_ += std::to_string(version);
-      body_scratch_ += '\n';
-      enqueue_response(id, 200, "text/plain", body_scratch_, req.keep_alive);
-    } else {
-      body_scratch_.assign("reload failed: ");
-      body_scratch_ += gbdt::model_file_status_name(status);
-      body_scratch_ += '\n';
-      enqueue_response(id, 409, "text/plain", body_scratch_, req.keep_alive);
-    }
+    stats_.reload_stall_us_max =
+        std::max(stats_.reload_stall_us_max, stall_us);
     return;
   }
   enqueue_response(id, 404, "text/plain", "unknown target\n", req.keep_alive);
 }
 
 void Server::handle_predict(std::uint64_t id, const Request& req) {
+  // Admission control: past either watermark this request is shed *now*
+  // -- a prompt 503 instead of a seat in a queue whose latency already
+  // exceeds what any client should wait for. Shedding never touches the
+  // staged columns, so admitted rows are numerically untouched by it.
+  if (staged_rows_ >= cfg_.shed_rows_watermark ||
+      staged_requests_.size() >= cfg_.shed_requests_watermark) {
+    ++stats_.requests_shed;
+    enqueue_response(id, 503, "text/plain", "overloaded, retry later\n",
+                     req.keep_alive, "Retry-After: 1\r\n");
+    return;
+  }
   // Pin the batch's model at its first row: a hot swap mid-window changes
   // the *next* batch, never this one.
   if (batch_model_ == nullptr) batch_model_ = slot_->current();
@@ -359,9 +444,11 @@ void Server::handle_predict(std::uint64_t id, const Request& req) {
   stats_.predict_rows += rows;
   conns_.find(id)->second.pending += 1;
 
-  if (staged_rows_ >= cfg_.max_batch_rows) {
-    flush_batch();
-  } else if (cfg_.batch_window.count() > 0 && !timer_armed_) {
+  // The flush itself happens at a safe point (settle() / the window
+  // timer): callers of handle_request may hold references into conns_,
+  // and flushing here would let a full tile close connections under them.
+  if (cfg_.batch_window.count() > 0 && !timer_armed_ &&
+      staged_rows_ < cfg_.max_batch_rows) {
     batch_timer_.arm_once(cfg_.batch_window);
     timer_armed_ = true;
   }
@@ -395,6 +482,7 @@ void Server::enqueue_response(std::uint64_t id, int status,
       conn.close_after_flush = true;
       conn.read_closed = true;
     }
+    apply_out_watermarks(conn);
     return;
   }
   // Predicts are in flight ahead of this response: give it an ordered
@@ -418,17 +506,25 @@ void Server::flush_batch() {
 
   if (staged_rows_ > 0) {
     column_ptrs_.resize(staged_columns_.size());
-    for (std::size_t f = 0; f < staged_columns_.size(); ++f) {
-      column_ptrs_[f] = staged_columns_[f].data();
-    }
     batch_out_.resize(staged_rows_);
-    batch_model_->flat.predict_many(column_ptrs_.data(), staged_rows_,
-                                    std::span<double>(batch_out_));
-    ++stats_.batches;
-    const std::size_t bucket = std::min<std::size_t>(
-        static_cast<std::size_t>(std::bit_width(staged_rows_) - 1),
-        stats_.batch_size_hist.size() - 1);
-    ++stats_.batch_size_hist[bucket];
+    // Traversal tiles of at most max_batch_rows. predict_many is per-row
+    // independent, so slicing changes nothing numerically -- each row is
+    // bit-identical to Model::predict whatever tile it lands in.
+    const std::uint64_t tile = std::max<std::uint64_t>(1, cfg_.max_batch_rows);
+    for (std::uint64_t off = 0; off < staged_rows_; off += tile) {
+      const std::uint64_t rows = std::min(tile, staged_rows_ - off);
+      for (std::size_t f = 0; f < staged_columns_.size(); ++f) {
+        column_ptrs_[f] = staged_columns_[f].data() + off;
+      }
+      batch_model_->flat.predict_many(
+          column_ptrs_.data(), rows,
+          std::span<double>(batch_out_).subspan(off, rows));
+      ++stats_.batches;
+      const std::size_t bucket = std::min<std::size_t>(
+          static_cast<std::size_t>(std::bit_width(rows) - 1),
+          stats_.batch_size_hist.size() - 1);
+      ++stats_.batch_size_hist[bucket];
+    }
   }
 
   for (const StagedRequest& staged : staged_requests_) {
@@ -454,6 +550,7 @@ void Server::flush_batch() {
       conn.close_after_flush = true;
       conn.read_closed = true;
     }
+    apply_out_watermarks(conn);
     dirty_.push_back(staged.conn_id);
   }
 
@@ -461,6 +558,17 @@ void Server::flush_batch() {
   for (auto& col : staged_columns_) col.clear();
   staged_rows_ = 0;
   batch_model_.reset();
+}
+
+void Server::apply_out_watermarks(Connection& conn) {
+  const std::size_t outstanding = conn.out.size() - conn.out_offset;
+  if (outstanding > stats_.out_high_water_bytes) {
+    stats_.out_high_water_bytes = outstanding;
+  }
+  if (!conn.paused_read && outstanding >= cfg_.out_high_watermark) {
+    conn.paused_read = true;
+    ++stats_.out_buffer_pauses;
+  }
 }
 
 void Server::pump_output(std::uint64_t id) {
@@ -474,6 +582,7 @@ void Server::pump_output(std::uint64_t id) {
     if (n > 0) {
       conn.out_offset += static_cast<std::size_t>(n);
       stats_.bytes_out += static_cast<std::uint64_t>(n);
+      conn.last_activity = now_;
       continue;
     }
     if (n < 0 && errno == EINTR) continue;
@@ -492,6 +601,24 @@ void Server::pump_output(std::uint64_t id) {
     conn.out.erase(0, conn.out_offset);
     conn.out_offset = 0;
   }
+  const std::size_t outstanding = conn.out.size() - conn.out_offset;
+  if (outstanding > cfg_.out_max_bytes) {
+    // The peer pipelines requests but does not read responses, and the
+    // paused-read watermark could not stop the backlog (responses already
+    // owed when the pause landed). Closing is the bound that keeps one
+    // misbehaving peer from growing conn.out without limit.
+    ++stats_.out_buffer_closes;
+    close_connection(id);
+    return;
+  }
+  if (conn.paused_read && outstanding <= cfg_.out_low_watermark) {
+    conn.paused_read = false;
+    ++stats_.out_buffer_resumes;
+    // Bytes buffered while paused may hold complete requests; parse them
+    // now and let settle() flush/pump what they produce.
+    process_input(id);
+    dirty_.push_back(id);
+  }
   update_interest(id);
 }
 
@@ -499,12 +626,98 @@ void Server::update_interest(std::uint64_t id) {
   auto it = conns_.find(id);
   if (it == conns_.end()) return;
   Connection& conn = it->second;
-  const bool want_read = !conn.read_closed;
+  const bool want_read = !conn.read_closed && !conn.paused_read;
   const bool want_write = conn.out_offset < conn.out.size();
   if (want_read != conn.want_read || want_write != conn.want_write) {
     poller_.modify(conn.fd, id, want_read, want_write);
     conn.want_read = want_read;
     conn.want_write = want_write;
+  }
+}
+
+void Server::reap_idle() {
+  const auto interval =
+      std::max(cfg_.idle_timeout / 4, std::chrono::milliseconds(1));
+  if (now_ - last_reap_ < interval) return;
+  last_reap_ = now_;
+  reap_scratch_.clear();
+  for (const auto& [id, conn] : conns_) {
+    // In-flight work is not idleness; neither is a backlog still being
+    // written (that path is bounded by the out watermarks instead).
+    if (conn.pending > 0 || conn.reload_waiting) continue;
+    if (conn.out_offset < conn.out.size()) continue;
+    if (now_ - conn.last_activity >= cfg_.idle_timeout) {
+      reap_scratch_.push_back(id);
+    }
+  }
+  for (const std::uint64_t id : reap_scratch_) {
+    ++stats_.idle_reaped;
+    close_connection(id);
+  }
+}
+
+void Server::drain_reload() {
+  std::optional<ReloadDone> done;
+  {
+    const std::scoped_lock lock(reload_mu_);
+    done.swap(finished_reload_);
+  }
+  if (!done.has_value()) return;
+  const auto drain_begin = std::chrono::steady_clock::now();
+  reload_inflight_ = false;
+  if (done->status == gbdt::ModelFileStatus::kOk) {
+    ++stats_.reloads;
+  } else {
+    ++stats_.reloads_rejected;
+  }
+  auto it = conns_.find(done->conn_id);
+  if (it != conns_.end()) {
+    it->second.reload_waiting = false;
+    if (done->status == gbdt::ModelFileStatus::kOk) {
+      body_scratch_.assign("version ");
+      body_scratch_ += std::to_string(done->version);
+      body_scratch_ += '\n';
+      enqueue_response(done->conn_id, 200, "text/plain", body_scratch_,
+                       done->keep_alive);
+    } else {
+      body_scratch_.assign("reload failed: ");
+      body_scratch_ += gbdt::model_file_status_name(done->status);
+      body_scratch_ += '\n';
+      enqueue_response(done->conn_id, 409, "text/plain", body_scratch_,
+                       done->keep_alive);
+    }
+    // The response is in line; requests the connection pipelined behind
+    // the reload may now parse (they stay ordered after it).
+    process_input(done->conn_id);
+    dirty_.push_back(done->conn_id);
+  }
+  const std::uint64_t stall_us = elapsed_us(drain_begin);
+  stats_.reload_stall_us_total += stall_us;
+  stats_.reload_stall_us_max = std::max(stats_.reload_stall_us_max, stall_us);
+}
+
+void Server::reload_worker_main() {
+  std::unique_lock<std::mutex> lock(reload_mu_);
+  while (true) {
+    reload_cv_.wait(lock, [this] {
+      return reload_shutdown_ || pending_reload_.has_value();
+    });
+    if (reload_shutdown_) return;
+    ReloadJob job = std::move(*pending_reload_);
+    pending_reload_.reset();
+    lock.unlock();
+    // The expensive part -- file read, CRC check, FlatEnsemble flatten --
+    // runs here, off the event loop. ModelSlot::install_from_file is
+    // thread-safe and flattens outside its lock; on failure the slot
+    // keeps serving the previous version.
+    std::uint64_t version = 0;
+    const gbdt::ModelFileStatus status =
+        slot_->install_from_file(job.path, &version);
+    lock.lock();
+    finished_reload_ = ReloadDone{job.conn_id, job.keep_alive, status,
+                                  version};
+    wake_.notify();
+    reload_done_cv_.notify_one();
   }
 }
 
@@ -521,9 +734,19 @@ std::string Server::stats_json() const {
   j.set("responses_2xx", stats_.responses_2xx);
   j.set("responses_4xx", stats_.responses_4xx);
   j.set("responses_5xx", stats_.responses_5xx);
+  j.set("requests_shed", stats_.requests_shed);
   j.set("reloads", stats_.reloads);
+  j.set("reloads_rejected", stats_.reloads_rejected);
+  j.set("reload_in_flight", std::uint64_t{reload_inflight_ ? 1u : 0u});
   j.set("reload_stall_us_total", stats_.reload_stall_us_total);
   j.set("reload_stall_us_max", stats_.reload_stall_us_max);
+  j.set("out_buffer_pauses", stats_.out_buffer_pauses);
+  j.set("out_buffer_resumes", stats_.out_buffer_resumes);
+  j.set("out_buffer_closes", stats_.out_buffer_closes);
+  j.set("out_high_water_bytes", stats_.out_high_water_bytes);
+  j.set("idle_reaped", stats_.idle_reaped);
+  j.set("staged_rows", staged_rows_);
+  j.set("staged_requests", std::uint64_t{staged_requests_.size()});
   sim::Json hist = sim::Json::array();
   for (const std::uint64_t count : stats_.batch_size_hist) {
     hist.push_back(count);

@@ -10,8 +10,10 @@
 #include <gtest/gtest.h>
 
 #include <sys/socket.h>
+#include <sys/stat.h>
 
 #include <atomic>
+#include <chrono>
 #include <charconv>
 #include <cstdio>
 #include <fstream>
@@ -241,8 +243,19 @@ TEST(BufferPool, IdleListIsBounded) {
 // ------------------------------------------------------------ end-to-end
 
 struct Fixture {
+  static ServerConfig config_with(std::chrono::microseconds window,
+                                  std::uint32_t max_batch_rows) {
+    ServerConfig scfg;
+    scfg.batch_window = window;
+    scfg.max_batch_rows = max_batch_rows;
+    return scfg;
+  }
+
   explicit Fixture(std::chrono::microseconds window = {},
-                   std::uint32_t max_batch_rows = 1024) {
+                   std::uint32_t max_batch_rows = 1024)
+      : Fixture(config_with(window, max_batch_rows)) {}
+
+  explicit Fixture(ServerConfig scfg) {
     workloads::DatasetSpec spec;
     spec.name = "serve";
     spec.nominal_records = 400;
@@ -266,9 +279,6 @@ struct Fixture {
       expected[r] = model->predict(binned, r);
     }
 
-    ServerConfig scfg;
-    scfg.batch_window = window;
-    scfg.max_batch_rows = max_batch_rows;
     server = std::make_unique<Server>(scfg, &slot, binned);
     loop = std::thread([this] { server->run(); });
   }
@@ -286,6 +296,42 @@ struct Fixture {
   std::unique_ptr<Server> server;
   std::thread loop;
 };
+
+/// GET /stats over `client`, parsed; nullopt on any failure.
+std::optional<sim::Json> get_stats(BlockingClient* client) {
+  Response resp;
+  if (!client->request("GET", "/stats", "", &resp) || resp.status != 200) {
+    return std::nullopt;
+  }
+  std::string error;
+  return sim::Json::parse(resp.body, &error);
+}
+
+double stat_value(const sim::Json& stats, const char* key) {
+  const sim::Json* v = stats.find(key);
+  return v == nullptr ? -1.0 : v->as_double();
+}
+
+/// Polls /stats until `key` >= `at_least`. The polling itself keeps this
+/// connection active (relevant for the idle-reap test: the prober must
+/// survive the sweep). Deadlines are generous for sanitizer slowdown.
+bool wait_for_stat(BlockingClient* client, const char* key, double at_least,
+                   std::chrono::milliseconds deadline =
+                       std::chrono::milliseconds(15000)) {
+  const auto until = std::chrono::steady_clock::now() + deadline;
+  while (std::chrono::steady_clock::now() < until) {
+    const auto stats = get_stats(client);
+    if (!stats.has_value()) return false;
+    if (stat_value(*stats, key) >= at_least) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return false;
+}
+
+std::string framed_predict(const std::string& body) {
+  return "POST /predict HTTP/1.1\r\nContent-Length: " +
+         std::to_string(body.size()) + "\r\n\r\n" + body;
+}
 
 TEST(ServeEndToEnd, CsvPredictionsBitIdenticalToLocalModel) {
   Fixture fx;
@@ -510,12 +556,13 @@ TEST(ServeEndToEnd, ReloadSwapsModelAndRefusesCorruptFiles) {
   std::remove(bad_path.c_str());
 }
 
-TEST(ServeEndToEnd, ReloadStallIsMeasuredAndConcurrentRequestsSurviveIt) {
-  // /reload runs file read + CRC + flattening inline on the event loop, so
-  // requests queued behind it stall for the documented O(model bytes)
-  // bound. The server must (a) expose that stall in /stats and (b) answer
-  // every concurrently in-flight request correctly -- stalled, never
-  // dropped or torn.
+TEST(ServeEndToEnd, ReloadRunsOffLoopAndConcurrentRequestsSurviveIt) {
+  // /reload hands the file read + CRC + flattening to the reload worker;
+  // the event loop only pays for the job hand-off and the result drain.
+  // The server must (a) show that residual on-loop cost staying tiny in
+  // /stats (the before/after metric for the off-loop change) and (b)
+  // answer every concurrently in-flight request correctly -- never
+  // dropped or torn, each response wholly one version's output.
   Fixture fx;
   gbdt::TrainerConfig tcfg;
   tcfg.num_trees = 4;
@@ -589,8 +636,13 @@ TEST(ServeEndToEnd, ReloadStallIsMeasuredAndConcurrentRequestsSurviveIt) {
   const auto* max = stats->find("reload_stall_us_max");
   ASSERT_NE(total, nullptr);
   ASSERT_NE(max, nullptr);
-  EXPECT_GT(total->as_double(), 0.0);
   EXPECT_GE(total->as_double(), max->as_double());
+  // The on-loop cost per reload is a mailbox hand-off + a response
+  // enqueue -- microseconds. 5 ms of headroom absorbs scheduler noise
+  // while still proving the loop no longer pays the O(model bytes)
+  // load + flatten (which is exactly what the inline implementation
+  // charged here).
+  EXPECT_LT(max->as_double(), 5000.0);
   std::remove(path.c_str());
 }
 
@@ -713,6 +765,293 @@ TEST(ServeEndToEnd, HotSwapMidLoadNeverTearsAResponse) {
   done.store(true);
   swapper.join();
   EXPECT_EQ(torn.load(), 0u);
+}
+
+// ------------------------------------------------- overload robustness
+
+TEST(ServeOverload, QueryStringsRouteOnPathOnly) {
+  // Regression: handle_request matched req.target exactly, so any query
+  // string fell through to 404.
+  Fixture fx;
+  BlockingClient client;
+  ASSERT_TRUE(client.connect(fx.server->port()));
+  Response resp;
+  ASSERT_TRUE(client.request("GET", "/healthz?probe=1", "", &resp));
+  EXPECT_EQ(resp.status, 200);
+  EXPECT_EQ(resp.body, "ok\n");
+  ASSERT_TRUE(client.request("POST", "/predict?debug=batching",
+                             csv_rows(fx.raw, 0, 3), &resp));
+  ASSERT_EQ(resp.status, 200);
+  std::vector<double> got;
+  ASSERT_TRUE(parse_predictions(resp.body, &got));
+  ASSERT_EQ(got.size(), 3u);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(got[i], fx.expected[i]);
+  ASSERT_TRUE(client.request("GET", "/stats?pretty", "", &resp));
+  EXPECT_EQ(resp.status, 200);
+  std::string error;
+  EXPECT_TRUE(sim::Json::parse(resp.body, &error).has_value()) << error;
+  // Unknown paths still 404, query string or not.
+  ASSERT_TRUE(client.request("GET", "/nope?x=1", "", &resp));
+  EXPECT_EQ(resp.status, 404);
+}
+
+TEST(ServeOverload, PredictsPastWatermarkShedPromptlyAndAdmittedStayExact) {
+  // A long batch window holds admitted rows in the staged queue, so the
+  // shed watermark is observable deterministically: two admitted requests
+  // fill the queue past shed_rows_watermark, and a third must get its 503
+  // *immediately* -- long before the window flushes -- while the admitted
+  // rows still come back bit-identical.
+  ServerConfig scfg = Fixture::config_with(std::chrono::microseconds(0), 1024);
+  scfg.batch_window = std::chrono::seconds(2);
+  scfg.shed_rows_watermark = 8;
+  Fixture fx(scfg);
+  BlockingClient a, b, c, probe;
+  ASSERT_TRUE(a.connect(fx.server->port()));
+  ASSERT_TRUE(b.connect(fx.server->port()));
+  ASSERT_TRUE(c.connect(fx.server->port()));
+  ASSERT_TRUE(probe.connect(fx.server->port()));
+
+  ASSERT_TRUE(a.send_raw(framed_predict(csv_rows(fx.raw, 0, 5))));
+  ASSERT_TRUE(wait_for_stat(&probe, "staged_rows", 5.0));
+  ASSERT_TRUE(b.send_raw(framed_predict(csv_rows(fx.raw, 5, 4))));
+  ASSERT_TRUE(wait_for_stat(&probe, "staged_rows", 9.0));
+
+  // 9 staged rows >= watermark 8: C is shed with a well-formed 503 that
+  // arrives promptly (it never joins the 2 s window).
+  const auto t0 = std::chrono::steady_clock::now();
+  Response shed;
+  ASSERT_TRUE(c.request("POST", "/predict", csv_rows(fx.raw, 9, 2), &shed));
+  const auto shed_latency = std::chrono::steady_clock::now() - t0;
+  EXPECT_EQ(shed.status, 503);
+  EXPECT_EQ(shed.header("Retry-After"), "1");
+  EXPECT_LT(shed_latency, std::chrono::milliseconds(1500))
+      << "shed response waited on the batch window";
+
+  // The admitted requests flush when the window expires, bit-identical.
+  std::vector<double> got;
+  Response resp;
+  ASSERT_TRUE(a.read_response(&resp));
+  ASSERT_EQ(resp.status, 200);
+  ASSERT_TRUE(parse_predictions(resp.body, &got));
+  ASSERT_EQ(got.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(got[i], fx.expected[i]);
+  ASSERT_TRUE(b.read_response(&resp));
+  ASSERT_EQ(resp.status, 200);
+  ASSERT_TRUE(parse_predictions(resp.body, &got));
+  ASSERT_EQ(got.size(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(got[i], fx.expected[5 + i]);
+
+  const auto stats = get_stats(&probe);
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stat_value(*stats, "requests_shed"), 1.0);
+  EXPECT_EQ(stat_value(*stats, "staged_rows"), 0.0);
+}
+
+TEST(ServeOverload, SlowReaderPausesReadsAndResumesAtLowWatermark) {
+  // Responses larger than out_high_watermark make every flush cross the
+  // pause threshold at append time (before any send), so the pause is
+  // deterministic regardless of how generously loopback buffers absorb
+  // the output afterwards.
+  ServerConfig scfg = Fixture::config_with({}, 1024);
+  scfg.out_high_watermark = 1024;
+  scfg.out_low_watermark = 256;
+  Fixture fx(scfg);
+  constexpr int kRequests = 20;
+  constexpr int kRows = 64;  // ~1.8 KiB response, past the high watermark
+  std::string wire;
+  const std::string body = csv_rows(fx.raw, 0, kRows);
+  for (int i = 0; i < kRequests; ++i) wire += framed_predict(body);
+
+  BlockingClient slow, probe;
+  ASSERT_TRUE(slow.connect(fx.server->port()));
+  ASSERT_TRUE(probe.connect(fx.server->port()));
+  ASSERT_TRUE(slow.send_raw(wire));
+  ASSERT_TRUE(wait_for_stat(&probe, "out_buffer_pauses", 1.0));
+  {
+    const auto stats = get_stats(&probe);
+    ASSERT_TRUE(stats.has_value());
+    EXPECT_EQ(stat_value(*stats, "out_buffer_closes"), 0.0)
+        << "pause/resume backlog must not hard-close";
+  }
+
+  // Drain: every response arrives, in order, bit-identical -- pausing
+  // reads delayed requests, it never dropped or corrupted one.
+  std::vector<double> got;
+  Response resp;
+  for (int k = 0; k < kRequests; ++k) {
+    ASSERT_TRUE(slow.read_response(&resp)) << "response " << k;
+    ASSERT_EQ(resp.status, 200) << "response " << k;
+    ASSERT_TRUE(parse_predictions(resp.body, &got));
+    ASSERT_EQ(got.size(), static_cast<std::size_t>(kRows));
+    for (int i = 0; i < kRows; ++i) {
+      ASSERT_EQ(got[i], fx.expected[i % fx.raw.num_records()]);
+    }
+  }
+  const auto stats = get_stats(&probe);
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_GE(stat_value(*stats, "out_buffer_pauses"), 1.0);
+  EXPECT_GE(stat_value(*stats, "out_buffer_resumes"), 1.0);
+  EXPECT_EQ(stat_value(*stats, "out_buffer_closes"), 0.0);
+  EXPECT_GE(stat_value(*stats, "out_high_water_bytes"),
+            static_cast<double>(scfg.out_high_watermark));
+  EXPECT_LE(stat_value(*stats, "out_high_water_bytes"),
+            static_cast<double>(scfg.out_max_bytes));
+}
+
+TEST(ServeOverload, RunawayPipelinerIsHardClosedAtOutMax) {
+  // A peer that pipelines predicts and never reads: its responses are
+  // owed before the pause can bite, so the backlog blows through
+  // out_max_bytes and the server must hard-close it. The tiny SO_RCVBUF
+  // keeps the kernel from absorbing the backlog on the client side.
+  ServerConfig scfg = Fixture::config_with({}, 1024);
+  scfg.out_high_watermark = 4096;
+  scfg.out_low_watermark = 1024;
+  scfg.out_max_bytes = 16384;
+  // Pin both kernel buffers small: with autotuned defaults the kernel
+  // absorbs multi-MiB of backlog and the userland out-buffer never grows.
+  scfg.so_sndbuf = 4096;
+  Fixture fx(scfg);
+
+  BlockingClient runaway, probe;
+  runaway.set_recv_buffer(4096);
+  ASSERT_TRUE(runaway.connect(fx.server->port()));
+  ASSERT_TRUE(probe.connect(fx.server->port()));
+
+  std::string wire;
+  const std::string body = csv_rows(fx.raw, 0, 8);
+  for (int i = 0; i < 400; ++i) wire += framed_predict(body);
+  // ~144 KiB of responses vs a 16 KiB bound: the close is unavoidable.
+  // The send may itself die partway once the server closes; that is the
+  // expected outcome, not a failure.
+  std::thread sender([&] { (void)runaway.send_raw(wire); });
+  EXPECT_TRUE(wait_for_stat(&probe, "out_buffer_closes", 1.0));
+  sender.join();
+
+  // The server survived the abuse and keeps serving others.
+  Response resp;
+  ASSERT_TRUE(probe.request("POST", "/predict", csv_rows(fx.raw, 0, 2),
+                            &resp));
+  ASSERT_EQ(resp.status, 200);
+  std::vector<double> got;
+  ASSERT_TRUE(parse_predictions(resp.body, &got));
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0], fx.expected[0]);
+  EXPECT_EQ(got[1], fx.expected[1]);
+}
+
+TEST(ServeOverload, IdleAndSlowLorisConnectionsAreReaped) {
+  ServerConfig scfg = Fixture::config_with({}, 1024);
+  scfg.idle_timeout = std::chrono::milliseconds(100);
+  Fixture fx(scfg);
+  BlockingClient idle, loris, active;
+  ASSERT_TRUE(idle.connect(fx.server->port()));
+  ASSERT_TRUE(loris.connect(fx.server->port()));
+  ASSERT_TRUE(active.connect(fx.server->port()));
+  // The loris sends half a request head and then nothing: no complete
+  // request ever forms, so without reaping it would pin its slot forever.
+  ASSERT_TRUE(loris.send_raw("POST /predict HTTP/1.1\r\nContent-Le"));
+
+  // The active prober polls /stats throughout (staying busy well past the
+  // idle timeout) and must survive the sweep that reaps the other two.
+  ASSERT_TRUE(wait_for_stat(&active, "idle_reaped", 2.0));
+  Response resp;
+  EXPECT_FALSE(idle.read_response(&resp)) << "idle connection not closed";
+  EXPECT_FALSE(loris.read_response(&resp)) << "loris connection not closed";
+  ASSERT_TRUE(active.request("GET", "/healthz", "", &resp));
+  EXPECT_EQ(resp.status, 200);
+}
+
+TEST(ServeOverload, ConcurrentReloadIsRefusedWith409Busy) {
+  Fixture fx;
+  // A FIFO makes the worker's load block deterministically: the first
+  // /reload stays in flight until this test writes container bytes into
+  // the pipe, so the overlap window is as wide as we need instead of a
+  // scheduler race.
+  const std::string fifo = "/tmp/booster_serve_reload_fifo.model";
+  std::remove(fifo.c_str());
+  ASSERT_EQ(::mkfifo(fifo.c_str(), 0600), 0);
+
+  gbdt::TrainerConfig tcfg;
+  tcfg.num_trees = 4;
+  tcfg.max_depth = 3;
+  tcfg.loss = "logistic";
+  tcfg.num_threads = 1;
+  const gbdt::Model v2 = gbdt::Trainer(tcfg).train(fx.binned).model;
+  const std::string real_path = "/tmp/booster_serve_reload_busy.model";
+  ASSERT_TRUE(gbdt::save_model_checked_file(v2, real_path));
+  std::string container_bytes;
+  {
+    std::ifstream in(real_path, std::ios::binary);
+    container_bytes.assign(std::istreambuf_iterator<char>(in), {});
+  }
+
+  BlockingClient first, second, probe;
+  ASSERT_TRUE(first.connect(fx.server->port()));
+  ASSERT_TRUE(second.connect(fx.server->port()));
+  ASSERT_TRUE(probe.connect(fx.server->port()));
+  ASSERT_TRUE(first.send_raw("POST /reload HTTP/1.1\r\nContent-Length: " +
+                             std::to_string(fifo.size()) + "\r\n\r\n" +
+                             fifo));
+  // The worker is now blocked opening the FIFO; the loop stays live.
+  ASSERT_TRUE(wait_for_stat(&probe, "reload_in_flight", 1.0));
+
+  Response resp;
+  ASSERT_TRUE(second.request("POST", "/reload", real_path, &resp));
+  EXPECT_EQ(resp.status, 409);
+  EXPECT_NE(resp.body.find("in flight"), std::string::npos) << resp.body;
+  // Predictions keep flowing while the worker is stuck mid-load: the
+  // off-loop contract, demonstrated at its worst case.
+  std::vector<double> got;
+  ASSERT_TRUE(second.request("POST", "/predict", csv_rows(fx.raw, 0, 2),
+                             &resp));
+  ASSERT_EQ(resp.status, 200);
+  ASSERT_TRUE(parse_predictions(resp.body, &got));
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0], fx.expected[0]);
+  EXPECT_EQ(got[1], fx.expected[1]);
+
+  // Unblock the worker with real container bytes; the first reload then
+  // lands and answers.
+  {
+    std::ofstream out(fifo, std::ios::binary);
+    out.write(container_bytes.data(),
+              static_cast<std::streamsize>(container_bytes.size()));
+  }
+  ASSERT_TRUE(first.read_response(&resp));
+  EXPECT_EQ(resp.status, 200) << resp.body;
+  EXPECT_EQ(resp.body, "version 2\n");
+  const auto stats = get_stats(&probe);
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stat_value(*stats, "reloads"), 1.0);
+  EXPECT_GE(stat_value(*stats, "reloads_rejected"), 1.0);
+  EXPECT_EQ(stat_value(*stats, "reload_in_flight"), 0.0);
+  std::remove(fifo.c_str());
+  std::remove(real_path.c_str());
+}
+
+TEST(ServeOverload, PipelinedHarnessShedsUnderOverloadWithoutErrors) {
+  // End-to-end admission control through the load harness: pipelined
+  // connections offer far more work than the tight watermarks admit, so
+  // some requests shed (503, counted separately) while every admitted one
+  // stays bit-identical -- and none errors.
+  ServerConfig scfg = Fixture::config_with({}, 1024);
+  scfg.shed_requests_watermark = 4;
+  scfg.shed_rows_watermark = 4 * 6;
+  Fixture fx(scfg);
+  LoadConfig lcfg;
+  lcfg.port = fx.server->port();
+  lcfg.connections = 4;
+  lcfg.requests_per_connection = 50;
+  lcfg.rows_per_request = 6;
+  lcfg.pipeline_depth = 8;
+  const LoadResult result = run_closed_loop(lcfg, fx.raw, fx.expected);
+  EXPECT_EQ(result.errors, 0u);
+  EXPECT_EQ(result.mismatches, 0u);
+  EXPECT_GT(result.shed, 0u);
+  EXPECT_EQ(result.requests + result.shed,
+            static_cast<std::uint64_t>(lcfg.connections) *
+                lcfg.requests_per_connection);
+  EXPECT_GT(result.requests, 0u);
 }
 
 }  // namespace
